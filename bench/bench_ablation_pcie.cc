@@ -1,0 +1,49 @@
+// Ablation: data residency (Section VI-D, third finding). The paper argues
+// that compression lets far more content live in GPU memory, and that PCIe
+// transfer drags performance when it cannot. This harness compares the
+// simulated transfer cost of raw tokens vs the compressed grammar, and the
+// end-to-end effect of charging PCIe on a word count run.
+
+#include "bench_util.h"
+
+using namespace gtadoc;
+
+int main() {
+  const double scale = bench::BenchScale();
+  const gpu::Platform platform = gpu::VoltaPlatform();
+  std::printf("ABLATION: PCIe RESIDENCY (Section VI-D finding 3, %s)\n",
+              platform.gpu.name.c_str());
+  bench::PrintRule('=', 110);
+  std::printf("%-8s %12s %14s %10s %18s %20s\n", "Dataset", "raw MB",
+              "compressed MB", "ratio", "resident wc (ms)",
+              "transferred wc (ms)");
+  bench::PrintRule('-', 110);
+
+  for (const DatasetSpec& spec : AllDatasets()) {
+    bench::PreparedDataset d = bench::Prepare(spec, scale);
+    const double raw_mb =
+        static_cast<double>(d.tokens.total_tokens() * 4) / 1e6;
+    const std::string blob = SerializeGrammar(d.grammar, false);
+    const double comp_mb = static_cast<double>(blob.size()) / 1e6;
+
+    double ms[2] = {0, 0};
+    for (int transfer = 0; transfer < 2; ++transfer) {
+      GTadocEngine::Options gopt;
+      gopt.gpu = platform.gpu;
+      gopt.charge_pcie = transfer == 1;
+      auto engine = GTadocEngine::Create(&d.grammar, gopt);
+      if (!engine.ok()) return 1;
+      auto run = (*engine)->Run(Task::kWordCount);
+      if (!run.ok()) return 1;
+      ms[transfer] = run->timing.total_seconds() * 1e3;
+    }
+    std::printf("%-8s %12.2f %14.2f %9.2fx %18.3f %20.3f\n",
+                spec.name.c_str(), raw_mb, comp_mb, raw_mb / comp_mb, ms[0],
+                ms[1]);
+  }
+  bench::PrintRule('=', 110);
+  std::printf(
+      "Compression shrinks what must cross PCIe (and what must fit in GPU "
+      "memory) by the ratio column — the paper's third finding.\n");
+  return 0;
+}

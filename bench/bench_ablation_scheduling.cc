@@ -1,0 +1,59 @@
+// Ablation: the fine-grained thread-level scheduling of Section IV-B
+// (Figure 4b) against the two designs the paper rejects —
+//   - one thread per rule (workload imbalance: the root becomes the kernel's
+//     serial critical path), and
+//   - vertical partitioning (Figure 4a: threads walk subtrees from the root,
+//     re-scanning shared rules).
+// Word count on every dataset; all three must agree on results.
+
+#include "bench_util.h"
+#include "gtadoc/scheduler.h"
+
+using namespace gtadoc;
+
+int main() {
+  const double scale = bench::BenchScale();
+  const gpu::Platform platform = gpu::VoltaPlatform();
+  std::printf("ABLATION: WORKLOAD SCHEDULING (wordCount, %s)\n",
+              platform.gpu.name.c_str());
+  bench::PrintRule('=');
+  std::printf("%-8s %16s %20s %22s %16s\n", "Dataset", "fineGrained (ms)",
+              "oneThreadPerRule (ms)", "verticalPartition (ms)",
+              "fine-grained wins");
+  bench::PrintRule();
+
+  const SchedulingMode kModes[] = {SchedulingMode::kFineGrained,
+                                   SchedulingMode::kOneThreadPerRule,
+                                   SchedulingMode::kVerticalPartition};
+  for (const DatasetSpec& spec : AllDatasets()) {
+    bench::PreparedDataset d = bench::Prepare(spec, scale);
+    double ms[3] = {0, 0, 0};
+    AnalyticsResult first_result;
+    for (int m = 0; m < 3; ++m) {
+      GTadocEngine::Options gopt;
+      gopt.gpu = platform.gpu;
+      gopt.scheduling = kModes[m];
+      auto engine = GTadocEngine::Create(&d.grammar, gopt);
+      if (!engine.ok()) return 1;
+      auto run = (*engine)->Run(Task::kWordCount);
+      if (!run.ok()) return 1;
+      ms[m] = run->timing.total_seconds() * 1e3;
+      if (m == 0) {
+        first_result = run->result;
+      } else if (!run->result.SameAs(first_result)) {
+        std::fprintf(stderr, "MISMATCH mode %s on %s\n",
+                     SchedulingModeName(kModes[m]), spec.name.c_str());
+        return 1;
+      }
+    }
+    std::printf("%-8s %16.3f %20.3f %22.3f %16s\n", spec.name.c_str(), ms[0],
+                ms[1], ms[2],
+                (ms[0] <= ms[1] && ms[0] <= ms[2]) ? "yes" : "NO");
+  }
+  bench::PrintRule('=');
+  std::printf(
+      "Expected: fineGrained <= oneThreadPerRule (imbalance) and <= "
+      "verticalPartition (duplicated subtree scans) — the Figure 4 "
+      "design-exploration argument.\n");
+  return 0;
+}

@@ -1,0 +1,133 @@
+// Micro-benchmarks (google-benchmark): wall-clock throughput of the
+// substrate pieces — Sequitur compression, the thread-safe hash table, the
+// n-gram table, parallel scan/sort primitives and the memory pool. These
+// measure the real host implementation (not the simulated clock).
+
+#include <benchmark/benchmark.h>
+
+#include "common/random.h"
+#include "datagen/datagen.h"
+#include "format/dag.h"
+#include "gpu/device.h"
+#include "gpu/hash_table.h"
+#include "gpu/memory_pool.h"
+#include "gpu/ngram_table.h"
+#include "gpu/platform.h"
+#include "gpu/primitives.h"
+#include "sequitur/compressor.h"
+
+namespace gtadoc {
+namespace {
+
+void BM_SequiturCompress(benchmark::State& state) {
+  DatasetSpec spec = DatasetE();
+  spec.total_tokens = state.range(0);
+  TokenizedCorpus tokens = GenerateTokens(spec);
+  for (auto _ : state) {
+    auto g = CompressTokens(tokens);
+    benchmark::DoNotOptimize(g->rules.size());
+  }
+  state.SetItemsProcessed(state.iterations() * tokens.total_tokens());
+}
+BENCHMARK(BM_SequiturCompress)->Arg(10000)->Arg(50000)->Arg(200000);
+
+void BM_GrammarExpand(benchmark::State& state) {
+  DatasetSpec spec = DatasetE();
+  spec.total_tokens = state.range(0);
+  TokenizedCorpus tokens = GenerateTokens(spec);
+  auto g = CompressTokens(tokens);
+  for (auto _ : state) {
+    auto files = ExpandFiles(*g);
+    benchmark::DoNotOptimize(files->size());
+  }
+  state.SetItemsProcessed(state.iterations() * tokens.total_tokens());
+}
+BENCHMARK(BM_GrammarExpand)->Arg(50000)->Arg(200000);
+
+void BM_HashTableInsert(benchmark::State& state) {
+  gpu::Device device(gpu::VoltaPlatform().gpu, 1);
+  Rng rng(7);
+  std::vector<uint64_t> keys(1 << 16);
+  for (auto& k : keys) k = rng.Uniform(1 << 14);
+  for (auto _ : state) {
+    state.PauseTiming();
+    gpu::GpuHashTable table(
+        &device, {.num_entries = 1u << 14, .max_nodes = (1u << 14) + 64,
+                  .lock_mode = static_cast<gpu::LockMode>(state.range(0))});
+    state.ResumeTiming();
+    gpu::ThreadCtx ctx(0, 1);
+    for (uint64_t k : keys) {
+      benchmark::DoNotOptimize(table.AddOrInsert(ctx, k, 1));
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * keys.size());
+}
+BENCHMARK(BM_HashTableInsert)->Arg(0)->Arg(1)->Arg(2);
+
+void BM_NgramTableInsert(benchmark::State& state) {
+  gpu::Device device(gpu::VoltaPlatform().gpu, 1);
+  Rng rng(9);
+  const uint32_t l = 3;
+  std::vector<uint32_t> grams((1 << 15) * l);
+  for (auto& w : grams) w = static_cast<uint32_t>(rng.Uniform(64));
+  for (auto _ : state) {
+    state.PauseTiming();
+    gpu::GpuNgramTable table(
+        &device,
+        {.num_entries = 1u << 14, .max_nodes = (1u << 15) + 64, .ngram_len = l});
+    state.ResumeTiming();
+    gpu::ThreadCtx ctx(0, 1);
+    for (size_t i = 0; i + l <= grams.size(); i += l) {
+      benchmark::DoNotOptimize(table.AddOrInsert(ctx, 0, &grams[i], 1));
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * (grams.size() / l));
+}
+BENCHMARK(BM_NgramTableInsert);
+
+void BM_DeviceScan(benchmark::State& state) {
+  gpu::Device device(gpu::VoltaPlatform().gpu, 0);
+  Rng rng(3);
+  std::vector<uint64_t> in(state.range(0));
+  for (auto& v : in) v = rng.Uniform(100);
+  std::vector<uint64_t> out;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(gpu::DeviceExclusiveScan(&device, in, &out));
+  }
+  state.SetItemsProcessed(state.iterations() * in.size());
+}
+BENCHMARK(BM_DeviceScan)->Arg(1 << 12)->Arg(1 << 18);
+
+void BM_DeviceSort(benchmark::State& state) {
+  gpu::Device device(gpu::VoltaPlatform().gpu, 0);
+  Rng rng(4);
+  std::vector<std::pair<uint64_t, uint64_t>> base(state.range(0));
+  for (auto& p : base) p = {rng.NextU64(), rng.NextU64()};
+  for (auto _ : state) {
+    auto pairs = base;
+    gpu::DeviceSortPairs(&device, &pairs);
+    benchmark::DoNotOptimize(pairs.front());
+  }
+  state.SetItemsProcessed(state.iterations() * base.size());
+}
+BENCHMARK(BM_DeviceSort)->Arg(1 << 12)->Arg(1 << 16);
+
+void BM_MemoryPoolAlloc(benchmark::State& state) {
+  gpu::Device device(gpu::VoltaPlatform().gpu, 1);
+  for (auto _ : state) {
+    state.PauseTiming();
+    gpu::MemoryPool pool(&device, 1 << 20);
+    state.ResumeTiming();
+    gpu::ThreadCtx ctx(0, 1);
+    for (int i = 0; i < 1 << 16; ++i) {
+      benchmark::DoNotOptimize(pool.AtomicAlloc(ctx, 8));
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * (1 << 16));
+}
+BENCHMARK(BM_MemoryPoolAlloc);
+
+}  // namespace
+}  // namespace gtadoc
+
+BENCHMARK_MAIN();

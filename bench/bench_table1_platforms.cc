@@ -1,0 +1,37 @@
+// Table I: platform configuration. Prints the paper's table plus the
+// simulation parameters that the virtual GPU derives from each platform.
+
+#include <cmath>
+
+#include "bench_util.h"
+
+using namespace gtadoc;
+
+int main() {
+  std::printf("TABLE I: PLATFORM CONFIGURATION (simulated)\n");
+  bench::PrintRule('=');
+  std::printf("%-12s %-22s %-12s %6s %8s %10s %12s\n", "Platform", "GPU",
+              "CPU", "SMs", "Cores", "Mem GB/s", "Dev Gops/s");
+  bench::PrintRule();
+  for (const gpu::Platform& p : gpu::AllPlatforms()) {
+    std::printf("%-12s %-22s %-12s %6u %8u %10.0f %12.1f\n", p.label.c_str(),
+                p.gpu.name.c_str(), p.cpu.name.c_str(), p.gpu.num_sms,
+                p.gpu.parallel_width(), p.gpu.mem_bandwidth_gbps,
+                p.gpu.device_ops_per_sec() / 1e9);
+  }
+  const gpu::ClusterSpec c = gpu::TenNodeCluster();
+  std::printf("%-12s %-22s %-12s %6s %8u %10.0f %12.1f\n", "Cluster",
+              c.name.c_str(), c.node_cpu.name.c_str(), "-",
+              c.nodes * c.node_cpu.cores, c.node_cpu.mem_bandwidth_gbps,
+              c.nodes * c.node_cpu.socket_ops_per_sec() / 1e9);
+  bench::PrintRule('=');
+  std::printf(
+      "GPU/CPU peak ratio (Pascal): %.0fx compute "
+      "(paper reports ~185x), %.1fx memory bandwidth (paper ~8.3x)\n",
+      gpu::PascalPlatform().gpu.parallel_width() *
+          gpu::PascalPlatform().gpu.core_ghz /
+          (gpu::PascalPlatform().cpu.cores * gpu::PascalPlatform().cpu.ghz),
+      gpu::PascalPlatform().gpu.mem_bandwidth_gbps /
+          gpu::PascalPlatform().cpu.mem_bandwidth_gbps);
+  return 0;
+}

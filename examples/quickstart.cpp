@@ -1,0 +1,79 @@
+// Quickstart: compress a small corpus with TADOC and run word count on the
+// GPU engine, the CPU baseline, and directly on the uncompressed text —
+// verifying all three agree.
+//
+// Build:  cmake -B build -G Ninja && cmake --build build
+// Run:    ./build/examples/quickstart
+
+#include <cstdio>
+
+#include "analytics/uncompressed.h"
+#include "datagen/datagen.h"
+#include "format/dag.h"
+#include "gtadoc/engine.h"
+#include "sequitur/compressor.h"
+#include "tadoc/cpu_engine.h"
+
+using namespace gtadoc;
+
+int main() {
+  // 1. A tiny synthetic corpus: 8 files of template-heavy text.
+  DatasetSpec spec = DatasetD();
+  spec.num_files = 8;
+  spec.total_tokens = 20000;
+  Corpus corpus = GenerateCorpus(spec);
+  std::printf("corpus: %zu files, %zu bytes\n", corpus.num_files(),
+              corpus.TotalBytes());
+
+  // 2. TADOC compression (dictionary + Sequitur grammar).
+  auto grammar = CompressCorpus(corpus);
+  if (!grammar.ok()) {
+    std::fprintf(stderr, "compress failed: %s\n",
+                 grammar.status().ToString().c_str());
+    return 1;
+  }
+  auto stats = ComputeDagStats(*grammar);
+  std::printf("grammar: %llu rules, %llu symbols, reuse %.2fx, depth %u\n",
+              static_cast<unsigned long long>(stats->num_rules),
+              static_cast<unsigned long long>(stats->total_body_symbols),
+              stats->reuse_factor, stats->max_depth);
+
+  // 3. G-TADOC word count on the (virtual) GPU.
+  GTadocEngine::Options opt;
+  opt.gpu = gpu::PascalPlatform().gpu;
+  auto engine = GTadocEngine::Create(&*grammar, opt);
+  if (!engine.ok()) {
+    std::fprintf(stderr, "engine: %s\n", engine.status().ToString().c_str());
+    return 1;
+  }
+  auto gpu_run = (*engine)->Run(Task::kWordCount);
+  if (!gpu_run.ok()) {
+    std::fprintf(stderr, "run: %s\n", gpu_run.status().ToString().c_str());
+    return 1;
+  }
+
+  // 4. CPU TADOC baseline.
+  CpuTadocOptions copt;
+  copt.cpu = gpu::PascalPlatform().cpu;
+  auto cpu_engine = CpuTadocEngine::Create(&*grammar, copt);
+  auto cpu_run = cpu_engine->Run(Task::kWordCount);
+
+  // 5. Ground truth on the uncompressed token streams.
+  auto files = ExpandFiles(*grammar);
+  UncompressedAnalytics uncompressed(*files);
+  AnalyticsResult truth = uncompressed.RunSequential(Task::kWordCount);
+
+  const bool gpu_ok = gpu_run->result.SameAs(truth);
+  const bool cpu_ok = cpu_run->result.SameAs(truth);
+  std::printf("G-TADOC == truth: %s   CPU TADOC == truth: %s\n",
+              gpu_ok ? "yes" : "NO", cpu_ok ? "yes" : "NO");
+  std::printf("G-TADOC sim time: %.3f ms (init %.3f + traversal %.3f)\n",
+              gpu_run->timing.total_seconds() * 1e3,
+              gpu_run->timing.init_seconds * 1e3,
+              gpu_run->timing.traversal_seconds * 1e3);
+  std::printf("CPU TADOC sim time: %.3f ms  => speedup %.1fx\n",
+              cpu_run->timing.total_seconds() * 1e3,
+              cpu_run->timing.total_seconds() /
+                  gpu_run->timing.total_seconds());
+  return gpu_ok && cpu_ok ? 0 : 1;
+}

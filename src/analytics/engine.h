@@ -1,0 +1,85 @@
+#ifndef GTADOC_ANALYTICS_ENGINE_H_
+#define GTADOC_ANALYTICS_ENGINE_H_
+
+#include <cstdint>
+
+#include "analytics/results.h"
+#include "gpu/platform.h"
+
+namespace gtadoc {
+
+/// \brief Simulated + measured timing of one engine run, split into the
+/// paper's two phases (Section IV-A): initialization (data-structure
+/// preparation + light-weight scanning) and graph traversal (+ result
+/// merging).
+struct RunTiming {
+  double init_seconds = 0;       ///< phase 1 (simulated)
+  double traversal_seconds = 0;  ///< phase 2 (simulated)
+  double wall_seconds = 0;       ///< real host wall clock of this run
+  uint64_t init_ops = 0;         ///< abstract ops charged in phase 1
+  uint64_t traversal_ops = 0;    ///< abstract ops charged in phase 2
+
+  double total_seconds() const { return init_seconds + traversal_seconds; }
+};
+
+/// One engine execution: the task output plus its timing.
+struct EngineRun {
+  AnalyticsResult result;
+  RunTiming timing;
+};
+
+/// Charge constants shared by the CPU-side engines. The cost model's unit is
+/// "one simple ALU/L1 operation" (the CpuSpec throughput is ghz x efficiency
+/// ops/s, i.e. about one per cycle). Composite operations charge accordingly:
+///
+///  - kCpuHashUpdateOps: one std::unordered_map find-or-insert + increment —
+///    hash, bucket load, chain compare, RMW; ~6 ns on a 4 GHz core.
+///  - kCpuSeqMapDescentOps: the tree descent of an ordered map keyed by an
+///    l-word sequence ([2]'s sequence-count structure), excluding the
+///    per-word key comparisons which are charged as 2*l on top.
+inline constexpr uint64_t kCpuHashUpdateOps = 24;
+inline constexpr uint64_t kCpuSeqMapDescentOps = 24;
+
+/// \brief Operation meter for CPU-side engines.
+///
+/// CPU engines charge abstract ops through the same discipline as GPU kernels
+/// (roughly one op per memory access / hash step), so the simulated CPU and
+/// GPU times are mutually comparable. Sequential time divides by one core's
+/// throughput; coarse-grained parallel time divides total work across cores
+/// and adds the slowest partition as critical path.
+class CpuCostMeter {
+ public:
+  explicit CpuCostMeter(const gpu::CpuSpec& spec) : spec_(spec) {}
+
+  void Charge(uint64_t ops) { ops_ += ops; }
+  uint64_t ops() const { return ops_; }
+  void Reset() { ops_ = 0; }
+
+  /// Seconds for a single-threaded execution of the charged work.
+  double SequentialSeconds() const {
+    return static_cast<double>(ops_) / spec_.thread_ops_per_sec();
+  }
+
+  /// Seconds for a coarse-grained parallel execution: `partition_max_ops` is
+  /// the heaviest partition (critical path), `merge_ops` the sequential merge
+  /// tail.
+  double ParallelSeconds(uint64_t partition_max_ops, uint64_t merge_ops) const {
+    const double spread =
+        static_cast<double>(ops_) / spec_.socket_ops_per_sec();
+    const double critical =
+        static_cast<double>(partition_max_ops) / spec_.thread_ops_per_sec();
+    const double merge =
+        static_cast<double>(merge_ops) / spec_.thread_ops_per_sec();
+    return (spread > critical ? spread : critical) + merge;
+  }
+
+  const gpu::CpuSpec& spec() const { return spec_; }
+
+ private:
+  gpu::CpuSpec spec_;
+  uint64_t ops_ = 0;
+};
+
+}  // namespace gtadoc
+
+#endif  // GTADOC_ANALYTICS_ENGINE_H_

@@ -1,0 +1,148 @@
+#include "analytics/results.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "common/hash.h"
+
+namespace gtadoc {
+
+const char* TaskName(Task task) {
+  switch (task) {
+    case Task::kWordCount:
+      return "wordCount";
+    case Task::kSort:
+      return "sort";
+    case Task::kInvertedIndex:
+      return "invertedIndex";
+    case Task::kTermVector:
+      return "termVector";
+    case Task::kSequenceCount:
+      return "sequenceCount";
+    case Task::kRankedInvertedIndex:
+      return "rankedInvertedIndex";
+  }
+  return "?";
+}
+
+std::vector<Task> AllTasks() {
+  return {Task::kWordCount,     Task::kSort,
+          Task::kInvertedIndex, Task::kTermVector,
+          Task::kSequenceCount, Task::kRankedInvertedIndex};
+}
+
+bool IsSequenceTask(Task task) {
+  return task == Task::kSequenceCount || task == Task::kRankedInvertedIndex;
+}
+
+namespace {
+
+/// Orders (id, count) by count desc then id asc — the canonical tie-break for
+/// sort and termVector outputs.
+bool CountDescIdAsc(const std::pair<uint32_t, uint64_t>& a,
+                    const std::pair<uint32_t, uint64_t>& b) {
+  if (a.second != b.second) return a.second > b.second;
+  return a.first < b.first;
+}
+
+}  // namespace
+
+void Canonicalize(AnalyticsResult* result) {
+  switch (result->task) {
+    case Task::kWordCount:
+      break;  // std::map is already canonical
+    case Task::kSort:
+      std::sort(result->sort.begin(), result->sort.end(), CountDescIdAsc);
+      break;
+    case Task::kInvertedIndex:
+      for (auto& [word, files] : result->inverted_index) {
+        std::sort(files.begin(), files.end());
+        files.erase(std::unique(files.begin(), files.end()), files.end());
+      }
+      break;
+    case Task::kTermVector:
+      for (auto& vec : result->term_vector) {
+        std::sort(vec.begin(), vec.end(), CountDescIdAsc);
+      }
+      break;
+    case Task::kSequenceCount:
+      break;  // std::map canonical
+    case Task::kRankedInvertedIndex:
+      for (auto& [ngram, files] : result->ranked_inverted_index) {
+        std::sort(files.begin(), files.end(), CountDescIdAsc);
+      }
+      break;
+  }
+}
+
+bool AnalyticsResult::SameAs(const AnalyticsResult& other) const {
+  if (task != other.task) return false;
+  switch (task) {
+    case Task::kWordCount:
+      return word_count == other.word_count;
+    case Task::kSort:
+      return sort == other.sort;
+    case Task::kInvertedIndex:
+      return inverted_index == other.inverted_index;
+    case Task::kTermVector:
+      return term_vector == other.term_vector;
+    case Task::kSequenceCount:
+      return sequence_count == other.sequence_count;
+    case Task::kRankedInvertedIndex:
+      return ranked_inverted_index == other.ranked_inverted_index;
+  }
+  return false;
+}
+
+std::string AnalyticsResult::Digest() const {
+  uint64_t h = 0;
+  size_t entries = 0;
+  switch (task) {
+    case Task::kWordCount:
+      for (const auto& [w, c] : word_count) {
+        h = HashCombine(HashCombine(h, w), c);
+        ++entries;
+      }
+      break;
+    case Task::kSort:
+      for (const auto& [w, c] : sort) {
+        h = HashCombine(HashCombine(h, w), c);
+        ++entries;
+      }
+      break;
+    case Task::kInvertedIndex:
+      for (const auto& [w, files] : inverted_index) {
+        h = HashCombine(h, w);
+        for (uint32_t f : files) h = HashCombine(h, f);
+        ++entries;
+      }
+      break;
+    case Task::kTermVector:
+      for (const auto& vec : term_vector) {
+        for (const auto& [w, c] : vec) h = HashCombine(HashCombine(h, w), c);
+        ++entries;
+      }
+      break;
+    case Task::kSequenceCount:
+      for (const auto& [key, c] : sequence_count) {
+        h = HashCombine(h, key.first);
+        for (uint32_t w : key.second) h = HashCombine(h, w);
+        h = HashCombine(h, c);
+        ++entries;
+      }
+      break;
+    case Task::kRankedInvertedIndex:
+      for (const auto& [ngram, files] : ranked_inverted_index) {
+        for (uint32_t w : ngram) h = HashCombine(h, w);
+        for (const auto& [f, c] : files) h = HashCombine(HashCombine(h, f), c);
+        ++entries;
+      }
+      break;
+  }
+  std::ostringstream os;
+  os << TaskName(task) << "{entries=" << entries << ", digest=" << std::hex << h
+     << "}";
+  return os.str();
+}
+
+}  // namespace gtadoc

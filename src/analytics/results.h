@@ -1,0 +1,70 @@
+#ifndef GTADOC_ANALYTICS_RESULTS_H_
+#define GTADOC_ANALYTICS_RESULTS_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace gtadoc {
+
+/// The six analytics tasks of TADOC/CompressDirect (Section V of the paper;
+/// semantics follow the Puma benchmark suite the TADOC line evaluates).
+enum class Task : int {
+  kWordCount = 0,
+  kSort = 1,
+  kInvertedIndex = 2,
+  kTermVector = 3,
+  kSequenceCount = 4,
+  kRankedInvertedIndex = 5,
+};
+
+const char* TaskName(Task task);
+/// All six tasks in the paper's order.
+std::vector<Task> AllTasks();
+/// True for sequence count and ranked inverted index (need head/tail support).
+bool IsSequenceTask(Task task);
+
+/// word id -> total frequency across all files.
+using WordCountResult = std::map<uint32_t, uint64_t>;
+
+/// (word id, frequency) ordered by frequency desc, then word id asc.
+using SortResult = std::vector<std::pair<uint32_t, uint64_t>>;
+
+/// word id -> sorted list of file ids containing it.
+using InvertedIndexResult = std::map<uint32_t, std::vector<uint32_t>>;
+
+/// Per file: (word id, frequency) ordered by frequency desc, word id asc.
+using TermVectorResult = std::vector<std::vector<std::pair<uint32_t, uint64_t>>>;
+
+/// (file id, l-gram) -> count. The l-gram is the concatenated word ids.
+using SequenceCountResult = std::map<std::pair<uint32_t, std::vector<uint32_t>>, uint64_t>;
+
+/// l-gram -> (file id, count) ordered by count desc, file id asc.
+using RankedInvertedIndexResult =
+    std::map<std::vector<uint32_t>, std::vector<std::pair<uint32_t, uint64_t>>>;
+
+/// \brief Union holder for one task's output, so engines can expose a single
+/// `Run(task)` entry point. Only the member matching `task` is populated.
+struct AnalyticsResult {
+  Task task = Task::kWordCount;
+  WordCountResult word_count;
+  SortResult sort;
+  InvertedIndexResult inverted_index;
+  TermVectorResult term_vector;
+  SequenceCountResult sequence_count;
+  RankedInvertedIndexResult ranked_inverted_index;
+
+  /// Structural equality on the member selected by `task`.
+  bool SameAs(const AnalyticsResult& other) const;
+  /// Small human-readable digest (sizes and a checksum) for logging.
+  std::string Digest() const;
+};
+
+/// Canonicalizes orderings that the task definitions leave ambiguous (ties in
+/// sort/termVector are broken by word id; file lists sorted).
+void Canonicalize(AnalyticsResult* result);
+
+}  // namespace gtadoc
+
+#endif  // GTADOC_ANALYTICS_RESULTS_H_

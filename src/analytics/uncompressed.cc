@@ -1,0 +1,301 @@
+#include "analytics/uncompressed.h"
+
+#include <algorithm>
+#include <deque>
+#include <map>
+#include <unordered_map>
+
+#include "common/logging.h"
+#include "common/timer.h"
+#include "gpu/hash_table.h"
+#include "gpu/ngram_table.h"
+#include "gpu/primitives.h"
+#include "gpu/round_loop.h"
+
+namespace gtadoc {
+
+namespace {
+
+/// Packs two 32-bit ids into one table key.
+uint64_t Pack(uint32_t hi, uint32_t lo) {
+  return (static_cast<uint64_t>(hi) << 32) | lo;
+}
+
+bool CountDescIdAsc(const std::pair<uint32_t, uint64_t>& a,
+                    const std::pair<uint32_t, uint64_t>& b) {
+  if (a.second != b.second) return a.second > b.second;
+  return a.first < b.first;
+}
+
+}  // namespace
+
+size_t UncompressedAnalytics::total_tokens() const {
+  size_t n = 0;
+  for (const auto& f : files_) n += f.size();
+  return n;
+}
+
+// ---------------------------------------------------------------------------
+// Sequential reference implementations.
+// ---------------------------------------------------------------------------
+
+AnalyticsResult UncompressedAnalytics::RunSequential(Task task,
+                                                     CpuCostMeter* meter) const {
+  AnalyticsResult out;
+  out.task = task;
+  auto charge = [meter](uint64_t ops) {
+    if (meter != nullptr) meter->Charge(ops);
+  };
+
+  switch (task) {
+    case Task::kWordCount: {
+      std::unordered_map<uint32_t, uint64_t> counts;
+      for (const auto& file : files_) {
+        for (uint32_t w : file) {
+          ++counts[w];
+          charge(kCpuHashUpdateOps);
+        }
+      }
+      out.word_count.insert(counts.begin(), counts.end());
+      charge(counts.size());
+      break;
+    }
+    case Task::kSort: {
+      std::unordered_map<uint32_t, uint64_t> counts;
+      for (const auto& file : files_) {
+        for (uint32_t w : file) {
+          ++counts[w];
+          charge(kCpuHashUpdateOps);
+        }
+      }
+      out.sort.assign(counts.begin(), counts.end());
+      std::sort(out.sort.begin(), out.sort.end(), CountDescIdAsc);
+      // n log n comparison charges for the sort.
+      uint64_t n = counts.size(), logn = 1;
+      while ((1ull << logn) < n + 1) ++logn;
+      charge(4 * n * logn);  // comparison + move per merge step
+      break;
+    }
+    case Task::kInvertedIndex: {
+      for (uint32_t f = 0; f < files_.size(); ++f) {
+        for (uint32_t w : files_[f]) {
+          auto& list = out.inverted_index[w];
+          if (list.empty() || list.back() != f) list.push_back(f);
+          charge(kCpuHashUpdateOps);
+        }
+      }
+      // Files are visited in order, so each list is sorted and unique.
+      break;
+    }
+    case Task::kTermVector: {
+      out.term_vector.resize(files_.size());
+      for (uint32_t f = 0; f < files_.size(); ++f) {
+        std::unordered_map<uint32_t, uint64_t> counts;
+        for (uint32_t w : files_[f]) {
+          ++counts[w];
+          charge(kCpuHashUpdateOps);
+        }
+        out.term_vector[f].assign(counts.begin(), counts.end());
+        std::sort(out.term_vector[f].begin(), out.term_vector[f].end(),
+                  CountDescIdAsc);
+        charge(counts.size() * 4);
+      }
+      break;
+    }
+    case Task::kSequenceCount: {
+      const uint32_t l = ngram_len_;
+      for (uint32_t f = 0; f < files_.size(); ++f) {
+        const auto& file = files_[f];
+        if (file.size() < l) continue;
+        for (size_t i = 0; i + l <= file.size(); ++i) {
+          std::vector<uint32_t> gram(file.begin() + i, file.begin() + i + l);
+          ++out.sequence_count[{f, std::move(gram)}];
+          charge(2 * l + kCpuSeqMapDescentOps);
+        }
+      }
+      break;
+    }
+    case Task::kRankedInvertedIndex: {
+      const uint32_t l = ngram_len_;
+      std::map<std::vector<uint32_t>, std::unordered_map<uint32_t, uint64_t>>
+          per_gram;
+      for (uint32_t f = 0; f < files_.size(); ++f) {
+        const auto& file = files_[f];
+        if (file.size() < l) continue;
+        for (size_t i = 0; i + l <= file.size(); ++i) {
+          std::vector<uint32_t> gram(file.begin() + i, file.begin() + i + l);
+          ++per_gram[std::move(gram)][f];
+          charge(2 * l + kCpuSeqMapDescentOps);
+        }
+      }
+      for (auto& [gram, counts] : per_gram) {
+        auto& files = out.ranked_inverted_index[gram];
+        files.assign(counts.begin(), counts.end());
+        std::sort(files.begin(), files.end(), CountDescIdAsc);
+        charge(counts.size() * 4);
+      }
+      break;
+    }
+  }
+  Canonicalize(&out);
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// GPU-parallel implementations (Section VI-E baseline).
+// ---------------------------------------------------------------------------
+
+Result<EngineRun> UncompressedAnalytics::RunOnDevice(Task task,
+                                                     gpu::Device* device,
+                                                     bool charge_pcie) const {
+  EngineRun run;
+  run.result.task = task;
+  Timer wall;
+  device->ResetClock();
+
+  // Initialization: lay out the flat token stream and per-file offsets on the
+  // device (PCIe transfer for the raw data).
+  std::vector<uint32_t> stream;
+  std::vector<uint32_t> file_of_token;
+  std::vector<size_t> file_begin(files_.size(), 0);
+  uint32_t max_word = 0;
+  for (uint32_t f = 0; f < files_.size(); ++f) {
+    file_begin[f] = stream.size();
+    for (uint32_t w : files_[f]) {
+      stream.push_back(w);
+      file_of_token.push_back(f);
+      max_word = std::max(max_word, w);
+    }
+  }
+  if (charge_pcie) device->CopyHostToDevice(stream.size() * sizeof(uint32_t));
+  run.timing.init_seconds = device->SimSeconds();
+
+  const size_t n = stream.size();
+  if (n == 0) return Status::InvalidArgument("empty input");
+  const size_t chunk = 256;
+  const uint32_t l = ngram_len_;
+
+  switch (task) {
+    case Task::kWordCount:
+    case Task::kSort: {
+      gpu::GpuHashTable::Options opt;
+      opt.max_nodes = max_word + 2;
+      opt.num_entries = std::max<uint32_t>(64, (max_word + 2) / 2);
+      gpu::GpuHashTable table(device, opt);
+      const bool ok = gpu::RoundLoop(
+          device, "uncWordCount", n, chunk,
+          [&](size_t i, gpu::ThreadCtx& ctx) {
+            ctx.Charge(1);
+            return table.AddOrInsert(ctx, stream[i], 1);
+          });
+      if (!ok) return Status::Internal("hash table sized too small");
+      auto pairs = table.Drain();
+      if (charge_pcie) device->CopyDeviceToHost(pairs.size() * 16);
+      if (task == Task::kWordCount) {
+        for (const auto& [w, c] : pairs) {
+          run.result.word_count[static_cast<uint32_t>(w)] = c;
+        }
+      } else {
+        // Device-side sort: key packs (inverted count, word id) so ascending
+        // key order equals (count desc, word asc).
+        std::vector<std::pair<uint64_t, uint64_t>> kv;
+        kv.reserve(pairs.size());
+        for (const auto& [w, c] : pairs) {
+          kv.emplace_back(Pack(static_cast<uint32_t>(UINT32_MAX - c), static_cast<uint32_t>(w)), c);
+        }
+        gpu::DeviceSortPairs(device, &kv);
+        for (const auto& [key, c] : kv) {
+          run.result.sort.emplace_back(static_cast<uint32_t>(key & 0xffffffffu), c);
+        }
+      }
+      break;
+    }
+    case Task::kInvertedIndex: {
+      gpu::GpuHashTable::Options opt;
+      opt.max_nodes = static_cast<uint32_t>(std::min<size_t>(n, 1u << 26)) + 64;
+      opt.num_entries = opt.max_nodes / 2 + 64;
+      gpu::GpuHashTable table(device, opt);
+      const bool ok = gpu::RoundLoop(
+          device, "uncInvertedIndex", n, chunk,
+          [&](size_t i, gpu::ThreadCtx& ctx) {
+            ctx.Charge(2);
+            return table.AddOrInsert(ctx, Pack(stream[i], file_of_token[i]), 1);
+          });
+      if (!ok) return Status::Internal("hash table sized too small");
+      auto pairs = table.Drain();
+      if (charge_pcie) device->CopyDeviceToHost(pairs.size() * 16);
+      for (const auto& [key, c] : pairs) {
+        if (c == 0) continue;
+        run.result.inverted_index[static_cast<uint32_t>(key >> 32)].push_back(
+            static_cast<uint32_t>(key & 0xffffffffu));
+      }
+      break;
+    }
+    case Task::kTermVector: {
+      gpu::GpuHashTable::Options opt;
+      opt.max_nodes = static_cast<uint32_t>(std::min<size_t>(n, 1u << 26)) + 64;
+      opt.num_entries = opt.max_nodes / 2 + 64;
+      gpu::GpuHashTable table(device, opt);
+      const bool ok = gpu::RoundLoop(
+          device, "uncTermVector", n, chunk,
+          [&](size_t i, gpu::ThreadCtx& ctx) {
+            ctx.Charge(2);
+            return table.AddOrInsert(ctx, Pack(file_of_token[i], stream[i]), 1);
+          });
+      if (!ok) return Status::Internal("hash table sized too small");
+      auto pairs = table.Drain();
+      if (charge_pcie) device->CopyDeviceToHost(pairs.size() * 16);
+      run.result.term_vector.resize(files_.size());
+      for (const auto& [key, c] : pairs) {
+        run.result.term_vector[key >> 32].emplace_back(
+            static_cast<uint32_t>(key & 0xffffffffu), c);
+      }
+      break;
+    }
+    case Task::kSequenceCount:
+    case Task::kRankedInvertedIndex: {
+      // One work item per window start; windows never span files.
+      std::vector<uint32_t> starts;
+      for (uint32_t f = 0; f < files_.size(); ++f) {
+        if (files_[f].size() < l) continue;
+        const size_t base = file_begin[f];
+        for (size_t i = 0; i + l <= files_[f].size(); ++i) {
+          starts.push_back(static_cast<uint32_t>(base + i));
+        }
+      }
+      gpu::GpuNgramTable::Options opt;
+      opt.ngram_len = l;
+      opt.max_nodes = static_cast<uint32_t>(starts.size()) + 64;
+      opt.num_entries = opt.max_nodes / 2 + 64;
+      gpu::GpuNgramTable table(device, opt);
+      const bool ok = gpu::RoundLoop(
+          device, "uncSequence", starts.size(), chunk,
+          [&](size_t i, gpu::ThreadCtx& ctx) {
+            const uint32_t pos = starts[i];
+            ctx.Charge(l);
+            return table.AddOrInsert(ctx, file_of_token[pos], &stream[pos], 1);
+          });
+      if (!ok) return Status::Internal("ngram table sized too small");
+      auto counts = table.Drain();
+      if (charge_pcie) device->CopyDeviceToHost(counts.size() * (16 + 4 * l));
+      if (task == Task::kSequenceCount) {
+        for (auto& nc : counts) {
+          run.result.sequence_count[{nc.file, std::move(nc.words)}] = nc.count;
+        }
+      } else {
+        for (auto& nc : counts) {
+          run.result.ranked_inverted_index[nc.words].emplace_back(nc.file,
+                                                                  nc.count);
+        }
+      }
+      break;
+    }
+  }
+
+  Canonicalize(&run.result);
+  run.timing.traversal_seconds = device->SimSeconds() - run.timing.init_seconds;
+  run.timing.wall_seconds = wall.ElapsedSeconds();
+  return run;
+}
+
+}  // namespace gtadoc

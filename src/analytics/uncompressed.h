@@ -1,0 +1,48 @@
+#ifndef GTADOC_ANALYTICS_UNCOMPRESSED_H_
+#define GTADOC_ANALYTICS_UNCOMPRESSED_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "analytics/engine.h"
+#include "analytics/results.h"
+#include "common/result.h"
+#include "gpu/device.h"
+
+namespace gtadoc {
+
+/// \brief Reference analytics on raw (uncompressed) token streams.
+///
+/// Two purposes: (1) ground truth for every engine's correctness tests, and
+/// (2) the "GPU-accelerated uncompressed analytics" comparison of Section
+/// VI-E, where the paper reports G-TADOC at about 2x.
+///
+/// `files[f]` is the word-id stream of file f. `ngram_len` is the l of the
+/// sequence tasks (paper default: 3-word sequences).
+class UncompressedAnalytics {
+ public:
+  explicit UncompressedAnalytics(const std::vector<std::vector<uint32_t>>& files,
+                                 uint32_t ngram_len = 3)
+      : files_(files), ngram_len_(ngram_len) {}
+
+  /// Single-threaded reference run; charges ops into `meter` when non-null.
+  AnalyticsResult RunSequential(Task task, CpuCostMeter* meter = nullptr) const;
+
+  /// GPU-parallel run on the virtual device: token chunks are assigned to
+  /// logical threads that insert into the thread-safe global tables with the
+  /// round-based retry protocol. Returns timing from the device's simulated
+  /// clock (init = layout [+ optional H2D transfer], traversal = kernels +
+  /// drain). `charge_pcie` mirrors the paper's residency assumption.
+  Result<EngineRun> RunOnDevice(Task task, gpu::Device* device,
+                                bool charge_pcie = false) const;
+
+  size_t total_tokens() const;
+
+ private:
+  const std::vector<std::vector<uint32_t>>& files_;
+  uint32_t ngram_len_;
+};
+
+}  // namespace gtadoc
+
+#endif  // GTADOC_ANALYTICS_UNCOMPRESSED_H_

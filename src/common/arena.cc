@@ -1,0 +1,39 @@
+#include "common/arena.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace gtadoc {
+
+void* Arena::Allocate(size_t bytes, size_t alignment) {
+  assert((alignment & (alignment - 1)) == 0 && "alignment must be power of 2");
+  if (bytes == 0) bytes = 1;
+
+  uintptr_t cur = reinterpret_cast<uintptr_t>(cursor_);
+  size_t padding = (alignment - (cur & (alignment - 1))) & (alignment - 1);
+
+  if (padding + bytes > remaining_) {
+    size_t block_bytes = std::max(next_block_bytes_, bytes + alignment);
+    blocks_.push_back(std::make_unique<uint8_t[]>(block_bytes));
+    cursor_ = blocks_.back().get();
+    remaining_ = block_bytes;
+    memory_usage_ += block_bytes;
+    next_block_bytes_ = std::min<size_t>(next_block_bytes_ * 2, 1u << 20);
+    cur = reinterpret_cast<uintptr_t>(cursor_);
+    padding = (alignment - (cur & (alignment - 1))) & (alignment - 1);
+  }
+
+  uint8_t* out = cursor_ + padding;
+  cursor_ = out + bytes;
+  remaining_ -= padding + bytes;
+  return out;
+}
+
+void Arena::Reset() {
+  blocks_.clear();
+  cursor_ = nullptr;
+  remaining_ = 0;
+  memory_usage_ = 0;
+}
+
+}  // namespace gtadoc

@@ -1,0 +1,50 @@
+#ifndef GTADOC_COMMON_ARENA_H_
+#define GTADOC_COMMON_ARENA_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+namespace gtadoc {
+
+/// \brief Bump allocator for many small, same-lifetime allocations.
+///
+/// Memory is handed out from geometrically-growing blocks and released all at
+/// once when the arena is destroyed (or Reset). Not thread-safe; each thread
+/// that needs one owns its own arena.
+class Arena {
+ public:
+  explicit Arena(size_t initial_block_bytes = 4096)
+      : next_block_bytes_(initial_block_bytes) {}
+
+  Arena(const Arena&) = delete;
+  Arena& operator=(const Arena&) = delete;
+
+  /// Returns `bytes` bytes aligned to `alignment` (a power of two).
+  void* Allocate(size_t bytes, size_t alignment = alignof(std::max_align_t));
+
+  /// Allocates and default-constructs `n` objects of T.
+  template <typename T>
+  T* AllocateArray(size_t n) {
+    void* mem = Allocate(sizeof(T) * n, alignof(T));
+    return new (mem) T[n]();
+  }
+
+  /// Total bytes requested from the system so far.
+  size_t MemoryUsage() const { return memory_usage_; }
+
+  /// Drops all blocks; previously returned pointers become dangling.
+  void Reset();
+
+ private:
+  std::vector<std::unique_ptr<uint8_t[]>> blocks_;
+  uint8_t* cursor_ = nullptr;
+  size_t remaining_ = 0;
+  size_t next_block_bytes_;
+  size_t memory_usage_ = 0;
+};
+
+}  // namespace gtadoc
+
+#endif  // GTADOC_COMMON_ARENA_H_

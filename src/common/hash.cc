@@ -1,0 +1,23 @@
+#include "common/hash.h"
+
+namespace gtadoc {
+
+uint64_t Fnv1a64(const void* data, size_t len) {
+  const uint8_t* p = static_cast<const uint8_t*>(data);
+  uint64_t h = 0xcbf29ce484222325ull;
+  for (size_t i = 0; i < len; ++i) {
+    h ^= p[i];
+    h *= 0x100000001b3ull;
+  }
+  return h;
+}
+
+uint64_t HashU32Span(const uint32_t* data, size_t n) {
+  uint64_t h = 0x9e3779b97f4a7c15ull ^ n;
+  for (size_t i = 0; i < n; ++i) {
+    h = HashCombine(h, data[i]);
+  }
+  return h;
+}
+
+}  // namespace gtadoc

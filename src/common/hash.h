@@ -1,0 +1,32 @@
+#ifndef GTADOC_COMMON_HASH_H_
+#define GTADOC_COMMON_HASH_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace gtadoc {
+
+/// 64-bit FNV-1a over an arbitrary byte range. Stable across platforms; used
+/// for serialization checksums and string keys.
+uint64_t Fnv1a64(const void* data, size_t len);
+
+/// Mixes a 64-bit value (SplitMix64 finalizer). Good avalanche for integer
+/// keys in open-addressing and chained GPU hash tables.
+inline uint64_t Mix64(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+/// Combines two hashes (boost::hash_combine style, 64-bit).
+inline uint64_t HashCombine(uint64_t seed, uint64_t v) {
+  return seed ^ (Mix64(v) + 0x9e3779b97f4a7c15ull + (seed << 12) + (seed >> 4));
+}
+
+/// Hashes an array of 32-bit symbol ids (used for n-gram sequence keys).
+uint64_t HashU32Span(const uint32_t* data, size_t n);
+
+}  // namespace gtadoc
+
+#endif  // GTADOC_COMMON_HASH_H_

@@ -1,0 +1,122 @@
+#include "common/io.h"
+
+#include <cstdio>
+#include <cstring>
+
+namespace gtadoc {
+
+void BinaryWriter::PutU32(uint32_t v) {
+  char b[4];
+  for (int i = 0; i < 4; ++i) b[i] = static_cast<char>((v >> (8 * i)) & 0xff);
+  buf_.append(b, 4);
+}
+
+void BinaryWriter::PutU64(uint64_t v) {
+  char b[8];
+  for (int i = 0; i < 8; ++i) b[i] = static_cast<char>((v >> (8 * i)) & 0xff);
+  buf_.append(b, 8);
+}
+
+void BinaryWriter::PutVarint32(uint32_t v) { PutVarint64(v); }
+
+void BinaryWriter::PutVarint64(uint64_t v) {
+  while (v >= 0x80) {
+    buf_.push_back(static_cast<char>((v & 0x7f) | 0x80));
+    v >>= 7;
+  }
+  buf_.push_back(static_cast<char>(v));
+}
+
+void BinaryWriter::PutLengthPrefixed(Slice s) {
+  PutVarint64(s.size());
+  buf_.append(s.data(), s.size());
+}
+
+void BinaryWriter::PutRaw(const void* data, size_t len) {
+  buf_.append(static_cast<const char*>(data), len);
+}
+
+Result<uint8_t> BinaryReader::GetU8() {
+  if (input_.size() < 1) return Status::Corruption("truncated u8");
+  uint8_t v = static_cast<uint8_t>(input_[0]);
+  input_.RemovePrefix(1);
+  return v;
+}
+
+Result<uint32_t> BinaryReader::GetU32() {
+  if (input_.size() < 4) return Status::Corruption("truncated u32");
+  uint32_t v = 0;
+  for (int i = 0; i < 4; ++i)
+    v |= static_cast<uint32_t>(static_cast<uint8_t>(input_[i])) << (8 * i);
+  input_.RemovePrefix(4);
+  return v;
+}
+
+Result<uint64_t> BinaryReader::GetU64() {
+  if (input_.size() < 8) return Status::Corruption("truncated u64");
+  uint64_t v = 0;
+  for (int i = 0; i < 8; ++i)
+    v |= static_cast<uint64_t>(static_cast<uint8_t>(input_[i])) << (8 * i);
+  input_.RemovePrefix(8);
+  return v;
+}
+
+Result<uint64_t> BinaryReader::GetVarint64() {
+  uint64_t v = 0;
+  int shift = 0;
+  size_t i = 0;
+  while (i < input_.size() && shift <= 63) {
+    uint8_t byte = static_cast<uint8_t>(input_[i]);
+    v |= static_cast<uint64_t>(byte & 0x7f) << shift;
+    ++i;
+    if (!(byte & 0x80)) {
+      input_.RemovePrefix(i);
+      return v;
+    }
+    shift += 7;
+  }
+  return Status::Corruption("malformed varint");
+}
+
+Result<uint32_t> BinaryReader::GetVarint32() {
+  auto r = GetVarint64();
+  if (!r.ok()) return r.status();
+  if (*r > UINT32_MAX) return Status::Corruption("varint32 overflow");
+  return static_cast<uint32_t>(*r);
+}
+
+Result<Slice> BinaryReader::GetLengthPrefixed() {
+  auto len = GetVarint64();
+  if (!len.ok()) return len.status();
+  if (*len > input_.size()) return Status::Corruption("truncated length-prefixed bytes");
+  Slice out(input_.data(), static_cast<size_t>(*len));
+  input_.RemovePrefix(static_cast<size_t>(*len));
+  return out;
+}
+
+Status ReadFileToString(const std::string& path, std::string* out) {
+  FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) return Status::IOError("cannot open " + path);
+  out->clear();
+  char buf[1 << 16];
+  size_t n;
+  while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) {
+    out->append(buf, n);
+  }
+  bool bad = std::ferror(f) != 0;
+  std::fclose(f);
+  if (bad) return Status::IOError("read failed for " + path);
+  return Status::OK();
+}
+
+Status WriteStringToFile(const std::string& path, Slice data) {
+  FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) return Status::IOError("cannot create " + path);
+  size_t n = std::fwrite(data.data(), 1, data.size(), f);
+  bool bad = n != data.size();
+  if (std::fclose(f) != 0) bad = true;
+  if (bad) return Status::IOError("write failed for " + path);
+  return Status::OK();
+}
+
+}  // namespace gtadoc

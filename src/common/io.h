@@ -1,0 +1,67 @@
+#ifndef GTADOC_COMMON_IO_H_
+#define GTADOC_COMMON_IO_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/slice.h"
+#include "common/status.h"
+
+namespace gtadoc {
+
+/// \brief Append-only binary encoder with varint support.
+///
+/// All multi-byte fixed-width values are little-endian. Varints use the LEB128
+/// scheme (7 bits per byte, high bit = continuation), matching protobuf.
+class BinaryWriter {
+ public:
+  void PutU8(uint8_t v) { buf_.push_back(static_cast<char>(v)); }
+  void PutU32(uint32_t v);
+  void PutU64(uint64_t v);
+  void PutVarint32(uint32_t v);
+  void PutVarint64(uint64_t v);
+  /// Varint length prefix followed by raw bytes.
+  void PutLengthPrefixed(Slice s);
+  void PutRaw(const void* data, size_t len);
+
+  const std::string& buffer() const { return buf_; }
+  std::string Release() { return std::move(buf_); }
+  size_t size() const { return buf_.size(); }
+
+ private:
+  std::string buf_;
+};
+
+/// \brief Bounds-checked binary decoder matching BinaryWriter.
+///
+/// All getters return Corruption when the input is exhausted or malformed,
+/// never reading out of bounds — required for the failure-injection tests.
+class BinaryReader {
+ public:
+  explicit BinaryReader(Slice input) : input_(input) {}
+
+  Result<uint8_t> GetU8();
+  Result<uint32_t> GetU32();
+  Result<uint64_t> GetU64();
+  Result<uint32_t> GetVarint32();
+  Result<uint64_t> GetVarint64();
+  Result<Slice> GetLengthPrefixed();
+
+  size_t remaining() const { return input_.size(); }
+  bool AtEnd() const { return input_.empty(); }
+
+ private:
+  Slice input_;
+};
+
+/// Reads an entire file into `out`.
+Status ReadFileToString(const std::string& path, std::string* out);
+
+/// Writes `data` to `path`, truncating any existing file.
+Status WriteStringToFile(const std::string& path, Slice data);
+
+}  // namespace gtadoc
+
+#endif  // GTADOC_COMMON_IO_H_

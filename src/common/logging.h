@@ -1,0 +1,59 @@
+#ifndef GTADOC_COMMON_LOGGING_H_
+#define GTADOC_COMMON_LOGGING_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+#include <string>
+
+namespace gtadoc {
+
+enum class LogLevel : int { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
+
+/// Minimum level that is actually printed; default kInfo.
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+/// Writes one formatted line to stderr if `level` passes the filter.
+void LogMessage(LogLevel level, const char* file, int line,
+                const std::string& msg);
+
+namespace internal {
+/// Stream-collecting helper behind the GTADOC_LOG macro.
+class LogStream {
+ public:
+  LogStream(LogLevel level, const char* file, int line)
+      : level_(level), file_(file), line_(line) {}
+  ~LogStream() { LogMessage(level_, file_, line_, ss_.str()); }
+  template <typename T>
+  LogStream& operator<<(const T& v) {
+    ss_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  const char* file_;
+  int line_;
+  std::ostringstream ss_;
+};
+}  // namespace internal
+
+#define GTADOC_LOG(level)                                                  \
+  ::gtadoc::internal::LogStream(::gtadoc::LogLevel::k##level, __FILE__, \
+                                __LINE__)
+
+/// Fatal invariant check: prints and aborts. Used for programmer errors only,
+/// never for data-dependent conditions (those return Status).
+#define GTADOC_CHECK(cond)                                               \
+  do {                                                                   \
+    if (!(cond)) {                                                       \
+      ::gtadoc::LogMessage(::gtadoc::LogLevel::kError, __FILE__,         \
+                           __LINE__, "CHECK failed: " #cond);            \
+      std::abort();                                                      \
+    }                                                                    \
+  } while (0)
+
+}  // namespace gtadoc
+
+#endif  // GTADOC_COMMON_LOGGING_H_

@@ -1,0 +1,56 @@
+#ifndef GTADOC_COMMON_RANDOM_H_
+#define GTADOC_COMMON_RANDOM_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace gtadoc {
+
+/// \brief Deterministic xorshift128+ generator.
+///
+/// All randomness in the library (datagen, property tests, workload
+/// generators) flows through this so that a seed fully determines a run.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed);
+
+  uint64_t NextU64();
+  /// Uniform in [0, n). n must be > 0.
+  uint64_t Uniform(uint64_t n);
+  /// Uniform double in [0, 1).
+  double NextDouble();
+  /// True with probability p.
+  bool Bernoulli(double p) { return NextDouble() < p; }
+
+ private:
+  uint64_t s0_;
+  uint64_t s1_;
+};
+
+/// \brief Zipfian sampler over [0, n) with exponent `theta`.
+///
+/// Uses the Gray/Jim-Gray "quick zipf" method with precomputed zeta constants;
+/// theta in (0, 1) skews moderately, larger theta skews harder. Word
+/// frequencies in real text are approximately zipfian, which is what makes
+/// Sequitur find reusable rules.
+class ZipfSampler {
+ public:
+  ZipfSampler(uint64_t n, double theta, uint64_t seed);
+
+  uint64_t Next();
+  uint64_t n() const { return n_; }
+
+ private:
+  uint64_t n_;
+  double theta_;
+  double alpha_;
+  double zetan_;
+  double eta_;
+  Rng rng_;
+
+  static double Zeta(uint64_t n, double theta);
+};
+
+}  // namespace gtadoc
+
+#endif  // GTADOC_COMMON_RANDOM_H_

@@ -1,0 +1,69 @@
+#ifndef GTADOC_COMMON_RESULT_H_
+#define GTADOC_COMMON_RESULT_H_
+
+#include <cassert>
+#include <optional>
+#include <utility>
+
+#include "common/status.h"
+
+namespace gtadoc {
+
+/// \brief A value-or-error holder, the Arrow `Result<T>` idiom.
+///
+/// Either holds a T (status is OK) or a non-OK Status. Accessing the value of
+/// an errored Result is a programming error and asserts in debug builds.
+template <typename T>
+class Result {
+ public:
+  /// Implicit construction from a value (OK result).
+  Result(T value) : status_(Status::OK()), value_(std::move(value)) {}  // NOLINT
+  /// Implicit construction from a non-OK status.
+  Result(Status status) : status_(std::move(status)) {  // NOLINT
+    assert(!status_.ok() && "Result(Status) requires a non-OK status");
+  }
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return std::move(*value_);
+  }
+
+  T& operator*() & { return value(); }
+  const T& operator*() const& { return value(); }
+  T* operator->() { return &value(); }
+  const T* operator->() const { return &value(); }
+
+  /// Returns the value, or `fallback` if this holds an error.
+  T ValueOr(T fallback) const {
+    return ok() ? *value_ : std::move(fallback);
+  }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+/// Assigns an OK result to `lhs` or returns the error from the caller.
+#define GTADOC_ASSIGN_OR_RETURN(lhs, expr)          \
+  auto GTADOC_CONCAT_(_res_, __LINE__) = (expr);    \
+  if (!GTADOC_CONCAT_(_res_, __LINE__).ok())        \
+    return GTADOC_CONCAT_(_res_, __LINE__).status();\
+  lhs = std::move(GTADOC_CONCAT_(_res_, __LINE__)).value()
+
+#define GTADOC_CONCAT_(a, b) GTADOC_CONCAT_IMPL_(a, b)
+#define GTADOC_CONCAT_IMPL_(a, b) a##b
+
+}  // namespace gtadoc
+
+#endif  // GTADOC_COMMON_RESULT_H_

@@ -1,0 +1,65 @@
+#ifndef GTADOC_COMMON_SLICE_H_
+#define GTADOC_COMMON_SLICE_H_
+
+#include <cstddef>
+#include <cstring>
+#include <string>
+#include <string_view>
+
+namespace gtadoc {
+
+/// \brief Non-owning view over a byte range (the RocksDB `Slice` idiom).
+///
+/// Used at API boundaries where copying would be wasteful; the caller must
+/// keep the underlying storage alive.
+class Slice {
+ public:
+  Slice() : data_(""), size_(0) {}
+  Slice(const char* data, size_t size) : data_(data), size_(size) {}
+  Slice(const std::string& s) : data_(s.data()), size_(s.size()) {}  // NOLINT
+  Slice(const char* cstr) : data_(cstr), size_(std::strlen(cstr)) {}  // NOLINT
+  Slice(std::string_view sv) : data_(sv.data()), size_(sv.size()) {}  // NOLINT
+
+  const char* data() const { return data_; }
+  size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+
+  char operator[](size_t i) const { return data_[i]; }
+
+  /// Drops the first `n` bytes from the view.
+  void RemovePrefix(size_t n) {
+    data_ += n;
+    size_ -= n;
+  }
+
+  std::string ToString() const { return std::string(data_, size_); }
+  std::string_view view() const { return std::string_view(data_, size_); }
+
+  int Compare(const Slice& other) const {
+    const size_t min_len = size_ < other.size_ ? size_ : other.size_;
+    int r = std::memcmp(data_, other.data_, min_len);
+    if (r == 0) {
+      if (size_ < other.size_) r = -1;
+      else if (size_ > other.size_) r = +1;
+    }
+    return r;
+  }
+
+  bool StartsWith(const Slice& prefix) const {
+    return size_ >= prefix.size_ &&
+           std::memcmp(data_, prefix.data_, prefix.size_) == 0;
+  }
+
+  friend bool operator==(const Slice& a, const Slice& b) {
+    return a.size_ == b.size_ && std::memcmp(a.data_, b.data_, a.size_) == 0;
+  }
+  friend bool operator!=(const Slice& a, const Slice& b) { return !(a == b); }
+
+ private:
+  const char* data_;
+  size_t size_;
+};
+
+}  // namespace gtadoc
+
+#endif  // GTADOC_COMMON_SLICE_H_

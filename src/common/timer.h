@@ -1,0 +1,33 @@
+#ifndef GTADOC_COMMON_TIMER_H_
+#define GTADOC_COMMON_TIMER_H_
+
+#include <chrono>
+#include <cstdint>
+
+namespace gtadoc {
+
+/// Wall-clock stopwatch (steady clock). Start() resets; ElapsedMicros /
+/// ElapsedSeconds read without stopping.
+class Timer {
+ public:
+  Timer() { Start(); }
+
+  void Start() { start_ = std::chrono::steady_clock::now(); }
+
+  int64_t ElapsedMicros() const {
+    return std::chrono::duration_cast<std::chrono::microseconds>(
+               std::chrono::steady_clock::now() - start_)
+        .count();
+  }
+
+  double ElapsedSeconds() const {
+    return static_cast<double>(ElapsedMicros()) * 1e-6;
+  }
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace gtadoc
+
+#endif  // GTADOC_COMMON_TIMER_H_

@@ -1,0 +1,55 @@
+#ifndef GTADOC_DATAGEN_DATAGEN_H_
+#define GTADOC_DATAGEN_DATAGEN_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sequitur/tokenizer.h"
+
+namespace gtadoc {
+
+/// \brief Parameters of a synthetic corpus.
+///
+/// The paper's five datasets (Table II) are not redistributable here, so the
+/// generators reproduce each dataset's *character* instead: its file-count
+/// profile, vocabulary skew and redundancy structure. Redundancy comes from
+/// sentence templates — frequently repeated word sequences are exactly what
+/// Sequitur turns into reusable rules, mirroring natural-language phrase
+/// repetition.
+struct DatasetSpec {
+  std::string name;
+  std::string description;
+  uint32_t num_files = 1;
+  uint64_t total_tokens = 100000;  ///< across the whole corpus
+  uint32_t vocabulary = 5000;      ///< distinct words to draw from
+  double zipf_theta = 0.9;         ///< word-frequency skew
+  uint32_t num_templates = 400;    ///< repeated sentence templates
+  uint32_t template_len = 8;       ///< words per template
+  double template_prob = 0.8;      ///< share of sentences drawn from templates
+  uint64_t seed = 1;
+};
+
+/// Table II presets, scaled to in-memory experiment sizes. The relative
+/// shapes match the paper: A = many small files, B = 4 large documents,
+/// C = the largest corpus (driving the cluster baseline), D = one small file,
+/// E = one large file.
+DatasetSpec DatasetA();
+DatasetSpec DatasetB();
+DatasetSpec DatasetC();
+DatasetSpec DatasetD();
+DatasetSpec DatasetE();
+
+/// All five presets in paper order.
+std::vector<DatasetSpec> AllDatasets();
+
+/// Generates the token streams directly (word id space [0, vocabulary)).
+/// `scale` multiplies total_tokens (tests use small scales).
+TokenizedCorpus GenerateTokens(const DatasetSpec& spec, double scale = 1.0);
+
+/// Generates a text corpus ("w<id>" words joined by spaces).
+Corpus GenerateCorpus(const DatasetSpec& spec, double scale = 1.0);
+
+}  // namespace gtadoc
+
+#endif  // GTADOC_DATAGEN_DATAGEN_H_

@@ -1,0 +1,102 @@
+#ifndef GTADOC_FORMAT_DAG_H_
+#define GTADOC_FORMAT_DAG_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/result.h"
+#include "format/grammar.h"
+
+namespace gtadoc {
+
+/// One aggregated rule->subrule edge: `child` occurs `freq` times in the
+/// parent's body (Algorithm 1's `subRuleId, subRuleFreq` pairs).
+struct RuleChildEntry {
+  uint32_t child;  // rule index
+  uint32_t freq;
+};
+
+/// One aggregated local word: word terminal `word` occurs `freq` times
+/// directly in the rule body (splitters excluded).
+struct RuleWordEntry {
+  uint32_t word;
+  uint32_t freq;
+};
+
+/// \brief DAG interpretation of a grammar (Figure 1(e)).
+///
+/// Precomputes everything both engines traverse: aggregated child edges with
+/// multiplicities, aggregated local words, distinct parent lists, in-edge
+/// counts excluding the root (Algorithm 1 seeds traversal from rules whose
+/// only parent is the root), topological order and per-rule depth.
+class DagView {
+ public:
+  /// Validates the grammar (id ranges, acyclicity, non-empty root) and
+  /// builds the view. Returns Corruption for malformed grammars.
+  static Result<DagView> Build(const Grammar& g);
+
+  size_t num_rules() const { return children_.size(); }
+
+  const std::vector<RuleChildEntry>& children(uint32_t r) const {
+    return children_[r];
+  }
+  const std::vector<RuleWordEntry>& words(uint32_t r) const {
+    return words_[r];
+  }
+  /// Distinct parent rule indices (the root appears as parent index 0).
+  const std::vector<uint32_t>& parents(uint32_t r) const { return parents_[r]; }
+
+  /// Number of distinct parents other than the root (Algorithm 1's
+  /// rule.numInEdge; rules with zero start the top-down traversal).
+  uint32_t num_in_edges_nonroot(uint32_t r) const {
+    return in_edges_nonroot_[r];
+  }
+  /// Number of distinct child rules (bottom-up readiness threshold).
+  uint32_t num_out_edges(uint32_t r) const {
+    return static_cast<uint32_t>(children_[r].size());
+  }
+  /// How many times rule `r` appears directly in the root body.
+  uint32_t root_freq(uint32_t r) const { return root_freq_[r]; }
+
+  /// Longest path length from the root (root depth = 0).
+  uint32_t depth(uint32_t r) const { return depth_[r]; }
+  uint32_t max_depth() const { return max_depth_; }
+
+  /// Rule indices ordered so parents precede children.
+  const std::vector<uint32_t>& topo_order() const { return topo_order_; }
+
+  /// Number of symbols in rule r's body (workload for the scheduler).
+  uint32_t body_size(uint32_t r) const { return body_size_[r]; }
+
+ private:
+  std::vector<std::vector<RuleChildEntry>> children_;
+  std::vector<std::vector<RuleWordEntry>> words_;
+  std::vector<std::vector<uint32_t>> parents_;
+  std::vector<uint32_t> in_edges_nonroot_;
+  std::vector<uint32_t> root_freq_;
+  std::vector<uint32_t> depth_;
+  std::vector<uint32_t> topo_order_;
+  std::vector<uint32_t> body_size_;
+  uint32_t max_depth_ = 0;
+};
+
+/// Summary statistics of a compressed grammar (Table II plus DAG shape).
+struct DagStats {
+  uint64_t num_rules = 0;
+  uint64_t num_edges = 0;           // aggregated rule->rule edges
+  uint64_t total_body_symbols = 0;  // compressed size in symbols
+  uint64_t vocabulary_size = 0;
+  uint64_t num_files = 0;
+  uint32_t max_depth = 0;
+  double avg_body_length = 0.0;
+  uint64_t expanded_tokens = 0;  // total tokens when fully expanded
+  /// expanded_tokens / total_body_symbols: how much the grammar reuses.
+  double reuse_factor = 0.0;
+};
+
+/// Computes statistics; requires a valid grammar (uses DagView internally).
+Result<DagStats> ComputeDagStats(const Grammar& g);
+
+}  // namespace gtadoc
+
+#endif  // GTADOC_FORMAT_DAG_H_

@@ -1,0 +1,51 @@
+#ifndef GTADOC_FORMAT_GRAMMAR_H_
+#define GTADOC_FORMAT_GRAMMAR_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace gtadoc {
+
+/// \brief Flat TADOC grammar (the compressed representation).
+///
+/// Symbol id space (Figure 1(b) of the paper, normalized):
+///   - word terminals:     ids [0, num_words)
+///   - splitter terminals: ids [num_words, num_words + num_splitters)
+///   - rules:              ids [num_terminals(), num_terminals() + rules.size())
+///
+/// Rule 0 (symbol id num_terminals()) is the root and holds the whole corpus
+/// with one unique splitter terminal between consecutive files; n files use
+/// n-1 splitters, so splitter k separates file k from file k+1.
+struct Grammar {
+  uint32_t num_words = 0;
+  uint32_t num_splitters = 0;
+  /// Rule bodies; each element is a symbol id per the scheme above.
+  std::vector<std::vector<uint32_t>> rules;
+  /// Dictionary: id -> word text, size num_words. May be empty when analytics
+  /// only need ids (the engines never look at strings).
+  std::vector<std::string> words;
+
+  uint32_t num_terminals() const { return num_words + num_splitters; }
+  uint32_t num_files() const { return num_splitters + 1; }
+
+  bool IsWord(uint32_t id) const { return id < num_words; }
+  bool IsSplitter(uint32_t id) const {
+    return id >= num_words && id < num_terminals();
+  }
+  bool IsTerminal(uint32_t id) const { return id < num_terminals(); }
+  bool IsRule(uint32_t id) const { return id >= num_terminals(); }
+
+  uint32_t RuleIndex(uint32_t id) const { return id - num_terminals(); }
+  uint32_t RuleId(uint32_t rule_index) const {
+    return num_terminals() + rule_index;
+  }
+  /// Index of the file that splitter `id` terminates.
+  uint32_t SplitterIndex(uint32_t id) const { return id - num_words; }
+
+  const std::vector<uint32_t>& root() const { return rules[0]; }
+};
+
+}  // namespace gtadoc
+
+#endif  // GTADOC_FORMAT_GRAMMAR_H_

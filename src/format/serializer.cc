@@ -1,0 +1,113 @@
+#include "format/serializer.h"
+
+#include "common/hash.h"
+#include "common/io.h"
+
+namespace gtadoc {
+
+namespace {
+constexpr char kMagic[4] = {'G', 'T', 'D', 'C'};
+constexpr uint8_t kVersion = 1;
+constexpr uint8_t kFlagDictionary = 0x01;
+}  // namespace
+
+std::string SerializeGrammar(const Grammar& g, bool include_dictionary) {
+  BinaryWriter w;
+  w.PutRaw(kMagic, sizeof(kMagic));
+  w.PutU8(kVersion);
+  const bool dict = include_dictionary && g.words.size() == g.num_words;
+  w.PutU8(dict ? kFlagDictionary : 0);
+  w.PutVarint32(g.num_words);
+  w.PutVarint32(g.num_splitters);
+  w.PutVarint64(g.rules.size());
+  if (dict) {
+    for (const std::string& word : g.words) w.PutLengthPrefixed(word);
+  }
+  for (const auto& body : g.rules) {
+    w.PutVarint32(static_cast<uint32_t>(body.size()));
+    for (uint32_t sym : body) w.PutVarint32(sym);
+  }
+  const uint64_t checksum = Fnv1a64(w.buffer().data(), w.buffer().size());
+  w.PutU64(checksum);
+  return w.Release();
+}
+
+Result<Grammar> ParseGrammar(Slice data) {
+  if (data.size() < sizeof(kMagic) + 2 + 8) {
+    return Status::Corruption("container too small");
+  }
+  // Verify checksum over everything but the trailing 8 bytes.
+  const size_t body_len = data.size() - 8;
+  BinaryReader tail(Slice(data.data() + body_len, 8));
+  auto stored = tail.GetU64();
+  if (!stored.ok()) return stored.status();
+  if (Fnv1a64(data.data(), body_len) != *stored) {
+    return Status::Corruption("checksum mismatch");
+  }
+
+  BinaryReader r(Slice(data.data(), body_len));
+  char magic[4];
+  for (int i = 0; i < 4; ++i) {
+    auto b = r.GetU8();
+    if (!b.ok()) return b.status();
+    magic[i] = static_cast<char>(*b);
+  }
+  if (std::memcmp(magic, kMagic, 4) != 0) {
+    return Status::Corruption("bad magic");
+  }
+  auto version = r.GetU8();
+  if (!version.ok()) return version.status();
+  if (*version != kVersion) {
+    return Status::Corruption("unsupported version " + std::to_string(*version));
+  }
+  auto flags = r.GetU8();
+  if (!flags.ok()) return flags.status();
+
+  Grammar g;
+  GTADOC_ASSIGN_OR_RETURN(g.num_words, r.GetVarint32());
+  GTADOC_ASSIGN_OR_RETURN(g.num_splitters, r.GetVarint32());
+  uint64_t num_rules;
+  GTADOC_ASSIGN_OR_RETURN(num_rules, r.GetVarint64());
+  if (num_rules == 0) return Status::Corruption("grammar has no rules");
+  if (num_rules > (1ull << 32)) return Status::Corruption("rule count too large");
+
+  if (*flags & kFlagDictionary) {
+    g.words.reserve(g.num_words);
+    for (uint32_t i = 0; i < g.num_words; ++i) {
+      auto word = r.GetLengthPrefixed();
+      if (!word.ok()) return word.status();
+      g.words.push_back(word->ToString());
+    }
+  }
+
+  const uint64_t max_symbol =
+      static_cast<uint64_t>(g.num_terminals()) + num_rules;
+  g.rules.resize(num_rules);
+  for (uint64_t i = 0; i < num_rules; ++i) {
+    uint32_t len;
+    GTADOC_ASSIGN_OR_RETURN(len, r.GetVarint32());
+    if (len > body_len) return Status::Corruption("rule body length too large");
+    g.rules[i].reserve(len);
+    for (uint32_t j = 0; j < len; ++j) {
+      uint32_t sym;
+      GTADOC_ASSIGN_OR_RETURN(sym, r.GetVarint32());
+      if (sym >= max_symbol) return Status::Corruption("symbol id out of range");
+      g.rules[i].push_back(sym);
+    }
+  }
+  if (!r.AtEnd()) return Status::Corruption("trailing bytes after rules");
+  return g;
+}
+
+Status WriteGrammarFile(const Grammar& g, const std::string& path,
+                        bool include_dictionary) {
+  return WriteStringToFile(path, SerializeGrammar(g, include_dictionary));
+}
+
+Result<Grammar> ReadGrammarFile(const std::string& path) {
+  std::string data;
+  GTADOC_RETURN_IF_ERROR(ReadFileToString(path, &data));
+  return ParseGrammar(data);
+}
+
+}  // namespace gtadoc

@@ -1,0 +1,38 @@
+#include "gpu/memory_pool.h"
+
+namespace gtadoc {
+namespace gpu {
+
+MemoryPool::MemoryPool(Device* device, uint64_t capacity_slots)
+    : slab_(device, capacity_slots, 0ull) {}
+
+Result<std::vector<uint64_t>> MemoryPool::PlanRegions(
+    const std::vector<uint64_t>& sizes) {
+  std::vector<uint64_t> offsets(sizes.size());
+  uint64_t cursor = cursor_.load(std::memory_order_relaxed);
+  for (size_t i = 0; i < sizes.size(); ++i) {
+    offsets[i] = cursor;
+    cursor += sizes[i];
+  }
+  if (cursor > capacity()) {
+    return Status::OutOfMemory(
+        "memory pool needs " + std::to_string(cursor) + " slots, has " +
+        std::to_string(capacity()));
+  }
+  cursor_.store(cursor, std::memory_order_relaxed);
+  return offsets;
+}
+
+uint64_t MemoryPool::AtomicAlloc(ThreadCtx& ctx, uint64_t slots) {
+  ctx.ChargeAtomic();
+  const uint64_t off = cursor_.fetch_add(slots, std::memory_order_relaxed);
+  if (off + slots > capacity()) {
+    // Roll back so repeated failures do not overflow the cursor.
+    cursor_.fetch_sub(slots, std::memory_order_relaxed);
+    return kPoolInvalid;
+  }
+  return off;
+}
+
+}  // namespace gpu
+}  // namespace gtadoc

@@ -1,0 +1,61 @@
+#ifndef GTADOC_GPU_MEMORY_POOL_H_
+#define GTADOC_GPU_MEMORY_POOL_H_
+
+#include <atomic>
+#include <cstdint>
+#include <vector>
+
+#include "common/result.h"
+#include "gpu/device.h"
+
+namespace gtadoc {
+namespace gpu {
+
+/// Sentinel returned by AtomicAlloc when the pool is exhausted.
+inline constexpr uint64_t kPoolInvalid = ~0ull;
+
+/// \brief G-TADOC's self-maintained device memory pool (Section IV-C).
+///
+/// The paper's motivation: per-rule buffer sizes are unknown until runtime
+/// and dynamic allocation from thousands of GPU threads is infeasible, so
+/// G-TADOC (1) computes each rule's requirement during the initialization
+/// traversal, (2) carves per-rule regions from one preallocated slab, and
+/// (3) lets kernels bump-allocate nodes atomically (Figure 8's "obtain a new
+/// node").
+///
+/// The slab is an array of uint64 slots; regions are measured in slots.
+class MemoryPool {
+ public:
+  MemoryPool(Device* device, uint64_t capacity_slots);
+
+  uint64_t capacity() const { return slab_.size(); }
+  uint64_t used() const { return cursor_.load(std::memory_order_relaxed); }
+
+  /// Host-side planning: assigns a contiguous region of sizes[i] slots per
+  /// rule. Returns the region offsets (exclusive scan of sizes) or
+  /// OutOfMemory when the slab cannot fit them. Regions planned this way are
+  /// carved before any device-side AtomicAlloc.
+  Result<std::vector<uint64_t>> PlanRegions(const std::vector<uint64_t>& sizes);
+
+  /// Device-side bump allocation of `slots` consecutive slots; charges one
+  /// atomic. Returns kPoolInvalid when exhausted.
+  uint64_t AtomicAlloc(ThreadCtx& ctx, uint64_t slots);
+
+  uint64_t* slab() { return slab_.data(); }
+  const uint64_t* slab() const { return slab_.data(); }
+
+  uint64_t& at(uint64_t slot) { return slab_[slot]; }
+  const uint64_t& at(uint64_t slot) const { return slab_[slot]; }
+
+  /// Drops all regions and device-side allocations.
+  void Reset() { cursor_.store(0, std::memory_order_relaxed); }
+
+ private:
+  DeviceBuffer<uint64_t> slab_;
+  std::atomic<uint64_t> cursor_{0};
+};
+
+}  // namespace gpu
+}  // namespace gtadoc
+
+#endif  // GTADOC_GPU_MEMORY_POOL_H_

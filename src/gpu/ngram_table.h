@@ -1,0 +1,77 @@
+#ifndef GTADOC_GPU_NGRAM_TABLE_H_
+#define GTADOC_GPU_NGRAM_TABLE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <vector>
+
+#include "gpu/device.h"
+#include "gpu/hash_table.h"
+
+namespace gtadoc {
+namespace gpu {
+
+/// One drained n-gram count.
+struct NgramCount {
+  uint32_t file = 0;
+  std::vector<uint32_t> words;
+  uint64_t count = 0;
+};
+
+/// \brief Thread-safe GPU table keyed by (file, l-word sequence) with exact
+/// key comparison (Section IV-D: "develop special data structures in GPU
+/// memories to store sequences and perform basic comparisons").
+///
+/// Same five-buffer layout and try-lock protocol as GpuHashTable, plus a key
+/// pool: each node stores an offset into a flat uint32 pool holding its l
+/// word ids, so lookups compare the full sequence, not just a hash.
+class GpuNgramTable {
+ public:
+  struct Options {
+    uint32_t num_entries = 1024;
+    uint32_t max_nodes = 4096;
+    uint32_t ngram_len = 3;  ///< l, the sequence length
+    LockMode lock_mode = LockMode::kPerEntryTryLock;
+  };
+
+  GpuNgramTable(Device* device, const Options& options);
+
+  /// Adds `delta` to the count of (file, words[0..l)). Same outcome protocol
+  /// as GpuHashTable::AddOrInsert.
+  InsertOutcome AddOrInsert(ThreadCtx& ctx, uint32_t file,
+                            const uint32_t* words, uint64_t delta);
+
+  /// Host-side exact lookup (0 when absent).
+  uint64_t Lookup(uint32_t file, const uint32_t* words) const;
+
+  /// Drains all counts; order unspecified.
+  std::vector<NgramCount> Drain() const;
+
+  uint32_t ngram_len() const { return l_; }
+  uint32_t num_nodes_used() const {
+    return node_cursor_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  uint32_t Bucket(uint32_t file, const uint32_t* words) const;
+  bool Equals(int32_t node, uint32_t file, const uint32_t* words) const;
+  int32_t FindNode(ThreadCtx& ctx, uint32_t bucket, uint32_t file,
+                   const uint32_t* words) const;
+
+  uint32_t l_;
+  LockMode mode_;
+  DeviceBuffer<std::atomic<uint32_t>> locks_;
+  DeviceBuffer<std::atomic<int32_t>> entries_;
+  DeviceBuffer<uint32_t> files_;
+  DeviceBuffer<uint32_t> key_offsets_;
+  DeviceBuffer<std::atomic<uint64_t>> values_;
+  DeviceBuffer<std::atomic<int32_t>> next_;
+  DeviceBuffer<uint32_t> key_pool_;
+  std::atomic<uint32_t> node_cursor_{0};
+  std::atomic<uint32_t> global_lock_{0};
+};
+
+}  // namespace gpu
+}  // namespace gtadoc
+
+#endif  // GTADOC_GPU_NGRAM_TABLE_H_

@@ -1,0 +1,86 @@
+#include "gpu/platform.h"
+
+namespace gtadoc {
+namespace gpu {
+
+Platform PascalPlatform() {
+  Platform p;
+  p.label = "Pascal";
+  p.gpu.name = "GeForce GTX 1080";
+  p.gpu.arch = "Pascal";
+  p.gpu.num_sms = 20;
+  p.gpu.cores_per_sm = 128;
+  p.gpu.core_ghz = 1.6;
+  p.gpu.efficiency = 0.22;
+  p.gpu.mem_bandwidth_gbps = 320.0;   // GDDR5X
+  p.gpu.pcie_bandwidth_gbps = 12.0;   // PCIe 3.0 x16 sustained
+  p.gpu.atomic_ops_per_sec = 1.2e10;
+  p.gpu.memory_bytes = 8ull << 30;
+  p.cpu.name = "i7-7700K";
+  p.cpu.cores = 4;
+  p.cpu.ghz = 4.2;
+  p.cpu.mem_bandwidth_gbps = 38.0;
+  return p;
+}
+
+Platform VoltaPlatform() {
+  Platform p;
+  p.label = "Volta";
+  p.gpu.name = "Tesla V100";
+  p.gpu.arch = "Volta";
+  p.gpu.num_sms = 80;
+  p.gpu.cores_per_sm = 64;
+  p.gpu.core_ghz = 1.37;
+  p.gpu.efficiency = 0.30;
+  p.gpu.mem_bandwidth_gbps = 900.0;   // HBM2
+  p.gpu.pcie_bandwidth_gbps = 12.0;
+  p.gpu.atomic_ops_per_sec = 3.0e10;
+  p.gpu.memory_bytes = 16ull << 30;
+  p.cpu.name = "E5-2670";
+  p.cpu.cores = 8;
+  p.cpu.ghz = 2.6;
+  p.cpu.mem_bandwidth_gbps = 51.0;
+  return p;
+}
+
+Platform TuringPlatform() {
+  Platform p;
+  p.label = "Turing";
+  p.gpu.name = "GeForce RTX 2080 Ti";
+  p.gpu.arch = "Turing";
+  p.gpu.num_sms = 68;
+  p.gpu.cores_per_sm = 64;
+  p.gpu.core_ghz = 1.54;
+  p.gpu.efficiency = 0.27;
+  p.gpu.mem_bandwidth_gbps = 616.0;   // GDDR6
+  p.gpu.pcie_bandwidth_gbps = 12.0;
+  p.gpu.atomic_ops_per_sec = 2.4e10;
+  p.gpu.memory_bytes = 11ull << 30;
+  p.cpu.name = "i9-9900K";
+  p.cpu.cores = 8;
+  p.cpu.ghz = 3.6;
+  p.cpu.mem_bandwidth_gbps = 41.0;
+  return p;
+}
+
+ClusterSpec TenNodeCluster() {
+  ClusterSpec c;
+  c.name = "10-node EC2 (Spark)";
+  c.nodes = 10;
+  c.node_cpu.name = "E5-2676v3";
+  c.node_cpu.cores = 8;
+  c.node_cpu.ghz = 2.4;
+  c.node_cpu.efficiency = 0.4;  // JVM/Spark overhead vs native C++
+  c.node_cpu.mem_bandwidth_gbps = 68.0;
+  c.network_gbps = 1.0;
+  c.per_round_latency_s = 0.5;
+  c.shuffle_rounds = 2;
+  return c;
+}
+
+std::vector<Platform> AllPlatforms() {
+  return {PascalPlatform(), VoltaPlatform(), TuringPlatform()};
+}
+
+}  // namespace gpu
+}  // namespace gtadoc

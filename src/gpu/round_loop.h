@@ -1,0 +1,63 @@
+#ifndef GTADOC_GPU_ROUND_LOOP_H_
+#define GTADOC_GPU_ROUND_LOOP_H_
+
+#include <algorithm>
+#include <functional>
+#include <vector>
+
+#include "gpu/device.h"
+#include "gpu/hash_table.h"
+
+namespace gtadoc {
+namespace gpu {
+
+/// \brief The host-driven retry protocol of Figure 8 as a reusable harness.
+///
+/// Processes `num_items` work items; `process(item, ctx)` attempts one item
+/// and reports kDone, kRetry (a try-lock was busy — defer to the next kernel
+/// round, the "stop flag := false" path), or kTableFull. Items are chunked so
+/// one logical thread handles `chunk` consecutive items per round; the host
+/// relaunches until no item is pending. Returns false iff any item reported
+/// kTableFull (the caller resizes and reruns).
+inline bool RoundLoop(
+    Device* device, const char* name, size_t num_items, size_t chunk,
+    const std::function<InsertOutcome(size_t, ThreadCtx&)>& process) {
+  if (num_items == 0) return true;
+  std::vector<uint32_t> pending(num_items);
+  for (size_t i = 0; i < num_items; ++i) pending[i] = static_cast<uint32_t>(i);
+  std::vector<uint8_t> failed(num_items, 0);
+  bool table_full = false;
+
+  while (!pending.empty()) {
+    const uint32_t threads =
+        static_cast<uint32_t>((pending.size() + chunk - 1) / chunk);
+    device->Launch(name, threads, [&](ThreadCtx& ctx) {
+      const size_t lo = static_cast<size_t>(ctx.tid()) * chunk;
+      const size_t hi = std::min(pending.size(), lo + chunk);
+      for (size_t i = lo; i < hi; ++i) {
+        const InsertOutcome oc = process(pending[i], ctx);
+        if (oc == InsertOutcome::kRetry) {
+          failed[pending[i]] = 1;
+        } else if (oc == InsertOutcome::kTableFull) {
+          failed[pending[i]] = 1;
+          table_full = true;
+        }
+      }
+    });
+    if (table_full) return false;
+    std::vector<uint32_t> next;
+    for (uint32_t item : pending) {
+      if (failed[item]) {
+        next.push_back(item);
+        failed[item] = 0;
+      }
+    }
+    pending.swap(next);
+  }
+  return true;
+}
+
+}  // namespace gpu
+}  // namespace gtadoc
+
+#endif  // GTADOC_GPU_ROUND_LOOP_H_

@@ -1,0 +1,325 @@
+#include <algorithm>
+#include <atomic>
+
+#include "common/hash.h"
+#include "common/logging.h"
+#include "gpu/memory_pool.h"
+#include "gpu/round_loop.h"
+#include "gtadoc/engine.h"
+#include "gtadoc/traversal_util.h"
+
+namespace gtadoc {
+
+namespace {
+
+uint64_t PackPair(uint32_t hi, uint32_t lo) {
+  return (static_cast<uint64_t>(hi) << 32) | lo;
+}
+
+uint32_t RoundUpPow2(uint32_t v) {
+  uint32_t p = 1;
+  while (p < v) p <<= 1;
+  return p;
+}
+
+/// \brief A rule-local open-addressing word table living in a memory-pool
+/// region (Section IV-C: "if the hash table is private and owned by one
+/// thread, we do not need to create the locks").
+///
+/// Region layout: cap key slots (word id or kEmpty) followed by cap value
+/// slots. cap is a power of two at least twice the bound, so probes stay
+/// short; every probe step is charged.
+class LocalWordTable {
+ public:
+  static constexpr uint64_t kEmpty = ~0ull;
+
+  static uint64_t SlotsFor(uint64_t bound) {
+    return 2ull * RoundUpPow2(static_cast<uint32_t>(
+                      std::max<uint64_t>(2, 2 * bound)));
+  }
+
+  LocalWordTable(gpu::MemoryPool* pool, uint64_t base, uint64_t slots)
+      : pool_(pool), base_(base), cap_(slots / 2) {}
+
+  void Clear(gpu::ThreadCtx& ctx) {
+    for (uint64_t i = 0; i < cap_; ++i) pool_->at(base_ + i) = kEmpty;
+    ctx.Charge(cap_);
+  }
+
+  void Add(gpu::ThreadCtx& ctx, uint32_t word, uint64_t count) {
+    uint64_t i = Mix64(word) & (cap_ - 1);
+    for (;;) {
+      ctx.Charge(1);
+      const uint64_t k = pool_->at(base_ + i);
+      if (k == kEmpty) {
+        pool_->at(base_ + i) = word;
+        pool_->at(base_ + cap_ + i) = count;
+        ++size_;
+        return;
+      }
+      if (k == word) {
+        pool_->at(base_ + cap_ + i) += count;
+        return;
+      }
+      i = (i + 1) & (cap_ - 1);
+    }
+  }
+
+  /// Iterates all (word, count) entries.
+  template <typename Fn>
+  void ForEach(gpu::ThreadCtx& ctx, Fn fn) const {
+    for (uint64_t i = 0; i < cap_; ++i) {
+      ctx.Charge(1);
+      const uint64_t k = pool_->at(base_ + i);
+      if (k != kEmpty) fn(static_cast<uint32_t>(k), pool_->at(base_ + cap_ + i));
+    }
+  }
+
+  /// Reads one slot; returns false when it is empty. Gives the reduce kernels
+  /// idempotent single-insert work items for the retry protocol.
+  bool ReadSlot(uint64_t slot, uint32_t* word, uint64_t* count) const {
+    const uint64_t k = pool_->at(base_ + slot);
+    if (k == kEmpty) return false;
+    *word = static_cast<uint32_t>(k);
+    *count = pool_->at(base_ + cap_ + slot);
+    return true;
+  }
+
+  uint64_t size() const { return size_; }
+  uint64_t cap() const { return cap_; }
+
+ private:
+  gpu::MemoryPool* pool_;
+  uint64_t base_;
+  uint64_t cap_;
+  uint64_t size_ = 0;
+};
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Algorithm 2 shared machinery: bounds, tables, reduce. The two public tasks
+// differ only in the reduce step.
+// ---------------------------------------------------------------------------
+
+Status GTadocEngine::WordCountBottomUp(AnalyticsResult* out) {
+  const uint32_t n = dev_.num_rules;
+
+  // genLocTblBoundKernel: lb[r] = own distinct words + sum of children's
+  // bounds, clamped by the vocabulary (Algorithm 2 lines 5-9).
+  std::vector<uint64_t> lb(n, 0);
+  internal::BottomUpRounds(device_.get(), dev_, "genLocTblBound",
+                 [&](uint32_t r, gpu::ThreadCtx& ctx) {
+                   uint64_t b = dev_.word_off[r + 1] - dev_.word_off[r];
+                   for (uint32_t e = dev_.child_off[r];
+                        e < dev_.child_off[r + 1]; ++e) {
+                     b += lb[dev_.child_id[e]];
+                     ctx.Charge(1);
+                   }
+                   lb[r] = std::min<uint64_t>(dev_.num_words, b);
+                 });
+
+  // Allocate rules.locTbl from the pool (line 10). The root needs no table.
+  std::vector<uint64_t> sizes(n, 0);
+  uint64_t total_slots = 0;
+  for (uint32_t r = 1; r < n; ++r) {
+    sizes[r] = LocalWordTable::SlotsFor(lb[r]);
+    total_slots += sizes[r];
+  }
+  gpu::MemoryPool pool(device_.get(), total_slots + 1);
+  auto offsets = pool.PlanRegions(sizes);
+  if (!offsets.ok()) return offsets.status();
+  std::vector<std::unique_ptr<LocalWordTable>> table(n);
+  for (uint32_t r = 1; r < n; ++r) {
+    table[r] = std::make_unique<LocalWordTable>(&pool, (*offsets)[r], sizes[r]);
+  }
+
+  // genLocTblKernel: merge own words plus children's tables (lines 12-16).
+  const uint32_t rounds = internal::BottomUpRounds(
+      device_.get(), dev_, "genLocTbl", [&](uint32_t r, gpu::ThreadCtx& ctx) {
+        if (r == 0) return;  // root is handled by the reduce kernel
+        table[r]->Clear(ctx);
+        for (uint32_t e = dev_.word_off[r]; e < dev_.word_off[r + 1]; ++e) {
+          table[r]->Add(ctx, dev_.word_id[e], dev_.word_freq[e]);
+        }
+        for (uint32_t e = dev_.child_off[r]; e < dev_.child_off[r + 1]; ++e) {
+          const uint32_t c = dev_.child_id[e];
+          const uint64_t f = dev_.child_freq[e];
+          table[c]->ForEach(ctx, [&](uint32_t w, uint64_t cnt) {
+            table[r]->Add(ctx, w, cnt * f);
+          });
+        }
+      });
+  last_rounds_ = rounds;
+
+  // reduceResultKernel: root words + level-2 tables scaled by root frequency
+  // into the global table; one logical thread per level-2 node plus chunked
+  // threads for the root's own words.
+  uint64_t total_entries = dev_.word_off[n];
+  gpu::GpuHashTable::Options topt;
+  topt.max_nodes = static_cast<uint32_t>(
+      std::min<uint64_t>(1ull << 28, std::max<uint64_t>(total_entries, 64) + 64));
+  topt.num_entries = topt.max_nodes / 2 + 64;
+  topt.lock_mode = options_.lock_mode;
+  gpu::GpuHashTable global(device_.get(), topt);
+
+  // Level-2 merges. Retry items must be idempotent, so the unit of work is a
+  // single table slot (at most one global insert each), not a whole node.
+  struct SlotItem {
+    uint32_t child;
+    uint32_t freq;
+    uint32_t slot;
+  };
+  std::vector<SlotItem> slot_items;
+  for (uint32_t e = dev_.child_off[0]; e < dev_.child_off[1]; ++e) {
+    const uint32_t c = dev_.child_id[e];
+    for (uint64_t s = 0; s < table[c]->cap(); ++s) {
+      slot_items.push_back(SlotItem{c, dev_.child_freq[e],
+                                    static_cast<uint32_t>(s)});
+    }
+  }
+  bool ok = gpu::RoundLoop(
+      device_.get(), "reduceLevel2", slot_items.size(), 64,
+      [&](size_t i, gpu::ThreadCtx& ctx) {
+        const SlotItem& it = slot_items[i];
+        ctx.Charge(1);
+        uint32_t word;
+        uint64_t cnt;
+        if (!table[it.child]->ReadSlot(it.slot, &word, &cnt)) {
+          return gpu::InsertOutcome::kDone;
+        }
+        return global.AddOrInsert(ctx, word, cnt * it.freq);
+      });
+  if (!ok) return Status::Internal("global table undersized (level-2)");
+  ok = gpu::RoundLoop(
+      device_.get(), "reduceRootWords",
+      dev_.word_off[1] - dev_.word_off[0], 64,
+      [&](size_t i, gpu::ThreadCtx& ctx) {
+        const uint32_t e = dev_.word_off[0] + static_cast<uint32_t>(i);
+        ctx.Charge(1);
+        return global.AddOrInsert(ctx, dev_.word_id[e], dev_.word_freq[e]);
+      });
+  if (!ok) return Status::Internal("global table undersized (root words)");
+
+  DrainWordTable(global, out);
+  return Status::OK();
+}
+
+Status GTadocEngine::FileTaskBottomUp(Task task, AnalyticsResult* out) {
+  const uint32_t n = dev_.num_rules;
+  const uint32_t num_files = dev_.num_files;
+
+  // Bounds + tables exactly as in bottom-up word count.
+  std::vector<uint64_t> lb(n, 0);
+  internal::BottomUpRounds(device_.get(), dev_, "genLocTblBound",
+                 [&](uint32_t r, gpu::ThreadCtx& ctx) {
+                   uint64_t b = dev_.word_off[r + 1] - dev_.word_off[r];
+                   for (uint32_t e = dev_.child_off[r];
+                        e < dev_.child_off[r + 1]; ++e) {
+                     b += lb[dev_.child_id[e]];
+                     ctx.Charge(1);
+                   }
+                   lb[r] = std::min<uint64_t>(dev_.num_words, b);
+                 });
+  std::vector<uint64_t> sizes(n, 0);
+  uint64_t total_slots = 0;
+  for (uint32_t r = 1; r < n; ++r) {
+    sizes[r] = LocalWordTable::SlotsFor(lb[r]);
+    total_slots += sizes[r];
+  }
+  gpu::MemoryPool pool(device_.get(), total_slots + 1);
+  auto offsets = pool.PlanRegions(sizes);
+  if (!offsets.ok()) return offsets.status();
+  std::vector<std::unique_ptr<LocalWordTable>> table(n);
+  for (uint32_t r = 1; r < n; ++r) {
+    table[r] = std::make_unique<LocalWordTable>(&pool, (*offsets)[r], sizes[r]);
+  }
+  const uint32_t rounds = internal::BottomUpRounds(
+      device_.get(), dev_, "genLocTbl", [&](uint32_t r, gpu::ThreadCtx& ctx) {
+        if (r == 0) return;
+        table[r]->Clear(ctx);
+        for (uint32_t e = dev_.word_off[r]; e < dev_.word_off[r + 1]; ++e) {
+          table[r]->Add(ctx, dev_.word_id[e], dev_.word_freq[e]);
+        }
+        for (uint32_t e = dev_.child_off[r]; e < dev_.child_off[r + 1]; ++e) {
+          const uint32_t c = dev_.child_id[e];
+          const uint64_t f = dev_.child_freq[e];
+          table[c]->ForEach(ctx, [&](uint32_t w, uint64_t cnt) {
+            table[r]->Add(ctx, w, cnt * f);
+          });
+        }
+      });
+  last_rounds_ = rounds;
+
+  // Reduce: the root scan walks every root position; a level-2 occurrence
+  // merges its table into the occurrence's file, root words insert directly.
+  uint64_t estimate = dev_.body_off[1];
+  for (uint32_t e = dev_.child_off[0]; e < dev_.child_off[0 + 1]; ++e) {
+    estimate += static_cast<uint64_t>(dev_.child_freq[e]) *
+                std::max<uint64_t>(1, lb[dev_.child_id[e]]);
+  }
+  gpu::GpuHashTable::Options topt;
+  topt.max_nodes = static_cast<uint32_t>(std::min<uint64_t>(estimate + 64, 1ull << 28));
+  topt.num_entries = topt.max_nodes / 2 + 64;
+  topt.lock_mode = options_.lock_mode;
+  gpu::GpuHashTable global(device_.get(), topt);
+
+  // Work items are single inserts so retries stay idempotent: one item per
+  // root word position, plus one item per (level-2 occurrence, table slot).
+  struct ScanItem {
+    uint64_t pos;    // root position
+    uint32_t child;  // rule index, or UINT32_MAX for a root-owned word
+    uint32_t slot;
+  };
+  std::vector<ScanItem> scan_items;
+  const uint64_t root_len = dev_.body_off[1];
+  for (uint64_t p = 0; p < root_len; ++p) {
+    const uint32_t sym = dev_.body_sym[p];
+    if (sym < dev_.num_words) {
+      scan_items.push_back(ScanItem{p, UINT32_MAX, 0});
+    } else if (sym >= dev_.num_words + (dev_.num_files - 1)) {
+      const uint32_t c = sym - (dev_.num_words + dev_.num_files - 1);
+      for (uint64_t s = 0; s < table[c]->cap(); ++s) {
+        scan_items.push_back(ScanItem{p, c, static_cast<uint32_t>(s)});
+      }
+    }
+  }
+  const bool ok = gpu::RoundLoop(
+      device_.get(), "fileReduceRootScan", scan_items.size(), 64,
+      [&](size_t i, gpu::ThreadCtx& ctx) {
+        const ScanItem& it = scan_items[i];
+        const uint32_t file = dev_.root_file_of_pos[it.pos];
+        ctx.Charge(1);
+        if (it.child == UINT32_MAX) {
+          return global.AddOrInsert(ctx, PackPair(file, dev_.body_sym[it.pos]),
+                                    1);
+        }
+        uint32_t word;
+        uint64_t cnt;
+        if (!table[it.child]->ReadSlot(it.slot, &word, &cnt)) {
+          return gpu::InsertOutcome::kDone;
+        }
+        return global.AddOrInsert(ctx, PackPair(file, word), cnt);
+      });
+  if (!ok) return Status::Internal("file-task table undersized (bottom-up)");
+
+  auto pairs = global.Drain();
+  if (options_.charge_pcie) device_->CopyDeviceToHost(pairs.size() * 16);
+  if (task == Task::kTermVector) {
+    out->term_vector.resize(num_files);
+    for (const auto& [key, c] : pairs) {
+      if (c == 0) continue;
+      out->term_vector[key >> 32].emplace_back(
+          static_cast<uint32_t>(key & 0xffffffffu), c);
+    }
+  } else {
+    for (const auto& [key, c] : pairs) {
+      if (c == 0) continue;
+      out->inverted_index[static_cast<uint32_t>(key & 0xffffffffu)].push_back(
+          static_cast<uint32_t>(key >> 32));
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace gtadoc

@@ -1,0 +1,110 @@
+#include "gtadoc/device_grammar.h"
+
+#include <numeric>
+
+#include "gpu/primitives.h"
+
+namespace gtadoc {
+
+size_t DeviceGrammar::DeviceBytes() const {
+  size_t bytes = 0;
+  bytes += body_off.size() * sizeof(uint64_t);
+  bytes += body_sym.size() * sizeof(uint32_t);
+  bytes += (child_off.size() + child_id.size() + child_freq.size() +
+            word_off.size() + word_id.size() + word_freq.size() +
+            parent_off.size() + parent_id.size() + in_edges_nonroot.size() +
+            num_children.size() + root_freq.size() + root_file_of_pos.size() +
+            edge_index_in_child.size()) *
+           sizeof(uint32_t);
+  return bytes;
+}
+
+DeviceGrammar DeviceGrammar::Build(const Grammar& g, const DagView& dag,
+                                   gpu::Device* device, bool charge_pcie) {
+  DeviceGrammar d;
+  const uint32_t n = static_cast<uint32_t>(dag.num_rules());
+  d.num_rules = n;
+  d.num_words = g.num_words;
+  d.num_files = g.num_files();
+
+  d.body_off.resize(n + 1, 0);
+  for (uint32_t r = 0; r < n; ++r) {
+    d.body_off[r + 1] = d.body_off[r] + g.rules[r].size();
+  }
+  d.body_sym.reserve(d.body_off[n]);
+  for (uint32_t r = 0; r < n; ++r) {
+    d.body_sym.insert(d.body_sym.end(), g.rules[r].begin(), g.rules[r].end());
+  }
+
+  d.child_off.resize(n + 1, 0);
+  d.word_off.resize(n + 1, 0);
+  d.parent_off.resize(n + 1, 0);
+  for (uint32_t r = 0; r < n; ++r) {
+    d.child_off[r + 1] = d.child_off[r] +
+                         static_cast<uint32_t>(dag.children(r).size());
+    d.word_off[r + 1] =
+        d.word_off[r] + static_cast<uint32_t>(dag.words(r).size());
+    d.parent_off[r + 1] =
+        d.parent_off[r] + static_cast<uint32_t>(dag.parents(r).size());
+  }
+  d.child_id.reserve(d.child_off[n]);
+  d.child_freq.reserve(d.child_off[n]);
+  d.word_id.reserve(d.word_off[n]);
+  d.word_freq.reserve(d.word_off[n]);
+  d.parent_id.reserve(d.parent_off[n]);
+  d.in_edges_nonroot.resize(n);
+  d.num_children.resize(n);
+  d.root_freq.resize(n);
+  for (uint32_t r = 0; r < n; ++r) {
+    for (const RuleChildEntry& e : dag.children(r)) {
+      d.child_id.push_back(e.child);
+      d.child_freq.push_back(e.freq);
+    }
+    for (const RuleWordEntry& w : dag.words(r)) {
+      d.word_id.push_back(w.word);
+      d.word_freq.push_back(w.freq);
+    }
+    for (uint32_t p : dag.parents(r)) d.parent_id.push_back(p);
+    d.in_edges_nonroot[r] = dag.num_in_edges_nonroot(r);
+    d.num_children[r] = dag.num_out_edges(r);
+    d.root_freq[r] = dag.root_freq(r);
+  }
+  d.edge_index_in_child.assign(d.child_id.size(), 0);
+
+  // Ship the compressed representation across PCIe (large datasets only; the
+  // paper keeps resident datasets on-device).
+  if (charge_pcie) device->CopyHostToDevice(d.DeviceBytes());
+
+  // Root scan (on-device): file id of each root position is the number of
+  // splitters strictly before it — an exclusive prefix sum of the splitter
+  // indicator.
+  const std::vector<uint32_t>& root = g.rules[0];
+  std::vector<uint64_t> indicator(root.size());
+  device->Launch("rootSplitterIndicator",
+                 static_cast<uint32_t>((root.size() + 255) / 256),
+                 [&](gpu::ThreadCtx& ctx) {
+                   const size_t lo = static_cast<size_t>(ctx.tid()) * 256;
+                   const size_t hi = std::min(root.size(), lo + 256);
+                   for (size_t i = lo; i < hi; ++i) {
+                     indicator[i] = g.IsSplitter(root[i]) ? 1 : 0;
+                   }
+                   ctx.Charge(hi - lo);
+                 });
+  std::vector<uint64_t> scanned;
+  gpu::DeviceExclusiveScan(device, indicator, &scanned);
+  d.root_file_of_pos.resize(root.size());
+  device->Launch("rootFileAssign",
+                 static_cast<uint32_t>((root.size() + 255) / 256),
+                 [&](gpu::ThreadCtx& ctx) {
+                   const size_t lo = static_cast<size_t>(ctx.tid()) * 256;
+                   const size_t hi = std::min(root.size(), lo + 256);
+                   for (size_t i = lo; i < hi; ++i) {
+                     d.root_file_of_pos[i] =
+                         static_cast<uint32_t>(scanned[i] + indicator[i]);
+                   }
+                   ctx.Charge(hi - lo);
+                 });
+  return d;
+}
+
+}  // namespace gtadoc

@@ -1,0 +1,172 @@
+#include "gtadoc/engine.h"
+
+#include <algorithm>
+
+#include "common/timer.h"
+#include "gpu/primitives.h"
+
+namespace gtadoc {
+
+GTadocEngine::GTadocEngine(const Grammar* g, DagView dag,
+                           const Options& options)
+    : g_(g), dag_(std::move(dag)), options_(options) {}
+
+Result<std::unique_ptr<GTadocEngine>> GTadocEngine::Create(
+    const Grammar* g, const Options& options) {
+  if (options.ngram_len < 2) {
+    return Status::InvalidArgument("ngram_len must be >= 2");
+  }
+  auto dag = DagView::Build(*g);
+  if (!dag.ok()) return dag.status();
+  std::unique_ptr<GTadocEngine> engine(
+      new GTadocEngine(g, std::move(*dag), options));
+  engine->device_ =
+      std::make_unique<gpu::Device>(options.gpu, options.host_workers);
+  engine->dev_ = DeviceGrammar::Build(*g, engine->dag_, engine->device_.get(),
+                                      options.charge_pcie);
+  engine->create_seconds_ = engine->device_->SimSeconds();
+  engine->create_ops_ = engine->device_->stats().total_ops;
+  return engine;
+}
+
+TraversalStrategy GTadocEngine::ChosenStrategy(Task task) const {
+  if (options_.strategy != TraversalStrategy::kAuto) return options_.strategy;
+  return SelectStrategy(task, *g_, dag_);
+}
+
+Result<EngineRun> GTadocEngine::Run(Task task,
+                                    TraversalStrategy strategy_override) {
+  TraversalStrategy strategy = strategy_override != TraversalStrategy::kAuto
+                                   ? strategy_override
+                                   : ChosenStrategy(task);
+  EngineRun run;
+  run.result.task = task;
+  Timer wall;
+  device_->ResetClock();
+  const uint64_t ops_before = device_->stats().total_ops;
+
+  Status st;
+  double phase1_extra = 0;  // task-specific init (e.g. head/tail rounds)
+  switch (task) {
+    case Task::kWordCount:
+    case Task::kSort: {
+      if (options_.scheduling == SchedulingMode::kVerticalPartition) {
+        st = WordCountVerticalPartition(&run.result);
+      } else if (strategy == TraversalStrategy::kBottomUp) {
+        st = WordCountBottomUp(&run.result);
+      } else {
+        st = WordCountTopDown(&run.result);
+      }
+      if (st.ok() && task == Task::kSort) {
+        // The word-count table is re-shaped by a device merge sort keyed on
+        // (inverted count, word id).
+        std::vector<std::pair<uint64_t, uint64_t>> kv;
+        kv.reserve(run.result.word_count.size());
+        for (const auto& [w, c] : run.result.word_count) {
+          kv.emplace_back(
+              (static_cast<uint64_t>(UINT32_MAX - static_cast<uint32_t>(c))
+               << 32) |
+                  w,
+              c);
+        }
+        gpu::DeviceSortPairs(device_.get(), &kv);
+        run.result.word_count.clear();
+        run.result.task = Task::kSort;
+        for (const auto& [key, c] : kv) {
+          run.result.sort.emplace_back(static_cast<uint32_t>(key & 0xffffffffu),
+                                       c);
+        }
+      }
+      break;
+    }
+    case Task::kInvertedIndex:
+    case Task::kTermVector:
+      st = strategy == TraversalStrategy::kBottomUp
+               ? FileTaskBottomUp(task, &run.result)
+               : FileTaskTopDown(task, &run.result);
+      break;
+    case Task::kSequenceCount:
+    case Task::kRankedInvertedIndex:
+      st = SequenceTask(task, &run.result, &phase1_extra);
+      break;
+  }
+  if (!st.ok()) return st;
+
+  Canonicalize(&run.result);
+  const double sim = device_->SimSeconds();
+  run.timing.init_seconds = create_seconds_ + phase1_extra;
+  run.timing.traversal_seconds = sim - phase1_extra;
+  run.timing.wall_seconds = wall.ElapsedSeconds();
+  run.timing.init_ops = create_ops_;
+  run.timing.traversal_ops = device_->stats().total_ops - ops_before;
+  return run;
+}
+
+uint32_t GTadocEngine::ComputeGlobalWeights(std::vector<uint64_t>* weights) {
+  const uint32_t n = dev_.num_rules;
+  weights->assign(n, 0);
+  std::vector<uint64_t>& weight = *weights;
+  std::vector<std::atomic<uint64_t>> aweight(n);
+  std::vector<std::atomic<uint32_t>> cur_in(n);
+  std::vector<uint8_t> mask(n, 0);
+  std::vector<std::atomic<uint8_t>> mask_next(n);
+
+  // initTopDownMaskKernel: weights seeded with root frequencies; rules whose
+  // only parent is the root start the traversal (Algorithm 1 lines 2, 9-11).
+  device_->Launch("initTopDownMask", n, [&](gpu::ThreadCtx& ctx) {
+    const uint32_t r = ctx.tid();
+    ctx.Charge(2);
+    if (r == 0) return;
+    aweight[r].store(dev_.root_freq[r], std::memory_order_relaxed);
+    if (dev_.in_edges_nonroot[r] == 0) mask[r] = 1;
+  });
+
+  // topDownKernel rounds (Algorithm 1 lines 3-7).
+  uint32_t rounds = 0;
+  std::atomic<bool> stop{false};
+  while (!stop.load(std::memory_order_relaxed)) {
+    stop.store(true, std::memory_order_relaxed);
+    ++rounds;
+    device_->Launch("topDown", n, [&](gpu::ThreadCtx& ctx) {
+      const uint32_t r = ctx.tid();
+      ctx.Charge(1);
+      if (r == 0 || !mask[r]) return;
+      const uint64_t w = aweight[r].load(std::memory_order_relaxed);
+      for (uint32_t e = dev_.child_off[r]; e < dev_.child_off[r + 1]; ++e) {
+        const uint32_t c = dev_.child_id[e];
+        aweight[c].fetch_add(w * dev_.child_freq[e], std::memory_order_relaxed);
+        const uint32_t got =
+            cur_in[c].fetch_add(1, std::memory_order_relaxed) + 1;
+        ctx.ChargeAtomic(2);
+        if (got == dev_.in_edges_nonroot[c]) {
+          mask_next[c].store(1, std::memory_order_relaxed);
+          stop.store(false, std::memory_order_relaxed);
+        }
+      }
+    });
+    // Swap masks: rules that just finished never rerun; newly-ready rules run
+    // in the next round (rule.mask <- false, subRule.mask <- true).
+    // Double-buffered masks: the production kernels read the mask through a
+    // pointer the host swaps between rounds, so this costs no device work.
+    for (uint32_t r = 0; r < n; ++r) {
+      mask[r] = mask_next[r].exchange(0, std::memory_order_relaxed);
+    }
+  }
+
+  weight[0] = 1;
+  for (uint32_t r = 1; r < n; ++r) {
+    weight[r] = aweight[r].load(std::memory_order_relaxed);
+  }
+  return rounds;
+}
+
+void GTadocEngine::DrainWordTable(const gpu::GpuHashTable& table,
+                                  AnalyticsResult* out) {
+  auto pairs = table.Drain();
+  if (options_.charge_pcie) device_->CopyDeviceToHost(pairs.size() * 16);
+  for (const auto& [w, c] : pairs) {
+    out->word_count[static_cast<uint32_t>(w)] = c;
+  }
+}
+
+}  // namespace gtadoc

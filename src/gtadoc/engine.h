@@ -1,0 +1,117 @@
+#ifndef GTADOC_GTADOC_ENGINE_H_
+#define GTADOC_GTADOC_ENGINE_H_
+
+#include <memory>
+
+#include "analytics/engine.h"
+#include "analytics/results.h"
+#include "common/result.h"
+#include "format/dag.h"
+#include "format/grammar.h"
+#include "gpu/device.h"
+#include "gpu/hash_table.h"
+#include "gtadoc/device_grammar.h"
+#include "gtadoc/scheduler.h"
+#include "tadoc/strategy.h"
+
+namespace gtadoc {
+
+/// \brief G-TADOC: GPU text analytics directly on TADOC-compressed data —
+/// the paper's contribution.
+///
+/// The engine owns a virtual GPU device, the device-resident grammar, and a
+/// self-maintained memory pool, and executes the six analytics tasks as
+/// round-based kernel pipelines:
+///
+///   - wordCount / sort: Algorithm 1 top-down weight propagation (or the
+///     Algorithm 2 bottom-up local-table variant), then a parallel reduce
+///     into the Figure-5 global hash table;
+///   - invertedIndex / termVector: per-file weight vectors (top-down) or
+///     local tables + root scan (bottom-up), per the adaptive strategy
+///     selector of [4];
+///   - sequenceCount / rankedInvertedIndex: the two-phase sequence pipeline
+///     of Section IV-D — head/tail buffer initialization (Figure 7), then
+///     weighted per-rule window counting into the exact-key n-gram table
+///     (Figure 8).
+///
+/// Timing: phase 1 (initialization) covers device-grammar construction, the
+/// PCIe transfer, root scanning, memory-bound computation, pool planning and
+/// head/tail initialization; phase 2 (graph traversal) covers the mask-driven
+/// traversal rounds, result reduction and the D2H copy of the final tables.
+class GTadocEngine {
+ public:
+  struct Options {
+    gpu::GpuSpec gpu;
+    /// Host worker threads executing kernels (1 = fully deterministic).
+    size_t host_workers = 1;
+    uint32_t ngram_len = 3;
+    TraversalStrategy strategy = TraversalStrategy::kAuto;
+    /// The "16x the average number of elements per thread" rule threshold.
+    uint32_t split_threshold = 16;
+    SchedulingMode scheduling = SchedulingMode::kFineGrained;
+    gpu::LockMode lock_mode = gpu::LockMode::kPerEntryTryLock;
+    /// Charge PCIe transfers for the compressed data and the drained results.
+    /// Default false: the paper assumes small datasets are GPU-resident; the
+    /// dataset-C experiments enable it.
+    bool charge_pcie = false;
+  };
+
+  /// Validates the grammar, builds the DAG view, the device grammar and the
+  /// memory pool (all charged to the init phase of every subsequent Run).
+  static Result<std::unique_ptr<GTadocEngine>> Create(const Grammar* g,
+                                                      const Options& options);
+
+  /// Executes one task; `strategy_override` forces a traversal direction for
+  /// the Section VI-C experiment.
+  Result<EngineRun> Run(Task task,
+                        TraversalStrategy strategy_override =
+                            TraversalStrategy::kAuto);
+
+  const DagView& dag() const { return dag_; }
+  gpu::Device* device() { return device_.get(); }
+  TraversalStrategy ChosenStrategy(Task task) const;
+  const Options& options() const { return options_; }
+
+  /// Number of mask-protocol traversal rounds in the last Run (diagnostics;
+  /// bounded by the DAG depth k of the complexity analysis).
+  uint32_t last_traversal_rounds() const { return last_rounds_; }
+
+ private:
+  GTadocEngine(const Grammar* g, DagView dag, const Options& options);
+
+  // --- shared helpers (engine.cc) ---
+  /// Per-rule occurrence weights via Algorithm 1; returns the number of
+  /// kernel rounds executed.
+  uint32_t ComputeGlobalWeights(std::vector<uint64_t>* weights);
+  /// Result assembly helpers.
+  void DrainWordTable(const gpu::GpuHashTable& table, AnalyticsResult* out);
+
+  // --- top-down (topdown.cc) ---
+  Status WordCountTopDown(AnalyticsResult* out);
+  Status FileTaskTopDown(Task task, AnalyticsResult* out);
+  /// Figure 4(a) strawman used by the scheduling ablation.
+  Status WordCountVerticalPartition(AnalyticsResult* out);
+
+  // --- bottom-up (bottomup.cc) ---
+  Status WordCountBottomUp(AnalyticsResult* out);
+  Status FileTaskBottomUp(Task task, AnalyticsResult* out);
+
+  // --- sequence support (sequence.cc) ---
+  Status SequenceTask(Task task, AnalyticsResult* out, double* phase1_seconds);
+
+  const Grammar* g_;
+  DagView dag_;
+  Options options_;
+  std::unique_ptr<gpu::Device> device_;
+  DeviceGrammar dev_;
+  /// Simulated seconds consumed by Create (charged into every Run's phase 1).
+  double create_seconds_ = 0;
+  uint64_t create_ops_ = 0;
+  uint32_t last_rounds_ = 0;
+
+  friend class SequencePipeline;
+};
+
+}  // namespace gtadoc
+
+#endif  // GTADOC_GTADOC_ENGINE_H_

@@ -1,0 +1,62 @@
+#include "gtadoc/scheduler.h"
+
+#include <algorithm>
+
+namespace gtadoc {
+
+const char* SchedulingModeName(SchedulingMode mode) {
+  switch (mode) {
+    case SchedulingMode::kFineGrained:
+      return "fineGrained";
+    case SchedulingMode::kOneThreadPerRule:
+      return "oneThreadPerRule";
+    case SchedulingMode::kVerticalPartition:
+      return "verticalPartition";
+  }
+  return "?";
+}
+
+ThreadAssignment BuildAssignment(const std::vector<uint64_t>& loads,
+                                 SchedulingMode mode,
+                                 uint32_t threshold_factor) {
+  const size_t n = loads.size();
+  ThreadAssignment a;
+  a.threads_of_rule.assign(n, 1);
+  a.first_thread_of_rule.assign(n, 0);
+  if (n == 0) return a;
+
+  if (mode == SchedulingMode::kFineGrained) {
+    uint64_t total = 0;
+    for (uint64_t l : loads) total += l;
+    // Average load per thread if every rule had exactly one thread.
+    const uint64_t avg = std::max<uint64_t>(1, total / n);
+    for (size_t r = 0; r < n; ++r) {
+      const bool oversized = loads[r] > static_cast<uint64_t>(threshold_factor) * avg;
+      // The root (rule 0) always gets a group proportional to its length.
+      if (oversized || (r == 0 && loads[0] > avg)) {
+        a.threads_of_rule[r] =
+            static_cast<uint32_t>(std::min<uint64_t>(1024, (loads[r] + avg - 1) / avg));
+      }
+    }
+  }
+  // kOneThreadPerRule and kVerticalPartition leave one thread per rule here;
+  // vertical partitioning is a different traversal implemented separately.
+
+  uint32_t next = 0;
+  for (size_t r = 0; r < n; ++r) {
+    a.first_thread_of_rule[r] = next;
+    next += a.threads_of_rule[r];
+  }
+  a.total_threads = next;
+  a.rule_of_thread.resize(next);
+  a.slot_of_thread.resize(next);
+  for (size_t r = 0; r < n; ++r) {
+    for (uint32_t s = 0; s < a.threads_of_rule[r]; ++s) {
+      a.rule_of_thread[a.first_thread_of_rule[r] + s] = static_cast<uint32_t>(r);
+      a.slot_of_thread[a.first_thread_of_rule[r] + s] = s;
+    }
+  }
+  return a;
+}
+
+}  // namespace gtadoc

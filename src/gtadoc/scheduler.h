@@ -1,0 +1,55 @@
+#ifndef GTADOC_GTADOC_SCHEDULER_H_
+#define GTADOC_GTADOC_SCHEDULER_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace gtadoc {
+
+/// Thread-to-rule assignment policy (Figure 4 and the scheduling ablation).
+enum class SchedulingMode {
+  kFineGrained,      ///< paper design: extra threads for oversized rules
+  kOneThreadPerRule, ///< the naive assignment Figure 4(b) improves upon
+  kVerticalPartition ///< Figure 4(a): per-subtree threads with duplicate scans
+};
+
+const char* SchedulingModeName(SchedulingMode mode);
+
+/// \brief Fine-grained thread-level workload assignment (Section IV-B).
+///
+/// Given one load figure per rule (body length, word-entry count, table
+/// size — whatever the next kernel iterates over), assigns one logical
+/// thread per rule, except that a rule whose load exceeds
+/// `threshold_factor` x the average load per thread receives
+/// ceil(load / average) threads, and the root always receives a thread group
+/// sized by its length. Each thread learns its rule and its slot within the
+/// rule's thread group, and processes a contiguous slice of the rule's load.
+///
+/// This is what bounds the cost model's max_thread_ops term: with one thread
+/// per rule a single huge rule (the root, typically) becomes the kernel's
+/// critical path.
+struct ThreadAssignment {
+  uint32_t total_threads = 0;
+  std::vector<uint32_t> rule_of_thread;   // logical thread -> rule index
+  std::vector<uint32_t> slot_of_thread;   // position within the rule's group
+  std::vector<uint32_t> threads_of_rule;  // group size per rule
+  std::vector<uint32_t> first_thread_of_rule;
+
+  /// The slice [begin, end) of rule `r`'s load handled by group slot `slot`.
+  void Slice(uint32_t r, uint32_t slot, uint64_t load, uint64_t* begin,
+             uint64_t* end) const {
+    const uint64_t groups = threads_of_rule[r];
+    const uint64_t per = (load + groups - 1) / groups;
+    *begin = static_cast<uint64_t>(slot) * per;
+    *end = *begin + per < load ? *begin + per : load;
+    if (*begin > load) *begin = load;
+  }
+};
+
+ThreadAssignment BuildAssignment(const std::vector<uint64_t>& loads,
+                                 SchedulingMode mode,
+                                 uint32_t threshold_factor = 16);
+
+}  // namespace gtadoc
+
+#endif  // GTADOC_GTADOC_SCHEDULER_H_

@@ -1,0 +1,363 @@
+#include <algorithm>
+#include <atomic>
+
+#include "common/logging.h"
+#include "gpu/memory_pool.h"
+#include "gpu/round_loop.h"
+#include "gtadoc/engine.h"
+
+namespace gtadoc {
+
+namespace {
+uint64_t PackPair(uint32_t hi, uint32_t lo) {
+  return (static_cast<uint64_t>(hi) << 32) | lo;
+}
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// wordCount, Algorithm 1: weights then a fine-grained parallel reduce.
+// ---------------------------------------------------------------------------
+
+Status GTadocEngine::WordCountTopDown(AnalyticsResult* out) {
+  std::vector<uint64_t> weight;
+  last_rounds_ = ComputeGlobalWeights(&weight);
+
+  // reduceResultKernel: every rule merges its local words, scaled by its
+  // weight, into the global Figure-5 hash table. Oversized word lists are
+  // split across threads by the fine-grained scheduler.
+  std::vector<uint64_t> loads(dev_.num_rules);
+  uint64_t total_entries = 0;
+  for (uint32_t r = 0; r < dev_.num_rules; ++r) {
+    loads[r] = dev_.word_off[r + 1] - dev_.word_off[r];
+    total_entries += loads[r];
+  }
+  ThreadAssignment assign =
+      BuildAssignment(loads, options_.scheduling, options_.split_threshold);
+
+  gpu::GpuHashTable::Options topt;
+  topt.max_nodes = static_cast<uint32_t>(total_entries) + 64;
+  topt.num_entries = topt.max_nodes / 2 + 64;
+  topt.lock_mode = options_.lock_mode;
+  gpu::GpuHashTable table(device_.get(), topt);
+
+  (void)assign;
+  bool ok;
+  if (options_.scheduling == SchedulingMode::kOneThreadPerRule) {
+    // The rejected design: one logical thread per rule processes that rule's
+    // whole word list, so the largest rule (typically the root) becomes the
+    // kernel's critical path — exactly the imbalance Figure 4(b)'s
+    // fine-grained splitting removes. A per-rule resume cursor keeps the
+    // retry protocol idempotent.
+    std::vector<uint32_t> rule_items;
+    for (uint32_t r = 0; r < dev_.num_rules; ++r) {
+      if (weight[r] != 0 && dev_.word_off[r + 1] > dev_.word_off[r]) {
+        rule_items.push_back(r);
+      }
+    }
+    std::vector<uint32_t> progress(dev_.num_rules, 0);
+    ok = gpu::RoundLoop(
+        device_.get(), "reduceResultPerRule", rule_items.size(), 1,
+        [&](size_t i, gpu::ThreadCtx& ctx) {
+          const uint32_t r = rule_items[i];
+          for (uint32_t e = dev_.word_off[r] + progress[r];
+               e < dev_.word_off[r + 1]; ++e) {
+            ctx.Charge(2);
+            const gpu::InsertOutcome oc = table.AddOrInsert(
+                ctx, dev_.word_id[e], weight[r] * dev_.word_freq[e]);
+            if (oc != gpu::InsertOutcome::kDone) {
+              progress[r] = e - dev_.word_off[r];
+              return oc;
+            }
+          }
+          return gpu::InsertOutcome::kDone;
+        });
+  } else {
+    // Fine-grained: flattened (rule, entry) items in bounded chunks, so no
+    // single thread inherits an oversized rule. A busy lock re-queues only
+    // the failing entry.
+    struct PendingEntry {
+      uint32_t rule;
+      uint32_t entry;  // index into dev_.word_id
+    };
+    std::vector<PendingEntry> items;
+    items.reserve(total_entries);
+    for (uint32_t r = 0; r < dev_.num_rules; ++r) {
+      if (weight[r] == 0) continue;
+      for (uint32_t e = dev_.word_off[r]; e < dev_.word_off[r + 1]; ++e) {
+        items.push_back(PendingEntry{r, e});
+      }
+    }
+    ok = gpu::RoundLoop(
+        device_.get(), "reduceResult", items.size(), 64,
+        [&](size_t i, gpu::ThreadCtx& ctx) {
+          const PendingEntry& pe = items[i];
+          ctx.Charge(2);
+          return table.AddOrInsert(
+              ctx, dev_.word_id[pe.entry],
+              weight[pe.rule] * dev_.word_freq[pe.entry]);
+        });
+  }
+  if (!ok) return Status::Internal("global word table undersized");
+  DrainWordTable(table, out);
+  return Status::OK();
+}
+
+// ---------------------------------------------------------------------------
+// Figure 4(a) strawman: vertical partitioning. Each thread owns a consecutive
+// slice of the root body and walks its whole reachable subtree; shared rules
+// are re-scanned by every thread that reaches them — the duplicated work that
+// made the paper abandon this design.
+// ---------------------------------------------------------------------------
+
+Status GTadocEngine::WordCountVerticalPartition(AnalyticsResult* out) {
+  const uint64_t root_len = dev_.body_off[1] - dev_.body_off[0];
+  const uint32_t num_threads = std::min<uint64_t>(
+      1024, std::max<uint64_t>(1, root_len / 64));
+  const uint64_t per = (root_len + num_threads - 1) / num_threads;
+
+  std::vector<std::map<uint32_t, uint64_t>> partial(num_threads);
+  device_->Launch("verticalWordCount", num_threads, [&](gpu::ThreadCtx& ctx) {
+    const uint64_t lo = ctx.tid() * per;
+    const uint64_t hi = std::min(root_len, lo + per);
+    auto& counts = partial[ctx.tid()];
+    // Each occurrence expands its full subtree: repeated rules re-scanned.
+    std::vector<std::pair<uint32_t, uint64_t>> stack;  // (rule, multiplier)
+    for (uint64_t p = lo; p < hi; ++p) {
+      const uint32_t sym = dev_.body_sym[p];
+      ctx.Charge(1);
+      if (sym < dev_.num_words) {
+        ++counts[sym];
+        ctx.Charge(1);
+      } else if (sym >= dev_.num_words + (dev_.num_files - 1)) {
+        stack.emplace_back(sym - (dev_.num_words + dev_.num_files - 1), 1);
+        while (!stack.empty()) {
+          auto [r, mult] = stack.back();
+          stack.pop_back();
+          for (uint32_t e = dev_.word_off[r]; e < dev_.word_off[r + 1]; ++e) {
+            counts[dev_.word_id[e]] += mult * dev_.word_freq[e];
+            ctx.Charge(2);
+          }
+          for (uint32_t e = dev_.child_off[r]; e < dev_.child_off[r + 1];
+               ++e) {
+            stack.emplace_back(dev_.child_id[e], mult * dev_.child_freq[e]);
+            ctx.Charge(1);
+          }
+        }
+      }
+    }
+  });
+
+  // Merge partials on device (tree reduction charged as one merge pass).
+  std::map<uint32_t, uint64_t> merged;
+  device_->Launch("verticalMerge", 1, [&](gpu::ThreadCtx& ctx) {
+    for (const auto& p : partial) {
+      for (const auto& [w, c] : p) {
+        merged[w] += c;
+        ctx.Charge(2);
+      }
+    }
+  });
+  out->word_count.insert(merged.begin(), merged.end());
+  return Status::OK();
+}
+
+// ---------------------------------------------------------------------------
+// invertedIndex / termVector, top-down: per-file weight vectors flow from the
+// root. Every rule owns an inbox (per-edge segments, so parents write without
+// locks) and an aggregated (file, weight) table, both carved from the memory
+// pool after the init traversal computes their bounds — the Section IV-C
+// memory-requirement transmission.
+// ---------------------------------------------------------------------------
+
+Status GTadocEngine::FileTaskTopDown(Task task, AnalyticsResult* out) {
+  const uint32_t n = dev_.num_rules;
+  const uint32_t num_files = dev_.num_files;
+
+  // Per-rule file-weight storage: a dense per-file array (the paper's "small
+  // buffer in each rule indicating its file information" — 16 bytes for
+  // dataset B's 4 files) plus a nonzero-file list so pushes and reduces walk
+  // only the files a rule actually appears in. Both are carved from the
+  // memory pool; the pool grows with rules x files, which is exactly why
+  // top-down is the wrong strategy for many-file inputs (Section VI-C).
+  gpu::MemoryPool pool(device_.get(),
+                       static_cast<uint64_t>(n) * (num_files + num_files) + 1);
+  std::vector<uint64_t> sizes(2 * n, 0);
+  for (uint32_t r = 1; r < n; ++r) {
+    sizes[2 * r] = num_files;      // dense weights
+    sizes[2 * r + 1] = num_files;  // nonzero file list
+  }
+  auto offsets = pool.PlanRegions(sizes);
+  if (!offsets.ok()) return offsets.status();
+  auto dense_at = [&](uint32_t r) { return (*offsets)[2 * r]; };
+  auto list_at = [&](uint32_t r) { return (*offsets)[2 * r + 1]; };
+  std::vector<std::atomic<uint32_t>> list_size(n);
+
+  // The pool slab is zero-initialized on allocation; the equivalent device
+  // memset is charged here, spread across chunked threads. This is the
+  // rules x files initialization bill that many-file datasets pay.
+  {
+    const uint64_t slots = static_cast<uint64_t>(n) * 2 * num_files;
+    device_->Launch("fileDenseInit",
+                    static_cast<uint32_t>(std::max<uint64_t>(1, (slots + 4095) / 4096)),
+                    [&](gpu::ThreadCtx& ctx) {
+                      const uint64_t lo = static_cast<uint64_t>(ctx.tid()) * 4096;
+                      const uint64_t hi = std::min(slots, lo + 4096);
+                      ctx.Charge(hi > lo ? (hi - lo) / 8 : 0);  // wide stores
+                    });
+  }
+
+  // Adds w to rule r's weight for `file`; maintains the nonzero list. Safe
+  // under concurrent callers: the 0 -> nonzero transition is detected via the
+  // atomic fetch_add on the dense slot.
+  auto add_weight = [&](gpu::ThreadCtx& ctx, uint32_t r, uint32_t file,
+                        uint64_t w) {
+    auto* cell = reinterpret_cast<std::atomic<uint64_t>*>(
+        &pool.at(dense_at(r) + file));
+    ctx.ChargeAtomic();
+    if (cell->fetch_add(w, std::memory_order_relaxed) == 0) {
+      const uint32_t slot =
+          list_size[r].fetch_add(1, std::memory_order_relaxed);
+      ctx.ChargeAtomic();
+      pool.at(list_at(r) + slot) = file;
+    }
+  };
+
+  // Root scan: every root occurrence seeds its rule's file weights.
+  // Fine-grained: the root body is chunked across threads.
+  const uint64_t root_len = dev_.body_off[1];
+  device_->Launch(
+      "rootSeedFiles",
+      static_cast<uint32_t>(std::max<uint64_t>(1, (root_len + 255) / 256)),
+      [&](gpu::ThreadCtx& ctx) {
+        const uint64_t lo = static_cast<uint64_t>(ctx.tid()) * 256;
+        const uint64_t hi = std::min(root_len, lo + 256);
+        for (uint64_t p = lo; p < hi; ++p) {
+          const uint32_t sym = dev_.body_sym[p];
+          ctx.Charge(1);
+          if (sym >= dev_.num_words + (dev_.num_files - 1)) {
+            add_weight(ctx, sym - (dev_.num_words + dev_.num_files - 1),
+                       dev_.root_file_of_pos[p], 1);
+          }
+        }
+      });
+
+  // Traversal rounds (Algorithm 1 with per-file weights): a ready rule pushes
+  // its nonzero (file, weight) entries into each child, scaled by the edge
+  // frequency.
+  std::vector<uint8_t> mask(n, 0);
+  std::vector<std::atomic<uint8_t>> mask_next(n);
+  std::vector<std::atomic<uint32_t>> cur_in(n);
+  device_->Launch("initFileMask", n, [&](gpu::ThreadCtx& ctx) {
+    const uint32_t r = ctx.tid();
+    ctx.Charge(1);
+    if (r != 0 && dev_.in_edges_nonroot[r] == 0) mask[r] = 1;
+  });
+
+  std::atomic<bool> stop{false};
+  uint32_t rounds = 0;
+  while (!stop.load(std::memory_order_relaxed)) {
+    stop.store(true, std::memory_order_relaxed);
+    ++rounds;
+    device_->Launch("fileTopDown", n, [&](gpu::ThreadCtx& ctx) {
+      const uint32_t r = ctx.tid();
+      ctx.Charge(1);
+      if (r == 0 || !mask[r]) return;
+      const uint32_t nz = list_size[r].load(std::memory_order_relaxed);
+      for (uint32_t e = dev_.child_off[r]; e < dev_.child_off[r + 1]; ++e) {
+        const uint32_t c = dev_.child_id[e];
+        const uint64_t f = dev_.child_freq[e];
+        for (uint32_t i = 0; i < nz; ++i) {
+          const uint32_t file =
+              static_cast<uint32_t>(pool.at(list_at(r) + i));
+          const uint64_t w = pool.at(dense_at(r) + file);
+          ctx.Charge(2);
+          add_weight(ctx, c, file, w * f);
+        }
+        const uint32_t got =
+            cur_in[c].fetch_add(1, std::memory_order_relaxed) + 1;
+        ctx.ChargeAtomic();
+        if (got == dev_.in_edges_nonroot[c]) {
+          mask_next[c].store(1, std::memory_order_relaxed);
+          stop.store(false, std::memory_order_relaxed);
+        }
+      }
+    });
+    // Double-buffered mask swap (host pointer swap; no device work).
+    for (uint32_t r = 0; r < n; ++r) {
+      mask[r] = mask_next[r].exchange(0, std::memory_order_relaxed);
+    }
+  }
+  last_rounds_ = rounds;
+
+  // --- Reduce: (file, word) counts into the global table. Work items are
+  // single inserts — (rule, word entry, nonzero slot) — so the retry
+  // protocol stays idempotent.
+  struct ReduceItem {
+    uint32_t rule;
+    uint32_t entry;  // index into dev_.word_id
+    uint32_t slot;   // index into the rule's nonzero file list
+  };
+  std::vector<ReduceItem> items;
+  for (uint32_t r = 1; r < n; ++r) {
+    const uint32_t nz = list_size[r].load(std::memory_order_relaxed);
+    if (nz == 0) continue;
+    for (uint32_t e = dev_.word_off[r]; e < dev_.word_off[r + 1]; ++e) {
+      for (uint32_t t = 0; t < nz; ++t) {
+        items.push_back(ReduceItem{r, e, t});
+      }
+    }
+  }
+  gpu::GpuHashTable::Options topt;
+  topt.max_nodes = static_cast<uint32_t>(
+      std::min<uint64_t>(items.size() + dev_.body_off[1] + 64, 1ull << 28));
+  topt.num_entries = topt.max_nodes / 2 + 64;
+  topt.lock_mode = options_.lock_mode;
+  gpu::GpuHashTable table(device_.get(), topt);
+
+  bool ok = gpu::RoundLoop(
+      device_.get(), "fileReduce", items.size(), 16,
+      [&](size_t i, gpu::ThreadCtx& ctx) {
+        const ReduceItem& it = items[i];
+        const uint32_t file =
+            static_cast<uint32_t>(pool.at(list_at(it.rule) + it.slot));
+        const uint64_t w = pool.at(dense_at(it.rule) + file);
+        ctx.Charge(2);
+        return table.AddOrInsert(
+            ctx, PackPair(file, dev_.word_id[it.entry]),
+            w * dev_.word_freq[it.entry]);
+      });
+  if (!ok) return Status::Internal("file-task table undersized");
+
+  // Root-owned words: directly (file, word) with weight 1.
+  ok = gpu::RoundLoop(
+      device_.get(), "rootWordsReduce", dev_.body_off[1], 256,
+      [&](size_t p, gpu::ThreadCtx& ctx) {
+        const uint32_t sym = dev_.body_sym[p];
+        ctx.Charge(1);
+        if (sym >= dev_.num_words) return gpu::InsertOutcome::kDone;
+        return table.AddOrInsert(
+            ctx, PackPair(dev_.root_file_of_pos[p], sym), 1);
+      });
+  if (!ok) return Status::Internal("file-task table undersized (root)");
+
+  // --- Drain into the requested result shape.
+  auto pairs = table.Drain();
+  if (options_.charge_pcie) device_->CopyDeviceToHost(pairs.size() * 16);
+  if (task == Task::kTermVector) {
+    out->term_vector.resize(num_files);
+    for (const auto& [key, c] : pairs) {
+      if (c == 0) continue;
+      out->term_vector[key >> 32].emplace_back(
+          static_cast<uint32_t>(key & 0xffffffffu), c);
+    }
+  } else {
+    for (const auto& [key, c] : pairs) {
+      if (c == 0) continue;
+      out->inverted_index[static_cast<uint32_t>(key & 0xffffffffu)].push_back(
+          static_cast<uint32_t>(key >> 32));
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace gtadoc

@@ -1,0 +1,40 @@
+#ifndef GTADOC_SEQUITUR_COMPRESSOR_H_
+#define GTADOC_SEQUITUR_COMPRESSOR_H_
+
+#include "common/result.h"
+#include "format/grammar.h"
+#include "sequitur/tokenizer.h"
+
+namespace gtadoc {
+
+/// \brief End-to-end TADOC compression: corpus -> dictionary conversion ->
+/// Sequitur -> flat grammar.
+///
+/// A unique splitter terminal is inserted between consecutive files so that
+/// no rule spans a file boundary (Section II-A of the paper). An empty corpus
+/// or a corpus with zero tokens is InvalidArgument.
+Result<Grammar> CompressCorpus(const Corpus& corpus);
+
+/// Compresses an already-tokenized corpus (skips string handling; used by
+/// benchmarks that sweep synthetic token streams).
+Result<Grammar> CompressTokens(const TokenizedCorpus& tokens);
+
+/// Compresses raw word-id streams against an external dictionary of
+/// `num_words` words. The resulting grammar carries no word strings. Used by
+/// the partitioned/distributed baseline, where every partition shares one
+/// global dictionary so results merge by id.
+Result<Grammar> CompressTokenStreams(
+    const std::vector<std::vector<uint32_t>>& file_tokens, uint32_t num_words);
+
+/// \brief Reconstructs the word-id stream of every file from the grammar.
+///
+/// This is full decompression — the thing TADOC avoids during analytics — and
+/// exists for round-trip verification and for the uncompressed baselines.
+Result<std::vector<std::vector<uint32_t>>> ExpandFiles(const Grammar& g);
+
+/// Reconstructs text files (words joined with single spaces).
+Result<Corpus> DecompressCorpus(const Grammar& g);
+
+}  // namespace gtadoc
+
+#endif  // GTADOC_SEQUITUR_COMPRESSOR_H_

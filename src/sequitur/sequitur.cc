@@ -1,0 +1,255 @@
+#include "sequitur/sequitur.h"
+
+#include <deque>
+
+#include "common/logging.h"
+
+namespace gtadoc {
+
+struct SequiturEncoder::Symbol {
+  Symbol* prev = nullptr;
+  Symbol* next = nullptr;
+  uint32_t terminal = 0;  // valid when rule == nullptr and !is_guard
+  Rule* rule = nullptr;   // referenced rule for nonterminals; owner for guards
+  bool is_guard = false;
+};
+
+struct SequiturEncoder::Rule {
+  Symbol guard;       // circular list sentinel; guard.rule == this
+  int use_count = 0;  // references from nonterminal symbols (root: 0)
+  uint32_t serial = 0;
+  /// Cleared when the rule is inlined by Expand. The Rule object itself is
+  /// reclaimed lazily (at the end of Append) because an outer Match frame may
+  /// still hold a pointer to it while a cascaded substitution inlines it.
+  bool alive = true;
+
+  Symbol* First() { return guard.next; }
+  Symbol* Last() { return guard.prev; }
+  const Symbol* First() const { return guard.next; }
+  const Symbol* Last() const { return guard.prev; }
+};
+
+SequiturEncoder::SequiturEncoder() { root_ = NewRule(); }
+
+SequiturEncoder::~SequiturEncoder() {
+  // Walk every reachable rule from the root and free all symbols. Unreachable
+  // rules are freed eagerly during encoding, so reachable ones are all that
+  // remain; collect them first to avoid iterator invalidation.
+  std::vector<Rule*> rules;
+  std::vector<Symbol*> symbols;
+  std::deque<Rule*> queue;
+  std::unordered_map<Rule*, bool> seen;
+  queue.push_back(root_);
+  seen[root_] = true;
+  while (!queue.empty()) {
+    Rule* r = queue.front();
+    queue.pop_front();
+    rules.push_back(r);
+    for (Symbol* s = r->First(); !s->is_guard; s = s->next) {
+      symbols.push_back(s);
+      if (s->rule != nullptr && !seen[s->rule]) {
+        seen[s->rule] = true;
+        queue.push_back(s->rule);
+      }
+    }
+  }
+  for (Symbol* s : symbols) delete s;
+  for (Rule* r : rules) delete r;
+  for (Rule* dead : graveyard_) delete dead;
+}
+
+SequiturEncoder::Symbol* SequiturEncoder::NewTerminal(uint32_t t) {
+  Symbol* s = new Symbol();
+  s->terminal = t;
+  return s;
+}
+
+SequiturEncoder::Symbol* SequiturEncoder::NewNonterminal(Rule* r) {
+  Symbol* s = new Symbol();
+  s->rule = r;
+  ++r->use_count;
+  return s;
+}
+
+SequiturEncoder::Rule* SequiturEncoder::NewRule() {
+  Rule* r = new Rule();
+  r->serial = next_serial_++;
+  r->guard.is_guard = true;
+  r->guard.rule = r;
+  r->guard.next = &r->guard;
+  r->guard.prev = &r->guard;
+  ++live_rules_;
+  return r;
+}
+
+void SequiturEncoder::FreeRule(Rule* r) {
+  --live_rules_;
+  r->alive = false;
+  graveyard_.push_back(r);
+}
+
+uint64_t SequiturEncoder::KeyOf(const Symbol* s) const {
+  // Terminal t encodes as t*2; rule with serial k encodes as k*2+1. Serials
+  // are never reused, so stale entries cannot collide with new rules.
+  auto code = [](const Symbol* x) -> uint64_t {
+    return x->rule != nullptr
+               ? (static_cast<uint64_t>(x->rule->serial) << 1) | 1u
+               : static_cast<uint64_t>(x->terminal) << 1;
+  };
+  return (code(s) << 32) | code(s->next);
+}
+
+void SequiturEncoder::RemoveDigram(Symbol* a) {
+  if (a->is_guard || a->next == nullptr || a->next->is_guard) return;
+  auto it = index_.find(KeyOf(a));
+  if (it != index_.end() && it->second == a) index_.erase(it);
+}
+
+void SequiturEncoder::Join(Symbol* left, Symbol* right) {
+  if (left->next != nullptr) RemoveDigram(left);
+  left->next = right;
+  right->prev = left;
+}
+
+void SequiturEncoder::InsertAfter(Symbol* pos, Symbol* y) {
+  Join(y, pos->next);
+  Join(pos, y);
+}
+
+void SequiturEncoder::DeleteSymbol(Symbol* s) {
+  Join(s->prev, s->next);
+  if (!s->is_guard) {
+    RemoveDigram(s);
+    if (s->rule != nullptr) --s->rule->use_count;
+  }
+  delete s;
+}
+
+bool SequiturEncoder::Check(Symbol* s) {
+  if (s->is_guard || s->next->is_guard) return false;
+  const uint64_t key = KeyOf(s);
+  auto it = index_.find(key);
+  if (it == index_.end()) {
+    index_.emplace(key, s);
+    return false;
+  }
+  Symbol* m = it->second;
+  if (m != s && m->next != s) Match(s, m);
+  return true;
+}
+
+void SequiturEncoder::Match(Symbol* s, Symbol* m) {
+  Rule* r;
+  if (m->prev->is_guard && m->next->next->is_guard) {
+    // The existing occurrence is a complete rule body; reuse that rule.
+    r = m->prev->rule;
+    Substitute(s, r);
+  } else {
+    // Create a new rule from the digram, then replace both occurrences.
+    r = NewRule();
+    Symbol* c1 = s->rule != nullptr ? NewNonterminal(s->rule)
+                                    : NewTerminal(s->terminal);
+    Symbol* c2 = s->next->rule != nullptr ? NewNonterminal(s->next->rule)
+                                          : NewTerminal(s->next->terminal);
+    InsertAfter(r->Last(), c1);
+    InsertAfter(r->Last(), c2);
+    Substitute(m, r);
+    Substitute(s, r);
+    index_[KeyOf(r->First())] = r->First();
+  }
+  // Rule utility: substitutions above may have dropped a referenced rule to a
+  // single use; such rules are inlined. Both body symbols can be affected.
+  // A cascaded substitution may have inlined (and logically freed) r itself;
+  // its body was spliced elsewhere, so there is nothing left to check.
+  if (!r->alive) return;
+  Symbol* f = r->First();
+  Symbol* l = r->Last();
+  if (f->rule != nullptr && f->rule->use_count == 1) Expand(f);
+  // Expand(f) deletes the symbol f; l (f's former successor) stays valid.
+  if (l != f && !l->is_guard && l->rule != nullptr && l->rule->use_count == 1) {
+    Expand(l);
+  }
+}
+
+void SequiturEncoder::Substitute(Symbol* s, Rule* r) {
+  Symbol* q = s->prev;
+  DeleteSymbol(s->next);
+  DeleteSymbol(s);
+  InsertAfter(q, NewNonterminal(r));
+  if (!Check(q)) Check(q->next);
+}
+
+void SequiturEncoder::Expand(Symbol* s) {
+  GTADOC_CHECK(s->rule != nullptr && s->rule->use_count == 1);
+  Symbol* left = s->prev;
+  Symbol* right = s->next;
+  Rule* r = s->rule;
+  Symbol* first = r->First();
+  Symbol* last = r->Last();
+  GTADOC_CHECK(!first->is_guard);  // rule bodies are never empty
+
+  // Remove the digram entry (s, right); (left, s) is removed by Join below.
+  RemoveDigram(s);
+  s->rule = nullptr;  // neuter so deletion does not double-decrement
+  Join(left, right);
+  delete s;
+  // Splice the body in place of the former reference.
+  Join(left, first);
+  Join(last, right);
+  // The newly formed digram (last, right) becomes the indexed occurrence.
+  if (!last->is_guard && !right->is_guard) index_[KeyOf(last)] = last;
+  FreeRule(r);
+}
+
+void SequiturEncoder::Append(uint32_t terminal) {
+  Symbol* s = NewTerminal(terminal);
+  InsertAfter(root_->Last(), s);
+  Check(s->prev);
+  // Safe point: no Match frame is live, so inlined rules can be reclaimed.
+  for (Rule* dead : graveyard_) delete dead;
+  graveyard_.clear();
+}
+
+Grammar SequiturEncoder::Flatten(uint32_t num_words,
+                                 uint32_t num_splitters) const {
+  Grammar g;
+  g.num_words = num_words;
+  g.num_splitters = num_splitters;
+
+  // Assign dense indices to reachable rules, root first, in BFS order.
+  std::unordered_map<const Rule*, uint32_t> ids;
+  std::vector<const Rule*> order;
+  std::deque<const Rule*> queue;
+  ids.emplace(root_, 0);
+  order.push_back(root_);
+  queue.push_back(root_);
+  while (!queue.empty()) {
+    const Rule* r = queue.front();
+    queue.pop_front();
+    for (const Symbol* s = r->First(); !s->is_guard; s = s->next) {
+      if (s->rule != nullptr && ids.find(s->rule) == ids.end()) {
+        ids.emplace(s->rule, static_cast<uint32_t>(order.size()));
+        order.push_back(s->rule);
+        queue.push_back(s->rule);
+      }
+    }
+  }
+
+  const uint32_t base = g.num_terminals();
+  g.rules.resize(order.size());
+  for (size_t i = 0; i < order.size(); ++i) {
+    const Rule* r = order[i];
+    std::vector<uint32_t>& body = g.rules[i];
+    for (const Symbol* s = r->First(); !s->is_guard; s = s->next) {
+      if (s->rule != nullptr) {
+        body.push_back(base + ids[s->rule]);
+      } else {
+        GTADOC_CHECK(s->terminal < base);
+        body.push_back(s->terminal);
+      }
+    }
+  }
+  return g;
+}
+
+}  // namespace gtadoc

@@ -1,0 +1,93 @@
+#ifndef GTADOC_SEQUITUR_SEQUITUR_H_
+#define GTADOC_SEQUITUR_SEQUITUR_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "format/grammar.h"
+
+namespace gtadoc {
+
+/// \brief Online Sequitur grammar inference (Nevill-Manning & Witten).
+///
+/// Feed terminals one at a time with Append(); the encoder maintains the two
+/// Sequitur invariants incrementally:
+///   - digram uniqueness: no pair of adjacent symbols occurs more than once
+///     in the grammar;
+///   - rule utility: every rule (except the root) is referenced at least
+///     twice.
+///
+/// Flatten() converts the linked representation into the flat `Grammar` used
+/// by the TADOC format and engines. The root becomes rule 0.
+///
+/// TADOC (and this reproduction) inserts a *unique* splitter terminal between
+/// consecutive files before feeding the stream, so no inferred rule ever
+/// spans a file boundary (a digram containing a unique terminal can never
+/// repeat).
+class SequiturEncoder {
+ public:
+  SequiturEncoder();
+  ~SequiturEncoder();
+
+  SequiturEncoder(const SequiturEncoder&) = delete;
+  SequiturEncoder& operator=(const SequiturEncoder&) = delete;
+
+  /// Appends one terminal to the input sequence.
+  void Append(uint32_t terminal);
+
+  /// Number of rules currently in the grammar (root included).
+  size_t NumRules() const { return live_rules_; }
+
+  /// Converts the current grammar to flat form. `num_words` and
+  /// `num_splitters` describe the terminal id space and are recorded in the
+  /// output; terminals must all be < num_words + num_splitters.
+  Grammar Flatten(uint32_t num_words, uint32_t num_splitters) const;
+
+ private:
+  struct Rule;
+  struct Symbol;
+
+  Symbol* NewTerminal(uint32_t t);
+  Symbol* NewNonterminal(Rule* r);
+  Rule* NewRule();
+  void FreeRule(Rule* r);
+
+  /// Digram key for (s, s->next); both symbols must be non-guard.
+  uint64_t KeyOf(const Symbol* s) const;
+
+  /// Removes the index entry for the digram starting at `a` iff the entry
+  /// points at this exact occurrence.
+  void RemoveDigram(Symbol* a);
+
+  /// Links left-right, removing the index entry of left's old digram.
+  void Join(Symbol* left, Symbol* right);
+  void InsertAfter(Symbol* pos, Symbol* y);
+
+  /// Unlinks + frees `s`, maintaining the digram index and rule use counts.
+  void DeleteSymbol(Symbol* s);
+
+  /// Enforces digram uniqueness for the digram starting at `s`. Returns true
+  /// if the digram already existed in the index (match or overlap).
+  bool Check(Symbol* s);
+
+  /// Called when digram at `s` repeats digram at `m` (non-overlapping).
+  void Match(Symbol* s, Symbol* m);
+
+  /// Replaces the two symbols starting at `s` with a reference to `r`.
+  void Substitute(Symbol* s, Rule* r);
+
+  /// Inlines the body of a once-used rule in place of the reference `s`.
+  void Expand(Symbol* s);
+
+  Rule* root_;
+  std::unordered_map<uint64_t, Symbol*> index_;
+  /// Rules inlined by Expand, awaiting reclamation at the next safe point.
+  std::vector<Rule*> graveyard_;
+  uint32_t next_serial_ = 0;
+  size_t live_rules_ = 0;
+};
+
+}  // namespace gtadoc
+
+#endif  // GTADOC_SEQUITUR_SEQUITUR_H_

@@ -1,0 +1,60 @@
+#include "sequitur/tokenizer.h"
+
+#include <cctype>
+
+namespace gtadoc {
+
+size_t Corpus::TotalBytes() const {
+  size_t total = 0;
+  for (const std::string& c : file_contents) total += c.size();
+  return total;
+}
+
+size_t TokenizedCorpus::total_tokens() const {
+  size_t total = 0;
+  for (const auto& f : file_tokens) total += f.size();
+  return total;
+}
+
+uint32_t Dictionary::GetOrAdd(Slice word) {
+  auto it = map_.find(word.ToString());
+  if (it != map_.end()) return it->second;
+  const uint32_t id = static_cast<uint32_t>(words_.size());
+  words_.push_back(word.ToString());
+  map_.emplace(words_.back(), id);
+  return id;
+}
+
+uint32_t Dictionary::Find(Slice word) const {
+  auto it = map_.find(word.ToString());
+  return it == map_.end() ? UINT32_MAX : it->second;
+}
+
+std::vector<Slice> SplitWords(Slice text) {
+  std::vector<Slice> out;
+  const char* p = text.data();
+  const char* end = text.data() + text.size();
+  while (p < end) {
+    while (p < end && std::isspace(static_cast<unsigned char>(*p))) ++p;
+    const char* start = p;
+    while (p < end && !std::isspace(static_cast<unsigned char>(*p))) ++p;
+    if (p > start) out.emplace_back(start, static_cast<size_t>(p - start));
+  }
+  return out;
+}
+
+TokenizedCorpus Tokenize(const Corpus& corpus) {
+  TokenizedCorpus out;
+  Dictionary dict;
+  out.file_tokens.resize(corpus.num_files());
+  for (size_t f = 0; f < corpus.num_files(); ++f) {
+    const std::vector<Slice> words = SplitWords(corpus.file_contents[f]);
+    std::vector<uint32_t>& toks = out.file_tokens[f];
+    toks.reserve(words.size());
+    for (const Slice& w : words) toks.push_back(dict.GetOrAdd(w));
+  }
+  out.words = dict.words();
+  return out;
+}
+
+}  // namespace gtadoc

@@ -1,0 +1,63 @@
+#ifndef GTADOC_SEQUITUR_TOKENIZER_H_
+#define GTADOC_SEQUITUR_TOKENIZER_H_
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/slice.h"
+
+namespace gtadoc {
+
+/// \brief A set of input documents (file name + content).
+///
+/// TADOC operates on word granularity: a word is a maximal run of
+/// non-whitespace bytes. Reconstruction joins words with single spaces and is
+/// lossless at token level (the analytics tasks never depend on the amount of
+/// whitespace).
+struct Corpus {
+  std::vector<std::string> file_names;
+  std::vector<std::string> file_contents;
+
+  size_t num_files() const { return file_contents.size(); }
+  /// Sum of content sizes in bytes (the "Size" column of Table II).
+  size_t TotalBytes() const;
+};
+
+/// \brief Dictionary-converted corpus: word ids per file plus the dictionary.
+struct TokenizedCorpus {
+  /// id -> word text; ids assigned in order of first occurrence.
+  std::vector<std::string> words;
+  /// Per file, the sequence of word ids.
+  std::vector<std::vector<uint32_t>> file_tokens;
+
+  size_t vocabulary_size() const { return words.size(); }
+  size_t total_tokens() const;
+};
+
+/// \brief Incremental word dictionary (word text -> dense id).
+class Dictionary {
+ public:
+  /// Returns the id of `word`, inserting it if new.
+  uint32_t GetOrAdd(Slice word);
+  /// Returns the id or UINT32_MAX when absent.
+  uint32_t Find(Slice word) const;
+
+  size_t size() const { return words_.size(); }
+  const std::vector<std::string>& words() const { return words_; }
+
+ private:
+  std::unordered_map<std::string, uint32_t> map_;
+  std::vector<std::string> words_;
+};
+
+/// Splits `text` into whitespace-delimited word views.
+std::vector<Slice> SplitWords(Slice text);
+
+/// Dictionary-converts a corpus (Figure 1(b) of the paper).
+TokenizedCorpus Tokenize(const Corpus& corpus);
+
+}  // namespace gtadoc
+
+#endif  // GTADOC_SEQUITUR_TOKENIZER_H_

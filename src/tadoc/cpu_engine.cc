@@ -1,0 +1,376 @@
+#include "tadoc/cpu_engine.h"
+
+#include <algorithm>
+#include <deque>
+#include <map>
+#include <unordered_map>
+
+#include "common/timer.h"
+
+namespace gtadoc {
+
+namespace {
+bool CountDescIdAsc(const std::pair<uint32_t, uint64_t>& a,
+                    const std::pair<uint32_t, uint64_t>& b) {
+  if (a.second != b.second) return a.second > b.second;
+  return a.first < b.first;
+}
+
+uint64_t Log2Ceil(uint64_t n) {
+  uint64_t l = 1;
+  while ((1ull << l) < n + 1) ++l;
+  return l;
+}
+}  // namespace
+
+Result<CpuTadocEngine> CpuTadocEngine::Create(const Grammar* g,
+                                              const CpuTadocOptions& options) {
+  auto dag = DagView::Build(*g);
+  if (!dag.ok()) return dag.status();
+  return CpuTadocEngine(g, std::move(*dag), options);
+}
+
+TraversalStrategy CpuTadocEngine::ChosenStrategy(Task task) const {
+  if (options_.strategy != TraversalStrategy::kAuto) return options_.strategy;
+  return SelectStrategy(task, *g_, dag_);
+}
+
+std::vector<uint32_t> CpuTadocEngine::RootFileIds(CpuCostMeter* meter) const {
+  const std::vector<uint32_t>& root = g_->root();
+  std::vector<uint32_t> file_of(root.size(), 0);
+  uint32_t cur = 0;
+  for (size_t i = 0; i < root.size(); ++i) {
+    if (g_->IsSplitter(root[i])) cur = g_->SplitterIndex(root[i]) + 1;
+    file_of[i] = cur;
+  }
+  meter->Charge(root.size());
+  return file_of;
+}
+
+Result<EngineRun> CpuTadocEngine::Run(Task task,
+                                      TraversalStrategy strategy_override) const {
+  TraversalStrategy strategy = strategy_override != TraversalStrategy::kAuto
+                                   ? strategy_override
+                                   : ChosenStrategy(task);
+
+  EngineRun run;
+  Timer wall;
+  CpuCostMeter init_meter(options_.cpu);
+  CpuCostMeter traverse_meter(options_.cpu);
+
+  // Phase 1: data-structure preparation. Building the DAG view costs one
+  // pass over every rule body plus the aggregation maps.
+  uint64_t init_ops = 0;
+  for (uint32_t r = 0; r < dag_.num_rules(); ++r) {
+    init_ops += 2ull * dag_.body_size(r);
+    init_ops += dag_.children(r).size() + dag_.words(r).size();
+  }
+  init_meter.Charge(init_ops);
+
+  switch (task) {
+    case Task::kWordCount:
+    case Task::kSort:
+      run.result = strategy == TraversalStrategy::kBottomUp
+                       ? WordCountBottomUp(&traverse_meter)
+                       : WordCountTopDown(&traverse_meter);
+      if (task == Task::kSort) {
+        const auto& wc = run.result.word_count;
+        AnalyticsResult sorted;
+        sorted.task = Task::kSort;
+        sorted.sort.assign(wc.begin(), wc.end());
+        std::sort(sorted.sort.begin(), sorted.sort.end(), CountDescIdAsc);
+        traverse_meter.Charge(4 * sorted.sort.size() * Log2Ceil(sorted.sort.size()));
+        run.result = std::move(sorted);
+      }
+      break;
+    case Task::kInvertedIndex:
+    case Task::kTermVector:
+      run.result = strategy == TraversalStrategy::kBottomUp
+                       ? FileTaskBottomUp(task, &traverse_meter)
+                       : FileTaskTopDown(task, &traverse_meter);
+      break;
+    case Task::kSequenceCount:
+    case Task::kRankedInvertedIndex:
+      run.result = SequenceTask(task, &traverse_meter);
+      break;
+  }
+
+  Canonicalize(&run.result);
+  run.timing.init_seconds = init_meter.SequentialSeconds();
+  run.timing.traversal_seconds = traverse_meter.SequentialSeconds();
+  run.timing.wall_seconds = wall.ElapsedSeconds();
+  run.timing.init_ops = init_meter.ops();
+  run.timing.traversal_ops = traverse_meter.ops();
+  return run;
+}
+
+// ---------------------------------------------------------------------------
+// wordCount / sort
+// ---------------------------------------------------------------------------
+
+AnalyticsResult CpuTadocEngine::WordCountTopDown(CpuCostMeter* meter) const {
+  AnalyticsResult out;
+  out.task = Task::kWordCount;
+
+  // Rule occurrence weights, parents before children (Algorithm 1's effect,
+  // computed sequentially in topological order).
+  std::vector<uint64_t> weight(dag_.num_rules(), 0);
+  weight[0] = 1;
+  for (uint32_t r : dag_.topo_order()) {
+    for (const RuleChildEntry& e : dag_.children(r)) {
+      weight[e.child] += weight[r] * e.freq;
+      meter->Charge(4);
+    }
+  }
+  // Reduce: every rule's local words scaled by its weight.
+  std::unordered_map<uint32_t, uint64_t> counts;
+  for (uint32_t r = 0; r < dag_.num_rules(); ++r) {
+    for (const RuleWordEntry& w : dag_.words(r)) {
+      counts[w.word] += weight[r] * w.freq;
+      meter->Charge(kCpuHashUpdateOps);
+    }
+  }
+  out.word_count.insert(counts.begin(), counts.end());
+  meter->Charge(counts.size());
+  return out;
+}
+
+AnalyticsResult CpuTadocEngine::WordCountBottomUp(CpuCostMeter* meter) const {
+  AnalyticsResult out;
+  out.task = Task::kWordCount;
+
+  // Local tables: full-expansion word counts per rule (Figure 2).
+  std::vector<std::unordered_map<uint32_t, uint64_t>> table(dag_.num_rules());
+  const auto& order = dag_.topo_order();
+  for (auto it = order.rbegin(); it != order.rend(); ++it) {
+    const uint32_t r = *it;
+    if (r == 0) continue;  // root is reduced below, not materialized
+    auto& t = table[r];
+    for (const RuleWordEntry& w : dag_.words(r)) {
+      t[w.word] += w.freq;
+      meter->Charge(kCpuHashUpdateOps);
+    }
+    for (const RuleChildEntry& e : dag_.children(r)) {
+      for (const auto& [word, c] : table[e.child]) {
+        t[word] += c * e.freq;
+        meter->Charge(kCpuHashUpdateOps);
+      }
+    }
+  }
+  // Reduce from the root and its direct children (level-2 nodes).
+  std::unordered_map<uint32_t, uint64_t> counts;
+  for (const RuleWordEntry& w : dag_.words(0)) {
+    counts[w.word] += w.freq;
+    meter->Charge(kCpuHashUpdateOps);
+  }
+  for (const RuleChildEntry& e : dag_.children(0)) {
+    for (const auto& [word, c] : table[e.child]) {
+      counts[word] += c * e.freq;
+      meter->Charge(kCpuHashUpdateOps);
+    }
+  }
+  out.word_count.insert(counts.begin(), counts.end());
+  meter->Charge(counts.size());
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// invertedIndex / termVector
+// ---------------------------------------------------------------------------
+
+AnalyticsResult CpuTadocEngine::FileTaskTopDown(Task task,
+                                                CpuCostMeter* meter) const {
+  AnalyticsResult out;
+  out.task = task;
+  const uint32_t num_files = g_->num_files();
+
+  // Per-rule file weights: how many times rule r occurs inside each file.
+  // This is the "file information" the paper notes becomes expensive with
+  // many files (Section VI-C).
+  std::vector<std::unordered_map<uint32_t, uint64_t>> fweight(dag_.num_rules());
+  std::vector<std::unordered_map<uint32_t, uint64_t>> tv(num_files);
+
+  // Root scan: positions -> files; root occurrences seed child weights and
+  // root-owned words go straight to the per-file result.
+  const std::vector<uint32_t>& root = g_->root();
+  uint32_t cur_file = 0;
+  for (uint32_t sym : root) {
+    meter->Charge(1);
+    if (g_->IsSplitter(sym)) {
+      cur_file = g_->SplitterIndex(sym) + 1;
+    } else if (g_->IsRule(sym)) {
+      ++fweight[g_->RuleIndex(sym)][cur_file];
+      meter->Charge(kCpuHashUpdateOps);
+    } else {
+      ++tv[cur_file][sym];
+      meter->Charge(kCpuHashUpdateOps);
+    }
+  }
+
+  // Topological propagation of file-weight vectors.
+  for (uint32_t r : dag_.topo_order()) {
+    if (r == 0) continue;
+    for (const RuleChildEntry& e : dag_.children(r)) {
+      for (const auto& [file, w] : fweight[r]) {
+        fweight[e.child][file] += w * e.freq;
+        meter->Charge(kCpuHashUpdateOps);
+      }
+    }
+  }
+
+  // Reduce: local words scaled by the rule's per-file weights.
+  for (uint32_t r = 1; r < dag_.num_rules(); ++r) {
+    for (const RuleWordEntry& w : dag_.words(r)) {
+      for (const auto& [file, fw] : fweight[r]) {
+        tv[file][w.word] += static_cast<uint64_t>(w.freq) * fw;
+        meter->Charge(kCpuHashUpdateOps);
+      }
+    }
+  }
+
+  if (task == Task::kTermVector) {
+    out.term_vector.resize(num_files);
+    for (uint32_t f = 0; f < num_files; ++f) {
+      out.term_vector[f].assign(tv[f].begin(), tv[f].end());
+      meter->Charge(tv[f].size() * 4);
+    }
+  } else {
+    for (uint32_t f = 0; f < num_files; ++f) {
+      for (const auto& [word, c] : tv[f]) {
+        if (c > 0) out.inverted_index[word].push_back(f);
+        meter->Charge(2);
+      }
+    }
+  }
+  return out;
+}
+
+AnalyticsResult CpuTadocEngine::FileTaskBottomUp(Task task,
+                                                 CpuCostMeter* meter) const {
+  AnalyticsResult out;
+  out.task = task;
+  const uint32_t num_files = g_->num_files();
+
+  // Local tables as in bottom-up word count.
+  std::vector<std::unordered_map<uint32_t, uint64_t>> table(dag_.num_rules());
+  const auto& order = dag_.topo_order();
+  for (auto it = order.rbegin(); it != order.rend(); ++it) {
+    const uint32_t r = *it;
+    if (r == 0) continue;
+    auto& t = table[r];
+    for (const RuleWordEntry& w : dag_.words(r)) {
+      t[w.word] += w.freq;
+      meter->Charge(kCpuHashUpdateOps);
+    }
+    for (const RuleChildEntry& e : dag_.children(r)) {
+      for (const auto& [word, c] : table[e.child]) {
+        t[word] += c * e.freq;
+        meter->Charge(kCpuHashUpdateOps);
+      }
+    }
+  }
+
+  // Root scan: each level-2 occurrence merges its table into the occurrence's
+  // file; root-owned words go to their position's file.
+  std::vector<std::unordered_map<uint32_t, uint64_t>> tv(num_files);
+  uint32_t cur_file = 0;
+  for (uint32_t sym : g_->root()) {
+    meter->Charge(1);
+    if (g_->IsSplitter(sym)) {
+      cur_file = g_->SplitterIndex(sym) + 1;
+    } else if (g_->IsRule(sym)) {
+      for (const auto& [word, c] : table[g_->RuleIndex(sym)]) {
+        tv[cur_file][word] += c;
+        meter->Charge(kCpuHashUpdateOps);
+      }
+    } else {
+      ++tv[cur_file][sym];
+      meter->Charge(kCpuHashUpdateOps);
+    }
+  }
+
+  if (task == Task::kTermVector) {
+    out.term_vector.resize(num_files);
+    for (uint32_t f = 0; f < num_files; ++f) {
+      out.term_vector[f].assign(tv[f].begin(), tv[f].end());
+      meter->Charge(tv[f].size() * 4);
+    }
+  } else {
+    for (uint32_t f = 0; f < num_files; ++f) {
+      for (const auto& [word, c] : tv[f]) {
+        if (c > 0) out.inverted_index[word].push_back(f);
+        meter->Charge(2);
+      }
+    }
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// sequenceCount / rankedInvertedIndex — [2]'s recursive full-stream walk.
+// ---------------------------------------------------------------------------
+
+AnalyticsResult CpuTadocEngine::SequenceTask(Task task,
+                                             CpuCostMeter* meter) const {
+  AnalyticsResult out;
+  out.task = task;
+  const uint32_t l = options_.ngram_len;
+
+  // DFS token iterator over the full expansion (no materialization, but every
+  // token of the original text is visited — the inefficiency the paper
+  // reports for sequence tasks on CPU TADOC).
+  std::map<std::pair<uint32_t, std::vector<uint32_t>>, uint64_t> counts;
+  std::deque<uint32_t> window;
+  uint32_t cur_file = 0;
+
+  std::vector<std::pair<uint32_t, size_t>> stack;  // (rule, position)
+  stack.emplace_back(0, 0);
+  while (!stack.empty()) {
+    auto& [r, pos] = stack.back();
+    const std::vector<uint32_t>& body = g_->rules[r];
+    if (pos >= body.size()) {
+      stack.pop_back();
+      continue;
+    }
+    const uint32_t sym = body[pos++];
+    meter->Charge(1);
+    if (g_->IsRule(sym)) {
+      stack.emplace_back(g_->RuleIndex(sym), 0);
+    } else if (g_->IsSplitter(sym)) {
+      window.clear();
+      cur_file = g_->SplitterIndex(sym) + 1;
+    } else {
+      window.push_back(sym);
+      if (window.size() > l) window.pop_front();
+      if (window.size() == l) {
+        std::vector<uint32_t> gram(window.begin(), window.end());
+        ++counts[{cur_file, std::move(gram)}];
+        // [2]'s per-window update is an ordered-map insert keyed by the word
+        // sequence: a tree descent of ~log n node visits, each comparing up
+        // to l words, plus the key copy. 16 is a conservative stand-in for
+        // the descent; this is what makes CPU sequence tasks perform close to
+        // uncompressed processing (Section VI-B observation 3).
+        meter->Charge(2 * l + kCpuSeqMapDescentOps);
+      }
+    }
+  }
+
+  if (task == Task::kSequenceCount) {
+    out.sequence_count = std::move(counts);
+  } else {
+    std::map<std::vector<uint32_t>, std::vector<std::pair<uint32_t, uint64_t>>>
+        grouped;
+    for (const auto& [key, c] : counts) {
+      grouped[key.second].emplace_back(key.first, c);
+      meter->Charge(2);
+    }
+    for (auto& [gram, files] : grouped) {
+      std::sort(files.begin(), files.end(), CountDescIdAsc);
+      meter->Charge(files.size() * 2);
+    }
+    out.ranked_inverted_index = std::move(grouped);
+  }
+  return out;
+}
+
+}  // namespace gtadoc

@@ -1,0 +1,78 @@
+#ifndef GTADOC_TADOC_CPU_ENGINE_H_
+#define GTADOC_TADOC_CPU_ENGINE_H_
+
+#include <memory>
+
+#include "analytics/engine.h"
+#include "analytics/results.h"
+#include "common/result.h"
+#include "format/dag.h"
+#include "format/grammar.h"
+#include "gpu/platform.h"
+#include "tadoc/strategy.h"
+
+namespace gtadoc {
+
+/// Options for the CPU TADOC baseline.
+struct CpuTadocOptions {
+  gpu::CpuSpec cpu;  ///< cost-model parameters of the host CPU
+  uint32_t ngram_len = 3;
+  TraversalStrategy strategy = TraversalStrategy::kAuto;
+};
+
+/// \brief Sequential CPU TADOC — the paper's baseline ([2] with the adaptive
+/// traversal of [4]).
+///
+/// The run is split into the paper's two phases:
+///   - initialization: building the DAG view, the root's file segmentation
+///     and the per-task data structures;
+///   - graph traversal: weight propagation (top-down) or local-table merging
+///     (bottom-up) plus final result reduction.
+///
+/// The two sequence tasks reproduce [2]'s design faithfully: a recursive
+/// (DFS) walk over the *entire expanded token stream* with a sliding window,
+/// which is why the paper reports their CPU performance as close to
+/// uncompressed processing — the reuse opportunity G-TADOC later exploits.
+///
+/// Work is charged to a CpuCostMeter with the same discipline as the GPU
+/// kernels, so CPU/GPU simulated times are comparable; wall time is also
+/// measured.
+class CpuTadocEngine {
+ public:
+  /// Validates the grammar and builds the DAG (counted as phase 1 on the
+  /// first Run; Create itself is cheap bookkeeping).
+  static Result<CpuTadocEngine> Create(const Grammar* g,
+                                       const CpuTadocOptions& options);
+
+  /// Runs one task; `strategy_override` replaces options.strategy when not
+  /// kAuto (used by the Section VI-C experiment).
+  Result<EngineRun> Run(Task task,
+                        TraversalStrategy strategy_override =
+                            TraversalStrategy::kAuto) const;
+
+  const DagView& dag() const { return dag_; }
+  /// The strategy the selector would pick for `task`.
+  TraversalStrategy ChosenStrategy(Task task) const;
+
+ private:
+  CpuTadocEngine(const Grammar* g, DagView dag, const CpuTadocOptions& options)
+      : g_(g), dag_(std::move(dag)), options_(options) {}
+
+  // Phase-2 task bodies; each returns the result and charges `meter`.
+  AnalyticsResult WordCountTopDown(CpuCostMeter* meter) const;
+  AnalyticsResult WordCountBottomUp(CpuCostMeter* meter) const;
+  AnalyticsResult FileTaskTopDown(Task task, CpuCostMeter* meter) const;
+  AnalyticsResult FileTaskBottomUp(Task task, CpuCostMeter* meter) const;
+  AnalyticsResult SequenceTask(Task task, CpuCostMeter* meter) const;
+
+  /// Root-body file segmentation: file id of each root position (phase 1).
+  std::vector<uint32_t> RootFileIds(CpuCostMeter* meter) const;
+
+  const Grammar* g_;
+  DagView dag_;
+  CpuTadocOptions options_;
+};
+
+}  // namespace gtadoc
+
+#endif  // GTADOC_TADOC_CPU_ENGINE_H_

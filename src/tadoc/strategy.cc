@@ -1,0 +1,34 @@
+#include "tadoc/strategy.h"
+
+namespace gtadoc {
+
+TraversalStrategy SelectStrategy(Task task, const Grammar& g,
+                                 const DagView& dag) {
+  (void)dag;
+  switch (task) {
+    case Task::kWordCount:
+    case Task::kSort:
+      return TraversalStrategy::kTopDown;
+    case Task::kInvertedIndex:
+    case Task::kTermVector:
+    case Task::kSequenceCount:
+    case Task::kRankedInvertedIndex:
+      return g.num_files() > kFileCountThreshold ? TraversalStrategy::kBottomUp
+                                                 : TraversalStrategy::kTopDown;
+  }
+  return TraversalStrategy::kTopDown;
+}
+
+const char* StrategyName(TraversalStrategy s) {
+  switch (s) {
+    case TraversalStrategy::kAuto:
+      return "auto";
+    case TraversalStrategy::kTopDown:
+      return "topDown";
+    case TraversalStrategy::kBottomUp:
+      return "bottomUp";
+  }
+  return "?";
+}
+
+}  // namespace gtadoc

@@ -1,0 +1,41 @@
+#ifndef GTADOC_TADOC_STRATEGY_H_
+#define GTADOC_TADOC_STRATEGY_H_
+
+#include "analytics/results.h"
+#include "format/dag.h"
+#include "format/grammar.h"
+
+namespace gtadoc {
+
+/// DAG traversal direction (Section IV-B; both engines implement both).
+enum class TraversalStrategy {
+  kAuto,      ///< pick via SelectStrategy
+  kTopDown,   ///< Algorithm 1: weights flow root -> leaves
+  kBottomUp,  ///< Algorithm 2: local tables flow leaves -> root
+};
+
+/// \brief The adaptive traversal selector of [4], reused by G-TADOC
+/// (Section IV-B "we develop both top-down and bottom-up traversals and use
+/// the strategy selector in [4] for such decisions").
+///
+/// Heuristic reproduced from the paper's discussion (Section VI-C):
+///   - global tasks (wordCount, sort) propagate scalar weights, so top-down
+///     is cheap regardless of input;
+///   - per-file tasks (invertedIndex, termVector) propagate per-file weight
+///     vectors top-down, whose size grows with the file count: with many
+///     files (dataset A) bottom-up wins, with few files (dataset B) top-down
+///     wins. The threshold below mirrors the paper's observation that a
+///     16-byte file buffer (4 files) is negligible.
+///   - sequence tasks use the dedicated two-phase pipeline, which needs
+///     per-file weights; same rule as per-file tasks.
+TraversalStrategy SelectStrategy(Task task, const Grammar& g,
+                                 const DagView& dag);
+
+/// File-count threshold used by SelectStrategy.
+inline constexpr uint32_t kFileCountThreshold = 32;
+
+const char* StrategyName(TraversalStrategy s);
+
+}  // namespace gtadoc
+
+#endif  // GTADOC_TADOC_STRATEGY_H_

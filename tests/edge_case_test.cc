@@ -1,0 +1,171 @@
+#include <gtest/gtest.h>
+
+#include "analytics/uncompressed.h"
+#include "datagen/datagen.h"
+#include "format/dag.h"
+#include "gpu/platform.h"
+#include "gtadoc/engine.h"
+#include "sequitur/compressor.h"
+#include "tadoc/cpu_engine.h"
+
+namespace gtadoc {
+namespace {
+
+GTadocEngine::Options GpuOpts() {
+  GTadocEngine::Options opt;
+  opt.gpu = gpu::PascalPlatform().gpu;
+  opt.host_workers = 1;
+  return opt;
+}
+
+CpuTadocOptions CpuOpts() {
+  CpuTadocOptions opt;
+  opt.cpu = gpu::PascalPlatform().cpu;
+  return opt;
+}
+
+/// Runs all six tasks on `files` through CPU TADOC and G-TADOC, asserting
+/// agreement with the uncompressed reference.
+void ExpectAllEnginesAgree(const std::vector<std::vector<uint32_t>>& files,
+                           uint32_t num_words, const char* label) {
+  auto g = CompressTokenStreams(files, num_words);
+  ASSERT_TRUE(g.ok()) << label << ": " << g.status().ToString();
+  auto cpu = CpuTadocEngine::Create(&*g, CpuOpts());
+  ASSERT_TRUE(cpu.ok()) << label;
+  auto gpu_engine = GTadocEngine::Create(&*g, GpuOpts());
+  ASSERT_TRUE(gpu_engine.ok()) << label;
+  UncompressedAnalytics truth_engine(files);
+  for (Task task : AllTasks()) {
+    AnalyticsResult truth = truth_engine.RunSequential(task);
+    auto cr = cpu->Run(task);
+    ASSERT_TRUE(cr.ok()) << label << "/" << TaskName(task);
+    EXPECT_TRUE(cr->result.SameAs(truth)) << label << " CPU " << TaskName(task);
+    auto gr = (*gpu_engine)->Run(task);
+    ASSERT_TRUE(gr.ok()) << label << "/" << TaskName(task);
+    EXPECT_TRUE(gr->result.SameAs(truth)) << label << " GPU " << TaskName(task);
+  }
+}
+
+TEST(EdgeCaseTest, SingleTokenCorpus) {
+  ExpectAllEnginesAgree({{7}}, 8, "single token");
+}
+
+TEST(EdgeCaseTest, TwoTokenFile) {
+  ExpectAllEnginesAgree({{1, 2}}, 3, "two tokens");
+}
+
+TEST(EdgeCaseTest, RunOfOneSymbol) {
+  // "aaaa..." compresses into deeply nested doubling rules; sequence windows
+  // are all identical and must still be attributed exactly once each.
+  std::vector<uint32_t> run(64, 0);
+  ExpectAllEnginesAgree({run}, 1, "aaa run");
+}
+
+TEST(EdgeCaseTest, AlternatingPair) {
+  std::vector<uint32_t> ab;
+  for (int i = 0; i < 50; ++i) {
+    ab.push_back(0);
+    ab.push_back(1);
+  }
+  ExpectAllEnginesAgree({ab}, 2, "abab run");
+}
+
+TEST(EdgeCaseTest, EmptyFileAmongFiles) {
+  // Tokenizing a whitespace-only file yields zero tokens; the grammar still
+  // records the boundary and every engine must keep file ids straight.
+  ExpectAllEnginesAgree({{0, 1, 0, 1}, {}, {1, 0, 1, 0}}, 2, "empty middle");
+  ExpectAllEnginesAgree({{0, 1, 2, 0, 1, 2}, {}}, 3, "empty last");
+  ExpectAllEnginesAgree({{}, {0, 1, 0, 1, 2}}, 3, "empty first");
+}
+
+TEST(EdgeCaseTest, IdenticalFiles) {
+  // Maximal cross-file sharing: one rule covers both files completely.
+  std::vector<uint32_t> doc = {3, 1, 4, 1, 5, 9, 2, 6, 3, 1, 4, 1, 5, 9, 2, 6};
+  ExpectAllEnginesAgree({doc, doc, doc}, 10, "identical files");
+}
+
+TEST(EdgeCaseTest, FileShorterThanNgram) {
+  // Files shorter than l contribute no sequences but still count words.
+  ExpectAllEnginesAgree({{0, 1}, {2}, {0, 1, 2, 0, 1, 2, 0}}, 3, "short files");
+}
+
+TEST(EdgeCaseTest, NoRepetitionAtAll) {
+  // All-distinct tokens: Sequitur finds nothing; grammar is just the root.
+  std::vector<uint32_t> distinct(40);
+  for (uint32_t i = 0; i < 40; ++i) distinct[i] = i;
+  auto g = CompressTokenStreams({distinct}, 40);
+  ASSERT_TRUE(g.ok());
+  EXPECT_EQ(g->rules.size(), 1u);
+  ExpectAllEnginesAgree({distinct}, 40, "no repetition");
+}
+
+TEST(EdgeCaseTest, LargeNgramOnSmallRules) {
+  // l = 6 with head/tail buffers of 5 words exceeds most rule expansions,
+  // exercising the "complete expansion in the head buffer" path everywhere.
+  DatasetSpec spec = DatasetD();
+  spec.total_tokens = 2000;
+  spec.seed = 99;
+  TokenizedCorpus tokens = GenerateTokens(spec);
+  auto g = CompressTokens(tokens);
+  ASSERT_TRUE(g.ok());
+  GTadocEngine::Options opt = GpuOpts();
+  opt.ngram_len = 6;
+  auto engine = GTadocEngine::Create(&*g, opt);
+  ASSERT_TRUE(engine.ok());
+  auto run = (*engine)->Run(Task::kSequenceCount);
+  ASSERT_TRUE(run.ok());
+  UncompressedAnalytics truth_engine(tokens.file_tokens, 6);
+  EXPECT_TRUE(
+      run->result.SameAs(truth_engine.RunSequential(Task::kSequenceCount)));
+}
+
+TEST(EdgeCaseTest, AllPresetsSmallScaleAllEngines) {
+  // Cross-preset sweep at tiny scale: every dataset shape works end to end.
+  for (const DatasetSpec& preset : AllDatasets()) {
+    DatasetSpec spec = preset;
+    spec.total_tokens = 1500;
+    spec.num_files = std::min<uint32_t>(spec.num_files, 6);
+    TokenizedCorpus tokens = GenerateTokens(spec);
+    ExpectAllEnginesAgree(tokens.file_tokens,
+                          static_cast<uint32_t>(tokens.words.size()),
+                          spec.name.c_str());
+  }
+}
+
+TEST(EdgeCaseTest, RepeatedRunsAreDeterministic) {
+  DatasetSpec spec = DatasetD();
+  spec.total_tokens = 1000;
+  TokenizedCorpus tokens = GenerateTokens(spec);
+  auto g = CompressTokens(tokens);
+  ASSERT_TRUE(g.ok());
+  auto engine = GTadocEngine::Create(&*g, GpuOpts());
+  ASSERT_TRUE(engine.ok());
+  auto r1 = (*engine)->Run(Task::kSequenceCount);
+  auto r2 = (*engine)->Run(Task::kSequenceCount);
+  ASSERT_TRUE(r1.ok() && r2.ok());
+  EXPECT_TRUE(r1->result.SameAs(r2->result));
+  // Simulated timings are exactly reproducible for a deterministic engine.
+  EXPECT_DOUBLE_EQ(r1->timing.traversal_seconds, r2->timing.traversal_seconds);
+}
+
+TEST(EdgeCaseTest, DeepNestingStressesMaskRounds) {
+  // Fibonacci-style words make Sequitur produce a deep rule chain; the mask
+  // protocol must take about depth-many rounds and still be exact.
+  std::vector<uint32_t> fib = {0};
+  std::vector<uint32_t> prev = {1};
+  while (fib.size() < 600) {
+    std::vector<uint32_t> next = fib;
+    next.insert(next.end(), prev.begin(), prev.end());
+    prev = fib;
+    fib = next;
+  }
+  auto g = CompressTokenStreams({fib}, 2);
+  ASSERT_TRUE(g.ok());
+  auto dag = DagView::Build(*g);
+  ASSERT_TRUE(dag.ok());
+  EXPECT_GT(dag->max_depth(), 4u);
+  ExpectAllEnginesAgree({fib}, 2, "fibonacci word");
+}
+
+}  // namespace
+}  // namespace gtadoc

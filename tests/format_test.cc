@@ -1,0 +1,207 @@
+#include <gtest/gtest.h>
+
+#include "format/dag.h"
+#include "format/grammar.h"
+#include "format/serializer.h"
+#include "sequitur/compressor.h"
+
+namespace gtadoc {
+namespace {
+
+/// The paper's Figure 1 grammar: words w1..w4 (ids 0..3), one splitter (4),
+/// rules R0=5: [R1 R1 spt1 R2 w1], R1=6: [R2 w3 R2 w4], R2=7: [w1 w2].
+Grammar Figure1Grammar() {
+  Grammar g;
+  g.num_words = 4;
+  g.num_splitters = 1;
+  g.words = {"w1", "w2", "w3", "w4"};
+  g.rules = {
+      {6, 6, 4, 7, 0},  // R0: R1 R1 spt1 R2 w1
+      {7, 2, 7, 3},     // R1: R2 w3 R2 w4
+      {0, 1},           // R2: w1 w2
+  };
+  return g;
+}
+
+TEST(GrammarTest, IdSpaceHelpers) {
+  Grammar g = Figure1Grammar();
+  EXPECT_EQ(g.num_terminals(), 5u);
+  EXPECT_EQ(g.num_files(), 2u);
+  EXPECT_TRUE(g.IsWord(0));
+  EXPECT_TRUE(g.IsWord(3));
+  EXPECT_TRUE(g.IsSplitter(4));
+  EXPECT_FALSE(g.IsSplitter(3));
+  EXPECT_TRUE(g.IsRule(5));
+  EXPECT_EQ(g.RuleIndex(5), 0u);
+  EXPECT_EQ(g.RuleId(2), 7u);
+  EXPECT_EQ(g.SplitterIndex(4), 0u);
+}
+
+TEST(DagViewTest, Figure1Aggregation) {
+  Grammar g = Figure1Grammar();
+  auto view = DagView::Build(g);
+  ASSERT_TRUE(view.ok());
+  const DagView& v = *view;
+  ASSERT_EQ(v.num_rules(), 3u);
+
+  // Root: children R1 (x2) and R2 (x1); own word w1 (x1).
+  ASSERT_EQ(v.children(0).size(), 2u);
+  EXPECT_EQ(v.children(0)[0].child, 1u);
+  EXPECT_EQ(v.children(0)[0].freq, 2u);
+  EXPECT_EQ(v.children(0)[1].child, 2u);
+  EXPECT_EQ(v.children(0)[1].freq, 1u);
+  ASSERT_EQ(v.words(0).size(), 1u);
+  EXPECT_EQ(v.words(0)[0].word, 0u);
+
+  // R1: child R2 (x2), words w3, w4.
+  ASSERT_EQ(v.children(1).size(), 1u);
+  EXPECT_EQ(v.children(1)[0].freq, 2u);
+  EXPECT_EQ(v.words(1).size(), 2u);
+
+  // R2: leaf with words w1, w2.
+  EXPECT_TRUE(v.children(2).empty());
+  EXPECT_EQ(v.num_out_edges(2), 0u);
+
+  // Parents and in-edges: R2's parents are root and R1; only R1 is non-root.
+  EXPECT_EQ(v.parents(2).size(), 2u);
+  EXPECT_EQ(v.num_in_edges_nonroot(2), 1u);
+  EXPECT_EQ(v.num_in_edges_nonroot(1), 0u);
+  EXPECT_EQ(v.root_freq(1), 2u);
+  EXPECT_EQ(v.root_freq(2), 1u);
+
+  // Depth: root 0, R1 1, R2 2 (via R1).
+  EXPECT_EQ(v.depth(0), 0u);
+  EXPECT_EQ(v.depth(1), 1u);
+  EXPECT_EQ(v.depth(2), 2u);
+  EXPECT_EQ(v.max_depth(), 2u);
+
+  // Topological order puts parents first.
+  EXPECT_EQ(v.topo_order().front(), 0u);
+  EXPECT_EQ(v.topo_order().back(), 2u);
+}
+
+TEST(DagViewTest, RejectsCycle) {
+  Grammar g;
+  g.num_words = 1;
+  // Rule ids start at num_terminals = 1: rule0=1, rule1=2, rule2=3.
+  g.rules = {{2, 0}, {3, 0}, {2, 0}};  // r1 -> r2 -> r1 cycle
+  EXPECT_TRUE(DagView::Build(g).status().IsCorruption());
+}
+
+TEST(DagViewTest, RejectsSelfReference) {
+  Grammar g;
+  g.num_words = 1;
+  g.rules = {{1, 0}};  // root references itself (id 1 = rule 0)
+  EXPECT_TRUE(DagView::Build(g).status().IsCorruption());
+}
+
+TEST(DagViewTest, RejectsSplitterInSubRule) {
+  Grammar g;
+  g.num_words = 1;
+  g.num_splitters = 1;
+  g.rules = {{2, 2}, {1, 0}};  // rule 1 body contains splitter id 1
+  EXPECT_TRUE(DagView::Build(g).status().IsCorruption());
+}
+
+TEST(DagViewTest, RejectsOutOfRangeRuleId) {
+  Grammar g;
+  g.num_words = 1;
+  g.rules = {{9, 0}};
+  EXPECT_TRUE(DagView::Build(g).status().IsCorruption());
+}
+
+TEST(DagViewTest, RejectsEmptyRootAndEmptyGrammar) {
+  Grammar g;
+  g.num_words = 1;
+  EXPECT_TRUE(DagView::Build(g).status().IsCorruption());
+  g.rules = {{}};
+  EXPECT_TRUE(DagView::Build(g).status().IsCorruption());
+}
+
+TEST(DagStatsTest, Figure1Stats) {
+  auto stats = ComputeDagStats(Figure1Grammar());
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(stats->num_rules, 3u);
+  EXPECT_EQ(stats->vocabulary_size, 4u);
+  EXPECT_EQ(stats->num_files, 2u);
+  EXPECT_EQ(stats->num_edges, 3u);          // root->R1, root->R2, R1->R2
+  EXPECT_EQ(stats->total_body_symbols, 11u);
+  EXPECT_EQ(stats->expanded_tokens, 15u);   // 12 (fileA) + 3 (fileB)
+  EXPECT_EQ(stats->max_depth, 2u);
+  EXPECT_NEAR(stats->reuse_factor, 15.0 / 11.0, 1e-9);
+}
+
+// -------------------------------------------------------------- Serializer --
+
+TEST(SerializerTest, RoundTripWithDictionary) {
+  Grammar g = Figure1Grammar();
+  std::string blob = SerializeGrammar(g, /*include_dictionary=*/true);
+  auto back = ParseGrammar(blob);
+  ASSERT_TRUE(back.ok()) << back.status().ToString();
+  EXPECT_EQ(back->num_words, g.num_words);
+  EXPECT_EQ(back->num_splitters, g.num_splitters);
+  EXPECT_EQ(back->rules, g.rules);
+  EXPECT_EQ(back->words, g.words);
+}
+
+TEST(SerializerTest, RoundTripWithoutDictionary) {
+  Grammar g = Figure1Grammar();
+  std::string blob = SerializeGrammar(g, /*include_dictionary=*/false);
+  auto back = ParseGrammar(blob);
+  ASSERT_TRUE(back.ok());
+  EXPECT_TRUE(back->words.empty());
+  EXPECT_EQ(back->rules, g.rules);
+}
+
+TEST(SerializerTest, DetectsBitFlipAnywhere) {
+  Grammar g = Figure1Grammar();
+  const std::string blob = SerializeGrammar(g);
+  // Flip each byte in turn; every corruption must be caught, never crash.
+  int caught = 0;
+  for (size_t i = 0; i < blob.size(); ++i) {
+    std::string bad = blob;
+    bad[i] = static_cast<char>(bad[i] ^ 0x40);
+    auto r = ParseGrammar(bad);
+    if (!r.ok()) ++caught;
+  }
+  EXPECT_EQ(caught, static_cast<int>(blob.size()));
+}
+
+TEST(SerializerTest, DetectsTruncationAtEveryLength) {
+  Grammar g = Figure1Grammar();
+  const std::string blob = SerializeGrammar(g);
+  for (size_t len = 0; len < blob.size(); ++len) {
+    auto r = ParseGrammar(Slice(blob.data(), len));
+    EXPECT_FALSE(r.ok()) << "accepted truncation at " << len;
+  }
+}
+
+TEST(SerializerTest, RejectsBadMagicAndTrailingBytes) {
+  Grammar g = Figure1Grammar();
+  std::string blob = SerializeGrammar(g);
+  std::string bad = "XXXX" + blob.substr(4);
+  EXPECT_FALSE(ParseGrammar(bad).ok());
+  // Trailing garbage invalidates the checksum.
+  EXPECT_FALSE(ParseGrammar(blob + "zz").ok());
+}
+
+TEST(SerializerTest, FileRoundTrip) {
+  Grammar g = Figure1Grammar();
+  const std::string path = testing::TempDir() + "/fig1.tdc";
+  ASSERT_TRUE(WriteGrammarFile(g, path).ok());
+  auto back = ReadGrammarFile(path);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back->rules, g.rules);
+  std::remove(path.c_str());
+}
+
+TEST(SerializerTest, ParsedGrammarPassesDagValidation) {
+  // Serialization must preserve enough structure for the validator.
+  Grammar g = Figure1Grammar();
+  auto back = ParseGrammar(SerializeGrammar(g));
+  ASSERT_TRUE(back.ok());
+  EXPECT_TRUE(DagView::Build(*back).ok());
+}
+
+}  // namespace
+}  // namespace gtadoc

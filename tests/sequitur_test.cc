@@ -1,0 +1,266 @@
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "common/random.h"
+#include "format/dag.h"
+#include "sequitur/compressor.h"
+#include "sequitur/sequitur.h"
+#include "sequitur/tokenizer.h"
+
+namespace gtadoc {
+namespace {
+
+/// Expands a grammar rule to its terminal stream (test oracle).
+std::vector<uint32_t> Expand(const Grammar& g, uint32_t rule) {
+  std::vector<uint32_t> out;
+  for (uint32_t sym : g.rules[rule]) {
+    if (g.IsRule(sym)) {
+      auto child = Expand(g, g.RuleIndex(sym));
+      out.insert(out.end(), child.begin(), child.end());
+    } else {
+      out.push_back(sym);
+    }
+  }
+  return out;
+}
+
+/// Checks both Sequitur invariants on a flattened grammar.
+void CheckInvariants(const Grammar& g) {
+  // Rule utility: every non-root rule is referenced at least twice.
+  std::vector<int> uses(g.rules.size(), 0);
+  for (const auto& body : g.rules) {
+    for (uint32_t sym : body) {
+      if (g.IsRule(sym)) ++uses[g.RuleIndex(sym)];
+    }
+  }
+  for (size_t r = 1; r < g.rules.size(); ++r) {
+    EXPECT_GE(uses[r], 2) << "rule " << r << " underused";
+    EXPECT_GE(g.rules[r].size(), 2u) << "rule " << r << " too short";
+  }
+  // Digram uniqueness: no adjacent pair occurs twice anywhere — except
+  // overlapping occurrences within a run of one symbol ("aaa"), which
+  // canonical Sequitur deliberately leaves alone.
+  std::map<std::pair<uint32_t, uint32_t>, int> digrams;
+  for (const auto& body : g.rules) {
+    size_t last_counted = SIZE_MAX;
+    for (size_t i = 0; i + 1 < body.size(); ++i) {
+      const bool overlaps_previous =
+          i > 0 && last_counted == i - 1 && body[i - 1] == body[i] &&
+          body[i] == body[i + 1];
+      if (overlaps_previous) continue;
+      ++digrams[{body[i], body[i + 1]}];
+      last_counted = i;
+    }
+  }
+  for (const auto& [dg, count] : digrams) {
+    EXPECT_LE(count, 1) << "digram (" << dg.first << "," << dg.second
+                        << ") repeats";
+  }
+}
+
+std::vector<uint32_t> EncodeAndExpand(const std::vector<uint32_t>& input,
+                                      uint32_t num_words, Grammar* out) {
+  SequiturEncoder enc;
+  for (uint32_t t : input) enc.Append(t);
+  *out = enc.Flatten(num_words, 0);
+  return Expand(*out, 0);
+}
+
+TEST(SequiturTest, SingleSymbol) {
+  Grammar g;
+  EXPECT_EQ(EncodeAndExpand({5}, 10, &g), (std::vector<uint32_t>{5}));
+  EXPECT_EQ(g.rules.size(), 1u);
+}
+
+TEST(SequiturTest, RepeatedPairCreatesRule) {
+  // "abab" -> R0: R1 R1, R1: a b  (the classic first example).
+  Grammar g;
+  EXPECT_EQ(EncodeAndExpand({0, 1, 0, 1}, 2, &g),
+            (std::vector<uint32_t>{0, 1, 0, 1}));
+  EXPECT_EQ(g.rules.size(), 2u);
+  EXPECT_EQ(g.rules[0].size(), 2u);
+  CheckInvariants(g);
+}
+
+TEST(SequiturTest, RunsOfOneSymbol) {
+  // Overlapping digrams ("aaaa...") exercise the overlap guard.
+  for (size_t n = 2; n <= 20; ++n) {
+    std::vector<uint32_t> input(n, 3);
+    Grammar g;
+    EXPECT_EQ(EncodeAndExpand(input, 4, &g), input) << "n=" << n;
+    CheckInvariants(g);
+  }
+}
+
+TEST(SequiturTest, NestedRepetition) {
+  // "abcabcabcabc" should produce nested rules, not a flat body.
+  std::vector<uint32_t> input;
+  for (int i = 0; i < 4; ++i) {
+    input.insert(input.end(), {0, 1, 2});
+  }
+  Grammar g;
+  EXPECT_EQ(EncodeAndExpand(input, 3, &g), input);
+  CheckInvariants(g);
+  EXPECT_GE(g.rules.size(), 2u);
+}
+
+TEST(SequiturTest, RuleUtilityInlinesSingleUseRules) {
+  // "abcdbc" forms rule (b,c) used twice; appending text that removes one
+  // use must trigger the expand path. The classic stress is "aabaaab".
+  std::vector<uint32_t> input = {0, 0, 1, 0, 0, 0, 1};
+  Grammar g;
+  EXPECT_EQ(EncodeAndExpand(input, 2, &g), input);
+  CheckInvariants(g);
+}
+
+TEST(SequiturTest, PaperFigure1Example) {
+  // fileA: w1 w2 w3 w1 w2 w4 w1 w2 w3 w1 w2 w4 ; fileB: w1 w2 w1
+  TokenizedCorpus tokens;
+  tokens.words = {"w1", "w2", "w3", "w4"};
+  tokens.file_tokens = {{0, 1, 2, 0, 1, 3, 0, 1, 2, 0, 1, 3}, {0, 1, 0}};
+  auto g = CompressTokens(tokens);
+  ASSERT_TRUE(g.ok());
+  EXPECT_EQ(g->num_words, 4u);
+  EXPECT_EQ(g->num_splitters, 1u);
+  EXPECT_EQ(g->num_files(), 2u);
+  CheckInvariants(*g);
+
+  auto files = ExpandFiles(*g);
+  ASSERT_TRUE(files.ok());
+  EXPECT_EQ((*files)[0], tokens.file_tokens[0]);
+  EXPECT_EQ((*files)[1], tokens.file_tokens[1]);
+}
+
+TEST(SequiturTest, SplittersNeverEnterSubRules) {
+  // Many files with shared content: rules must not span file boundaries.
+  TokenizedCorpus tokens;
+  tokens.words = {"a", "b", "c"};
+  for (int f = 0; f < 10; ++f) {
+    tokens.file_tokens.push_back({0, 1, 2, 0, 1, 2});
+  }
+  auto g = CompressTokens(tokens);
+  ASSERT_TRUE(g.ok());
+  for (size_t r = 1; r < g->rules.size(); ++r) {
+    for (uint32_t sym : g->rules[r]) {
+      EXPECT_FALSE(g->IsSplitter(sym)) << "splitter inside rule " << r;
+    }
+  }
+}
+
+TEST(SequiturTest, EmptyCorpusRejected) {
+  TokenizedCorpus tokens;
+  EXPECT_TRUE(CompressTokens(tokens).status().IsInvalidArgument());
+  tokens.file_tokens = {{}};
+  EXPECT_TRUE(CompressTokens(tokens).status().IsInvalidArgument());
+}
+
+// Property: decompression is the identity on random zipfian streams of many
+// shapes. Parameterized over (seed, alphabet size, length).
+class SequiturRoundTrip
+    : public testing::TestWithParam<std::tuple<int, int, int>> {};
+
+TEST_P(SequiturRoundTrip, ExpandEqualsInput) {
+  const auto [seed, alphabet, length] = GetParam();
+  Rng rng(seed);
+  std::vector<uint32_t> input(length);
+  for (auto& t : input) {
+    t = static_cast<uint32_t>(rng.Uniform(alphabet));
+  }
+  Grammar g;
+  EXPECT_EQ(EncodeAndExpand(input, alphabet, &g), input);
+  CheckInvariants(g);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, SequiturRoundTrip,
+    testing::Combine(testing::Values(1, 2, 3, 4, 5),
+                     testing::Values(2, 3, 16, 256),
+                     testing::Values(10, 100, 2000)));
+
+// Property: multi-file round trip through the full compressor.
+class CorpusRoundTrip : public testing::TestWithParam<int> {};
+
+TEST_P(CorpusRoundTrip, FilesSurvive) {
+  Rng rng(GetParam());
+  TokenizedCorpus tokens;
+  const int num_files = 1 + static_cast<int>(rng.Uniform(12));
+  tokens.file_tokens.resize(num_files);
+  uint32_t vocab = 20;
+  for (auto& file : tokens.file_tokens) {
+    const size_t len = 1 + rng.Uniform(300);
+    file.resize(len);
+    for (auto& t : file) t = static_cast<uint32_t>(rng.Uniform(vocab));
+  }
+  for (uint32_t i = 0; i < vocab; ++i) {
+    tokens.words.push_back("w" + std::to_string(i));
+  }
+  auto g = CompressTokens(tokens);
+  ASSERT_TRUE(g.ok());
+  auto files = ExpandFiles(*g);
+  ASSERT_TRUE(files.ok());
+  ASSERT_EQ(files->size(), tokens.file_tokens.size());
+  for (size_t f = 0; f < files->size(); ++f) {
+    EXPECT_EQ((*files)[f], tokens.file_tokens[f]) << "file " << f;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, CorpusRoundTrip, testing::Range(10, 30));
+
+// ------------------------------------------------------------- Tokenizer ---
+
+TEST(TokenizerTest, SplitWordsHandlesWhitespace) {
+  auto words = SplitWords("  hello\tworld\n\nfoo ");
+  ASSERT_EQ(words.size(), 3u);
+  EXPECT_EQ(words[0].ToString(), "hello");
+  EXPECT_EQ(words[1].ToString(), "world");
+  EXPECT_EQ(words[2].ToString(), "foo");
+}
+
+TEST(TokenizerTest, SplitWordsEmptyAndAllSpace) {
+  EXPECT_TRUE(SplitWords("").empty());
+  EXPECT_TRUE(SplitWords(" \t\n ").empty());
+}
+
+TEST(TokenizerTest, DictionaryAssignsFirstOccurrenceIds) {
+  Dictionary dict;
+  EXPECT_EQ(dict.GetOrAdd("b"), 0u);
+  EXPECT_EQ(dict.GetOrAdd("a"), 1u);
+  EXPECT_EQ(dict.GetOrAdd("b"), 0u);
+  EXPECT_EQ(dict.Find("a"), 1u);
+  EXPECT_EQ(dict.Find("zzz"), UINT32_MAX);
+  EXPECT_EQ(dict.size(), 2u);
+}
+
+TEST(TokenizerTest, TokenizeCorpusSharedDictionary) {
+  Corpus corpus;
+  corpus.file_names = {"f0", "f1"};
+  corpus.file_contents = {"the cat sat", "the dog sat"};
+  TokenizedCorpus t = Tokenize(corpus);
+  EXPECT_EQ(t.words.size(), 4u);  // the, cat, sat, dog
+  EXPECT_EQ(t.file_tokens[0], (std::vector<uint32_t>{0, 1, 2}));
+  EXPECT_EQ(t.file_tokens[1], (std::vector<uint32_t>{0, 3, 2}));
+  EXPECT_EQ(t.total_tokens(), 6u);
+}
+
+TEST(TokenizerTest, CorpusBytes) {
+  Corpus corpus;
+  corpus.file_contents = {"abcd", "ef"};
+  EXPECT_EQ(corpus.TotalBytes(), 6u);
+}
+
+TEST(CompressorTest, DecompressReproducesTokenText) {
+  Corpus corpus;
+  corpus.file_names = {"a", "b"};
+  corpus.file_contents = {"x y z x y z", "y   z\tx"};
+  auto g = CompressCorpus(corpus);
+  ASSERT_TRUE(g.ok());
+  auto back = DecompressCorpus(*g);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back->file_contents[0], "x y z x y z");
+  EXPECT_EQ(back->file_contents[1], "y z x");  // token-level lossless
+}
+
+}  // namespace
+}  // namespace gtadoc
