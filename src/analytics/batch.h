@@ -1,0 +1,120 @@
+#ifndef GTADOC_ANALYTICS_BATCH_H_
+#define GTADOC_ANALYTICS_BATCH_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "analytics/engine.h"
+#include "analytics/results.h"
+#include "common/result.h"
+#include "gtadoc/engine.h"
+#include "tadoc/parallel_engine.h"
+
+namespace gtadoc {
+
+/// \brief Corpus-level G-TADOC: one simulated GPU serving a batch of
+/// independently-compressed documents.
+///
+/// The paper evaluates one compressed input at a time; a serving system
+/// amortizes the per-document fixed costs across a corpus. BatchEngine runs
+/// the six analytics tasks over a PartitionedCorpus (each partition = one
+/// document, all sharing one dictionary) and exploits two batch effects the
+/// single-document engine cannot:
+///
+///   1. **Device-state reuse.** Each worker context keeps one gpu::MemoryPool
+///      and one DeviceGrammar arena, recycled across its documents
+///      (MemoryPool::EnsureCapacity + ResetForReuse, DeviceGrammar::Rebind).
+///      Only the context's first document pays the cudaMalloc-style
+///      allocation calls that a cold GTadocEngine::Create + Run charges for
+///      every document.
+///   2. **Upload/traversal pipelining.** In the cost model, document i+1's
+///      H2D grammar upload (the copy engine) runs under document i's
+///      traversal rounds (the compute engine); uploads serialize on PCIe,
+///      compute serializes on the GPU. Visible only when uploads are charged
+///      at all (Options::engine.charge_pcie).
+///
+/// Host execution shards documents across `host_workers` ThreadPool workers
+/// (contiguous, deterministic shards), each with a private device context;
+/// this parallelizes the *simulation wall clock* only. Simulated time is
+/// composed from per-document timings in document order, so results and
+/// simulated totals are reproducible for a fixed option set regardless of
+/// thread scheduling.
+///
+/// Per-document results use document-local file ids; the merged corpus view
+/// offsets them by the document's file base (MergeResult), identically to
+/// the coarse-grained CPU baseline (ParallelTadocEngine), so GPU-vs-CPU
+/// batch speedups compare like for like.
+class BatchEngine {
+ public:
+  struct Options {
+    /// Per-document engine configuration. `shared_device`/`shared_pool` are
+    /// managed by the batch engine and must be left null. Keep
+    /// engine.host_workers = 1 unless each document is itself large: batch
+    /// workers multiply it.
+    GTadocEngine::Options engine;
+    /// Worker threads documents are sharded across (0 = one per document,
+    /// capped at hardware concurrency). Affects wall clock only.
+    size_t host_workers = 1;
+    /// Recycle each worker's memory pool + device-grammar arena across its
+    /// documents instead of rebuilding per document (the cold path, which is
+    /// exactly N independent GTadocEngine lifecycles).
+    bool reuse_device_state = true;
+    /// Pipeline document i+1's grammar upload under document i's traversal
+    /// in the simulated schedule.
+    bool overlap_uploads = true;
+  };
+
+  /// One document's run inside the batch.
+  struct DocumentRun {
+    uint32_t doc = 0;        ///< document index in the corpus
+    uint32_t file_base = 0;  ///< global file id of the document's file 0
+    AnalyticsResult result;  ///< document-local file ids
+    RunTiming timing;
+  };
+
+  /// A batch execution: per-document outputs plus the corpus merge.
+  struct BatchRun {
+    std::vector<DocumentRun> documents;
+    /// Corpus-level result in global file ids (word counts summed, file
+    /// tables keyed by global file id, sequence tables merged).
+    AnalyticsResult merged;
+    /// Aggregate timing: phase sums over documents, pipeline overlap in
+    /// overlap_saved_seconds, merge reduce included in traversal_seconds.
+    /// total_seconds() is the batch makespan on one simulated GPU.
+    RunTiming timing;
+  };
+
+  /// The corpus must outlive the engine. Fails on an empty corpus or on
+  /// pre-set shared_device/shared_pool.
+  static Result<std::unique_ptr<BatchEngine>> Create(
+      const PartitionedCorpus* corpus, const Options& options);
+
+  /// Runs one task over every document and merges.
+  Result<BatchRun> Run(Task task);
+
+  size_t num_documents() const { return corpus_->partitions.size(); }
+  uint32_t total_files() const { return corpus_->total_files; }
+  const Options& options() const { return options_; }
+
+ private:
+  BatchEngine(const PartitionedCorpus* corpus, const Options& options)
+      : corpus_(corpus), options_(options) {}
+
+  /// Runs documents [lo, hi) on one worker's device context, writing into
+  /// (*runs)[lo..hi). Returns the first failure.
+  Status RunShard(Task task, size_t lo, size_t hi,
+                  std::vector<DocumentRun>* runs) const;
+
+  /// Composes per-document timings (document order) into the single-GPU
+  /// pipeline schedule and charges the corpus merge.
+  RunTiming ComposeTiming(const std::vector<DocumentRun>& runs,
+                          uint64_t merge_ops) const;
+
+  const PartitionedCorpus* corpus_;
+  Options options_;
+};
+
+}  // namespace gtadoc
+
+#endif  // GTADOC_ANALYTICS_BATCH_H_

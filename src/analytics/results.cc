@@ -75,6 +75,99 @@ void Canonicalize(AnalyticsResult* result) {
   }
 }
 
+void MergeResult(const AnalyticsResult& doc, uint32_t file_base,
+                 AnalyticsResult* acc, uint64_t* merge_ops) {
+  switch (acc->task) {
+    case Task::kWordCount:
+      for (const auto& [w, c] : doc.word_count) {
+        acc->word_count[w] += c;
+        ++*merge_ops;
+      }
+      break;
+    case Task::kSort:
+      // Counts accumulate by word id; FinalizeMergedResult re-sorts.
+      for (const auto& [w, c] : doc.sort) {
+        acc->word_count[w] += c;
+        ++*merge_ops;
+      }
+      break;
+    case Task::kInvertedIndex:
+      for (const auto& [w, files] : doc.inverted_index) {
+        auto& list = acc->inverted_index[w];
+        for (uint32_t f : files) list.push_back(f + file_base);
+        *merge_ops += files.size();
+      }
+      break;
+    case Task::kTermVector:
+      if (acc->term_vector.size() < file_base + doc.term_vector.size()) {
+        acc->term_vector.resize(file_base + doc.term_vector.size());
+      }
+      for (size_t f = 0; f < doc.term_vector.size(); ++f) {
+        acc->term_vector[file_base + f] = doc.term_vector[f];
+        *merge_ops += doc.term_vector[f].size();
+      }
+      break;
+    case Task::kSequenceCount:
+      for (const auto& [key, c] : doc.sequence_count) {
+        acc->sequence_count[{key.first + file_base, key.second}] = c;
+        ++*merge_ops;
+      }
+      break;
+    case Task::kRankedInvertedIndex:
+      for (const auto& [gram, files] : doc.ranked_inverted_index) {
+        auto& list = acc->ranked_inverted_index[gram];
+        for (const auto& [f, c] : files) list.emplace_back(f + file_base, c);
+        *merge_ops += files.size();
+      }
+      break;
+  }
+}
+
+void FinalizeMergedResult(AnalyticsResult* acc, uint64_t* merge_ops) {
+  if (acc->task == Task::kSort) {
+    acc->sort.assign(acc->word_count.begin(), acc->word_count.end());
+    std::sort(acc->sort.begin(), acc->sort.end(), CountDescIdAsc);
+    acc->word_count.clear();
+    *merge_ops += acc->sort.size() * 4;
+  } else if (acc->task == Task::kRankedInvertedIndex) {
+    for (auto& [gram, files] : acc->ranked_inverted_index) {
+      std::sort(files.begin(), files.end(), CountDescIdAsc);
+      *merge_ops += files.size() * 2;
+    }
+  }
+  Canonicalize(acc);
+}
+
+uint64_t ResultBytes(const AnalyticsResult& r, uint32_t ngram_len) {
+  const uint32_t l = ngram_len;
+  uint64_t bytes = 0;
+  switch (r.task) {
+    case Task::kWordCount:
+      bytes = r.word_count.size() * 12;
+      break;
+    case Task::kSort:
+      bytes = r.sort.size() * 12;
+      break;
+    case Task::kInvertedIndex:
+      for (const auto& [w, files] : r.inverted_index) {
+        bytes += 8 + files.size() * 4;
+      }
+      break;
+    case Task::kTermVector:
+      for (const auto& v : r.term_vector) bytes += 4 + v.size() * 12;
+      break;
+    case Task::kSequenceCount:
+      bytes = r.sequence_count.size() * (12 + 4ull * l);
+      break;
+    case Task::kRankedInvertedIndex:
+      for (const auto& [gram, files] : r.ranked_inverted_index) {
+        bytes += 4ull * l + files.size() * 12;
+      }
+      break;
+  }
+  return bytes;
+}
+
 bool AnalyticsResult::SameAs(const AnalyticsResult& other) const {
   if (task != other.task) return false;
   switch (task) {

@@ -65,6 +65,28 @@ struct AnalyticsResult {
 /// sort/termVector are broken by word id; file lists sorted).
 void Canonicalize(AnalyticsResult* result);
 
+/// \brief Folds one document's (or partition's) result into a corpus-level
+/// accumulator, shared by the coarse-grained CPU baseline and the GPU batch
+/// engine so both merge identically.
+///
+/// The document's local file ids are offset by `file_base` (its first global
+/// file id); word-keyed tables sum, file-keyed tables concatenate. Documents
+/// must share one word-id space (a common dictionary). For wordCount *and*
+/// sort the counts accumulate into `acc->word_count`; FinalizeMergedResult
+/// rebuilds the derived orderings afterwards. Merge work is counted into
+/// `merge_ops` with the engines' charge discipline (one op per moved entry).
+void MergeResult(const AnalyticsResult& doc, uint32_t file_base,
+                 AnalyticsResult* acc, uint64_t* merge_ops);
+
+/// Completes an accumulator built by MergeResult: materializes sort from the
+/// accumulated word counts, re-sorts rankedInvertedIndex file lists, and
+/// canonicalizes.
+void FinalizeMergedResult(AnalyticsResult* acc, uint64_t* merge_ops);
+
+/// Serialized size estimate of a result in bytes — the D2H drain volume of a
+/// GPU run and the shuffle volume of the distributed baseline.
+uint64_t ResultBytes(const AnalyticsResult& r, uint32_t ngram_len);
+
 }  // namespace gtadoc
 
 #endif  // GTADOC_ANALYTICS_RESULTS_H_

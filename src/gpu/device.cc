@@ -55,14 +55,17 @@ KernelCost Device::Launch(const char* name, uint32_t num_threads,
 
 void Device::CopyHostToDevice(size_t bytes) {
   stats_.h2d_bytes += bytes;
-  sim_seconds_ +=
-      static_cast<double>(bytes) / (spec_.pcie_bandwidth_gbps * 1e9);
+  sim_seconds_ += TransferSeconds(bytes);
 }
 
 void Device::CopyDeviceToHost(size_t bytes) {
   stats_.d2h_bytes += bytes;
-  sim_seconds_ +=
-      static_cast<double>(bytes) / (spec_.pcie_bandwidth_gbps * 1e9);
+  sim_seconds_ += TransferSeconds(bytes);
+}
+
+void Device::ChargeDeviceAlloc(uint64_t count) {
+  stats_.device_allocs += count;
+  sim_seconds_ += AllocSeconds(count);
 }
 
 void Device::RegisterAllocation(size_t bytes) {

@@ -73,6 +73,7 @@ struct DeviceStats {
   uint64_t total_atomics = 0;
   uint64_t h2d_bytes = 0;
   uint64_t d2h_bytes = 0;
+  uint64_t device_allocs = 0;  ///< charged allocation calls (ChargeDeviceAlloc)
   size_t peak_device_bytes = 0;
 };
 
@@ -109,6 +110,20 @@ class Device {
   /// Simulated PCIe transfers.
   void CopyHostToDevice(size_t bytes);
   void CopyDeviceToHost(size_t bytes);
+  /// Seconds one PCIe transfer of `bytes` takes under this spec.
+  double TransferSeconds(size_t bytes) const {
+    return static_cast<double>(bytes) / (spec_.pcie_bandwidth_gbps * 1e9);
+  }
+
+  /// Charges `count` device allocation calls (cudaMalloc-style latency).
+  /// Structures that rebuild per run pay this; the batch reuse paths
+  /// (MemoryPool::EnsureCapacity, DeviceGrammar::Rebind) skip it when the
+  /// existing capacity already fits.
+  void ChargeDeviceAlloc(uint64_t count = 1);
+  /// Seconds `count` allocation calls cost under this spec.
+  double AllocSeconds(uint64_t count) const {
+    return static_cast<double>(count) * spec_.device_alloc_us * 1e-6;
+  }
 
   /// Simulated elapsed seconds since construction or the last ResetClock.
   double SimSeconds() const { return sim_seconds_; }

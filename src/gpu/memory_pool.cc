@@ -3,8 +3,25 @@
 namespace gtadoc {
 namespace gpu {
 
+MemoryPool::MemoryPool(Device* device) : device_(device) {}
+
 MemoryPool::MemoryPool(Device* device, uint64_t capacity_slots)
-    : slab_(device, capacity_slots, 0ull) {}
+    : device_(device), slab_(device, capacity_slots, 0ull) {
+  if (capacity_slots > 0) device_->ChargeDeviceAlloc();
+}
+
+bool MemoryPool::EnsureCapacity(uint64_t slots) {
+  if (slots <= capacity()) return false;
+  device_->ChargeDeviceAlloc();
+  slab_ = DeviceBuffer<uint64_t>(device_, slots, 0ull);
+  Reset();
+  return true;
+}
+
+void MemoryPool::ResetForReuse() {
+  Reset();
+  slab_.Fill(0);
+}
 
 Result<std::vector<uint64_t>> MemoryPool::PlanRegions(
     const std::vector<uint64_t>& sizes) {

@@ -24,12 +24,35 @@ inline constexpr uint64_t kPoolInvalid = ~0ull;
 /// node").
 ///
 /// The slab is an array of uint64 slots; regions are measured in slots.
+///
+/// Allocation cost model: carving the slab out of device memory is one
+/// cudaMalloc-style driver call, charged to the owning device's clock. A
+/// batch of documents therefore wants ONE pool, grown to the corpus
+/// high-water mark and recycled between runs (EnsureCapacity + ResetForReuse)
+/// instead of a cold pool per run.
 class MemoryPool {
  public:
+  /// Empty pool bound to `device`; nothing is charged until the first
+  /// EnsureCapacity growth. This is the batch-reuse entry point.
+  explicit MemoryPool(Device* device);
+  /// Cold pool with `capacity_slots` slots; charges one device allocation.
   MemoryPool(Device* device, uint64_t capacity_slots);
 
   uint64_t capacity() const { return slab_.size(); }
   uint64_t used() const { return cursor_.load(std::memory_order_relaxed); }
+
+  /// Grows the slab to at least `slots` (charging one device allocation and
+  /// dropping all regions); no-op — and no charge — when the current slab
+  /// already fits. Returns true when it (re)allocated: the slab is then
+  /// already zeroed and needs no ResetForReuse. Growth invalidates
+  /// previously planned regions, so callers reuse pools only between runs,
+  /// never mid-run.
+  bool EnsureCapacity(uint64_t slots);
+
+  /// Returns the pool to its post-construction state for the next run: all
+  /// regions dropped and the slab zero-filled (kernels rely on fresh slabs
+  /// reading zero), without releasing or re-charging the device allocation.
+  void ResetForReuse();
 
   /// Host-side planning: assigns a contiguous region of sizes[i] slots per
   /// rule. Returns the region offsets (exclusive scan of sizes) or
@@ -51,6 +74,7 @@ class MemoryPool {
   void Reset() { cursor_.store(0, std::memory_order_relaxed); }
 
  private:
+  Device* device_;
   DeviceBuffer<uint64_t> slab_;
   std::atomic<uint64_t> cursor_{0};
 };

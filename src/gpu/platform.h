@@ -38,6 +38,13 @@ struct GpuSpec {
   /// hardware serializes them. Used for the global-lock ablation: a single
   /// lock word hammered by every inserting thread pays this rate.
   double same_address_atomic_ops_per_sec = 1.0e8;
+  /// Latency of one device memory allocation call (a cudaMalloc-style driver
+  /// round trip, ~10x a kernel launch). This is the per-run bill that the
+  /// Section IV-C self-maintained pool exists to avoid paying from thousands
+  /// of threads — and that batch execution amortizes by reusing one slab
+  /// across documents instead of reallocating per run. Structures charge one
+  /// call per packed arena (grammar CSR arena, pool slab), not per array.
+  double device_alloc_us = 10.0;
   size_t memory_bytes = 0;
 
   /// Total parallel width (logical threads resident at full occupancy).

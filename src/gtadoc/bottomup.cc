@@ -108,7 +108,7 @@ Status GTadocEngine::WordCountBottomUp(AnalyticsResult* out) {
   // genLocTblBoundKernel: lb[r] = own distinct words + sum of children's
   // bounds, clamped by the vocabulary (Algorithm 2 lines 5-9).
   std::vector<uint64_t> lb(n, 0);
-  internal::BottomUpRounds(device_.get(), dev_, "genLocTblBound",
+  internal::BottomUpRounds(device_, dev_, "genLocTblBound",
                  [&](uint32_t r, gpu::ThreadCtx& ctx) {
                    uint64_t b = dev_.word_off[r + 1] - dev_.word_off[r];
                    for (uint32_t e = dev_.child_off[r];
@@ -126,7 +126,8 @@ Status GTadocEngine::WordCountBottomUp(AnalyticsResult* out) {
     sizes[r] = LocalWordTable::SlotsFor(lb[r]);
     total_slots += sizes[r];
   }
-  gpu::MemoryPool pool(device_.get(), total_slots + 1);
+  PoolHandle lease = AcquirePool(total_slots + 1);
+  gpu::MemoryPool& pool = *lease.pool;
   auto offsets = pool.PlanRegions(sizes);
   if (!offsets.ok()) return offsets.status();
   std::vector<std::unique_ptr<LocalWordTable>> table(n);
@@ -136,7 +137,7 @@ Status GTadocEngine::WordCountBottomUp(AnalyticsResult* out) {
 
   // genLocTblKernel: merge own words plus children's tables (lines 12-16).
   const uint32_t rounds = internal::BottomUpRounds(
-      device_.get(), dev_, "genLocTbl", [&](uint32_t r, gpu::ThreadCtx& ctx) {
+      device_, dev_, "genLocTbl", [&](uint32_t r, gpu::ThreadCtx& ctx) {
         if (r == 0) return;  // root is handled by the reduce kernel
         table[r]->Clear(ctx);
         for (uint32_t e = dev_.word_off[r]; e < dev_.word_off[r + 1]; ++e) {
@@ -161,7 +162,7 @@ Status GTadocEngine::WordCountBottomUp(AnalyticsResult* out) {
       std::min<uint64_t>(1ull << 28, std::max<uint64_t>(total_entries, 64) + 64));
   topt.num_entries = topt.max_nodes / 2 + 64;
   topt.lock_mode = options_.lock_mode;
-  gpu::GpuHashTable global(device_.get(), topt);
+  gpu::GpuHashTable global(device_, topt);
 
   // Level-2 merges. Retry items must be idempotent, so the unit of work is a
   // single table slot (at most one global insert each), not a whole node.
@@ -179,7 +180,7 @@ Status GTadocEngine::WordCountBottomUp(AnalyticsResult* out) {
     }
   }
   bool ok = gpu::RoundLoop(
-      device_.get(), "reduceLevel2", slot_items.size(), 64,
+      device_, "reduceLevel2", slot_items.size(), 64,
       [&](size_t i, gpu::ThreadCtx& ctx) {
         const SlotItem& it = slot_items[i];
         ctx.Charge(1);
@@ -192,7 +193,7 @@ Status GTadocEngine::WordCountBottomUp(AnalyticsResult* out) {
       });
   if (!ok) return Status::Internal("global table undersized (level-2)");
   ok = gpu::RoundLoop(
-      device_.get(), "reduceRootWords",
+      device_, "reduceRootWords",
       dev_.word_off[1] - dev_.word_off[0], 64,
       [&](size_t i, gpu::ThreadCtx& ctx) {
         const uint32_t e = dev_.word_off[0] + static_cast<uint32_t>(i);
@@ -211,7 +212,7 @@ Status GTadocEngine::FileTaskBottomUp(Task task, AnalyticsResult* out) {
 
   // Bounds + tables exactly as in bottom-up word count.
   std::vector<uint64_t> lb(n, 0);
-  internal::BottomUpRounds(device_.get(), dev_, "genLocTblBound",
+  internal::BottomUpRounds(device_, dev_, "genLocTblBound",
                  [&](uint32_t r, gpu::ThreadCtx& ctx) {
                    uint64_t b = dev_.word_off[r + 1] - dev_.word_off[r];
                    for (uint32_t e = dev_.child_off[r];
@@ -227,7 +228,8 @@ Status GTadocEngine::FileTaskBottomUp(Task task, AnalyticsResult* out) {
     sizes[r] = LocalWordTable::SlotsFor(lb[r]);
     total_slots += sizes[r];
   }
-  gpu::MemoryPool pool(device_.get(), total_slots + 1);
+  PoolHandle lease = AcquirePool(total_slots + 1);
+  gpu::MemoryPool& pool = *lease.pool;
   auto offsets = pool.PlanRegions(sizes);
   if (!offsets.ok()) return offsets.status();
   std::vector<std::unique_ptr<LocalWordTable>> table(n);
@@ -235,7 +237,7 @@ Status GTadocEngine::FileTaskBottomUp(Task task, AnalyticsResult* out) {
     table[r] = std::make_unique<LocalWordTable>(&pool, (*offsets)[r], sizes[r]);
   }
   const uint32_t rounds = internal::BottomUpRounds(
-      device_.get(), dev_, "genLocTbl", [&](uint32_t r, gpu::ThreadCtx& ctx) {
+      device_, dev_, "genLocTbl", [&](uint32_t r, gpu::ThreadCtx& ctx) {
         if (r == 0) return;
         table[r]->Clear(ctx);
         for (uint32_t e = dev_.word_off[r]; e < dev_.word_off[r + 1]; ++e) {
@@ -262,7 +264,7 @@ Status GTadocEngine::FileTaskBottomUp(Task task, AnalyticsResult* out) {
   topt.max_nodes = static_cast<uint32_t>(std::min<uint64_t>(estimate + 64, 1ull << 28));
   topt.num_entries = topt.max_nodes / 2 + 64;
   topt.lock_mode = options_.lock_mode;
-  gpu::GpuHashTable global(device_.get(), topt);
+  gpu::GpuHashTable global(device_, topt);
 
   // Work items are single inserts so retries stay idempotent: one item per
   // root word position, plus one item per (level-2 occurrence, table slot).
@@ -285,7 +287,7 @@ Status GTadocEngine::FileTaskBottomUp(Task task, AnalyticsResult* out) {
     }
   }
   const bool ok = gpu::RoundLoop(
-      device_.get(), "fileReduceRootScan", scan_items.size(), 64,
+      device_, "fileReduceRootScan", scan_items.size(), 64,
       [&](size_t i, gpu::ThreadCtx& ctx) {
         const ScanItem& it = scan_items[i];
         const uint32_t file = dev_.root_file_of_pos[it.pos];

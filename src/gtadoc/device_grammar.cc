@@ -22,16 +22,60 @@ size_t DeviceGrammar::DeviceBytes() const {
 DeviceGrammar DeviceGrammar::Build(const Grammar& g, const DagView& dag,
                                    gpu::Device* device, bool charge_pcie) {
   DeviceGrammar d;
+  d.Rebind(g, dag, device, charge_pcie);
+  return d;
+}
+
+void DeviceGrammar::Rebind(const Grammar& g, const DagView& dag,
+                           gpu::Device* device, bool charge_pcie) {
+  DeviceGrammar& d = *this;
   const uint32_t n = static_cast<uint32_t>(dag.num_rules());
   d.num_rules = n;
   d.num_words = g.num_words;
   d.num_files = g.num_files();
 
+  // The CSR arrays live in one packed device arena (DeviceBytes() is its
+  // size): a cold Build pays its allocation call, and a Rebind pays again
+  // only when the new document outgrows some array's storage — a Rebind onto
+  // a same-shaped document pays nothing. Reserving up front means the fills
+  // below never reallocate.
+  uint64_t body_total = 0;
+  uint32_t child_total = 0, word_total = 0, parent_total = 0;
+  for (uint32_t r = 0; r < n; ++r) {
+    body_total += g.rules[r].size();
+    child_total += static_cast<uint32_t>(dag.children(r).size());
+    word_total += static_cast<uint32_t>(dag.words(r).size());
+    parent_total += static_cast<uint32_t>(dag.parents(r).size());
+  }
+  uint64_t grown = 0;
+  auto fit = [&grown](auto& vec, size_t need) {
+    if (need > vec.capacity()) {
+      ++grown;
+      vec.reserve(need);
+    }
+    vec.clear();
+  };
+  fit(d.body_off, n + 1);
+  fit(d.body_sym, body_total);
+  fit(d.child_off, n + 1);
+  fit(d.word_off, n + 1);
+  fit(d.parent_off, n + 1);
+  fit(d.child_id, child_total);
+  fit(d.child_freq, child_total);
+  fit(d.word_id, word_total);
+  fit(d.word_freq, word_total);
+  fit(d.parent_id, parent_total);
+  fit(d.in_edges_nonroot, n);
+  fit(d.num_children, n);
+  fit(d.root_freq, n);
+  fit(d.root_file_of_pos, g.rules[0].size());
+  fit(d.edge_index_in_child, child_total);
+  if (grown > 0) device->ChargeDeviceAlloc(1);
+
   d.body_off.resize(n + 1, 0);
   for (uint32_t r = 0; r < n; ++r) {
     d.body_off[r + 1] = d.body_off[r] + g.rules[r].size();
   }
-  d.body_sym.reserve(d.body_off[n]);
   for (uint32_t r = 0; r < n; ++r) {
     d.body_sym.insert(d.body_sym.end(), g.rules[r].begin(), g.rules[r].end());
   }
@@ -47,11 +91,6 @@ DeviceGrammar DeviceGrammar::Build(const Grammar& g, const DagView& dag,
     d.parent_off[r + 1] =
         d.parent_off[r] + static_cast<uint32_t>(dag.parents(r).size());
   }
-  d.child_id.reserve(d.child_off[n]);
-  d.child_freq.reserve(d.child_off[n]);
-  d.word_id.reserve(d.word_off[n]);
-  d.word_freq.reserve(d.word_off[n]);
-  d.parent_id.reserve(d.parent_off[n]);
   d.in_edges_nonroot.resize(n);
   d.num_children.resize(n);
   d.root_freq.resize(n);
@@ -104,7 +143,6 @@ DeviceGrammar DeviceGrammar::Build(const Grammar& g, const DagView& dag,
                    }
                    ctx.Charge(hi - lo);
                  });
-  return d;
 }
 
 }  // namespace gtadoc

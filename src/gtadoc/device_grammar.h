@@ -62,8 +62,20 @@ struct DeviceGrammar {
   /// transfer of the compressed data is charged; the paper assumes datasets
   /// that fit in GPU memory are resident (Section VI-A), so engines default
   /// to false and enable it only for the large-dataset experiments.
+  ///
+  /// The CSR arrays form one packed device arena whose allocation call is
+  /// charged to the device clock (a cold Build always pays it).
   static DeviceGrammar Build(const Grammar& g, const DagView& dag,
                              gpu::Device* device, bool charge_pcie = false);
+
+  /// Rebinds this arena to another document in place: array storage is
+  /// reused, and the arena allocation is re-charged only when the new
+  /// document outgrows it — the batch path that lets document i+1 skip the
+  /// per-document allocation bill a cold Build pays. The root-scan kernels
+  /// and the (optional) H2D transfer are charged as in Build; they are
+  /// per-document work that reuse cannot elide.
+  void Rebind(const Grammar& g, const DagView& dag, gpu::Device* device,
+              bool charge_pcie = false);
 };
 
 }  // namespace gtadoc

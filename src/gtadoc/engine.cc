@@ -16,17 +16,45 @@ Result<std::unique_ptr<GTadocEngine>> GTadocEngine::Create(
   if (options.ngram_len < 2) {
     return Status::InvalidArgument("ngram_len must be >= 2");
   }
+  if (options.shared_pool != nullptr && options.shared_device == nullptr) {
+    return Status::InvalidArgument("shared_pool requires shared_device");
+  }
   auto dag = DagView::Build(*g);
   if (!dag.ok()) return dag.status();
   std::unique_ptr<GTadocEngine> engine(
       new GTadocEngine(g, std::move(*dag), options));
-  engine->device_ =
-      std::make_unique<gpu::Device>(options.gpu, options.host_workers);
-  engine->dev_ = DeviceGrammar::Build(*g, engine->dag_, engine->device_.get(),
+  if (options.shared_device != nullptr) {
+    engine->device_ = options.shared_device;
+  } else {
+    engine->owned_device_ =
+        std::make_unique<gpu::Device>(options.gpu, options.host_workers);
+    engine->device_ = engine->owned_device_.get();
+  }
+  engine->device_->ResetClock();
+  const gpu::DeviceStats before = engine->device_->stats();
+  engine->dev_ = DeviceGrammar::Build(*g, engine->dag_, engine->device_,
                                       options.charge_pcie);
-  engine->create_seconds_ = engine->device_->SimSeconds();
-  engine->create_ops_ = engine->device_->stats().total_ops;
+  engine->MeasureCreate(before.total_ops, before.h2d_bytes);
   return engine;
+}
+
+Status GTadocEngine::Rebind(const Grammar* g) {
+  auto dag = DagView::Build(*g);
+  if (!dag.ok()) return dag.status();
+  g_ = g;
+  dag_ = std::move(*dag);
+  device_->ResetClock();
+  const gpu::DeviceStats before = device_->stats();
+  dev_.Rebind(*g, dag_, device_, options_.charge_pcie);
+  MeasureCreate(before.total_ops, before.h2d_bytes);
+  return Status::OK();
+}
+
+void GTadocEngine::MeasureCreate(uint64_t ops_before, uint64_t h2d_before) {
+  create_seconds_ = device_->SimSeconds();
+  create_ops_ = device_->stats().total_ops - ops_before;
+  upload_seconds_ = device_->TransferSeconds(
+      device_->stats().h2d_bytes - h2d_before);
 }
 
 TraversalStrategy GTadocEngine::ChosenStrategy(Task task) const {
@@ -44,6 +72,7 @@ Result<EngineRun> GTadocEngine::Run(Task task,
   Timer wall;
   device_->ResetClock();
   const uint64_t ops_before = device_->stats().total_ops;
+  const uint64_t allocs_before = device_->stats().device_allocs;
 
   Status st;
   double phase1_extra = 0;  // task-specific init (e.g. head/tail rounds)
@@ -69,7 +98,7 @@ Result<EngineRun> GTadocEngine::Run(Task task,
                   w,
               c);
         }
-        gpu::DeviceSortPairs(device_.get(), &kv);
+        gpu::DeviceSortPairs(device_, &kv);
         run.result.word_count.clear();
         run.result.task = Task::kSort;
         for (const auto& [key, c] : kv) {
@@ -94,12 +123,32 @@ Result<EngineRun> GTadocEngine::Run(Task task,
 
   Canonicalize(&run.result);
   const double sim = device_->SimSeconds();
-  run.timing.init_seconds = create_seconds_ + phase1_extra;
-  run.timing.traversal_seconds = sim - phase1_extra;
+  // Mid-run allocation calls (pools, per-run tables) belong to the paper's
+  // phase 1 ("pool planning"), not to graph traversal.
+  const double alloc_seconds =
+      device_->AllocSeconds(device_->stats().device_allocs - allocs_before);
+  run.timing.init_seconds = create_seconds_ + phase1_extra + alloc_seconds;
+  run.timing.traversal_seconds = sim - phase1_extra - alloc_seconds;
+  run.timing.upload_seconds = upload_seconds_;
   run.timing.wall_seconds = wall.ElapsedSeconds();
   run.timing.init_ops = create_ops_;
   run.timing.traversal_ops = device_->stats().total_ops - ops_before;
   return run;
+}
+
+GTadocEngine::PoolHandle GTadocEngine::AcquirePool(uint64_t slots) {
+  PoolHandle h;
+  if (options_.shared_pool != nullptr) {
+    // A grown slab arrives zeroed; only a kept slab needs the scrub.
+    if (!options_.shared_pool->EnsureCapacity(slots)) {
+      options_.shared_pool->ResetForReuse();
+    }
+    h.pool = options_.shared_pool;
+  } else {
+    h.owned = std::make_unique<gpu::MemoryPool>(device_, slots);
+    h.pool = h.owned.get();
+  }
+  return h;
 }
 
 uint32_t GTadocEngine::ComputeGlobalWeights(std::vector<uint64_t>* weights) {

@@ -10,6 +10,7 @@
 #include "format/grammar.h"
 #include "gpu/device.h"
 #include "gpu/hash_table.h"
+#include "gpu/memory_pool.h"
 #include "gtadoc/device_grammar.h"
 #include "gtadoc/scheduler.h"
 #include "tadoc/strategy.h"
@@ -54,6 +55,15 @@ class GTadocEngine {
     /// Default false: the paper assumes small datasets are GPU-resident; the
     /// dataset-C experiments enable it.
     bool charge_pcie = false;
+    /// Externally owned device to run on instead of creating one per engine.
+    /// Batch execution points every document engine of a worker at one device
+    /// so their pool and grammar storage can be recycled. Must outlive the
+    /// engine. Null: the engine owns a private device.
+    gpu::Device* shared_device = nullptr;
+    /// Externally owned memory pool recycled across runs/documents
+    /// (EnsureCapacity + ResetForReuse) instead of a cold per-run pool.
+    /// Must be bound to `shared_device`. Null: task bodies allocate per run.
+    gpu::MemoryPool* shared_pool = nullptr;
   };
 
   /// Validates the grammar, builds the DAG view, the device grammar and the
@@ -67,8 +77,15 @@ class GTadocEngine {
                         TraversalStrategy strategy_override =
                             TraversalStrategy::kAuto);
 
+  /// Re-targets the engine at another document without rebuilding the device
+  /// context: the device grammar is rebound in place (allocation calls are
+  /// charged only for arrays the new document outgrows) and subsequent Runs
+  /// charge the new document's init cost. The grammar must outlive the
+  /// engine. This is the batch warm path; a fresh Create is the cold path.
+  Status Rebind(const Grammar* g);
+
   const DagView& dag() const { return dag_; }
-  gpu::Device* device() { return device_.get(); }
+  gpu::Device* device() { return device_; }
   TraversalStrategy ChosenStrategy(Task task) const;
   const Options& options() const { return options_; }
 
@@ -86,6 +103,18 @@ class GTadocEngine {
   /// Result assembly helpers.
   void DrainWordTable(const gpu::GpuHashTable& table, AnalyticsResult* out);
 
+  /// The run's memory pool: the shared pool recycled in place when the
+  /// options carry one, otherwise a cold per-run pool (whose allocation call
+  /// is charged to the device clock).
+  struct PoolHandle {
+    gpu::MemoryPool* pool = nullptr;
+    std::unique_ptr<gpu::MemoryPool> owned;
+  };
+  PoolHandle AcquirePool(uint64_t slots);
+
+  /// (Re)measures init-phase cost: device-grammar build/rebind + root scan.
+  void MeasureCreate(uint64_t ops_before, uint64_t h2d_before);
+
   // --- top-down (topdown.cc) ---
   Status WordCountTopDown(AnalyticsResult* out);
   Status FileTaskTopDown(Task task, AnalyticsResult* out);
@@ -102,10 +131,14 @@ class GTadocEngine {
   const Grammar* g_;
   DagView dag_;
   Options options_;
-  std::unique_ptr<gpu::Device> device_;
+  std::unique_ptr<gpu::Device> owned_device_;
+  gpu::Device* device_ = nullptr;  ///< owned_device_ or options_.shared_device
   DeviceGrammar dev_;
-  /// Simulated seconds consumed by Create (charged into every Run's phase 1).
+  /// Simulated seconds consumed by Create/Rebind (charged into every Run's
+  /// phase 1), and the H2D share of them that a batch can overlap with a
+  /// previous document's traversal.
   double create_seconds_ = 0;
+  double upload_seconds_ = 0;
   uint64_t create_ops_ = 0;
   uint32_t last_rounds_ = 0;
 

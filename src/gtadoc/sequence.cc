@@ -104,7 +104,7 @@ Status GTadocEngine::SequenceTask(Task task, AnalyticsResult* out,
   // =========================================================================
   std::vector<uint64_t> exp_len(n, 0);
   internal::BottomUpRounds(
-      device_.get(), dev_, "expLen", [&](uint32_t r, gpu::ThreadCtx& ctx) {
+      device_, dev_, "expLen", [&](uint32_t r, gpu::ThreadCtx& ctx) {
         uint64_t total = 0;
         for (uint32_t e = dev_.word_off[r]; e < dev_.word_off[r + 1]; ++e) {
           total += dev_.word_freq[e];
@@ -379,10 +379,10 @@ Status GTadocEngine::SequenceTask(Task task, AnalyticsResult* out,
       static_cast<uint32_t>(std::min<uint64_t>(flat_items.size() + 64, 1ull << 27));
   nopt.num_entries = nopt.max_nodes / 2 + 64;
   nopt.lock_mode = options_.lock_mode;
-  gpu::GpuNgramTable table(device_.get(), nopt);
+  gpu::GpuNgramTable table(device_, nopt);
 
   const bool ok = gpu::RoundLoop(
-      device_.get(), "seqInsert", flat_items.size(), 32,
+      device_, "seqInsert", flat_items.size(), 32,
       [&](size_t i, gpu::ThreadCtx& ctx) {
         const SeqPair& sp = pairs[flat_items[i]];
         return table.AddOrInsert(ctx, sp.file, &gram_words[sp.gram_off],

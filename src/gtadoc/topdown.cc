@@ -38,7 +38,7 @@ Status GTadocEngine::WordCountTopDown(AnalyticsResult* out) {
   topt.max_nodes = static_cast<uint32_t>(total_entries) + 64;
   topt.num_entries = topt.max_nodes / 2 + 64;
   topt.lock_mode = options_.lock_mode;
-  gpu::GpuHashTable table(device_.get(), topt);
+  gpu::GpuHashTable table(device_, topt);
 
   (void)assign;
   bool ok;
@@ -56,7 +56,7 @@ Status GTadocEngine::WordCountTopDown(AnalyticsResult* out) {
     }
     std::vector<uint32_t> progress(dev_.num_rules, 0);
     ok = gpu::RoundLoop(
-        device_.get(), "reduceResultPerRule", rule_items.size(), 1,
+        device_, "reduceResultPerRule", rule_items.size(), 1,
         [&](size_t i, gpu::ThreadCtx& ctx) {
           const uint32_t r = rule_items[i];
           for (uint32_t e = dev_.word_off[r] + progress[r];
@@ -88,7 +88,7 @@ Status GTadocEngine::WordCountTopDown(AnalyticsResult* out) {
       }
     }
     ok = gpu::RoundLoop(
-        device_.get(), "reduceResult", items.size(), 64,
+        device_, "reduceResult", items.size(), 64,
         [&](size_t i, gpu::ThreadCtx& ctx) {
           const PendingEntry& pe = items[i];
           ctx.Charge(2);
@@ -179,8 +179,9 @@ Status GTadocEngine::FileTaskTopDown(Task task, AnalyticsResult* out) {
   // only the files a rule actually appears in. Both are carved from the
   // memory pool; the pool grows with rules x files, which is exactly why
   // top-down is the wrong strategy for many-file inputs (Section VI-C).
-  gpu::MemoryPool pool(device_.get(),
-                       static_cast<uint64_t>(n) * (num_files + num_files) + 1);
+  PoolHandle lease = AcquirePool(
+      static_cast<uint64_t>(n) * (num_files + num_files) + 1);
+  gpu::MemoryPool& pool = *lease.pool;
   std::vector<uint64_t> sizes(2 * n, 0);
   for (uint32_t r = 1; r < n; ++r) {
     sizes[2 * r] = num_files;      // dense weights
@@ -312,10 +313,10 @@ Status GTadocEngine::FileTaskTopDown(Task task, AnalyticsResult* out) {
       std::min<uint64_t>(items.size() + dev_.body_off[1] + 64, 1ull << 28));
   topt.num_entries = topt.max_nodes / 2 + 64;
   topt.lock_mode = options_.lock_mode;
-  gpu::GpuHashTable table(device_.get(), topt);
+  gpu::GpuHashTable table(device_, topt);
 
   bool ok = gpu::RoundLoop(
-      device_.get(), "fileReduce", items.size(), 16,
+      device_, "fileReduce", items.size(), 16,
       [&](size_t i, gpu::ThreadCtx& ctx) {
         const ReduceItem& it = items[i];
         const uint32_t file =
@@ -330,7 +331,7 @@ Status GTadocEngine::FileTaskTopDown(Task task, AnalyticsResult* out) {
 
   // Root-owned words: directly (file, word) with weight 1.
   ok = gpu::RoundLoop(
-      device_.get(), "rootWordsReduce", dev_.body_off[1], 256,
+      device_, "rootWordsReduce", dev_.body_off[1], 256,
       [&](size_t p, gpu::ThreadCtx& ctx) {
         const uint32_t sym = dev_.body_sym[p];
         ctx.Charge(1);

@@ -7,13 +7,18 @@
 
 namespace gtadoc {
 
-namespace {
-bool CountDescIdAsc(const std::pair<uint32_t, uint64_t>& a,
-                    const std::pair<uint32_t, uint64_t>& b) {
-  if (a.second != b.second) return a.second > b.second;
-  return a.first < b.first;
+Result<PartitionedCorpus> CorpusFromDocuments(std::vector<Grammar> documents) {
+  if (documents.empty()) return Status::InvalidArgument("no documents");
+  PartitionedCorpus out;
+  uint32_t base = 0;
+  for (Grammar& g : documents) {
+    out.file_base.push_back(base);
+    base += g.num_files();
+    out.partitions.push_back(std::move(g));
+  }
+  out.total_files = base;
+  return out;
 }
-}  // namespace
 
 Result<PartitionedCorpus> PartitionAndCompress(const Corpus& corpus,
                                                uint32_t num_partitions) {
@@ -67,7 +72,6 @@ ParallelTadocEngine::RunPartitions(Task task) const {
   if (task == Task::kTermVector) {
     o.merged.term_vector.resize(corpus_->total_files);
   }
-  std::map<uint32_t, uint64_t> word_counts;  // for wordCount/sort merging
 
   for (size_t p = 0; p < corpus_->partitions.size(); ++p) {
     auto engine = CpuTadocEngine::Create(&corpus_->partitions[p], options_);
@@ -81,95 +85,12 @@ ParallelTadocEngine::RunPartitions(Task task) const {
     o.init_total_ops += run->timing.init_ops;
     o.init_max_ops = std::max(o.init_max_ops, run->timing.init_ops);
 
-    const uint32_t base = corpus_->file_base[p];
-    const AnalyticsResult& r = run->result;
-    switch (task) {
-      case Task::kWordCount:
-      case Task::kSort: {
-        if (task == Task::kWordCount) {
-          for (const auto& [w, c] : r.word_count) {
-            word_counts[w] += c;
-            ++o.merge_ops;
-          }
-        } else {
-          for (const auto& [w, c] : r.sort) {
-            word_counts[w] += c;
-            ++o.merge_ops;
-          }
-        }
-        break;
-      }
-      case Task::kInvertedIndex:
-        for (const auto& [w, files] : r.inverted_index) {
-          auto& list = o.merged.inverted_index[w];
-          for (uint32_t f : files) list.push_back(f + base);
-          o.merge_ops += files.size();
-        }
-        break;
-      case Task::kTermVector:
-        for (size_t f = 0; f < r.term_vector.size(); ++f) {
-          o.merged.term_vector[base + f] = r.term_vector[f];
-          o.merge_ops += r.term_vector[f].size();
-        }
-        break;
-      case Task::kSequenceCount:
-        for (const auto& [key, c] : r.sequence_count) {
-          o.merged.sequence_count[{key.first + base, key.second}] = c;
-          ++o.merge_ops;
-        }
-        break;
-      case Task::kRankedInvertedIndex:
-        for (const auto& [gram, files] : r.ranked_inverted_index) {
-          auto& list = o.merged.ranked_inverted_index[gram];
-          for (const auto& [f, c] : files) list.emplace_back(f + base, c);
-          o.merge_ops += files.size();
-        }
-        break;
-    }
+    MergeResult(run->result, corpus_->file_base[p], &o.merged, &o.merge_ops);
   }
-
-  if (task == Task::kWordCount) {
-    o.merged.word_count = std::move(word_counts);
-  } else if (task == Task::kSort) {
-    o.merged.sort.assign(word_counts.begin(), word_counts.end());
-    std::sort(o.merged.sort.begin(), o.merged.sort.end(), CountDescIdAsc);
-    o.merge_ops += o.merged.sort.size() * 4;
-  } else if (task == Task::kRankedInvertedIndex) {
-    for (auto& [gram, files] : o.merged.ranked_inverted_index) {
-      std::sort(files.begin(), files.end(), CountDescIdAsc);
-      o.merge_ops += files.size() * 2;
-    }
-  }
-  Canonicalize(&o.merged);
+  FinalizeMergedResult(&o.merged, &o.merge_ops);
 
   // Shuffle volume estimate: serialized size of the merged result.
-  const uint32_t l = options_.ngram_len;
-  uint64_t bytes = 0;
-  switch (task) {
-    case Task::kWordCount:
-      bytes = o.merged.word_count.size() * 12;
-      break;
-    case Task::kSort:
-      bytes = o.merged.sort.size() * 12;
-      break;
-    case Task::kInvertedIndex:
-      for (const auto& [w, files] : o.merged.inverted_index) {
-        bytes += 8 + files.size() * 4;
-      }
-      break;
-    case Task::kTermVector:
-      for (const auto& v : o.merged.term_vector) bytes += 4 + v.size() * 12;
-      break;
-    case Task::kSequenceCount:
-      bytes = o.merged.sequence_count.size() * (12 + 4ull * l);
-      break;
-    case Task::kRankedInvertedIndex:
-      for (const auto& [gram, files] : o.merged.ranked_inverted_index) {
-        bytes += 4ull * l + files.size() * 12;
-      }
-      break;
-  }
-  o.result_bytes = bytes;
+  o.result_bytes = ResultBytes(o.merged, options_.ngram_len);
   return o;
 }
 

@@ -28,6 +28,13 @@ struct PartitionedCorpus {
 Result<PartitionedCorpus> PartitionAndCompress(const Corpus& corpus,
                                                uint32_t num_partitions);
 
+/// Wraps already-compressed documents as a partitioned corpus (file_base =
+/// running file totals). The documents must share one word-id space
+/// (CompressTokenStreams against a common dictionary); this is the input
+/// both the batch GPU engine and this CPU baseline consume, so their
+/// simulated times stay comparable.
+Result<PartitionedCorpus> CorpusFromDocuments(std::vector<Grammar> documents);
+
 /// \brief Coarse-grained parallel CPU TADOC ([4]) and its distributed
 /// extension (the paper's 10-node Spark baseline for dataset C).
 ///

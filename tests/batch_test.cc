@@ -1,0 +1,313 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "analytics/batch.h"
+#include "analytics/uncompressed.h"
+#include "datagen/datagen.h"
+#include "gpu/platform.h"
+#include "gtadoc/engine.h"
+#include "sequitur/compressor.h"
+#include "sequitur/tokenizer.h"
+#include "tadoc/cpu_engine.h"
+#include "tadoc/parallel_engine.h"
+
+namespace gtadoc {
+namespace {
+
+GTadocEngine::Options GpuOptions() {
+  GTadocEngine::Options opt;
+  opt.gpu = gpu::PascalPlatform().gpu;
+  opt.host_workers = 1;  // deterministic per-document runs
+  return opt;
+}
+
+CpuTadocOptions CpuOptions() {
+  CpuTadocOptions opt;
+  opt.cpu = gpu::PascalPlatform().cpu;
+  return opt;
+}
+
+/// A corpus of `num_files` template-heavy files, pre-partitioned into
+/// `num_documents` independently-compressed documents sharing one dictionary.
+PartitionedCorpus MakeCorpus(uint32_t num_files, uint32_t num_documents,
+                             uint64_t tokens = 6000, uint64_t seed = 7) {
+  DatasetSpec spec = DatasetA();
+  spec.num_files = num_files;
+  spec.total_tokens = tokens;
+  spec.vocabulary = 300;
+  spec.seed = seed;
+  Corpus corpus = GenerateCorpus(spec);
+  auto part = PartitionAndCompress(corpus, num_documents);
+  EXPECT_TRUE(part.ok()) << part.status().ToString();
+  return std::move(*part);
+}
+
+class BatchMatchesSingleRuns : public testing::TestWithParam<int> {};
+
+// The tentpole invariant: the merged batch result equals the union of
+// independent single-engine runs merged through the same MergeResult path.
+TEST_P(BatchMatchesSingleRuns, AllTasks) {
+  const Task task = AllTasks()[GetParam()];
+  PartitionedCorpus corpus = MakeCorpus(12, 4);
+
+  BatchEngine::Options bopt;
+  bopt.engine = GpuOptions();
+  auto batch = BatchEngine::Create(&corpus, bopt);
+  ASSERT_TRUE(batch.ok()) << batch.status().ToString();
+  auto run = (*batch)->Run(task);
+  ASSERT_TRUE(run.ok()) << run.status().ToString();
+  ASSERT_EQ(run->documents.size(), corpus.partitions.size());
+
+  AnalyticsResult expected;
+  expected.task = task;
+  uint64_t merge_ops = 0;
+  for (size_t d = 0; d < corpus.partitions.size(); ++d) {
+    auto engine = GTadocEngine::Create(&corpus.partitions[d], GpuOptions());
+    ASSERT_TRUE(engine.ok());
+    auto single = (*engine)->Run(task);
+    ASSERT_TRUE(single.ok()) << single.status().ToString();
+    EXPECT_TRUE(run->documents[d].result.SameAs(single->result))
+        << TaskName(task) << " doc " << d;
+    MergeResult(single->result, corpus.file_base[d], &expected, &merge_ops);
+  }
+  FinalizeMergedResult(&expected, &merge_ops);
+  EXPECT_TRUE(run->merged.SameAs(expected))
+      << TaskName(task) << ": " << run->merged.Digest() << " vs "
+      << expected.Digest();
+}
+
+INSTANTIATE_TEST_SUITE_P(AllTasks, BatchMatchesSingleRuns,
+                         testing::Range(0, 6), [](const auto& info) {
+                           return std::string(TaskName(AllTasks()[info.param]));
+                         });
+
+class BatchMatchesBaselines : public testing::TestWithParam<int> {};
+
+// Batch GPU == coarse-grained CPU baseline == uncompressed ground truth on
+// the same partitioned corpus, so simulated speedups compare equal outputs.
+TEST_P(BatchMatchesBaselines, AllTasks) {
+  const Task task = AllTasks()[GetParam()];
+  DatasetSpec spec = DatasetA();
+  spec.num_files = 12;
+  spec.total_tokens = 6000;
+  spec.vocabulary = 300;
+  spec.seed = 21;
+  Corpus corpus = GenerateCorpus(spec);
+  auto part = PartitionAndCompress(corpus, 4);
+  ASSERT_TRUE(part.ok());
+
+  BatchEngine::Options bopt;
+  bopt.engine = GpuOptions();
+  auto batch = BatchEngine::Create(&*part, bopt);
+  ASSERT_TRUE(batch.ok());
+  auto gpu_run = (*batch)->Run(task);
+  ASSERT_TRUE(gpu_run.ok()) << gpu_run.status().ToString();
+
+  auto cpu = ParallelTadocEngine::Create(&*part, CpuOptions());
+  ASSERT_TRUE(cpu.ok());
+  auto cpu_run = cpu->Run(task);
+  ASSERT_TRUE(cpu_run.ok());
+  EXPECT_TRUE(gpu_run->merged.SameAs(cpu_run->result))
+      << TaskName(task) << ": " << gpu_run->merged.Digest() << " vs "
+      << cpu_run->result.Digest();
+
+  TokenizedCorpus retok = Tokenize(corpus);
+  UncompressedAnalytics truth_engine(retok.file_tokens);
+  AnalyticsResult truth = truth_engine.RunSequential(task);
+  EXPECT_TRUE(gpu_run->merged.SameAs(truth))
+      << TaskName(task) << ": " << gpu_run->merged.Digest() << " vs "
+      << truth.Digest();
+}
+
+INSTANTIATE_TEST_SUITE_P(AllTasks, BatchMatchesBaselines,
+                         testing::Range(0, 6), [](const auto& info) {
+                           return std::string(TaskName(AllTasks()[info.param]));
+                         });
+
+// Host sharding must not change results or simulated totals: two runs with
+// host_workers > 1 agree with each other and with the serial execution.
+TEST(BatchEngineTest, DeterministicUnderHostSharding) {
+  PartitionedCorpus corpus = MakeCorpus(16, 8);
+
+  BatchEngine::Options serial;
+  serial.engine = GpuOptions();
+  serial.host_workers = 1;
+  BatchEngine::Options sharded = serial;
+  sharded.host_workers = 4;
+
+  auto run_once = [&corpus](const BatchEngine::Options& opt) {
+    auto engine = BatchEngine::Create(&corpus, opt);
+    EXPECT_TRUE(engine.ok());
+    auto run = (*engine)->Run(Task::kInvertedIndex);
+    EXPECT_TRUE(run.ok()) << run.status().ToString();
+    return std::move(*run);
+  };
+
+  BatchEngine::BatchRun a = run_once(sharded);
+  BatchEngine::BatchRun b = run_once(sharded);
+  EXPECT_TRUE(a.merged.SameAs(b.merged));
+  EXPECT_DOUBLE_EQ(a.timing.init_seconds, b.timing.init_seconds);
+  EXPECT_DOUBLE_EQ(a.timing.traversal_seconds, b.timing.traversal_seconds);
+  EXPECT_DOUBLE_EQ(a.timing.overlap_saved_seconds,
+                   b.timing.overlap_saved_seconds);
+
+  // Results (not timings: shard count changes context reuse) also match the
+  // serial execution.
+  BatchEngine::BatchRun c = run_once(serial);
+  EXPECT_TRUE(a.merged.SameAs(c.merged));
+  for (size_t d = 0; d < a.documents.size(); ++d) {
+    EXPECT_TRUE(a.documents[d].result.SameAs(c.documents[d].result)) << d;
+  }
+}
+
+// Device-state reuse must charge less init time than N cold lifecycles: only
+// the first document of a context pays the allocation calls.
+TEST(BatchEngineTest, PoolReuseChargesLessInitThanColdRuns) {
+  PartitionedCorpus corpus = MakeCorpus(16, 8);
+
+  BatchEngine::Options warm;
+  warm.engine = GpuOptions();
+  warm.reuse_device_state = true;
+  BatchEngine::Options cold = warm;
+  cold.reuse_device_state = false;
+
+  auto warm_engine = BatchEngine::Create(&corpus, warm);
+  auto cold_engine = BatchEngine::Create(&corpus, cold);
+  ASSERT_TRUE(warm_engine.ok());
+  ASSERT_TRUE(cold_engine.ok());
+  auto warm_run = (*warm_engine)->Run(Task::kWordCount);
+  auto cold_run = (*cold_engine)->Run(Task::kWordCount);
+  ASSERT_TRUE(warm_run.ok());
+  ASSERT_TRUE(cold_run.ok());
+
+  EXPECT_TRUE(warm_run->merged.SameAs(cold_run->merged));
+  EXPECT_LT(warm_run->timing.init_seconds, cold_run->timing.init_seconds);
+  EXPECT_LT(warm_run->timing.total_seconds(), cold_run->timing.total_seconds());
+
+  // Documents after the first charge strictly less init than their cold
+  // counterparts (no allocation calls on the warm path).
+  for (size_t d = 1; d < warm_run->documents.size(); ++d) {
+    EXPECT_LE(warm_run->documents[d].timing.init_seconds,
+              cold_run->documents[d].timing.init_seconds)
+        << d;
+  }
+}
+
+// With PCIe charging on, the pipeline hides upload time under traversal:
+// total < serial sum, and the saving is bounded by the uploads it can hide.
+TEST(BatchEngineTest, UploadOverlapShortensMakespan) {
+  PartitionedCorpus corpus = MakeCorpus(16, 8, /*tokens=*/12000);
+
+  BatchEngine::Options opt;
+  opt.engine = GpuOptions();
+  opt.engine.charge_pcie = true;
+  auto engine = BatchEngine::Create(&corpus, opt);
+  ASSERT_TRUE(engine.ok());
+  auto run = (*engine)->Run(Task::kWordCount);
+  ASSERT_TRUE(run.ok());
+
+  EXPECT_GT(run->timing.upload_seconds, 0.0);
+  EXPECT_GT(run->timing.overlap_saved_seconds, 0.0);
+  EXPECT_LT(run->timing.total_seconds(), run->timing.serial_seconds());
+  EXPECT_LE(run->timing.overlap_saved_seconds,
+            run->timing.upload_seconds + 1e-12);
+
+  // Turning the pipeline off recovers the serial sum.
+  BatchEngine::Options no_overlap = opt;
+  no_overlap.overlap_uploads = false;
+  auto serial_engine = BatchEngine::Create(&corpus, no_overlap);
+  ASSERT_TRUE(serial_engine.ok());
+  auto serial_run = (*serial_engine)->Run(Task::kWordCount);
+  ASSERT_TRUE(serial_run.ok());
+  EXPECT_EQ(serial_run->timing.overlap_saved_seconds, 0.0);
+  EXPECT_DOUBLE_EQ(serial_run->timing.total_seconds(),
+                   serial_run->timing.serial_seconds());
+}
+
+TEST(BatchEngineTest, AggregateTimingAccounting) {
+  PartitionedCorpus corpus = MakeCorpus(8, 4);
+  BatchEngine::Options opt;
+  opt.engine = GpuOptions();
+  auto engine = BatchEngine::Create(&corpus, opt);
+  ASSERT_TRUE(engine.ok());
+  auto run = (*engine)->Run(Task::kTermVector);
+  ASSERT_TRUE(run.ok());
+
+  EXPECT_EQ(run->timing.documents, 4u);
+  double init = 0, traversal = 0;
+  for (const auto& d : run->documents) {
+    init += d.timing.init_seconds;
+    traversal += d.timing.traversal_seconds;
+    EXPECT_EQ(d.timing.documents, 1u);
+  }
+  EXPECT_DOUBLE_EQ(run->timing.init_seconds, init);
+  // Aggregate traversal additionally carries the corpus merge reduce.
+  EXPECT_GE(run->timing.traversal_seconds, traversal);
+}
+
+TEST(BatchEngineTest, RejectsDegenerateInputs) {
+  PartitionedCorpus empty;
+  BatchEngine::Options opt;
+  opt.engine = GpuOptions();
+  EXPECT_TRUE(BatchEngine::Create(&empty, opt).status().IsInvalidArgument());
+  EXPECT_TRUE(BatchEngine::Create(nullptr, opt).status().IsInvalidArgument());
+
+  PartitionedCorpus corpus = MakeCorpus(4, 2);
+  BatchEngine::Options preset = opt;
+  gpu::Device device(opt.engine.gpu, 1);
+  preset.engine.shared_device = &device;
+  EXPECT_TRUE(
+      BatchEngine::Create(&corpus, preset).status().IsInvalidArgument());
+}
+
+TEST(BatchEngineTest, SingleDocumentBatchMatchesSingleEngine) {
+  PartitionedCorpus corpus = MakeCorpus(4, 1);
+  BatchEngine::Options opt;
+  opt.engine = GpuOptions();
+  auto batch = BatchEngine::Create(&corpus, opt);
+  ASSERT_TRUE(batch.ok());
+  auto run = (*batch)->Run(Task::kSequenceCount);
+  ASSERT_TRUE(run.ok());
+
+  auto engine = GTadocEngine::Create(&corpus.partitions[0], GpuOptions());
+  ASSERT_TRUE(engine.ok());
+  auto single = (*engine)->Run(Task::kSequenceCount);
+  ASSERT_TRUE(single.ok());
+  EXPECT_TRUE(run->merged.SameAs(single->result));
+}
+
+// GTadocEngine::Rebind re-targets an engine in place: results match a cold
+// engine on the same document, and the rebound init is cheaper because the
+// grammar arrays were recycled.
+TEST(EngineRebindTest, RebindMatchesColdEngine) {
+  PartitionedCorpus corpus = MakeCorpus(8, 2);
+
+  gpu::Device device(GpuOptions().gpu, 1);
+  gpu::MemoryPool pool(&device);
+  GTadocEngine::Options opt = GpuOptions();
+  opt.shared_device = &device;
+  opt.shared_pool = &pool;
+
+  auto engine = GTadocEngine::Create(&corpus.partitions[0], opt);
+  ASSERT_TRUE(engine.ok());
+  auto first = (*engine)->Run(Task::kWordCount);
+  ASSERT_TRUE(first.ok());
+
+  ASSERT_TRUE((*engine)->Rebind(&corpus.partitions[1]).ok());
+  auto second = (*engine)->Run(Task::kWordCount);
+  ASSERT_TRUE(second.ok());
+
+  auto cold = GTadocEngine::Create(&corpus.partitions[1], GpuOptions());
+  ASSERT_TRUE(cold.ok());
+  auto cold_run = (*cold)->Run(Task::kWordCount);
+  ASSERT_TRUE(cold_run.ok());
+
+  EXPECT_TRUE(second->result.SameAs(cold_run->result));
+  EXPECT_LT(second->timing.init_seconds, cold_run->timing.init_seconds);
+}
+
+}  // namespace
+}  // namespace gtadoc
