@@ -1,0 +1,170 @@
+// Out-of-tree task kernel: registers a toy "stopwordProfile" analytics task
+// at runtime and runs it through the GPU engine, the CPU baseline, and the
+// uncompressed reference — without touching a single engine or driver file.
+//
+// The kernel rides the global-weight traversal shape and declares an accept
+// set (the "stopword" list arrives through TaskInput::query_words), so every
+// engine automatically restricts its reduce to those words and the GPU
+// drivers prune rules whose subtree contains none of them.
+//
+// Build:  cmake -B build && cmake --build build
+// Run:    ./build/custom_task
+
+#include <cstdio>
+
+#include "analytics/task_kernel.h"
+#include "analytics/uncompressed.h"
+#include "common/hash.h"
+#include "datagen/datagen.h"
+#include "gtadoc/engine.h"
+#include "sequitur/compressor.h"
+#include "tadoc/cpu_engine.h"
+
+using namespace gtadoc;
+
+namespace {
+
+// Any id outside the built-in enum works; pick one far away from them.
+constexpr Task kStopwordProfile = static_cast<Task>(1000);
+
+/// Corpus-wide frequency of a fixed word set (word_count restricted to the
+/// query words). ~60 lines buys a task that runs on GPU, CPU, and
+/// uncompressed engines with identical results.
+class StopwordProfileKernel : public TaskKernel {
+ public:
+  Task task() const override { return kStopwordProfile; }
+  const char* name() const override { return "stopwordProfile"; }
+  TraversalShape shape() const override {
+    return TraversalShape::kGlobalWeight;
+  }
+
+  const std::vector<uint32_t>* AcceptedWords(
+      const TaskInput& input) const override {
+    return &input.query_words;
+  }
+
+  void AssembleGlobal(const TaskInput& input,
+                      const std::vector<std::pair<uint32_t, uint64_t>>& counts,
+                      AssemblyOps* ops, AnalyticsResult* out) const override {
+    (void)input;
+    for (const auto& [w, c] : counts) out->word_count[w] += c;
+    ops->ChargeUpdates(counts.size());
+  }
+
+  void Merge(const AnalyticsResult& doc, uint32_t file_base,
+             AnalyticsResult* acc, uint64_t* merge_ops) const override {
+    (void)file_base;
+    for (const auto& [w, c] : doc.word_count) {
+      acc->word_count[w] += c;
+      ++*merge_ops;
+    }
+  }
+
+  uint64_t ResultBytes(const AnalyticsResult& r,
+                       uint32_t ngram_len) const override {
+    (void)ngram_len;
+    return r.word_count.size() * 12;
+  }
+
+  bool Equal(const AnalyticsResult& a,
+             const AnalyticsResult& b) const override {
+    return a.word_count == b.word_count;
+  }
+
+  void DigestFold(const AnalyticsResult& r, uint64_t* h,
+                  size_t* entries) const override {
+    for (const auto& [w, c] : r.word_count) {
+      *h = HashCombine(HashCombine(*h, w), c);
+      ++*entries;
+    }
+  }
+
+  AnalyticsResult RunUncompressed(
+      const std::vector<std::vector<uint32_t>>& files, const TaskInput& input,
+      CpuCostMeter* meter) const override {
+    AnalyticsResult out;
+    out.task = kStopwordProfile;
+    for (const auto& file : files) {
+      for (uint32_t w : file) {
+        for (uint32_t q : input.query_words) {
+          if (w == q) {
+            ++out.word_count[w];
+            break;
+          }
+        }
+        if (meter != nullptr) meter->Charge(2);
+      }
+    }
+    return out;
+  }
+};
+
+}  // namespace
+
+int main() {
+  // 1. Register the kernel. From here on it behaves like a built-in task.
+  Status st = TaskRegistry::Instance().Register(
+      std::make_unique<StopwordProfileKernel>());
+  if (!st.ok()) {
+    std::fprintf(stderr, "register: %s\n", st.ToString().c_str());
+    return 1;
+  }
+  std::printf("registered task '%s' (id %d)\n", TaskName(kStopwordProfile),
+              static_cast<int>(kStopwordProfile));
+
+  // 2. A small synthetic corpus, compressed with TADOC.
+  DatasetSpec spec = DatasetD();
+  spec.num_files = 4;
+  spec.total_tokens = 20000;
+  Corpus corpus = GenerateCorpus(spec);
+  auto grammar = CompressCorpus(corpus);
+  if (!grammar.ok()) {
+    std::fprintf(stderr, "compress: %s\n",
+                 grammar.status().ToString().c_str());
+    return 1;
+  }
+
+  // 3. Profile the five most common word ids as a stand-in stopword list.
+  const std::vector<uint32_t> stopwords = {0, 1, 2, 3, 4};
+
+  GTadocEngine::Options gopt;
+  gopt.gpu = gpu::PascalPlatform().gpu;
+  gopt.query_words = stopwords;
+  auto engine = GTadocEngine::Create(&*grammar, gopt);
+  if (!engine.ok()) {
+    std::fprintf(stderr, "engine: %s\n", engine.status().ToString().c_str());
+    return 1;
+  }
+  auto gpu_run = (*engine)->Run(kStopwordProfile);
+  if (!gpu_run.ok()) {
+    std::fprintf(stderr, "gpu run: %s\n",
+                 gpu_run.status().ToString().c_str());
+    return 1;
+  }
+
+  CpuTadocOptions copt;
+  copt.cpu = gpu::PascalPlatform().cpu;
+  copt.query_words = stopwords;
+  auto cpu_engine = CpuTadocEngine::Create(&*grammar, copt);
+  auto cpu_run = cpu_engine->Run(kStopwordProfile);
+  if (!cpu_run.ok()) {
+    std::fprintf(stderr, "cpu run: %s\n",
+                 cpu_run.status().ToString().c_str());
+    return 1;
+  }
+
+  auto files = ExpandFiles(*grammar);
+  UncompressedAnalytics uncompressed(*files, 3, stopwords);
+  AnalyticsResult truth = uncompressed.RunSequential(kStopwordProfile);
+
+  const bool gpu_ok = gpu_run->result.SameAs(truth);
+  const bool cpu_ok = cpu_run->result.SameAs(truth);
+  std::printf("GPU == truth: %s   CPU == truth: %s\n", gpu_ok ? "yes" : "NO",
+              cpu_ok ? "yes" : "NO");
+  for (const auto& [w, c] : truth.word_count) {
+    std::printf("  stopword w%u: %llu occurrences\n", w,
+                static_cast<unsigned long long>(c));
+  }
+  std::printf("digest: %s\n", gpu_run->result.Digest().c_str());
+  return gpu_ok && cpu_ok ? 0 : 1;
+}

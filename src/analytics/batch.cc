@@ -69,7 +69,7 @@ Status BatchEngine::RunShard(Task task, size_t lo, size_t hi,
 RunTiming BatchEngine::ComposeTiming(const std::vector<DocumentRun>& runs,
                                      uint64_t merge_ops) const {
   RunTiming agg;
-  agg.documents = static_cast<uint32_t>(runs.size());
+  agg.documents = 0;  // empty accumulator; Accumulate sums per-run counts
   for (const DocumentRun& r : runs) agg.Accumulate(r.timing);
 
   // Two-engine pipeline over the documents in corpus order: uploads

@@ -42,14 +42,20 @@ struct RunTiming {
   /// Serial cost had every document run back-to-back with no overlap.
   double serial_seconds() const { return init_seconds + traversal_seconds; }
 
-  /// Folds one document's timing into this aggregate (sums phases and ops;
-  /// wall/overlap accounting is the batch scheduler's job).
+  /// Folds one timing (a single document, or a whole sub-aggregate) into
+  /// this aggregate: phases, ops, pipeline overlap and document counts all
+  /// sum, so serial_seconds()/total_seconds() of the aggregate equal the sum
+  /// of its parts. Start from a zeroed aggregate with `documents = 0` (the
+  /// default 1 describes a single run, not an empty accumulator); wall-clock
+  /// accounting stays the batch scheduler's job.
   void Accumulate(const RunTiming& doc) {
     init_seconds += doc.init_seconds;
     traversal_seconds += doc.traversal_seconds;
     upload_seconds += doc.upload_seconds;
+    overlap_saved_seconds += doc.overlap_saved_seconds;
     init_ops += doc.init_ops;
     traversal_ops += doc.traversal_ops;
+    documents += doc.documents;
   }
 };
 

@@ -1,28 +1,18 @@
 #include "analytics/results.h"
 
-#include <algorithm>
 #include <sstream>
 
-#include "common/hash.h"
+#include "analytics/task_kernel.h"
 
 namespace gtadoc {
 
+// Every per-task branch lives on the task's kernel (analytics/task_kernel.cc);
+// these free functions are the registry-backed entry points the rest of the
+// system calls, and they work for out-of-tree kernels too.
+
 const char* TaskName(Task task) {
-  switch (task) {
-    case Task::kWordCount:
-      return "wordCount";
-    case Task::kSort:
-      return "sort";
-    case Task::kInvertedIndex:
-      return "invertedIndex";
-    case Task::kTermVector:
-      return "termVector";
-    case Task::kSequenceCount:
-      return "sequenceCount";
-    case Task::kRankedInvertedIndex:
-      return "rankedInvertedIndex";
-  }
-  return "?";
+  const TaskKernel* kernel = TaskRegistry::Find(task);
+  return kernel == nullptr ? "?" : kernel->name();
 }
 
 std::vector<Task> AllTasks() {
@@ -32,206 +22,42 @@ std::vector<Task> AllTasks() {
 }
 
 bool IsSequenceTask(Task task) {
-  return task == Task::kSequenceCount || task == Task::kRankedInvertedIndex;
+  const TaskKernel* kernel = TaskRegistry::Find(task);
+  return kernel != nullptr && kernel->sequence_sensitive();
 }
-
-namespace {
-
-/// Orders (id, count) by count desc then id asc — the canonical tie-break for
-/// sort and termVector outputs.
-bool CountDescIdAsc(const std::pair<uint32_t, uint64_t>& a,
-                    const std::pair<uint32_t, uint64_t>& b) {
-  if (a.second != b.second) return a.second > b.second;
-  return a.first < b.first;
-}
-
-}  // namespace
 
 void Canonicalize(AnalyticsResult* result) {
-  switch (result->task) {
-    case Task::kWordCount:
-      break;  // std::map is already canonical
-    case Task::kSort:
-      std::sort(result->sort.begin(), result->sort.end(), CountDescIdAsc);
-      break;
-    case Task::kInvertedIndex:
-      for (auto& [word, files] : result->inverted_index) {
-        std::sort(files.begin(), files.end());
-        files.erase(std::unique(files.begin(), files.end()), files.end());
-      }
-      break;
-    case Task::kTermVector:
-      for (auto& vec : result->term_vector) {
-        std::sort(vec.begin(), vec.end(), CountDescIdAsc);
-      }
-      break;
-    case Task::kSequenceCount:
-      break;  // std::map canonical
-    case Task::kRankedInvertedIndex:
-      for (auto& [ngram, files] : result->ranked_inverted_index) {
-        std::sort(files.begin(), files.end(), CountDescIdAsc);
-      }
-      break;
-  }
+  const TaskKernel* kernel = TaskRegistry::Find(result->task);
+  if (kernel != nullptr) kernel->Canonicalize(result);
 }
 
 void MergeResult(const AnalyticsResult& doc, uint32_t file_base,
                  AnalyticsResult* acc, uint64_t* merge_ops) {
-  switch (acc->task) {
-    case Task::kWordCount:
-      for (const auto& [w, c] : doc.word_count) {
-        acc->word_count[w] += c;
-        ++*merge_ops;
-      }
-      break;
-    case Task::kSort:
-      // Counts accumulate by word id; FinalizeMergedResult re-sorts.
-      for (const auto& [w, c] : doc.sort) {
-        acc->word_count[w] += c;
-        ++*merge_ops;
-      }
-      break;
-    case Task::kInvertedIndex:
-      for (const auto& [w, files] : doc.inverted_index) {
-        auto& list = acc->inverted_index[w];
-        for (uint32_t f : files) list.push_back(f + file_base);
-        *merge_ops += files.size();
-      }
-      break;
-    case Task::kTermVector:
-      if (acc->term_vector.size() < file_base + doc.term_vector.size()) {
-        acc->term_vector.resize(file_base + doc.term_vector.size());
-      }
-      for (size_t f = 0; f < doc.term_vector.size(); ++f) {
-        acc->term_vector[file_base + f] = doc.term_vector[f];
-        *merge_ops += doc.term_vector[f].size();
-      }
-      break;
-    case Task::kSequenceCount:
-      for (const auto& [key, c] : doc.sequence_count) {
-        acc->sequence_count[{key.first + file_base, key.second}] = c;
-        ++*merge_ops;
-      }
-      break;
-    case Task::kRankedInvertedIndex:
-      for (const auto& [gram, files] : doc.ranked_inverted_index) {
-        auto& list = acc->ranked_inverted_index[gram];
-        for (const auto& [f, c] : files) list.emplace_back(f + file_base, c);
-        *merge_ops += files.size();
-      }
-      break;
-  }
+  const TaskKernel* kernel = TaskRegistry::Find(acc->task);
+  if (kernel != nullptr) kernel->Merge(doc, file_base, acc, merge_ops);
 }
 
 void FinalizeMergedResult(AnalyticsResult* acc, uint64_t* merge_ops) {
-  if (acc->task == Task::kSort) {
-    acc->sort.assign(acc->word_count.begin(), acc->word_count.end());
-    std::sort(acc->sort.begin(), acc->sort.end(), CountDescIdAsc);
-    acc->word_count.clear();
-    *merge_ops += acc->sort.size() * 4;
-  } else if (acc->task == Task::kRankedInvertedIndex) {
-    for (auto& [gram, files] : acc->ranked_inverted_index) {
-      std::sort(files.begin(), files.end(), CountDescIdAsc);
-      *merge_ops += files.size() * 2;
-    }
-  }
-  Canonicalize(acc);
+  const TaskKernel* kernel = TaskRegistry::Find(acc->task);
+  if (kernel != nullptr) kernel->FinalizeMerge(acc, merge_ops);
 }
 
 uint64_t ResultBytes(const AnalyticsResult& r, uint32_t ngram_len) {
-  const uint32_t l = ngram_len;
-  uint64_t bytes = 0;
-  switch (r.task) {
-    case Task::kWordCount:
-      bytes = r.word_count.size() * 12;
-      break;
-    case Task::kSort:
-      bytes = r.sort.size() * 12;
-      break;
-    case Task::kInvertedIndex:
-      for (const auto& [w, files] : r.inverted_index) {
-        bytes += 8 + files.size() * 4;
-      }
-      break;
-    case Task::kTermVector:
-      for (const auto& v : r.term_vector) bytes += 4 + v.size() * 12;
-      break;
-    case Task::kSequenceCount:
-      bytes = r.sequence_count.size() * (12 + 4ull * l);
-      break;
-    case Task::kRankedInvertedIndex:
-      for (const auto& [gram, files] : r.ranked_inverted_index) {
-        bytes += 4ull * l + files.size() * 12;
-      }
-      break;
-  }
-  return bytes;
+  const TaskKernel* kernel = TaskRegistry::Find(r.task);
+  return kernel == nullptr ? 0 : kernel->ResultBytes(r, ngram_len);
 }
 
 bool AnalyticsResult::SameAs(const AnalyticsResult& other) const {
   if (task != other.task) return false;
-  switch (task) {
-    case Task::kWordCount:
-      return word_count == other.word_count;
-    case Task::kSort:
-      return sort == other.sort;
-    case Task::kInvertedIndex:
-      return inverted_index == other.inverted_index;
-    case Task::kTermVector:
-      return term_vector == other.term_vector;
-    case Task::kSequenceCount:
-      return sequence_count == other.sequence_count;
-    case Task::kRankedInvertedIndex:
-      return ranked_inverted_index == other.ranked_inverted_index;
-  }
-  return false;
+  const TaskKernel* kernel = TaskRegistry::Find(task);
+  return kernel != nullptr && kernel->Equal(*this, other);
 }
 
 std::string AnalyticsResult::Digest() const {
   uint64_t h = 0;
   size_t entries = 0;
-  switch (task) {
-    case Task::kWordCount:
-      for (const auto& [w, c] : word_count) {
-        h = HashCombine(HashCombine(h, w), c);
-        ++entries;
-      }
-      break;
-    case Task::kSort:
-      for (const auto& [w, c] : sort) {
-        h = HashCombine(HashCombine(h, w), c);
-        ++entries;
-      }
-      break;
-    case Task::kInvertedIndex:
-      for (const auto& [w, files] : inverted_index) {
-        h = HashCombine(h, w);
-        for (uint32_t f : files) h = HashCombine(h, f);
-        ++entries;
-      }
-      break;
-    case Task::kTermVector:
-      for (const auto& vec : term_vector) {
-        for (const auto& [w, c] : vec) h = HashCombine(HashCombine(h, w), c);
-        ++entries;
-      }
-      break;
-    case Task::kSequenceCount:
-      for (const auto& [key, c] : sequence_count) {
-        h = HashCombine(h, key.first);
-        for (uint32_t w : key.second) h = HashCombine(h, w);
-        h = HashCombine(h, c);
-        ++entries;
-      }
-      break;
-    case Task::kRankedInvertedIndex:
-      for (const auto& [ngram, files] : ranked_inverted_index) {
-        for (uint32_t w : ngram) h = HashCombine(h, w);
-        for (const auto& [f, c] : files) h = HashCombine(HashCombine(h, f), c);
-        ++entries;
-      }
-      break;
-  }
+  const TaskKernel* kernel = TaskRegistry::Find(task);
+  if (kernel != nullptr) kernel->DigestFold(*this, &h, &entries);
   std::ostringstream os;
   os << TaskName(task) << "{entries=" << entries << ", digest=" << std::hex << h
      << "}";

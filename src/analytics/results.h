@@ -8,8 +8,11 @@
 
 namespace gtadoc {
 
-/// The six analytics tasks of TADOC/CompressDirect (Section V of the paper;
-/// semantics follow the Puma benchmark suite the TADOC line evaluates).
+/// The analytics tasks: the six of TADOC/CompressDirect (Section V of the
+/// paper; semantics follow the Puma benchmark suite the TADOC line evaluates)
+/// plus keyword search, the first task added through the TaskKernel registry.
+/// Out-of-tree kernels may register further ids beyond the named ones (see
+/// analytics/task_kernel.h).
 enum class Task : int {
   kWordCount = 0,
   kSort = 1,
@@ -17,12 +20,17 @@ enum class Task : int {
   kTermVector = 3,
   kSequenceCount = 4,
   kRankedInvertedIndex = 5,
+  kKeywordSearch = 6,
 };
 
+/// Kernel name for a registered task, "?" otherwise (display helper; the
+/// authoritative name lives on the kernel).
 const char* TaskName(Task task);
-/// All six tasks in the paper's order.
+/// The paper's six tasks in the paper's order (benchmark drivers iterate
+/// these; TaskRegistry::RegisteredTasks() lists every registered task).
 std::vector<Task> AllTasks();
-/// True for sequence count and ranked inverted index (need head/tail support).
+/// True for tasks that need the head/tail sequence machinery (delegates to
+/// the kernel's traversal shape).
 bool IsSequenceTask(Task task);
 
 /// word id -> total frequency across all files.
@@ -35,14 +43,20 @@ using SortResult = std::vector<std::pair<uint32_t, uint64_t>>;
 using InvertedIndexResult = std::map<uint32_t, std::vector<uint32_t>>;
 
 /// Per file: (word id, frequency) ordered by frequency desc, word id asc.
-using TermVectorResult = std::vector<std::vector<std::pair<uint32_t, uint64_t>>>;
+using TermVectorResult =
+    std::vector<std::vector<std::pair<uint32_t, uint64_t>>>;
 
 /// (file id, l-gram) -> count. The l-gram is the concatenated word ids.
-using SequenceCountResult = std::map<std::pair<uint32_t, std::vector<uint32_t>>, uint64_t>;
+using SequenceCountResult =
+    std::map<std::pair<uint32_t, std::vector<uint32_t>>, uint64_t>;
 
 /// l-gram -> (file id, count) ordered by count desc, file id asc.
 using RankedInvertedIndexResult =
     std::map<std::vector<uint32_t>, std::vector<std::pair<uint32_t, uint64_t>>>;
+
+/// (file id, total query-word hits) for every file containing at least one
+/// query word, ordered by file id asc.
+using KeywordSearchResult = std::vector<std::pair<uint32_t, uint64_t>>;
 
 /// \brief Union holder for one task's output, so engines can expose a single
 /// `Run(task)` entry point. Only the member matching `task` is populated.
@@ -54,6 +68,7 @@ struct AnalyticsResult {
   TermVectorResult term_vector;
   SequenceCountResult sequence_count;
   RankedInvertedIndexResult ranked_inverted_index;
+  KeywordSearchResult keyword_search;
 
   /// Structural equality on the member selected by `task`.
   bool SameAs(const AnalyticsResult& other) const;

@@ -1,0 +1,871 @@
+#include "analytics/task_kernel.h"
+
+#include <algorithm>
+#include <map>
+#include <mutex>
+#include <unordered_map>
+
+#include "common/hash.h"
+#include "common/logging.h"
+#include "common/status.h"
+#include "gpu/device.h"
+#include "gpu/primitives.h"
+
+namespace gtadoc {
+
+namespace {
+
+/// Orders (id, count) by count desc then id asc — the canonical tie-break for
+/// sort, termVector and rankedInvertedIndex outputs.
+bool CountDescIdAsc(const std::pair<uint32_t, uint64_t>& a,
+                    const std::pair<uint32_t, uint64_t>& b) {
+  if (a.second != b.second) return a.second > b.second;
+  return a.first < b.first;
+}
+
+uint64_t Log2Ceil(uint64_t n) {
+  uint64_t l = 1;
+  while ((1ull << l) < n + 1) ++l;
+  return l;
+}
+
+/// Per-rule bytes at which the default strategy heuristic abandons top-down:
+/// the paper's observation that a 16-byte file buffer (4 files) is negligible
+/// scales to kFileCountThreshold files of dense+list state (16 bytes each).
+constexpr uint64_t kTopDownStateByteLimit = 16ull * kFileCountThreshold;
+
+}  // namespace
+
+const char* TraversalShapeName(TraversalShape shape) {
+  switch (shape) {
+    case TraversalShape::kGlobalWeight:
+      return "globalWeight";
+    case TraversalShape::kPerFileWeight:
+      return "perFileWeight";
+    case TraversalShape::kSequence:
+      return "sequence";
+  }
+  return "?";
+}
+
+// ---------------------------------------------------------------------------
+// AssemblyOps backends
+// ---------------------------------------------------------------------------
+
+void CpuAssembly::ChargeUpdates(uint64_t n) {
+  if (meter_ != nullptr) meter_->Charge(n);
+}
+
+void CpuAssembly::ChargeSort(uint64_t n) {
+  if (meter_ != nullptr && n > 0) meter_->Charge(4 * n * Log2Ceil(n));
+}
+
+void CpuAssembly::ChargeGroupSort(uint64_t groups, uint64_t entries) {
+  (void)groups;
+  if (meter_ != nullptr) meter_->Charge(2 * entries);
+}
+
+void CpuAssembly::SortPairs(std::vector<std::pair<uint64_t, uint64_t>>* kv) {
+  std::sort(kv->begin(), kv->end());
+  ChargeSort(kv->size());
+}
+
+void GpuAssembly::ChargeUpdates(uint64_t n) {
+  // Host-side reshaping of an already-drained table: free, as in the
+  // hand-written drivers this replaces (the drain's D2H copy is charged by
+  // the driver).
+  (void)n;
+}
+
+void GpuAssembly::ChargeSort(uint64_t n) {
+  if (n == 0) return;
+  const uint64_t per_thread = 2 * Log2Ceil(n);
+  device_->Launch("assembleSort",
+                  static_cast<uint32_t>(std::min<uint64_t>(n, 1u << 20)),
+                  [&](gpu::ThreadCtx& ctx) { ctx.Charge(per_thread); });
+}
+
+void GpuAssembly::ChargeGroupSort(uint64_t groups, uint64_t entries) {
+  (void)entries;
+  if (groups == 0) return;
+  // One logical thread per group orders its (small) list — the old rankSort
+  // kernel.
+  device_->Launch("assembleGroupSort",
+                  static_cast<uint32_t>(std::min<uint64_t>(groups, 1u << 26)),
+                  [&](gpu::ThreadCtx& ctx) { ctx.Charge(8); });
+}
+
+void GpuAssembly::SortPairs(std::vector<std::pair<uint64_t, uint64_t>>* kv) {
+  gpu::DeviceSortPairs(device_, kv);
+}
+
+// ---------------------------------------------------------------------------
+// TaskKernel defaults
+// ---------------------------------------------------------------------------
+
+uint64_t TaskKernel::StateBytesPerRule(const Grammar& g, const TaskInput& input,
+                                       TraversalStrategy strategy) const {
+  switch (shape()) {
+    case TraversalShape::kGlobalWeight:
+      return 8;  // one scalar occurrence weight
+    case TraversalShape::kPerFileWeight:
+      // Top-down carries a dense per-file weight array plus a nonzero list
+      // (8 bytes each); bottom-up keeps a word-keyed local table whose size
+      // is input- not file-bound.
+      return strategy == TraversalStrategy::kBottomUp
+                 ? 16
+                 : 16ull * g.num_files();
+    case TraversalShape::kSequence:
+      // The window pipeline needs head/tail buffers either way; the
+      // strategy-sensitive term is the per-file weight state, as for
+      // kPerFileWeight. (input.ngram_len sizes the head/tail buffers but
+      // does not influence direction.)
+      (void)input;
+      return 16ull * g.num_files();
+  }
+  return 8;
+}
+
+TraversalStrategy TaskKernel::PreferredStrategy(const Grammar& g,
+                                                const DagView& dag,
+                                                const TaskInput& input) const {
+  (void)dag;
+  // The adaptive selector of [4], generalized: propagate top-down while the
+  // per-rule accumulator footprint stays negligible, fall back to bottom-up
+  // local tables once it grows with the input (Section VI-C).
+  const uint64_t per_rule =
+      StateBytesPerRule(g, input, TraversalStrategy::kTopDown);
+  return per_rule > kTopDownStateByteLimit ? TraversalStrategy::kBottomUp
+                                           : TraversalStrategy::kTopDown;
+}
+
+void TaskKernel::AssembleGlobal(
+    const TaskInput& input,
+    const std::vector<std::pair<uint32_t, uint64_t>>& counts, AssemblyOps* ops,
+    AnalyticsResult* out) const {
+  (void)input;
+  (void)counts;
+  (void)ops;
+  (void)out;
+  GTADOC_LOG(Error) << "kernel '" << name()
+                    << "' does not implement AssembleGlobal";
+  GTADOC_CHECK(false);
+}
+
+void TaskKernel::AssembleFileWord(const TaskInput& input, uint32_t num_files,
+                                  const std::vector<FileWordCount>& counts,
+                                  AssemblyOps* ops,
+                                  AnalyticsResult* out) const {
+  (void)input;
+  (void)num_files;
+  (void)counts;
+  (void)ops;
+  (void)out;
+  GTADOC_LOG(Error) << "kernel '" << name()
+                    << "' does not implement AssembleFileWord";
+  GTADOC_CHECK(false);
+}
+
+void TaskKernel::AssembleSequence(const TaskInput& input,
+                                  std::vector<gpu::NgramCount> counts,
+                                  AssemblyOps* ops,
+                                  AnalyticsResult* out) const {
+  (void)input;
+  (void)counts;
+  (void)ops;
+  (void)out;
+  GTADOC_LOG(Error) << "kernel '" << name()
+                    << "' does not implement AssembleSequence";
+  GTADOC_CHECK(false);
+}
+
+void TaskKernel::FinalizeMerge(AnalyticsResult* acc,
+                               uint64_t* merge_ops) const {
+  (void)merge_ops;
+  Canonicalize(acc);
+}
+
+// ---------------------------------------------------------------------------
+// WordFilter
+// ---------------------------------------------------------------------------
+
+WordFilter::WordFilter(const TaskKernel& kernel, const TaskInput& input,
+                       uint32_t num_words) {
+  const std::vector<uint32_t>* accepted = kernel.AcceptedWords(input);
+  if (accepted == nullptr) {
+    accepted_count_ = num_words;
+    return;
+  }
+  selective_ = true;
+  bits_.assign(num_words, 0);
+  for (uint32_t w : *accepted) {
+    if (w < num_words && bits_[w] == 0) {
+      bits_[w] = 1;
+      ++accepted_count_;
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Built-in kernels. Each class is the complete definition of one task: its
+// shape, its assembly from the shape's canonical accumulator, its merge and
+// result operations, and its uncompressed reference loop.
+// ---------------------------------------------------------------------------
+
+namespace {
+
+// ------------------------------------------------------------- wordCount ---
+
+class WordCountKernel : public TaskKernel {
+ public:
+  Task task() const override { return Task::kWordCount; }
+  const char* name() const override { return "wordCount"; }
+  TraversalShape shape() const override {
+    return TraversalShape::kGlobalWeight;
+  }
+
+  void AssembleGlobal(const TaskInput& input,
+                      const std::vector<std::pair<uint32_t, uint64_t>>& counts,
+                      AssemblyOps* ops, AnalyticsResult* out) const override {
+    (void)input;
+    for (const auto& [w, c] : counts) out->word_count[w] += c;
+    ops->ChargeUpdates(counts.size());
+  }
+
+  void Merge(const AnalyticsResult& doc, uint32_t file_base,
+             AnalyticsResult* acc, uint64_t* merge_ops) const override {
+    (void)file_base;  // word-keyed: file ids do not appear
+    for (const auto& [w, c] : doc.word_count) {
+      acc->word_count[w] += c;
+      ++*merge_ops;
+    }
+  }
+
+  uint64_t ResultBytes(const AnalyticsResult& r,
+                       uint32_t ngram_len) const override {
+    (void)ngram_len;
+    return r.word_count.size() * 12;
+  }
+
+  bool Equal(const AnalyticsResult& a,
+             const AnalyticsResult& b) const override {
+    return a.word_count == b.word_count;
+  }
+
+  void DigestFold(const AnalyticsResult& r, uint64_t* h,
+                  size_t* entries) const override {
+    for (const auto& [w, c] : r.word_count) {
+      *h = HashCombine(HashCombine(*h, w), c);
+      ++*entries;
+    }
+  }
+
+  AnalyticsResult RunUncompressed(
+      const std::vector<std::vector<uint32_t>>& files, const TaskInput& input,
+      CpuCostMeter* meter) const override {
+    (void)input;
+    AnalyticsResult out;
+    out.task = Task::kWordCount;
+    std::unordered_map<uint32_t, uint64_t> counts;
+    for (const auto& file : files) {
+      for (uint32_t w : file) {
+        ++counts[w];
+        if (meter != nullptr) meter->Charge(kCpuHashUpdateOps);
+      }
+    }
+    out.word_count.insert(counts.begin(), counts.end());
+    if (meter != nullptr) meter->Charge(counts.size());
+    return out;
+  }
+};
+
+// ------------------------------------------------------------------ sort ---
+
+class SortKernel : public TaskKernel {
+ public:
+  Task task() const override { return Task::kSort; }
+  const char* name() const override { return "sort"; }
+  TraversalShape shape() const override {
+    return TraversalShape::kGlobalWeight;
+  }
+
+  void AssembleGlobal(const TaskInput& input,
+                      const std::vector<std::pair<uint32_t, uint64_t>>& counts,
+                      AssemblyOps* ops, AnalyticsResult* out) const override {
+    (void)input;
+    // Pack (inverted count, word id) so ascending key order equals
+    // (count desc, word asc); the backend charges its sort.
+    std::vector<std::pair<uint64_t, uint64_t>> kv;
+    kv.reserve(counts.size());
+    for (const auto& [w, c] : counts) {
+      kv.emplace_back(
+          (static_cast<uint64_t>(UINT32_MAX - static_cast<uint32_t>(c)) << 32) |
+              w,
+          c);
+    }
+    ops->SortPairs(&kv);
+    out->sort.reserve(kv.size());
+    for (const auto& [key, c] : kv) {
+      out->sort.emplace_back(static_cast<uint32_t>(key & 0xffffffffu), c);
+    }
+  }
+
+  void Canonicalize(AnalyticsResult* r) const override {
+    std::sort(r->sort.begin(), r->sort.end(), CountDescIdAsc);
+  }
+
+  void Merge(const AnalyticsResult& doc, uint32_t file_base,
+             AnalyticsResult* acc, uint64_t* merge_ops) const override {
+    (void)file_base;
+    // Counts accumulate by word id; FinalizeMerge re-derives the ordering.
+    for (const auto& [w, c] : doc.sort) {
+      acc->word_count[w] += c;
+      ++*merge_ops;
+    }
+  }
+
+  void FinalizeMerge(AnalyticsResult* acc, uint64_t* merge_ops) const override {
+    acc->sort.assign(acc->word_count.begin(), acc->word_count.end());
+    std::sort(acc->sort.begin(), acc->sort.end(), CountDescIdAsc);
+    acc->word_count.clear();
+    *merge_ops += acc->sort.size() * 4;
+    Canonicalize(acc);
+  }
+
+  uint64_t ResultBytes(const AnalyticsResult& r,
+                       uint32_t ngram_len) const override {
+    (void)ngram_len;
+    return r.sort.size() * 12;
+  }
+
+  bool Equal(const AnalyticsResult& a,
+             const AnalyticsResult& b) const override {
+    return a.sort == b.sort;
+  }
+
+  void DigestFold(const AnalyticsResult& r, uint64_t* h,
+                  size_t* entries) const override {
+    for (const auto& [w, c] : r.sort) {
+      *h = HashCombine(HashCombine(*h, w), c);
+      ++*entries;
+    }
+  }
+
+  AnalyticsResult RunUncompressed(
+      const std::vector<std::vector<uint32_t>>& files, const TaskInput& input,
+      CpuCostMeter* meter) const override {
+    (void)input;
+    AnalyticsResult out;
+    out.task = Task::kSort;
+    std::unordered_map<uint32_t, uint64_t> counts;
+    for (const auto& file : files) {
+      for (uint32_t w : file) {
+        ++counts[w];
+        if (meter != nullptr) meter->Charge(kCpuHashUpdateOps);
+      }
+    }
+    out.sort.assign(counts.begin(), counts.end());
+    std::sort(out.sort.begin(), out.sort.end(), CountDescIdAsc);
+    if (meter != nullptr) {
+      meter->Charge(4 * counts.size() * Log2Ceil(counts.size()));
+    }
+    return out;
+  }
+};
+
+// ----------------------------------------------------------- invertedIndex ---
+
+class InvertedIndexKernel : public TaskKernel {
+ public:
+  Task task() const override { return Task::kInvertedIndex; }
+  const char* name() const override { return "invertedIndex"; }
+  TraversalShape shape() const override {
+    return TraversalShape::kPerFileWeight;
+  }
+
+  void AssembleFileWord(const TaskInput& input, uint32_t num_files,
+                        const std::vector<FileWordCount>& counts,
+                        AssemblyOps* ops, AnalyticsResult* out) const override {
+    (void)input;
+    (void)num_files;
+    for (const FileWordCount& e : counts) {
+      out->inverted_index[e.word].push_back(e.file);
+    }
+    ops->ChargeUpdates(2 * counts.size());
+  }
+
+  void Canonicalize(AnalyticsResult* r) const override {
+    for (auto& [word, files] : r->inverted_index) {
+      (void)word;
+      std::sort(files.begin(), files.end());
+      files.erase(std::unique(files.begin(), files.end()), files.end());
+    }
+  }
+
+  void Merge(const AnalyticsResult& doc, uint32_t file_base,
+             AnalyticsResult* acc, uint64_t* merge_ops) const override {
+    for (const auto& [w, files] : doc.inverted_index) {
+      auto& list = acc->inverted_index[w];
+      for (uint32_t f : files) list.push_back(f + file_base);
+      *merge_ops += files.size();
+    }
+  }
+
+  uint64_t ResultBytes(const AnalyticsResult& r,
+                       uint32_t ngram_len) const override {
+    (void)ngram_len;
+    uint64_t bytes = 0;
+    for (const auto& [w, files] : r.inverted_index) {
+      (void)w;
+      bytes += 8 + files.size() * 4;
+    }
+    return bytes;
+  }
+
+  bool Equal(const AnalyticsResult& a,
+             const AnalyticsResult& b) const override {
+    return a.inverted_index == b.inverted_index;
+  }
+
+  void DigestFold(const AnalyticsResult& r, uint64_t* h,
+                  size_t* entries) const override {
+    for (const auto& [w, files] : r.inverted_index) {
+      *h = HashCombine(*h, w);
+      for (uint32_t f : files) *h = HashCombine(*h, f);
+      ++*entries;
+    }
+  }
+
+  AnalyticsResult RunUncompressed(
+      const std::vector<std::vector<uint32_t>>& files, const TaskInput& input,
+      CpuCostMeter* meter) const override {
+    (void)input;
+    AnalyticsResult out;
+    out.task = Task::kInvertedIndex;
+    for (uint32_t f = 0; f < files.size(); ++f) {
+      for (uint32_t w : files[f]) {
+        auto& list = out.inverted_index[w];
+        if (list.empty() || list.back() != f) list.push_back(f);
+        if (meter != nullptr) meter->Charge(kCpuHashUpdateOps);
+      }
+    }
+    return out;
+  }
+};
+
+// -------------------------------------------------------------- termVector ---
+
+class TermVectorKernel : public TaskKernel {
+ public:
+  Task task() const override { return Task::kTermVector; }
+  const char* name() const override { return "termVector"; }
+  TraversalShape shape() const override {
+    return TraversalShape::kPerFileWeight;
+  }
+
+  void AssembleFileWord(const TaskInput& input, uint32_t num_files,
+                        const std::vector<FileWordCount>& counts,
+                        AssemblyOps* ops, AnalyticsResult* out) const override {
+    (void)input;
+    if (out->term_vector.size() < num_files) out->term_vector.resize(num_files);
+    for (const FileWordCount& e : counts) {
+      out->term_vector[e.file].emplace_back(e.word, e.count);
+    }
+    ops->ChargeUpdates(4 * counts.size());
+  }
+
+  void Canonicalize(AnalyticsResult* r) const override {
+    for (auto& vec : r->term_vector) {
+      std::sort(vec.begin(), vec.end(), CountDescIdAsc);
+    }
+  }
+
+  void Merge(const AnalyticsResult& doc, uint32_t file_base,
+             AnalyticsResult* acc, uint64_t* merge_ops) const override {
+    if (acc->term_vector.size() < file_base + doc.term_vector.size()) {
+      acc->term_vector.resize(file_base + doc.term_vector.size());
+    }
+    for (size_t f = 0; f < doc.term_vector.size(); ++f) {
+      acc->term_vector[file_base + f] = doc.term_vector[f];
+      *merge_ops += doc.term_vector[f].size();
+    }
+  }
+
+  uint64_t ResultBytes(const AnalyticsResult& r,
+                       uint32_t ngram_len) const override {
+    (void)ngram_len;
+    uint64_t bytes = 0;
+    for (const auto& v : r.term_vector) bytes += 4 + v.size() * 12;
+    return bytes;
+  }
+
+  bool Equal(const AnalyticsResult& a,
+             const AnalyticsResult& b) const override {
+    return a.term_vector == b.term_vector;
+  }
+
+  void DigestFold(const AnalyticsResult& r, uint64_t* h,
+                  size_t* entries) const override {
+    for (const auto& vec : r.term_vector) {
+      for (const auto& [w, c] : vec) *h = HashCombine(HashCombine(*h, w), c);
+      ++*entries;
+    }
+  }
+
+  AnalyticsResult RunUncompressed(
+      const std::vector<std::vector<uint32_t>>& files, const TaskInput& input,
+      CpuCostMeter* meter) const override {
+    (void)input;
+    AnalyticsResult out;
+    out.task = Task::kTermVector;
+    out.term_vector.resize(files.size());
+    for (uint32_t f = 0; f < files.size(); ++f) {
+      std::unordered_map<uint32_t, uint64_t> counts;
+      for (uint32_t w : files[f]) {
+        ++counts[w];
+        if (meter != nullptr) meter->Charge(kCpuHashUpdateOps);
+      }
+      out.term_vector[f].assign(counts.begin(), counts.end());
+      std::sort(out.term_vector[f].begin(), out.term_vector[f].end(),
+                CountDescIdAsc);
+      if (meter != nullptr) meter->Charge(counts.size() * 4);
+    }
+    return out;
+  }
+};
+
+// ----------------------------------------------------------- sequenceCount ---
+
+class SequenceCountKernel : public TaskKernel {
+ public:
+  Task task() const override { return Task::kSequenceCount; }
+  const char* name() const override { return "sequenceCount"; }
+  TraversalShape shape() const override { return TraversalShape::kSequence; }
+
+  void AssembleSequence(const TaskInput& input,
+                        std::vector<gpu::NgramCount> counts, AssemblyOps* ops,
+                        AnalyticsResult* out) const override {
+    (void)input;
+    ops->ChargeUpdates(counts.size());
+    for (auto& nc : counts) {
+      out->sequence_count[{nc.file, std::move(nc.words)}] += nc.count;
+    }
+  }
+
+  void Merge(const AnalyticsResult& doc, uint32_t file_base,
+             AnalyticsResult* acc, uint64_t* merge_ops) const override {
+    for (const auto& [key, c] : doc.sequence_count) {
+      acc->sequence_count[{key.first + file_base, key.second}] = c;
+      ++*merge_ops;
+    }
+  }
+
+  uint64_t ResultBytes(const AnalyticsResult& r,
+                       uint32_t ngram_len) const override {
+    return r.sequence_count.size() * (12 + 4ull * ngram_len);
+  }
+
+  bool Equal(const AnalyticsResult& a,
+             const AnalyticsResult& b) const override {
+    return a.sequence_count == b.sequence_count;
+  }
+
+  void DigestFold(const AnalyticsResult& r, uint64_t* h,
+                  size_t* entries) const override {
+    for (const auto& [key, c] : r.sequence_count) {
+      *h = HashCombine(*h, key.first);
+      for (uint32_t w : key.second) *h = HashCombine(*h, w);
+      *h = HashCombine(*h, c);
+      ++*entries;
+    }
+  }
+
+  AnalyticsResult RunUncompressed(
+      const std::vector<std::vector<uint32_t>>& files, const TaskInput& input,
+      CpuCostMeter* meter) const override {
+    AnalyticsResult out;
+    out.task = Task::kSequenceCount;
+    const uint32_t l = input.ngram_len;
+    for (uint32_t f = 0; f < files.size(); ++f) {
+      const auto& file = files[f];
+      if (file.size() < l) continue;
+      for (size_t i = 0; i + l <= file.size(); ++i) {
+        std::vector<uint32_t> gram(file.begin() + i, file.begin() + i + l);
+        ++out.sequence_count[{f, std::move(gram)}];
+        if (meter != nullptr) meter->Charge(2 * l + kCpuSeqMapDescentOps);
+      }
+    }
+    return out;
+  }
+};
+
+// ---------------------------------------------------- rankedInvertedIndex ---
+
+class RankedInvertedIndexKernel : public TaskKernel {
+ public:
+  Task task() const override { return Task::kRankedInvertedIndex; }
+  const char* name() const override { return "rankedInvertedIndex"; }
+  TraversalShape shape() const override { return TraversalShape::kSequence; }
+
+  void AssembleSequence(const TaskInput& input,
+                        std::vector<gpu::NgramCount> counts, AssemblyOps* ops,
+                        AnalyticsResult* out) const override {
+    (void)input;
+    uint64_t entries = 0;
+    for (auto& nc : counts) {
+      out->ranked_inverted_index[std::move(nc.words)].emplace_back(nc.file,
+                                                                   nc.count);
+      ++entries;
+    }
+    ops->ChargeUpdates(2 * entries);
+    ops->ChargeGroupSort(out->ranked_inverted_index.size(), entries);
+    Canonicalize(out);
+  }
+
+  void Canonicalize(AnalyticsResult* r) const override {
+    for (auto& [gram, files] : r->ranked_inverted_index) {
+      (void)gram;
+      std::sort(files.begin(), files.end(), CountDescIdAsc);
+    }
+  }
+
+  void Merge(const AnalyticsResult& doc, uint32_t file_base,
+             AnalyticsResult* acc, uint64_t* merge_ops) const override {
+    for (const auto& [gram, files] : doc.ranked_inverted_index) {
+      auto& list = acc->ranked_inverted_index[gram];
+      for (const auto& [f, c] : files) list.emplace_back(f + file_base, c);
+      *merge_ops += files.size();
+    }
+  }
+
+  void FinalizeMerge(AnalyticsResult* acc, uint64_t* merge_ops) const override {
+    for (auto& [gram, files] : acc->ranked_inverted_index) {
+      (void)gram;
+      std::sort(files.begin(), files.end(), CountDescIdAsc);
+      *merge_ops += files.size() * 2;
+    }
+    Canonicalize(acc);
+  }
+
+  uint64_t ResultBytes(const AnalyticsResult& r,
+                       uint32_t ngram_len) const override {
+    uint64_t bytes = 0;
+    for (const auto& [gram, files] : r.ranked_inverted_index) {
+      (void)gram;
+      bytes += 4ull * ngram_len + files.size() * 12;
+    }
+    return bytes;
+  }
+
+  bool Equal(const AnalyticsResult& a,
+             const AnalyticsResult& b) const override {
+    return a.ranked_inverted_index == b.ranked_inverted_index;
+  }
+
+  void DigestFold(const AnalyticsResult& r, uint64_t* h,
+                  size_t* entries) const override {
+    for (const auto& [ngram, files] : r.ranked_inverted_index) {
+      for (uint32_t w : ngram) *h = HashCombine(*h, w);
+      for (const auto& [f, c] : files) {
+        *h = HashCombine(HashCombine(*h, f), c);
+      }
+      ++*entries;
+    }
+  }
+
+  AnalyticsResult RunUncompressed(
+      const std::vector<std::vector<uint32_t>>& files, const TaskInput& input,
+      CpuCostMeter* meter) const override {
+    AnalyticsResult out;
+    out.task = Task::kRankedInvertedIndex;
+    const uint32_t l = input.ngram_len;
+    std::map<std::vector<uint32_t>, std::unordered_map<uint32_t, uint64_t>>
+        per_gram;
+    for (uint32_t f = 0; f < files.size(); ++f) {
+      const auto& file = files[f];
+      if (file.size() < l) continue;
+      for (size_t i = 0; i + l <= file.size(); ++i) {
+        std::vector<uint32_t> gram(file.begin() + i, file.begin() + i + l);
+        ++per_gram[std::move(gram)][f];
+        if (meter != nullptr) meter->Charge(2 * l + kCpuSeqMapDescentOps);
+      }
+    }
+    for (auto& [gram, counts] : per_gram) {
+      auto& list = out.ranked_inverted_index[gram];
+      list.assign(counts.begin(), counts.end());
+      std::sort(list.begin(), list.end(), CountDescIdAsc);
+      if (meter != nullptr) meter->Charge(counts.size() * 4);
+    }
+    return out;
+  }
+};
+
+// ----------------------------------------------------------- keywordSearch ---
+
+/// The seventh task, written purely against the framework: given a query
+/// word set, return the documents (files) containing at least one query word
+/// with their total hit counts — a grep-style selective scan. It rides the
+/// per-file-weight shape and declares its accept set, which lets every
+/// driver prune rules whose subtree contains no query word: the compressed
+/// traversal touches only the matching corner of the grammar instead of the
+/// whole token stream.
+class KeywordSearchKernel : public TaskKernel {
+ public:
+  Task task() const override { return Task::kKeywordSearch; }
+  const char* name() const override { return "keywordSearch"; }
+  TraversalShape shape() const override {
+    return TraversalShape::kPerFileWeight;
+  }
+
+  const std::vector<uint32_t>* AcceptedWords(
+      const TaskInput& input) const override {
+    return &input.query_words;
+  }
+
+  void AssembleFileWord(const TaskInput& input, uint32_t num_files,
+                        const std::vector<FileWordCount>& counts,
+                        AssemblyOps* ops, AnalyticsResult* out) const override {
+    (void)num_files;
+    // Defensive re-filter: the result must be query-only even under a driver
+    // that forgot to filter.
+    std::vector<uint32_t> query = input.query_words;
+    std::sort(query.begin(), query.end());
+    std::map<uint32_t, uint64_t> hits;
+    for (const FileWordCount& e : counts) {
+      if (!std::binary_search(query.begin(), query.end(), e.word)) continue;
+      hits[e.file] += e.count;
+    }
+    ops->ChargeUpdates(counts.size());
+    out->keyword_search.assign(hits.begin(), hits.end());
+  }
+
+  void Canonicalize(AnalyticsResult* r) const override {
+    std::sort(r->keyword_search.begin(), r->keyword_search.end());
+  }
+
+  void Merge(const AnalyticsResult& doc, uint32_t file_base,
+             AnalyticsResult* acc, uint64_t* merge_ops) const override {
+    for (const auto& [f, hits] : doc.keyword_search) {
+      acc->keyword_search.emplace_back(f + file_base, hits);
+      ++*merge_ops;
+    }
+  }
+
+  void FinalizeMerge(AnalyticsResult* acc, uint64_t* merge_ops) const override {
+    *merge_ops += acc->keyword_search.size();
+    Canonicalize(acc);
+  }
+
+  uint64_t ResultBytes(const AnalyticsResult& r,
+                       uint32_t ngram_len) const override {
+    (void)ngram_len;
+    return r.keyword_search.size() * 12;
+  }
+
+  bool Equal(const AnalyticsResult& a,
+             const AnalyticsResult& b) const override {
+    return a.keyword_search == b.keyword_search;
+  }
+
+  void DigestFold(const AnalyticsResult& r, uint64_t* h,
+                  size_t* entries) const override {
+    for (const auto& [f, hits] : r.keyword_search) {
+      *h = HashCombine(HashCombine(*h, f), hits);
+      ++*entries;
+    }
+  }
+
+  AnalyticsResult RunUncompressed(
+      const std::vector<std::vector<uint32_t>>& files, const TaskInput& input,
+      CpuCostMeter* meter) const override {
+    AnalyticsResult out;
+    out.task = Task::kKeywordSearch;
+    std::vector<uint32_t> query = input.query_words;
+    std::sort(query.begin(), query.end());
+    for (uint32_t f = 0; f < files.size(); ++f) {
+      uint64_t hits = 0;
+      for (uint32_t w : files[f]) {
+        // One membership probe per token: the grep-style full scan the
+        // compressed traversal is benchmarked against.
+        if (std::binary_search(query.begin(), query.end(), w)) ++hits;
+        if (meter != nullptr) meter->Charge(2);
+      }
+      if (hits > 0) out.keyword_search.emplace_back(f, hits);
+    }
+    return out;
+  }
+};
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// TaskRegistry
+// ---------------------------------------------------------------------------
+
+struct TaskRegistry::Impl {
+  mutable std::mutex mu;
+  std::map<int, std::unique_ptr<TaskKernel>> kernels;
+};
+
+TaskRegistry::TaskRegistry() : impl_(new Impl) {
+  auto add = [this](std::unique_ptr<TaskKernel> k) {
+    impl_->kernels.emplace(static_cast<int>(k->task()), std::move(k));
+  };
+  add(std::make_unique<WordCountKernel>());
+  add(std::make_unique<SortKernel>());
+  add(std::make_unique<InvertedIndexKernel>());
+  add(std::make_unique<TermVectorKernel>());
+  add(std::make_unique<SequenceCountKernel>());
+  add(std::make_unique<RankedInvertedIndexKernel>());
+  add(std::make_unique<KeywordSearchKernel>());
+}
+
+TaskRegistry& TaskRegistry::Instance() {
+  static TaskRegistry* registry = new TaskRegistry();
+  return *registry;
+}
+
+Status TaskRegistry::Register(std::unique_ptr<TaskKernel> kernel) {
+  if (kernel == nullptr) {
+    return Status::InvalidArgument("cannot register a null kernel");
+  }
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  const int id = static_cast<int>(kernel->task());
+  auto it = impl_->kernels.find(id);
+  if (it != impl_->kernels.end()) {
+    return Status::InvalidArgument(
+        std::string("task id already registered: ") + it->second->name());
+  }
+  impl_->kernels.emplace(id, std::move(kernel));
+  return Status::OK();
+}
+
+Result<const TaskKernel*> TaskRegistry::Get(Task task) {
+  const TaskKernel* kernel = Find(task);
+  if (kernel == nullptr) {
+    return Status::NotFound("no task kernel registered for task id " +
+                            std::to_string(static_cast<int>(task)));
+  }
+  return kernel;
+}
+
+const TaskKernel* TaskRegistry::Find(Task task) {
+  TaskRegistry& reg = Instance();
+  std::lock_guard<std::mutex> lock(reg.impl_->mu);
+  auto it = reg.impl_->kernels.find(static_cast<int>(task));
+  return it == reg.impl_->kernels.end() ? nullptr : it->second.get();
+}
+
+std::vector<Task> TaskRegistry::RegisteredTasks() {
+  TaskRegistry& reg = Instance();
+  std::lock_guard<std::mutex> lock(reg.impl_->mu);
+  std::vector<Task> tasks;
+  tasks.reserve(reg.impl_->kernels.size());
+  for (const auto& [id, kernel] : reg.impl_->kernels) {
+    (void)kernel;
+    tasks.push_back(static_cast<Task>(id));
+  }
+  return tasks;
+}
+
+}  // namespace gtadoc

@@ -1,0 +1,260 @@
+#ifndef GTADOC_ANALYTICS_TASK_KERNEL_H_
+#define GTADOC_ANALYTICS_TASK_KERNEL_H_
+
+#include <cstdint>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "analytics/engine.h"
+#include "analytics/results.h"
+#include "common/result.h"
+#include "format/dag.h"
+#include "format/grammar.h"
+#include "gpu/ngram_table.h"
+#include "tadoc/strategy.h"
+
+namespace gtadoc {
+
+/// \brief Per-run task parameters beyond the task id itself.
+///
+/// Engines build one TaskInput from their options and hand it to every kernel
+/// hook, so kernels stay stateless singletons and one registry entry serves
+/// every engine and every run.
+struct TaskInput {
+  uint32_t ngram_len = 3;  ///< l of the sequence tasks
+  /// The query word-id set of selective kernels (kKeywordSearch).
+  std::vector<uint32_t> query_words;
+};
+
+/// \brief The traversal machinery a kernel rides on.
+///
+/// Every analytics task in the TADOC line is one traversal + per-element
+/// visit + merge; the three shapes are the three accumulator layouts the
+/// drivers know how to propagate (Section IV of the paper):
+///
+///   - kGlobalWeight: one scalar occurrence weight per rule, reduced into a
+///     single corpus-wide word table (wordCount, sort);
+///   - kPerFileWeight: a per-file weight vector per rule, reduced into one
+///     (file, word) table (invertedIndex, termVector, keywordSearch);
+///   - kSequence: the two-phase head/tail window pipeline producing a
+///     (file, l-gram) table (sequenceCount, rankedInvertedIndex).
+enum class TraversalShape {
+  kGlobalWeight,
+  kPerFileWeight,
+  kSequence,
+};
+
+const char* TraversalShapeName(TraversalShape shape);
+
+/// One (file, word) -> count entry drained from a per-file pipeline.
+struct FileWordCount {
+  uint32_t file;
+  uint32_t word;
+  uint64_t count;
+};
+
+/// \brief Cost-charging seam of the result-assembly hooks.
+///
+/// Each driver charges the same logical assembly work to its own cost model:
+/// the CPU engines to a CpuCostMeter, the GPU engine to the virtual device
+/// clock. The kernel describes *what* the assembly does; the ops object
+/// decides what it costs, so one assembly implementation yields bit-identical
+/// results under every engine.
+class AssemblyOps {
+ public:
+  virtual ~AssemblyOps() = default;
+
+  /// n bookkeeping updates (map inserts, emplaces) while reshaping a drained
+  /// table into the result type.
+  virtual void ChargeUpdates(uint64_t n) = 0;
+  /// One comparison sort of n elements.
+  virtual void ChargeSort(uint64_t n) = 0;
+  /// Final per-group orderings of a grouped result: `groups` sorted lists
+  /// totalling `entries` elements (rankedInvertedIndex's per-gram ranking).
+  virtual void ChargeGroupSort(uint64_t groups, uint64_t entries) = 0;
+  /// Sorts (key, value) pairs ascending by key, charging this backend's sort
+  /// cost (the `sort` task's final ordering).
+  virtual void SortPairs(std::vector<std::pair<uint64_t, uint64_t>>* kv) = 0;
+};
+
+/// AssemblyOps charging a CpuCostMeter (CPU engines + sequential baseline).
+/// A null meter charges nothing (uncharged reference runs).
+class CpuAssembly : public AssemblyOps {
+ public:
+  explicit CpuAssembly(CpuCostMeter* meter) : meter_(meter) {}
+
+  void ChargeUpdates(uint64_t n) override;
+  void ChargeSort(uint64_t n) override;
+  void ChargeGroupSort(uint64_t groups, uint64_t entries) override;
+  void SortPairs(std::vector<std::pair<uint64_t, uint64_t>>* kv) override;
+
+ private:
+  CpuCostMeter* meter_;
+};
+
+/// AssemblyOps charging the virtual GPU. Host-side reshaping of drained
+/// tables is free (it happens after the D2H drain, like the hand-written
+/// drivers it replaces); sorts run as device kernels.
+class GpuAssembly : public AssemblyOps {
+ public:
+  explicit GpuAssembly(gpu::Device* device) : device_(device) {}
+
+  void ChargeUpdates(uint64_t n) override;
+  void ChargeSort(uint64_t n) override;
+  void ChargeGroupSort(uint64_t groups, uint64_t entries) override;
+  void SortPairs(std::vector<std::pair<uint64_t, uint64_t>>* kv) override;
+
+ private:
+  gpu::Device* device_;
+};
+
+/// \brief One analytics task as a pluggable operator.
+///
+/// A kernel owns everything task-specific: its accumulator shape, its word
+/// filter, its traversal-strategy and memory-footprint hints, the assembly of
+/// drained accumulator state into the result type, the corpus-level
+/// merge/finalize logic, and the uncompressed reference loop. The traversal
+/// drivers (GPU engine, both CPU engines, the uncompressed baselines) are
+/// task-agnostic callers of this interface, so adding a task means writing
+/// one kernel and registering it — no engine edits.
+class TaskKernel {
+ public:
+  virtual ~TaskKernel() = default;
+
+  // --- identity -----------------------------------------------------------
+  virtual Task task() const = 0;
+  virtual const char* name() const = 0;
+
+  // --- traversal contract -------------------------------------------------
+  virtual TraversalShape shape() const = 0;
+  /// True for kernels that need the head/tail sequence machinery.
+  bool sequence_sensitive() const {
+    return shape() == TraversalShape::kSequence;
+  }
+
+  /// Approximate per-rule bytes of accumulator state the traversal carries
+  /// under `strategy` — the Section IV-C memory-requirement hint the
+  /// strategy selector reasons about.
+  virtual uint64_t StateBytesPerRule(const Grammar& g, const TaskInput& input,
+                                     TraversalStrategy strategy) const;
+
+  /// The kernel's preferred traversal direction for this grammar and run
+  /// input. The default derives the paper's heuristic from the footprint
+  /// hint: top-down is free while the propagated state stays within a cache
+  /// line's worth of bytes per rule; once it grows with the file count past
+  /// that, bottom-up local tables win (Section VI-C).
+  virtual TraversalStrategy PreferredStrategy(const Grammar& g,
+                                              const DagView& dag,
+                                              const TaskInput& input) const;
+
+  // --- selective-scan support ---------------------------------------------
+  /// Null: the kernel consumes every word. Non-null: only the returned
+  /// word-id set contributes, and drivers may prune rules whose subtree
+  /// contains none of them (the keyword-search grammar exploit). The pointer
+  /// must stay valid for the run (it typically aliases `input`).
+  virtual const std::vector<uint32_t>* AcceptedWords(
+      const TaskInput& input) const {
+    (void)input;
+    return nullptr;
+  }
+
+  // --- result assembly (shared by GPU / CPU / uncompressed drivers) -------
+  /// kGlobalWeight: builds the result from drained (word, count) pairs
+  /// (order unspecified; counts pre-aggregated per word).
+  virtual void AssembleGlobal(
+      const TaskInput& input,
+      const std::vector<std::pair<uint32_t, uint64_t>>& counts,
+      AssemblyOps* ops, AnalyticsResult* out) const;
+  /// kPerFileWeight: builds the result from drained (file, word, count)
+  /// triples (order unspecified; counts pre-aggregated, zero counts removed).
+  virtual void AssembleFileWord(const TaskInput& input, uint32_t num_files,
+                                const std::vector<FileWordCount>& counts,
+                                AssemblyOps* ops, AnalyticsResult* out) const;
+  /// kSequence: builds the result from drained (file, gram, count) entries.
+  virtual void AssembleSequence(const TaskInput& input,
+                                std::vector<gpu::NgramCount> counts,
+                                AssemblyOps* ops, AnalyticsResult* out) const;
+
+  // --- result operations (absorbed from the old results.cc switches) ------
+  /// Canonical ordering of ties the task definition leaves ambiguous.
+  virtual void Canonicalize(AnalyticsResult* result) const { (void)result; }
+  /// Folds one document's result into a corpus accumulator, offsetting the
+  /// document-local file ids by `file_base`.
+  virtual void Merge(const AnalyticsResult& doc, uint32_t file_base,
+                     AnalyticsResult* acc, uint64_t* merge_ops) const = 0;
+  /// Completes an accumulator built by Merge (derived orderings), then
+  /// canonicalizes.
+  virtual void FinalizeMerge(AnalyticsResult* acc, uint64_t* merge_ops) const;
+  /// Serialized result size in bytes (D2H drain / shuffle volume).
+  virtual uint64_t ResultBytes(const AnalyticsResult& result,
+                               uint32_t ngram_len) const = 0;
+  /// Structural equality of two results of this task.
+  virtual bool Equal(const AnalyticsResult& a,
+                     const AnalyticsResult& b) const = 0;
+  /// Folds the result into a (hash, entry-count) digest.
+  virtual void DigestFold(const AnalyticsResult& result, uint64_t* hash,
+                          size_t* entries) const = 0;
+
+  // --- uncompressed reference ---------------------------------------------
+  /// The task's reference loop over raw token streams: ground truth for every
+  /// engine and the sequential half of the Section VI-E baseline. Charges
+  /// `meter` (nullable) with the CPU engines' discipline.
+  virtual AnalyticsResult RunUncompressed(
+      const std::vector<std::vector<uint32_t>>& files, const TaskInput& input,
+      CpuCostMeter* meter) const = 0;
+};
+
+/// \brief Materialized accept-set for one run.
+///
+/// Built once by each driver from the kernel's AcceptedWords; a
+/// non-selective kernel costs one branch per call, a selective one a bitmap
+/// probe. `selective()` gates the drivers' rule-pruning passes.
+class WordFilter {
+ public:
+  WordFilter(const TaskKernel& kernel, const TaskInput& input,
+             uint32_t num_words);
+
+  bool Accepts(uint32_t word) const {
+    return !selective_ || (word < bits_.size() && bits_[word] != 0);
+  }
+  bool selective() const { return selective_; }
+  /// Number of distinct accepted words (vocabulary size when not selective).
+  uint32_t accepted_count() const { return accepted_count_; }
+
+ private:
+  bool selective_ = false;
+  uint32_t accepted_count_ = 0;
+  std::vector<uint8_t> bits_;
+};
+
+/// \brief Process-wide task registry: one kernel per task id.
+///
+/// Seeded with the seven built-in kernels on first use; out-of-tree kernels
+/// register at runtime (see examples/custom_task.cpp) and immediately work
+/// through every engine, because the engines dispatch on shape, not task id.
+class TaskRegistry {
+ public:
+  static TaskRegistry& Instance();
+
+  /// Registers a kernel. Fails with InvalidArgument when the id is taken or
+  /// the kernel is null.
+  Status Register(std::unique_ptr<TaskKernel> kernel);
+
+  /// The kernel for `task`, or a clean NotFound error for unknown ids.
+  static Result<const TaskKernel*> Get(Task task);
+  /// The kernel for `task`, or nullptr (lookup that cannot fail).
+  static const TaskKernel* Find(Task task);
+  /// Every registered task id, ascending.
+  static std::vector<Task> RegisteredTasks();
+
+ private:
+  TaskRegistry();
+
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+}  // namespace gtadoc
+
+#endif  // GTADOC_ANALYTICS_TASK_KERNEL_H_

@@ -1,15 +1,11 @@
 #include "analytics/uncompressed.h"
 
 #include <algorithm>
-#include <deque>
-#include <map>
-#include <unordered_map>
 
 #include "common/logging.h"
 #include "common/timer.h"
 #include "gpu/hash_table.h"
 #include "gpu/ngram_table.h"
-#include "gpu/primitives.h"
 #include "gpu/round_loop.h"
 
 namespace gtadoc {
@@ -21,12 +17,6 @@ uint64_t Pack(uint32_t hi, uint32_t lo) {
   return (static_cast<uint64_t>(hi) << 32) | lo;
 }
 
-bool CountDescIdAsc(const std::pair<uint32_t, uint64_t>& a,
-                    const std::pair<uint32_t, uint64_t>& b) {
-  if (a.second != b.second) return a.second > b.second;
-  return a.first < b.first;
-}
-
 }  // namespace
 
 size_t UncompressedAnalytics::total_tokens() const {
@@ -35,119 +25,43 @@ size_t UncompressedAnalytics::total_tokens() const {
   return n;
 }
 
+TaskInput UncompressedAnalytics::MakeInput() const {
+  TaskInput input;
+  input.ngram_len = ngram_len_;
+  input.query_words = query_words_;
+  return input;
+}
+
 // ---------------------------------------------------------------------------
-// Sequential reference implementations.
+// Sequential reference: the kernel's own uncompressed loop.
 // ---------------------------------------------------------------------------
 
-AnalyticsResult UncompressedAnalytics::RunSequential(Task task,
-                                                     CpuCostMeter* meter) const {
-  AnalyticsResult out;
-  out.task = task;
-  auto charge = [meter](uint64_t ops) {
-    if (meter != nullptr) meter->Charge(ops);
-  };
-
-  switch (task) {
-    case Task::kWordCount: {
-      std::unordered_map<uint32_t, uint64_t> counts;
-      for (const auto& file : files_) {
-        for (uint32_t w : file) {
-          ++counts[w];
-          charge(kCpuHashUpdateOps);
-        }
-      }
-      out.word_count.insert(counts.begin(), counts.end());
-      charge(counts.size());
-      break;
-    }
-    case Task::kSort: {
-      std::unordered_map<uint32_t, uint64_t> counts;
-      for (const auto& file : files_) {
-        for (uint32_t w : file) {
-          ++counts[w];
-          charge(kCpuHashUpdateOps);
-        }
-      }
-      out.sort.assign(counts.begin(), counts.end());
-      std::sort(out.sort.begin(), out.sort.end(), CountDescIdAsc);
-      // n log n comparison charges for the sort.
-      uint64_t n = counts.size(), logn = 1;
-      while ((1ull << logn) < n + 1) ++logn;
-      charge(4 * n * logn);  // comparison + move per merge step
-      break;
-    }
-    case Task::kInvertedIndex: {
-      for (uint32_t f = 0; f < files_.size(); ++f) {
-        for (uint32_t w : files_[f]) {
-          auto& list = out.inverted_index[w];
-          if (list.empty() || list.back() != f) list.push_back(f);
-          charge(kCpuHashUpdateOps);
-        }
-      }
-      // Files are visited in order, so each list is sorted and unique.
-      break;
-    }
-    case Task::kTermVector: {
-      out.term_vector.resize(files_.size());
-      for (uint32_t f = 0; f < files_.size(); ++f) {
-        std::unordered_map<uint32_t, uint64_t> counts;
-        for (uint32_t w : files_[f]) {
-          ++counts[w];
-          charge(kCpuHashUpdateOps);
-        }
-        out.term_vector[f].assign(counts.begin(), counts.end());
-        std::sort(out.term_vector[f].begin(), out.term_vector[f].end(),
-                  CountDescIdAsc);
-        charge(counts.size() * 4);
-      }
-      break;
-    }
-    case Task::kSequenceCount: {
-      const uint32_t l = ngram_len_;
-      for (uint32_t f = 0; f < files_.size(); ++f) {
-        const auto& file = files_[f];
-        if (file.size() < l) continue;
-        for (size_t i = 0; i + l <= file.size(); ++i) {
-          std::vector<uint32_t> gram(file.begin() + i, file.begin() + i + l);
-          ++out.sequence_count[{f, std::move(gram)}];
-          charge(2 * l + kCpuSeqMapDescentOps);
-        }
-      }
-      break;
-    }
-    case Task::kRankedInvertedIndex: {
-      const uint32_t l = ngram_len_;
-      std::map<std::vector<uint32_t>, std::unordered_map<uint32_t, uint64_t>>
-          per_gram;
-      for (uint32_t f = 0; f < files_.size(); ++f) {
-        const auto& file = files_[f];
-        if (file.size() < l) continue;
-        for (size_t i = 0; i + l <= file.size(); ++i) {
-          std::vector<uint32_t> gram(file.begin() + i, file.begin() + i + l);
-          ++per_gram[std::move(gram)][f];
-          charge(2 * l + kCpuSeqMapDescentOps);
-        }
-      }
-      for (auto& [gram, counts] : per_gram) {
-        auto& files = out.ranked_inverted_index[gram];
-        files.assign(counts.begin(), counts.end());
-        std::sort(files.begin(), files.end(), CountDescIdAsc);
-        charge(counts.size() * 4);
-      }
-      break;
-    }
+AnalyticsResult UncompressedAnalytics::RunSequential(
+    Task task, CpuCostMeter* meter) const {
+  const TaskKernel* kernel = TaskRegistry::Find(task);
+  if (kernel == nullptr) {
+    AnalyticsResult out;
+    out.task = task;
+    return out;
   }
-  Canonicalize(&out);
+  AnalyticsResult out = kernel->RunUncompressed(files_, MakeInput(), meter);
+  kernel->Canonicalize(&out);
   return out;
 }
 
 // ---------------------------------------------------------------------------
-// GPU-parallel implementations (Section VI-E baseline).
+// GPU-parallel implementation (Section VI-E baseline): one driver per
+// traversal shape; the kernel assembles the drained tables.
 // ---------------------------------------------------------------------------
 
 Result<EngineRun> UncompressedAnalytics::RunOnDevice(Task task,
                                                      gpu::Device* device,
                                                      bool charge_pcie) const {
+  auto kernel_lookup = TaskRegistry::Get(task);
+  if (!kernel_lookup.ok()) return kernel_lookup.status();
+  const TaskKernel& kernel = **kernel_lookup;
+  const TaskInput input = MakeInput();
+
   EngineRun run;
   run.result.task = task;
   Timer wall;
@@ -174,86 +88,62 @@ Result<EngineRun> UncompressedAnalytics::RunOnDevice(Task task,
   if (n == 0) return Status::InvalidArgument("empty input");
   const size_t chunk = 256;
   const uint32_t l = ngram_len_;
+  const WordFilter filter(kernel, input, max_word + 1);
+  GpuAssembly ops(device);
 
-  switch (task) {
-    case Task::kWordCount:
-    case Task::kSort: {
+  switch (kernel.shape()) {
+    case TraversalShape::kGlobalWeight: {
       gpu::GpuHashTable::Options opt;
       opt.max_nodes = max_word + 2;
       opt.num_entries = std::max<uint32_t>(64, (max_word + 2) / 2);
       gpu::GpuHashTable table(device, opt);
       const bool ok = gpu::RoundLoop(
-          device, "uncWordCount", n, chunk,
+          device, "uncGlobal", n, chunk,
           [&](size_t i, gpu::ThreadCtx& ctx) {
             ctx.Charge(1);
+            if (!filter.Accepts(stream[i])) return gpu::InsertOutcome::kDone;
             return table.AddOrInsert(ctx, stream[i], 1);
           });
       if (!ok) return Status::Internal("hash table sized too small");
       auto pairs = table.Drain();
       if (charge_pcie) device->CopyDeviceToHost(pairs.size() * 16);
-      if (task == Task::kWordCount) {
-        for (const auto& [w, c] : pairs) {
-          run.result.word_count[static_cast<uint32_t>(w)] = c;
-        }
-      } else {
-        // Device-side sort: key packs (inverted count, word id) so ascending
-        // key order equals (count desc, word asc).
-        std::vector<std::pair<uint64_t, uint64_t>> kv;
-        kv.reserve(pairs.size());
-        for (const auto& [w, c] : pairs) {
-          kv.emplace_back(Pack(static_cast<uint32_t>(UINT32_MAX - c), static_cast<uint32_t>(w)), c);
-        }
-        gpu::DeviceSortPairs(device, &kv);
-        for (const auto& [key, c] : kv) {
-          run.result.sort.emplace_back(static_cast<uint32_t>(key & 0xffffffffu), c);
-        }
+      std::vector<std::pair<uint32_t, uint64_t>> counts;
+      counts.reserve(pairs.size());
+      for (const auto& [w, c] : pairs) {
+        counts.emplace_back(static_cast<uint32_t>(w), c);
       }
+      kernel.AssembleGlobal(input, counts, &ops, &run.result);
       break;
     }
-    case Task::kInvertedIndex: {
+    case TraversalShape::kPerFileWeight: {
       gpu::GpuHashTable::Options opt;
       opt.max_nodes = static_cast<uint32_t>(std::min<size_t>(n, 1u << 26)) + 64;
       opt.num_entries = opt.max_nodes / 2 + 64;
       gpu::GpuHashTable table(device, opt);
       const bool ok = gpu::RoundLoop(
-          device, "uncInvertedIndex", n, chunk,
+          device, "uncPerFile", n, chunk,
           [&](size_t i, gpu::ThreadCtx& ctx) {
             ctx.Charge(2);
-            return table.AddOrInsert(ctx, Pack(stream[i], file_of_token[i]), 1);
+            if (!filter.Accepts(stream[i])) return gpu::InsertOutcome::kDone;
+            return table.AddOrInsert(ctx, Pack(file_of_token[i], stream[i]),
+                                     1);
           });
       if (!ok) return Status::Internal("hash table sized too small");
       auto pairs = table.Drain();
       if (charge_pcie) device->CopyDeviceToHost(pairs.size() * 16);
+      std::vector<FileWordCount> triples;
+      triples.reserve(pairs.size());
       for (const auto& [key, c] : pairs) {
         if (c == 0) continue;
-        run.result.inverted_index[static_cast<uint32_t>(key >> 32)].push_back(
-            static_cast<uint32_t>(key & 0xffffffffu));
+        triples.push_back(
+            FileWordCount{static_cast<uint32_t>(key >> 32),
+                          static_cast<uint32_t>(key & 0xffffffffu), c});
       }
+      kernel.AssembleFileWord(input, static_cast<uint32_t>(files_.size()),
+                              triples, &ops, &run.result);
       break;
     }
-    case Task::kTermVector: {
-      gpu::GpuHashTable::Options opt;
-      opt.max_nodes = static_cast<uint32_t>(std::min<size_t>(n, 1u << 26)) + 64;
-      opt.num_entries = opt.max_nodes / 2 + 64;
-      gpu::GpuHashTable table(device, opt);
-      const bool ok = gpu::RoundLoop(
-          device, "uncTermVector", n, chunk,
-          [&](size_t i, gpu::ThreadCtx& ctx) {
-            ctx.Charge(2);
-            return table.AddOrInsert(ctx, Pack(file_of_token[i], stream[i]), 1);
-          });
-      if (!ok) return Status::Internal("hash table sized too small");
-      auto pairs = table.Drain();
-      if (charge_pcie) device->CopyDeviceToHost(pairs.size() * 16);
-      run.result.term_vector.resize(files_.size());
-      for (const auto& [key, c] : pairs) {
-        run.result.term_vector[key >> 32].emplace_back(
-            static_cast<uint32_t>(key & 0xffffffffu), c);
-      }
-      break;
-    }
-    case Task::kSequenceCount:
-    case Task::kRankedInvertedIndex: {
+    case TraversalShape::kSequence: {
       // One work item per window start; windows never span files.
       std::vector<uint32_t> starts;
       for (uint32_t f = 0; f < files_.size(); ++f) {
@@ -278,16 +168,7 @@ Result<EngineRun> UncompressedAnalytics::RunOnDevice(Task task,
       if (!ok) return Status::Internal("ngram table sized too small");
       auto counts = table.Drain();
       if (charge_pcie) device->CopyDeviceToHost(counts.size() * (16 + 4 * l));
-      if (task == Task::kSequenceCount) {
-        for (auto& nc : counts) {
-          run.result.sequence_count[{nc.file, std::move(nc.words)}] = nc.count;
-        }
-      } else {
-        for (auto& nc : counts) {
-          run.result.ranked_inverted_index[nc.words].emplace_back(nc.file,
-                                                                  nc.count);
-        }
-      }
+      kernel.AssembleSequence(input, std::move(counts), &ops, &run.result);
       break;
     }
   }

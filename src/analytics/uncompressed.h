@@ -6,6 +6,7 @@
 
 #include "analytics/engine.h"
 #include "analytics/results.h"
+#include "analytics/task_kernel.h"
 #include "common/result.h"
 #include "gpu/device.h"
 
@@ -17,15 +18,25 @@ namespace gtadoc {
 /// (2) the "GPU-accelerated uncompressed analytics" comparison of Section
 /// VI-E, where the paper reports G-TADOC at about 2x.
 ///
+/// Task-agnostic: the sequential path runs the kernel's own reference loop,
+/// the device path dispatches on the kernel's traversal shape and lets the
+/// kernel assemble the drained tables — the same assembly the compressed
+/// engines call, so all outputs agree by construction.
+///
 /// `files[f]` is the word-id stream of file f. `ngram_len` is the l of the
-/// sequence tasks (paper default: 3-word sequences).
+/// sequence tasks (paper default: 3-word sequences); `query_words` feeds
+/// selective kernels (kKeywordSearch).
 class UncompressedAnalytics {
  public:
-  explicit UncompressedAnalytics(const std::vector<std::vector<uint32_t>>& files,
-                                 uint32_t ngram_len = 3)
-      : files_(files), ngram_len_(ngram_len) {}
+  explicit UncompressedAnalytics(
+      const std::vector<std::vector<uint32_t>>& files, uint32_t ngram_len = 3,
+      std::vector<uint32_t> query_words = {})
+      : files_(files),
+        ngram_len_(ngram_len),
+        query_words_(std::move(query_words)) {}
 
-  /// Single-threaded reference run; charges ops into `meter` when non-null.
+  /// Single-threaded reference run (the kernel's uncompressed loop); charges
+  /// ops into `meter` when non-null.
   AnalyticsResult RunSequential(Task task, CpuCostMeter* meter = nullptr) const;
 
   /// GPU-parallel run on the virtual device: token chunks are assigned to
@@ -39,8 +50,11 @@ class UncompressedAnalytics {
   size_t total_tokens() const;
 
  private:
+  TaskInput MakeInput() const;
+
   const std::vector<std::vector<uint32_t>>& files_;
   uint32_t ngram_len_;
+  std::vector<uint32_t> query_words_;
 };
 
 }  // namespace gtadoc

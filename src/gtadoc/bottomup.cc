@@ -71,7 +71,9 @@ class LocalWordTable {
     for (uint64_t i = 0; i < cap_; ++i) {
       ctx.Charge(1);
       const uint64_t k = pool_->at(base_ + i);
-      if (k != kEmpty) fn(static_cast<uint32_t>(k), pool_->at(base_ + cap_ + i));
+      if (k != kEmpty) {
+        fn(static_cast<uint32_t>(k), pool_->at(base_ + cap_ + i));
+      }
     }
   }
 
@@ -95,77 +97,129 @@ class LocalWordTable {
   uint64_t size_ = 0;
 };
 
-}  // namespace
+/// Shared Algorithm 2 machinery for both bottom-up drivers: per-rule bounds
+/// (restricted to accepted words for selective kernels), pool-carved local
+/// tables, and the leaves-to-root merge rounds. The two drivers differ only
+/// in the reduce step, exactly as in the paper.
+struct BottomUpTables {
+  std::vector<uint64_t> lb;
+  std::vector<uint64_t> sizes;
+  uint64_t total_slots = 0;
+  std::vector<std::unique_ptr<LocalWordTable>> table;
+  uint32_t rounds = 0;
+};
 
-// ---------------------------------------------------------------------------
-// Algorithm 2 shared machinery: bounds, tables, reduce. The two public tasks
-// differ only in the reduce step.
-// ---------------------------------------------------------------------------
+Status BuildLocalTables(
+    gpu::Device* device, const DeviceGrammar& dev, const WordFilter& filter,
+    const std::function<gpu::MemoryPool*(uint64_t)>& acquire_pool,
+    BottomUpTables* out) {
+  const uint32_t n = dev.num_rules;
 
-Status GTadocEngine::WordCountBottomUp(AnalyticsResult* out) {
-  const uint32_t n = dev_.num_rules;
-
-  // genLocTblBoundKernel: lb[r] = own distinct words + sum of children's
-  // bounds, clamped by the vocabulary (Algorithm 2 lines 5-9).
-  std::vector<uint64_t> lb(n, 0);
-  internal::BottomUpRounds(device_, dev_, "genLocTblBound",
-                 [&](uint32_t r, gpu::ThreadCtx& ctx) {
-                   uint64_t b = dev_.word_off[r + 1] - dev_.word_off[r];
-                   for (uint32_t e = dev_.child_off[r];
-                        e < dev_.child_off[r + 1]; ++e) {
-                     b += lb[dev_.child_id[e]];
-                     ctx.Charge(1);
-                   }
-                   lb[r] = std::min<uint64_t>(dev_.num_words, b);
-                 });
+  // genLocTblBoundKernel: lb[r] = own distinct (accepted) words + sum of
+  // children's bounds, clamped by the accepted vocabulary (Algorithm 2
+  // lines 5-9).
+  out->lb.assign(n, 0);
+  std::vector<uint64_t>& lb = out->lb;
+  const uint64_t vocab_clamp =
+      filter.selective() ? filter.accepted_count() : dev.num_words;
+  internal::BottomUpRounds(
+      device, dev, "genLocTblBound", [&](uint32_t r, gpu::ThreadCtx& ctx) {
+        uint64_t b;
+        if (filter.selective()) {
+          b = 0;
+          for (uint32_t e = dev.word_off[r]; e < dev.word_off[r + 1]; ++e) {
+            ctx.Charge(1);
+            if (filter.Accepts(dev.word_id[e])) ++b;
+          }
+        } else {
+          b = dev.word_off[r + 1] - dev.word_off[r];
+        }
+        for (uint32_t e = dev.child_off[r]; e < dev.child_off[r + 1]; ++e) {
+          b += lb[dev.child_id[e]];
+          ctx.Charge(1);
+        }
+        lb[r] = std::min<uint64_t>(std::max<uint64_t>(vocab_clamp, 1), b);
+      });
 
   // Allocate rules.locTbl from the pool (line 10). The root needs no table.
-  std::vector<uint64_t> sizes(n, 0);
-  uint64_t total_slots = 0;
+  out->sizes.assign(n, 0);
   for (uint32_t r = 1; r < n; ++r) {
-    sizes[r] = LocalWordTable::SlotsFor(lb[r]);
-    total_slots += sizes[r];
+    out->sizes[r] = LocalWordTable::SlotsFor(lb[r]);
+    out->total_slots += out->sizes[r];
   }
-  PoolHandle lease = AcquirePool(total_slots + 1);
-  gpu::MemoryPool& pool = *lease.pool;
-  auto offsets = pool.PlanRegions(sizes);
+  gpu::MemoryPool& pool = *acquire_pool(out->total_slots + 1);
+  auto offsets = pool.PlanRegions(out->sizes);
   if (!offsets.ok()) return offsets.status();
-  std::vector<std::unique_ptr<LocalWordTable>> table(n);
+  out->table.resize(n);
   for (uint32_t r = 1; r < n; ++r) {
-    table[r] = std::make_unique<LocalWordTable>(&pool, (*offsets)[r], sizes[r]);
+    out->table[r] =
+        std::make_unique<LocalWordTable>(&pool, (*offsets)[r], out->sizes[r]);
   }
 
-  // genLocTblKernel: merge own words plus children's tables (lines 12-16).
-  const uint32_t rounds = internal::BottomUpRounds(
-      device_, dev_, "genLocTbl", [&](uint32_t r, gpu::ThreadCtx& ctx) {
+  // genLocTblKernel: merge own (accepted) words plus children's tables
+  // (lines 12-16). Children of a selective kernel carry only accepted words,
+  // so the merge is already pruned.
+  auto& table = out->table;
+  out->rounds = internal::BottomUpRounds(
+      device, dev, "genLocTbl", [&](uint32_t r, gpu::ThreadCtx& ctx) {
         if (r == 0) return;  // root is handled by the reduce kernel
         table[r]->Clear(ctx);
-        for (uint32_t e = dev_.word_off[r]; e < dev_.word_off[r + 1]; ++e) {
-          table[r]->Add(ctx, dev_.word_id[e], dev_.word_freq[e]);
+        for (uint32_t e = dev.word_off[r]; e < dev.word_off[r + 1]; ++e) {
+          if (!filter.Accepts(dev.word_id[e])) continue;
+          table[r]->Add(ctx, dev.word_id[e], dev.word_freq[e]);
         }
-        for (uint32_t e = dev_.child_off[r]; e < dev_.child_off[r + 1]; ++e) {
-          const uint32_t c = dev_.child_id[e];
-          const uint64_t f = dev_.child_freq[e];
+        for (uint32_t e = dev.child_off[r]; e < dev.child_off[r + 1]; ++e) {
+          const uint32_t c = dev.child_id[e];
+          const uint64_t f = dev.child_freq[e];
           table[c]->ForEach(ctx, [&](uint32_t w, uint64_t cnt) {
             table[r]->Add(ctx, w, cnt * f);
           });
         }
       });
-  last_rounds_ = rounds;
+  return Status::OK();
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// kGlobalWeight, Algorithm 2: local tables flow leaves -> root, then the
+// level-2 reduce. Task-agnostic: the kernel's filter restricts the tables,
+// the kernel assembles the drained global table.
+// ---------------------------------------------------------------------------
+
+Status GTadocEngine::GlobalBottomUp(const TaskKernel& kernel,
+                                    AnalyticsResult* out) {
+  const TaskInput input = MakeInput();
+  const WordFilter filter(kernel, input, dev_.num_words);
+  const uint32_t n = dev_.num_rules;
+
+  BottomUpTables bu;
+  PoolHandle lease;
+  Status st = BuildLocalTables(device_, dev_, filter,
+                               [this, &lease](uint64_t slots) {
+                                 lease = AcquirePool(slots);
+                                 return lease.pool;
+                               },
+                               &bu);
+  if (!st.ok()) return st;
+  last_rounds_ = bu.rounds;
+  auto& table = bu.table;
 
   // reduceResultKernel: root words + level-2 tables scaled by root frequency
   // into the global table; one logical thread per level-2 node plus chunked
   // threads for the root's own words.
   uint64_t total_entries = dev_.word_off[n];
   gpu::GpuHashTable::Options topt;
-  topt.max_nodes = static_cast<uint32_t>(
-      std::min<uint64_t>(1ull << 28, std::max<uint64_t>(total_entries, 64) + 64));
+  topt.max_nodes = static_cast<uint32_t>(std::min<uint64_t>(
+      1ull << 28, std::max<uint64_t>(total_entries, 64) + 64));
   topt.num_entries = topt.max_nodes / 2 + 64;
   topt.lock_mode = options_.lock_mode;
   gpu::GpuHashTable global(device_, topt);
 
   // Level-2 merges. Retry items must be idempotent, so the unit of work is a
   // single table slot (at most one global insert each), not a whole node.
+  // A selective kernel skips children whose tables stayed empty (their
+  // subtree holds no accepted word).
   struct SlotItem {
     uint32_t child;
     uint32_t freq;
@@ -174,6 +228,7 @@ Status GTadocEngine::WordCountBottomUp(AnalyticsResult* out) {
   std::vector<SlotItem> slot_items;
   for (uint32_t e = dev_.child_off[0]; e < dev_.child_off[1]; ++e) {
     const uint32_t c = dev_.child_id[e];
+    if (filter.selective() && table[c]->size() == 0) continue;
     for (uint64_t s = 0; s < table[c]->cap(); ++s) {
       slot_items.push_back(SlotItem{c, dev_.child_freq[e],
                                     static_cast<uint32_t>(s)});
@@ -198,60 +253,41 @@ Status GTadocEngine::WordCountBottomUp(AnalyticsResult* out) {
       [&](size_t i, gpu::ThreadCtx& ctx) {
         const uint32_t e = dev_.word_off[0] + static_cast<uint32_t>(i);
         ctx.Charge(1);
+        if (!filter.Accepts(dev_.word_id[e])) return gpu::InsertOutcome::kDone;
         return global.AddOrInsert(ctx, dev_.word_id[e], dev_.word_freq[e]);
       });
   if (!ok) return Status::Internal("global table undersized (root words)");
 
-  DrainWordTable(global, out);
+  std::vector<std::pair<uint32_t, uint64_t>> counts;
+  DrainWordTable(global, &counts);
+  GpuAssembly ops(device_);
+  kernel.AssembleGlobal(input, counts, &ops, out);
   return Status::OK();
 }
 
-Status GTadocEngine::FileTaskBottomUp(Task task, AnalyticsResult* out) {
-  const uint32_t n = dev_.num_rules;
+// ---------------------------------------------------------------------------
+// kPerFileWeight, bottom-up: same local tables, then a root scan attributes
+// each level-2 occurrence's table to the occurrence's file.
+// ---------------------------------------------------------------------------
+
+Status GTadocEngine::FileTaskBottomUp(const TaskKernel& kernel,
+                                      AnalyticsResult* out) {
+  const TaskInput input = MakeInput();
+  const WordFilter filter(kernel, input, dev_.num_words);
   const uint32_t num_files = dev_.num_files;
 
-  // Bounds + tables exactly as in bottom-up word count.
-  std::vector<uint64_t> lb(n, 0);
-  internal::BottomUpRounds(device_, dev_, "genLocTblBound",
-                 [&](uint32_t r, gpu::ThreadCtx& ctx) {
-                   uint64_t b = dev_.word_off[r + 1] - dev_.word_off[r];
-                   for (uint32_t e = dev_.child_off[r];
-                        e < dev_.child_off[r + 1]; ++e) {
-                     b += lb[dev_.child_id[e]];
-                     ctx.Charge(1);
-                   }
-                   lb[r] = std::min<uint64_t>(dev_.num_words, b);
-                 });
-  std::vector<uint64_t> sizes(n, 0);
-  uint64_t total_slots = 0;
-  for (uint32_t r = 1; r < n; ++r) {
-    sizes[r] = LocalWordTable::SlotsFor(lb[r]);
-    total_slots += sizes[r];
-  }
-  PoolHandle lease = AcquirePool(total_slots + 1);
-  gpu::MemoryPool& pool = *lease.pool;
-  auto offsets = pool.PlanRegions(sizes);
-  if (!offsets.ok()) return offsets.status();
-  std::vector<std::unique_ptr<LocalWordTable>> table(n);
-  for (uint32_t r = 1; r < n; ++r) {
-    table[r] = std::make_unique<LocalWordTable>(&pool, (*offsets)[r], sizes[r]);
-  }
-  const uint32_t rounds = internal::BottomUpRounds(
-      device_, dev_, "genLocTbl", [&](uint32_t r, gpu::ThreadCtx& ctx) {
-        if (r == 0) return;
-        table[r]->Clear(ctx);
-        for (uint32_t e = dev_.word_off[r]; e < dev_.word_off[r + 1]; ++e) {
-          table[r]->Add(ctx, dev_.word_id[e], dev_.word_freq[e]);
-        }
-        for (uint32_t e = dev_.child_off[r]; e < dev_.child_off[r + 1]; ++e) {
-          const uint32_t c = dev_.child_id[e];
-          const uint64_t f = dev_.child_freq[e];
-          table[c]->ForEach(ctx, [&](uint32_t w, uint64_t cnt) {
-            table[r]->Add(ctx, w, cnt * f);
-          });
-        }
-      });
-  last_rounds_ = rounds;
+  BottomUpTables bu;
+  PoolHandle lease;
+  Status st = BuildLocalTables(device_, dev_, filter,
+                               [this, &lease](uint64_t slots) {
+                                 lease = AcquirePool(slots);
+                                 return lease.pool;
+                               },
+                               &bu);
+  if (!st.ok()) return st;
+  last_rounds_ = bu.rounds;
+  auto& table = bu.table;
+  auto& lb = bu.lb;
 
   // Reduce: the root scan walks every root position; a level-2 occurrence
   // merges its table into the occurrence's file, root words insert directly.
@@ -261,13 +297,16 @@ Status GTadocEngine::FileTaskBottomUp(Task task, AnalyticsResult* out) {
                 std::max<uint64_t>(1, lb[dev_.child_id[e]]);
   }
   gpu::GpuHashTable::Options topt;
-  topt.max_nodes = static_cast<uint32_t>(std::min<uint64_t>(estimate + 64, 1ull << 28));
+  topt.max_nodes =
+      static_cast<uint32_t>(std::min<uint64_t>(estimate + 64, 1ull << 28));
   topt.num_entries = topt.max_nodes / 2 + 64;
   topt.lock_mode = options_.lock_mode;
   gpu::GpuHashTable global(device_, topt);
 
   // Work items are single inserts so retries stay idempotent: one item per
-  // root word position, plus one item per (level-2 occurrence, table slot).
+  // (accepted) root word position, plus one item per (level-2 occurrence,
+  // table slot). Occurrences of rules whose subtree holds no accepted word
+  // are pruned entirely for selective kernels.
   struct ScanItem {
     uint64_t pos;    // root position
     uint32_t child;  // rule index, or UINT32_MAX for a root-owned word
@@ -278,9 +317,11 @@ Status GTadocEngine::FileTaskBottomUp(Task task, AnalyticsResult* out) {
   for (uint64_t p = 0; p < root_len; ++p) {
     const uint32_t sym = dev_.body_sym[p];
     if (sym < dev_.num_words) {
+      if (!filter.Accepts(sym)) continue;
       scan_items.push_back(ScanItem{p, UINT32_MAX, 0});
     } else if (sym >= dev_.num_words + (dev_.num_files - 1)) {
       const uint32_t c = sym - (dev_.num_words + dev_.num_files - 1);
+      if (filter.selective() && table[c]->size() == 0) continue;
       for (uint64_t s = 0; s < table[c]->cap(); ++s) {
         scan_items.push_back(ScanItem{p, c, static_cast<uint32_t>(s)});
       }
@@ -307,20 +348,16 @@ Status GTadocEngine::FileTaskBottomUp(Task task, AnalyticsResult* out) {
 
   auto pairs = global.Drain();
   if (options_.charge_pcie) device_->CopyDeviceToHost(pairs.size() * 16);
-  if (task == Task::kTermVector) {
-    out->term_vector.resize(num_files);
-    for (const auto& [key, c] : pairs) {
-      if (c == 0) continue;
-      out->term_vector[key >> 32].emplace_back(
-          static_cast<uint32_t>(key & 0xffffffffu), c);
-    }
-  } else {
-    for (const auto& [key, c] : pairs) {
-      if (c == 0) continue;
-      out->inverted_index[static_cast<uint32_t>(key & 0xffffffffu)].push_back(
-          static_cast<uint32_t>(key >> 32));
-    }
+  std::vector<FileWordCount> triples;
+  triples.reserve(pairs.size());
+  for (const auto& [key, c] : pairs) {
+    if (c == 0) continue;
+    triples.push_back(FileWordCount{static_cast<uint32_t>(key >> 32),
+                                    static_cast<uint32_t>(key & 0xffffffffu),
+                                    c});
   }
+  GpuAssembly ops(device_);
+  kernel.AssembleFileWord(input, num_files, triples, &ops, out);
   return Status::OK();
 }
 

@@ -4,6 +4,7 @@
 
 #include "common/timer.h"
 #include "gpu/primitives.h"
+#include "gtadoc/traversal_util.h"
 
 namespace gtadoc {
 
@@ -59,11 +60,23 @@ void GTadocEngine::MeasureCreate(uint64_t ops_before, uint64_t h2d_before) {
 
 TraversalStrategy GTadocEngine::ChosenStrategy(Task task) const {
   if (options_.strategy != TraversalStrategy::kAuto) return options_.strategy;
-  return SelectStrategy(task, *g_, dag_);
+  const TaskInput input = MakeInput();
+  return SelectStrategy(task, *g_, dag_, &input);
+}
+
+TaskInput GTadocEngine::MakeInput() const {
+  TaskInput input;
+  input.ngram_len = options_.ngram_len;
+  input.query_words = options_.query_words;
+  return input;
 }
 
 Result<EngineRun> GTadocEngine::Run(Task task,
                                     TraversalStrategy strategy_override) {
+  auto kernel_lookup = TaskRegistry::Get(task);
+  if (!kernel_lookup.ok()) return kernel_lookup.status();
+  const TaskKernel& kernel = **kernel_lookup;
+
   TraversalStrategy strategy = strategy_override != TraversalStrategy::kAuto
                                    ? strategy_override
                                    : ChosenStrategy(task);
@@ -75,48 +88,24 @@ Result<EngineRun> GTadocEngine::Run(Task task,
   const uint64_t allocs_before = device_->stats().device_allocs;
 
   Status st;
-  double phase1_extra = 0;  // task-specific init (e.g. head/tail rounds)
-  switch (task) {
-    case Task::kWordCount:
-    case Task::kSort: {
+  double phase1_extra = 0;  // shape-specific init (e.g. head/tail rounds)
+  switch (kernel.shape()) {
+    case TraversalShape::kGlobalWeight:
       if (options_.scheduling == SchedulingMode::kVerticalPartition) {
-        st = WordCountVerticalPartition(&run.result);
+        st = GlobalVerticalPartition(kernel, &run.result);
       } else if (strategy == TraversalStrategy::kBottomUp) {
-        st = WordCountBottomUp(&run.result);
+        st = GlobalBottomUp(kernel, &run.result);
       } else {
-        st = WordCountTopDown(&run.result);
-      }
-      if (st.ok() && task == Task::kSort) {
-        // The word-count table is re-shaped by a device merge sort keyed on
-        // (inverted count, word id).
-        std::vector<std::pair<uint64_t, uint64_t>> kv;
-        kv.reserve(run.result.word_count.size());
-        for (const auto& [w, c] : run.result.word_count) {
-          kv.emplace_back(
-              (static_cast<uint64_t>(UINT32_MAX - static_cast<uint32_t>(c))
-               << 32) |
-                  w,
-              c);
-        }
-        gpu::DeviceSortPairs(device_, &kv);
-        run.result.word_count.clear();
-        run.result.task = Task::kSort;
-        for (const auto& [key, c] : kv) {
-          run.result.sort.emplace_back(static_cast<uint32_t>(key & 0xffffffffu),
-                                       c);
-        }
+        st = GlobalTopDown(kernel, &run.result);
       }
       break;
-    }
-    case Task::kInvertedIndex:
-    case Task::kTermVector:
+    case TraversalShape::kPerFileWeight:
       st = strategy == TraversalStrategy::kBottomUp
-               ? FileTaskBottomUp(task, &run.result)
-               : FileTaskTopDown(task, &run.result);
+               ? FileTaskBottomUp(kernel, &run.result)
+               : FileTaskTopDown(kernel, &run.result);
       break;
-    case Task::kSequenceCount:
-    case Task::kRankedInvertedIndex:
-      st = SequenceTask(task, &run.result, &phase1_extra);
+    case TraversalShape::kSequence:
+      st = SequenceTask(kernel, &run.result, &phase1_extra);
       break;
   }
   if (!st.ok()) return st;
@@ -209,13 +198,48 @@ uint32_t GTadocEngine::ComputeGlobalWeights(std::vector<uint64_t>* weights) {
   return rounds;
 }
 
-void GTadocEngine::DrainWordTable(const gpu::GpuHashTable& table,
-                                  AnalyticsResult* out) {
+void GTadocEngine::DrainWordTable(
+    const gpu::GpuHashTable& table,
+    std::vector<std::pair<uint32_t, uint64_t>>* counts) {
   auto pairs = table.Drain();
   if (options_.charge_pcie) device_->CopyDeviceToHost(pairs.size() * 16);
+  counts->reserve(pairs.size());
   for (const auto& [w, c] : pairs) {
-    out->word_count[static_cast<uint32_t>(w)] = c;
+    counts->emplace_back(static_cast<uint32_t>(w), c);
   }
+}
+
+std::vector<uint8_t> GTadocEngine::ComputeRelevance(const WordFilter& filter) {
+  const uint32_t n = dev_.num_rules;
+  if (!filter.selective()) return std::vector<uint8_t>(n, 1);
+  // genQueryReachKernel: bottom-up reachability of accepted words — the
+  // selective kernel's grammar exploit. A rule is relevant iff it owns an
+  // accepted word or any child subtree does; irrelevant rules carry no
+  // accumulator state and are skipped by the reduce kernels.
+  std::vector<uint8_t> relevant(n, 0);
+  internal::BottomUpRounds(
+      device_, dev_, "genQueryReach", [&](uint32_t r, gpu::ThreadCtx& ctx) {
+        uint8_t rel = 0;
+        for (uint32_t e = dev_.word_off[r]; e < dev_.word_off[r + 1]; ++e) {
+          ctx.Charge(1);
+          if (filter.Accepts(dev_.word_id[e])) {
+            rel = 1;
+            break;
+          }
+        }
+        if (rel == 0) {
+          for (uint32_t e = dev_.child_off[r]; e < dev_.child_off[r + 1];
+               ++e) {
+            ctx.Charge(1);
+            if (relevant[dev_.child_id[e]] != 0) {
+              rel = 1;
+              break;
+            }
+          }
+        }
+        relevant[r] = rel;
+      });
+  return relevant;
 }
 
 }  // namespace gtadoc

@@ -5,6 +5,7 @@
 
 #include "analytics/engine.h"
 #include "analytics/results.h"
+#include "analytics/task_kernel.h"
 #include "common/result.h"
 #include "format/dag.h"
 #include "format/grammar.h"
@@ -21,19 +22,22 @@ namespace gtadoc {
 /// the paper's contribution.
 ///
 /// The engine owns a virtual GPU device, the device-resident grammar, and a
-/// self-maintained memory pool, and executes the six analytics tasks as
-/// round-based kernel pipelines:
+/// self-maintained memory pool. It is task-agnostic: Run looks the task's
+/// kernel up in the TaskRegistry and dispatches on the kernel's traversal
+/// shape, so any registered kernel — including out-of-tree ones — executes
+/// without engine changes. The three shape pipelines are:
 ///
-///   - wordCount / sort: Algorithm 1 top-down weight propagation (or the
+///   - kGlobalWeight: Algorithm 1 top-down weight propagation (or the
 ///     Algorithm 2 bottom-up local-table variant), then a parallel reduce
-///     into the Figure-5 global hash table;
-///   - invertedIndex / termVector: per-file weight vectors (top-down) or
-///     local tables + root scan (bottom-up), per the adaptive strategy
-///     selector of [4];
-///   - sequenceCount / rankedInvertedIndex: the two-phase sequence pipeline
-///     of Section IV-D — head/tail buffer initialization (Figure 7), then
-///     weighted per-rule window counting into the exact-key n-gram table
-///     (Figure 8).
+///     into the Figure-5 global hash table (wordCount, sort);
+///   - kPerFileWeight: per-file weight vectors (top-down) or local tables +
+///     root scan (bottom-up), per the kernel's strategy hint; selective
+///     kernels (keywordSearch) additionally prune rules whose subtree
+///     contains no accepted word (invertedIndex, termVector, keywordSearch);
+///   - kSequence: the two-phase sequence pipeline of Section IV-D —
+///     head/tail buffer initialization (Figure 7), then weighted per-rule
+///     window counting into the exact-key n-gram table (Figure 8)
+///     (sequenceCount, rankedInvertedIndex).
 ///
 /// Timing: phase 1 (initialization) covers device-grammar construction, the
 /// PCIe transfer, root scanning, memory-bound computation, pool planning and
@@ -46,6 +50,8 @@ class GTadocEngine {
     /// Host worker threads executing kernels (1 = fully deterministic).
     size_t host_workers = 1;
     uint32_t ngram_len = 3;
+    /// Query word ids for selective kernels (kKeywordSearch).
+    std::vector<uint32_t> query_words;
     TraversalStrategy strategy = TraversalStrategy::kAuto;
     /// The "16x the average number of elements per thread" rule threshold.
     uint32_t split_threshold = 16;
@@ -97,11 +103,19 @@ class GTadocEngine {
   GTadocEngine(const Grammar* g, DagView dag, const Options& options);
 
   // --- shared helpers (engine.cc) ---
+  /// The per-run task parameters handed to every kernel hook.
+  TaskInput MakeInput() const;
   /// Per-rule occurrence weights via Algorithm 1; returns the number of
   /// kernel rounds executed.
   uint32_t ComputeGlobalWeights(std::vector<uint64_t>* weights);
-  /// Result assembly helpers.
-  void DrainWordTable(const gpu::GpuHashTable& table, AnalyticsResult* out);
+  /// Drains a global word table into (word, count) pairs (order unspecified),
+  /// charging the D2H copy when PCIe is billed.
+  void DrainWordTable(const gpu::GpuHashTable& table,
+                      std::vector<std::pair<uint32_t, uint64_t>>* counts);
+  /// Per-rule relevance mask for a selective kernel: relevant[r] is 1 iff
+  /// rule r's subtree contains an accepted word (one bottom-up mask-protocol
+  /// pass). All-ones for non-selective filters.
+  std::vector<uint8_t> ComputeRelevance(const WordFilter& filter);
 
   /// The run's memory pool: the shared pool recycled in place when the
   /// options carry one, otherwise a cold per-run pool (whose allocation call
@@ -115,18 +129,21 @@ class GTadocEngine {
   /// (Re)measures init-phase cost: device-grammar build/rebind + root scan.
   void MeasureCreate(uint64_t ops_before, uint64_t h2d_before);
 
-  // --- top-down (topdown.cc) ---
-  Status WordCountTopDown(AnalyticsResult* out);
-  Status FileTaskTopDown(Task task, AnalyticsResult* out);
+  // --- shape drivers: task-agnostic callers of the kernel interface ---
+  // top-down (topdown.cc)
+  Status GlobalTopDown(const TaskKernel& kernel, AnalyticsResult* out);
+  Status FileTaskTopDown(const TaskKernel& kernel, AnalyticsResult* out);
   /// Figure 4(a) strawman used by the scheduling ablation.
-  Status WordCountVerticalPartition(AnalyticsResult* out);
+  Status GlobalVerticalPartition(const TaskKernel& kernel,
+                                 AnalyticsResult* out);
 
-  // --- bottom-up (bottomup.cc) ---
-  Status WordCountBottomUp(AnalyticsResult* out);
-  Status FileTaskBottomUp(Task task, AnalyticsResult* out);
+  // bottom-up (bottomup.cc)
+  Status GlobalBottomUp(const TaskKernel& kernel, AnalyticsResult* out);
+  Status FileTaskBottomUp(const TaskKernel& kernel, AnalyticsResult* out);
 
-  // --- sequence support (sequence.cc) ---
-  Status SequenceTask(Task task, AnalyticsResult* out, double* phase1_seconds);
+  // sequence pipeline (sequence.cc)
+  Status SequenceTask(const TaskKernel& kernel, AnalyticsResult* out,
+                      double* phase1_seconds);
 
   const Grammar* g_;
   DagView dag_;

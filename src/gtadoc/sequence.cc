@@ -92,8 +92,10 @@ class WindowRing {
 
 }  // namespace
 
-Status GTadocEngine::SequenceTask(Task task, AnalyticsResult* out,
+Status GTadocEngine::SequenceTask(const TaskKernel& kernel,
+                                  AnalyticsResult* out,
                                   double* phase1_seconds) {
+  const TaskInput input = MakeInput();
   const uint32_t l = options_.ngram_len;
   const uint32_t hl = l - 1;
   const uint32_t n = dev_.num_rules;
@@ -176,7 +178,8 @@ Status GTadocEngine::SequenceTask(Task task, AnalyticsResult* out,
           if (!ht_mask[c]) return;
           const uint32_t take = std::min(want_t - got_t, tail_len[c]);
           for (uint32_t i = 0; i < take; ++i) {
-            rev.push_back(tail[static_cast<size_t>(c) * hl + tail_len[c] - 1 - i]);
+            rev.push_back(
+                tail[static_cast<size_t>(c) * hl + tail_len[c] - 1 - i]);
             ++got_t;
           }
           ctx.Charge(take);
@@ -212,13 +215,13 @@ Status GTadocEngine::SequenceTask(Task task, AnalyticsResult* out,
       }
     }
     // The root scan is a chunked kernel in its own right.
-    device_->Launch("seqRootSeed",
-                    static_cast<uint32_t>(std::max<uint64_t>(1, (root_len + 255) / 256)),
-                    [&](gpu::ThreadCtx& ctx) {
-                      const uint64_t lo = static_cast<uint64_t>(ctx.tid()) * 256;
-                      const uint64_t hi = std::min(root_len, lo + 256);
-                      ctx.Charge(hi > lo ? hi - lo : 0);
-                    });
+    const uint32_t seed_threads =
+        static_cast<uint32_t>(std::max<uint64_t>(1, (root_len + 255) / 256));
+    device_->Launch("seqRootSeed", seed_threads, [&](gpu::ThreadCtx& ctx) {
+      const uint64_t lo = static_cast<uint64_t>(ctx.tid()) * 256;
+      const uint64_t hi = std::min(root_len, lo + 256);
+      ctx.Charge(hi > lo ? hi - lo : 0);
+    });
     std::vector<uint64_t> per_rule_work(n, 0);
     for (uint32_t r : dag_.topo_order()) {
       if (r == 0) continue;
@@ -257,8 +260,8 @@ Status GTadocEngine::SequenceTask(Task task, AnalyticsResult* out,
   for (uint32_t r = 0; r < n; ++r) {
     rule_loads[r] = dev_.body_off[r + 1] - dev_.body_off[r];
   }
-  const ThreadAssignment assign =
-      BuildAssignment(rule_loads, options_.scheduling, options_.split_threshold);
+  const ThreadAssignment assign = BuildAssignment(
+      rule_loads, options_.scheduling, options_.split_threshold);
 
   std::vector<uint64_t> ep(dev_.body_off[n] + 1, 0);
   for (uint32_t r = 0; r < n; ++r) {
@@ -375,8 +378,8 @@ Status GTadocEngine::SequenceTask(Task task, AnalyticsResult* out,
   }
   gpu::GpuNgramTable::Options nopt;
   nopt.ngram_len = l;
-  nopt.max_nodes =
-      static_cast<uint32_t>(std::min<uint64_t>(flat_items.size() + 64, 1ull << 27));
+  nopt.max_nodes = static_cast<uint32_t>(
+      std::min<uint64_t>(flat_items.size() + 64, 1ull << 27));
   nopt.num_entries = nopt.max_nodes / 2 + 64;
   nopt.lock_mode = options_.lock_mode;
   gpu::GpuNgramTable table(device_, nopt);
@@ -391,26 +394,15 @@ Status GTadocEngine::SequenceTask(Task task, AnalyticsResult* out,
   if (!ok) return Status::Internal("ngram table undersized");
 
   // =========================================================================
-  // Drain into the requested shape.
+  // Drain into the kernel's result shape (the final per-group orderings are
+  // charged by the kernel through GpuAssembly).
   // =========================================================================
   auto counts = table.Drain();
-  if (options_.charge_pcie) device_->CopyDeviceToHost(counts.size() * (16 + 4ull * l));
-  if (task == Task::kSequenceCount) {
-    for (auto& nc : counts) {
-      out->sequence_count[{nc.file, std::move(nc.words)}] += nc.count;
-    }
-  } else {
-    std::map<std::vector<uint32_t>, std::vector<std::pair<uint32_t, uint64_t>>>
-        grouped;
-    for (auto& nc : counts) {
-      grouped[std::move(nc.words)].emplace_back(nc.file, nc.count);
-    }
-    // Final per-gram ordering, charged as one sorting kernel.
-    device_->Launch("rankSort",
-                    std::max<uint32_t>(1, static_cast<uint32_t>(grouped.size())),
-                    [&](gpu::ThreadCtx& ctx) { ctx.Charge(8); });
-    out->ranked_inverted_index = std::move(grouped);
+  if (options_.charge_pcie) {
+    device_->CopyDeviceToHost(counts.size() * (16 + 4ull * l));
   }
+  GpuAssembly ops(device_);
+  kernel.AssembleSequence(input, std::move(counts), &ops, out);
   return Status::OK();
 }
 

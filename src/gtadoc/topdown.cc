@@ -1,5 +1,6 @@
 #include <algorithm>
 #include <atomic>
+#include <map>
 
 #include "common/logging.h"
 #include "gpu/memory_pool.h"
@@ -15,16 +16,21 @@ uint64_t PackPair(uint32_t hi, uint32_t lo) {
 }  // namespace
 
 // ---------------------------------------------------------------------------
-// wordCount, Algorithm 1: weights then a fine-grained parallel reduce.
+// kGlobalWeight, Algorithm 1: weights then a fine-grained parallel reduce.
+// Task-agnostic: the kernel's word filter gates the reduce, the kernel
+// assembles the drained table into its result type.
 // ---------------------------------------------------------------------------
 
-Status GTadocEngine::WordCountTopDown(AnalyticsResult* out) {
+Status GTadocEngine::GlobalTopDown(const TaskKernel& kernel,
+                                   AnalyticsResult* out) {
+  const TaskInput input = MakeInput();
+  const WordFilter filter(kernel, input, dev_.num_words);
   std::vector<uint64_t> weight;
   last_rounds_ = ComputeGlobalWeights(&weight);
 
-  // reduceResultKernel: every rule merges its local words, scaled by its
-  // weight, into the global Figure-5 hash table. Oversized word lists are
-  // split across threads by the fine-grained scheduler.
+  // reduceResultKernel: every rule merges its (accepted) local words, scaled
+  // by its weight, into the global Figure-5 hash table. Oversized word lists
+  // are split across threads by the fine-grained scheduler.
   std::vector<uint64_t> loads(dev_.num_rules);
   uint64_t total_entries = 0;
   for (uint32_t r = 0; r < dev_.num_rules; ++r) {
@@ -62,6 +68,7 @@ Status GTadocEngine::WordCountTopDown(AnalyticsResult* out) {
           for (uint32_t e = dev_.word_off[r] + progress[r];
                e < dev_.word_off[r + 1]; ++e) {
             ctx.Charge(2);
+            if (!filter.Accepts(dev_.word_id[e])) continue;
             const gpu::InsertOutcome oc = table.AddOrInsert(
                 ctx, dev_.word_id[e], weight[r] * dev_.word_freq[e]);
             if (oc != gpu::InsertOutcome::kDone) {
@@ -84,6 +91,7 @@ Status GTadocEngine::WordCountTopDown(AnalyticsResult* out) {
     for (uint32_t r = 0; r < dev_.num_rules; ++r) {
       if (weight[r] == 0) continue;
       for (uint32_t e = dev_.word_off[r]; e < dev_.word_off[r + 1]; ++e) {
+        if (!filter.Accepts(dev_.word_id[e])) continue;
         items.push_back(PendingEntry{r, e});
       }
     }
@@ -98,7 +106,10 @@ Status GTadocEngine::WordCountTopDown(AnalyticsResult* out) {
         });
   }
   if (!ok) return Status::Internal("global word table undersized");
-  DrainWordTable(table, out);
+  std::vector<std::pair<uint32_t, uint64_t>> counts;
+  DrainWordTable(table, &counts);
+  GpuAssembly ops(device_);
+  kernel.AssembleGlobal(input, counts, &ops, out);
   return Status::OK();
 }
 
@@ -109,7 +120,10 @@ Status GTadocEngine::WordCountTopDown(AnalyticsResult* out) {
 // made the paper abandon this design.
 // ---------------------------------------------------------------------------
 
-Status GTadocEngine::WordCountVerticalPartition(AnalyticsResult* out) {
+Status GTadocEngine::GlobalVerticalPartition(const TaskKernel& kernel,
+                                             AnalyticsResult* out) {
+  const TaskInput input = MakeInput();
+  const WordFilter filter(kernel, input, dev_.num_words);
   const uint64_t root_len = dev_.body_off[1] - dev_.body_off[0];
   const uint32_t num_threads = std::min<uint64_t>(
       1024, std::max<uint64_t>(1, root_len / 64));
@@ -126,15 +140,19 @@ Status GTadocEngine::WordCountVerticalPartition(AnalyticsResult* out) {
       const uint32_t sym = dev_.body_sym[p];
       ctx.Charge(1);
       if (sym < dev_.num_words) {
-        ++counts[sym];
-        ctx.Charge(1);
+        if (filter.Accepts(sym)) {
+          ++counts[sym];
+          ctx.Charge(1);
+        }
       } else if (sym >= dev_.num_words + (dev_.num_files - 1)) {
         stack.emplace_back(sym - (dev_.num_words + dev_.num_files - 1), 1);
         while (!stack.empty()) {
           auto [r, mult] = stack.back();
           stack.pop_back();
           for (uint32_t e = dev_.word_off[r]; e < dev_.word_off[r + 1]; ++e) {
-            counts[dev_.word_id[e]] += mult * dev_.word_freq[e];
+            if (filter.Accepts(dev_.word_id[e])) {
+              counts[dev_.word_id[e]] += mult * dev_.word_freq[e];
+            }
             ctx.Charge(2);
           }
           for (uint32_t e = dev_.child_off[r]; e < dev_.child_off[r + 1];
@@ -157,19 +175,29 @@ Status GTadocEngine::WordCountVerticalPartition(AnalyticsResult* out) {
       }
     }
   });
-  out->word_count.insert(merged.begin(), merged.end());
+  std::vector<std::pair<uint32_t, uint64_t>> counts(merged.begin(),
+                                                    merged.end());
+  GpuAssembly ops(device_);
+  kernel.AssembleGlobal(input, counts, &ops, out);
   return Status::OK();
 }
 
 // ---------------------------------------------------------------------------
-// invertedIndex / termVector, top-down: per-file weight vectors flow from the
-// root. Every rule owns an inbox (per-edge segments, so parents write without
+// kPerFileWeight, top-down: per-file weight vectors flow from the root.
+// Every rule owns an inbox (per-edge segments, so parents write without
 // locks) and an aggregated (file, weight) table, both carved from the memory
 // pool after the init traversal computes their bounds — the Section IV-C
-// memory-requirement transmission.
+// memory-requirement transmission. The kernel's word filter gates the reduce;
+// for selective kernels the relevance mask prunes every rule whose subtree
+// holds no accepted word, so only the matching corner of the grammar carries
+// state.
 // ---------------------------------------------------------------------------
 
-Status GTadocEngine::FileTaskTopDown(Task task, AnalyticsResult* out) {
+Status GTadocEngine::FileTaskTopDown(const TaskKernel& kernel,
+                                     AnalyticsResult* out) {
+  const TaskInput input = MakeInput();
+  const WordFilter filter(kernel, input, dev_.num_words);
+  const std::vector<uint8_t> relevant = ComputeRelevance(filter);
   const uint32_t n = dev_.num_rules;
   const uint32_t num_files = dev_.num_files;
 
@@ -179,14 +207,17 @@ Status GTadocEngine::FileTaskTopDown(Task task, AnalyticsResult* out) {
   // only the files a rule actually appears in. Both are carved from the
   // memory pool; the pool grows with rules x files, which is exactly why
   // top-down is the wrong strategy for many-file inputs (Section VI-C).
-  PoolHandle lease = AcquirePool(
-      static_cast<uint64_t>(n) * (num_files + num_files) + 1);
-  gpu::MemoryPool& pool = *lease.pool;
+  // Irrelevant rules of a selective kernel get no regions at all.
   std::vector<uint64_t> sizes(2 * n, 0);
+  uint64_t total_slots = 0;
   for (uint32_t r = 1; r < n; ++r) {
+    if (relevant[r] == 0) continue;
     sizes[2 * r] = num_files;      // dense weights
     sizes[2 * r + 1] = num_files;  // nonzero file list
+    total_slots += 2ull * num_files;
   }
+  PoolHandle lease = AcquirePool(total_slots + 1);
+  gpu::MemoryPool& pool = *lease.pool;
   auto offsets = pool.PlanRegions(sizes);
   if (!offsets.ok()) return offsets.status();
   auto dense_at = [&](uint32_t r) { return (*offsets)[2 * r]; };
@@ -197,19 +228,20 @@ Status GTadocEngine::FileTaskTopDown(Task task, AnalyticsResult* out) {
   // memset is charged here, spread across chunked threads. This is the
   // rules x files initialization bill that many-file datasets pay.
   {
-    const uint64_t slots = static_cast<uint64_t>(n) * 2 * num_files;
-    device_->Launch("fileDenseInit",
-                    static_cast<uint32_t>(std::max<uint64_t>(1, (slots + 4095) / 4096)),
-                    [&](gpu::ThreadCtx& ctx) {
-                      const uint64_t lo = static_cast<uint64_t>(ctx.tid()) * 4096;
-                      const uint64_t hi = std::min(slots, lo + 4096);
-                      ctx.Charge(hi > lo ? (hi - lo) / 8 : 0);  // wide stores
-                    });
+    const uint64_t slots = total_slots;
+    const uint32_t init_threads =
+        static_cast<uint32_t>(std::max<uint64_t>(1, (slots + 4095) / 4096));
+    device_->Launch("fileDenseInit", init_threads, [&](gpu::ThreadCtx& ctx) {
+      const uint64_t lo = static_cast<uint64_t>(ctx.tid()) * 4096;
+      const uint64_t hi = std::min(slots, lo + 4096);
+      ctx.Charge(hi > lo ? (hi - lo) / 8 : 0);  // wide stores
+    });
   }
 
   // Adds w to rule r's weight for `file`; maintains the nonzero list. Safe
   // under concurrent callers: the 0 -> nonzero transition is detected via the
-  // atomic fetch_add on the dense slot.
+  // atomic fetch_add on the dense slot. Callers must never pass an
+  // irrelevant rule (it owns no region).
   auto add_weight = [&](gpu::ThreadCtx& ctx, uint32_t r, uint32_t file,
                         uint64_t w) {
     auto* cell = reinterpret_cast<std::atomic<uint64_t>*>(
@@ -236,15 +268,18 @@ Status GTadocEngine::FileTaskTopDown(Task task, AnalyticsResult* out) {
           const uint32_t sym = dev_.body_sym[p];
           ctx.Charge(1);
           if (sym >= dev_.num_words + (dev_.num_files - 1)) {
-            add_weight(ctx, sym - (dev_.num_words + dev_.num_files - 1),
-                       dev_.root_file_of_pos[p], 1);
+            const uint32_t r = sym - (dev_.num_words + dev_.num_files - 1);
+            if (relevant[r] != 0) {
+              add_weight(ctx, r, dev_.root_file_of_pos[p], 1);
+            }
           }
         }
       });
 
   // Traversal rounds (Algorithm 1 with per-file weights): a ready rule pushes
-  // its nonzero (file, weight) entries into each child, scaled by the edge
-  // frequency.
+  // its nonzero (file, weight) entries into each relevant child, scaled by
+  // the edge frequency. Readiness counters are bumped for every child so the
+  // mask protocol converges regardless of pruning.
   std::vector<uint8_t> mask(n, 0);
   std::vector<std::atomic<uint8_t>> mask_next(n);
   std::vector<std::atomic<uint32_t>> cur_in(n);
@@ -263,16 +298,19 @@ Status GTadocEngine::FileTaskTopDown(Task task, AnalyticsResult* out) {
       const uint32_t r = ctx.tid();
       ctx.Charge(1);
       if (r == 0 || !mask[r]) return;
-      const uint32_t nz = list_size[r].load(std::memory_order_relaxed);
+      const uint32_t nz =
+          relevant[r] != 0 ? list_size[r].load(std::memory_order_relaxed) : 0;
       for (uint32_t e = dev_.child_off[r]; e < dev_.child_off[r + 1]; ++e) {
         const uint32_t c = dev_.child_id[e];
         const uint64_t f = dev_.child_freq[e];
-        for (uint32_t i = 0; i < nz; ++i) {
-          const uint32_t file =
-              static_cast<uint32_t>(pool.at(list_at(r) + i));
-          const uint64_t w = pool.at(dense_at(r) + file);
-          ctx.Charge(2);
-          add_weight(ctx, c, file, w * f);
+        if (relevant[c] != 0) {
+          for (uint32_t i = 0; i < nz; ++i) {
+            const uint32_t file =
+                static_cast<uint32_t>(pool.at(list_at(r) + i));
+            const uint64_t w = pool.at(dense_at(r) + file);
+            ctx.Charge(2);
+            add_weight(ctx, c, file, w * f);
+          }
         }
         const uint32_t got =
             cur_in[c].fetch_add(1, std::memory_order_relaxed) + 1;
@@ -292,7 +330,7 @@ Status GTadocEngine::FileTaskTopDown(Task task, AnalyticsResult* out) {
 
   // --- Reduce: (file, word) counts into the global table. Work items are
   // single inserts — (rule, word entry, nonzero slot) — so the retry
-  // protocol stays idempotent.
+  // protocol stays idempotent. Only relevant rules and accepted words emit.
   struct ReduceItem {
     uint32_t rule;
     uint32_t entry;  // index into dev_.word_id
@@ -300,9 +338,11 @@ Status GTadocEngine::FileTaskTopDown(Task task, AnalyticsResult* out) {
   };
   std::vector<ReduceItem> items;
   for (uint32_t r = 1; r < n; ++r) {
+    if (relevant[r] == 0) continue;
     const uint32_t nz = list_size[r].load(std::memory_order_relaxed);
     if (nz == 0) continue;
     for (uint32_t e = dev_.word_off[r]; e < dev_.word_off[r + 1]; ++e) {
+      if (!filter.Accepts(dev_.word_id[e])) continue;
       for (uint32_t t = 0; t < nz; ++t) {
         items.push_back(ReduceItem{r, e, t});
       }
@@ -335,29 +375,27 @@ Status GTadocEngine::FileTaskTopDown(Task task, AnalyticsResult* out) {
       [&](size_t p, gpu::ThreadCtx& ctx) {
         const uint32_t sym = dev_.body_sym[p];
         ctx.Charge(1);
-        if (sym >= dev_.num_words) return gpu::InsertOutcome::kDone;
+        if (sym >= dev_.num_words || !filter.Accepts(sym)) {
+          return gpu::InsertOutcome::kDone;
+        }
         return table.AddOrInsert(
             ctx, PackPair(dev_.root_file_of_pos[p], sym), 1);
       });
   if (!ok) return Status::Internal("file-task table undersized (root)");
 
-  // --- Drain into the requested result shape.
+  // --- Drain into the kernel's result shape.
   auto pairs = table.Drain();
   if (options_.charge_pcie) device_->CopyDeviceToHost(pairs.size() * 16);
-  if (task == Task::kTermVector) {
-    out->term_vector.resize(num_files);
-    for (const auto& [key, c] : pairs) {
-      if (c == 0) continue;
-      out->term_vector[key >> 32].emplace_back(
-          static_cast<uint32_t>(key & 0xffffffffu), c);
-    }
-  } else {
-    for (const auto& [key, c] : pairs) {
-      if (c == 0) continue;
-      out->inverted_index[static_cast<uint32_t>(key & 0xffffffffu)].push_back(
-          static_cast<uint32_t>(key >> 32));
-    }
+  std::vector<FileWordCount> triples;
+  triples.reserve(pairs.size());
+  for (const auto& [key, c] : pairs) {
+    if (c == 0) continue;
+    triples.push_back(FileWordCount{static_cast<uint32_t>(key >> 32),
+                                    static_cast<uint32_t>(key & 0xffffffffu),
+                                    c});
   }
+  GpuAssembly ops(device_);
+  kernel.AssembleFileWord(input, num_files, triples, &ops, out);
   return Status::OK();
 }
 

@@ -6,22 +6,9 @@
 #include <unordered_map>
 
 #include "common/timer.h"
+#include "gpu/ngram_table.h"
 
 namespace gtadoc {
-
-namespace {
-bool CountDescIdAsc(const std::pair<uint32_t, uint64_t>& a,
-                    const std::pair<uint32_t, uint64_t>& b) {
-  if (a.second != b.second) return a.second > b.second;
-  return a.first < b.first;
-}
-
-uint64_t Log2Ceil(uint64_t n) {
-  uint64_t l = 1;
-  while ((1ull << l) < n + 1) ++l;
-  return l;
-}
-}  // namespace
 
 Result<CpuTadocEngine> CpuTadocEngine::Create(const Grammar* g,
                                               const CpuTadocOptions& options) {
@@ -32,7 +19,15 @@ Result<CpuTadocEngine> CpuTadocEngine::Create(const Grammar* g,
 
 TraversalStrategy CpuTadocEngine::ChosenStrategy(Task task) const {
   if (options_.strategy != TraversalStrategy::kAuto) return options_.strategy;
-  return SelectStrategy(task, *g_, dag_);
+  const TaskInput input = MakeInput();
+  return SelectStrategy(task, *g_, dag_, &input);
+}
+
+TaskInput CpuTadocEngine::MakeInput() const {
+  TaskInput input;
+  input.ngram_len = options_.ngram_len;
+  input.query_words = options_.query_words;
+  return input;
 }
 
 std::vector<uint32_t> CpuTadocEngine::RootFileIds(CpuCostMeter* meter) const {
@@ -47,8 +42,12 @@ std::vector<uint32_t> CpuTadocEngine::RootFileIds(CpuCostMeter* meter) const {
   return file_of;
 }
 
-Result<EngineRun> CpuTadocEngine::Run(Task task,
-                                      TraversalStrategy strategy_override) const {
+Result<EngineRun> CpuTadocEngine::Run(
+    Task task, TraversalStrategy strategy_override) const {
+  auto kernel_lookup = TaskRegistry::Get(task);
+  if (!kernel_lookup.ok()) return kernel_lookup.status();
+  const TaskKernel& kernel = **kernel_lookup;
+
   TraversalStrategy strategy = strategy_override != TraversalStrategy::kAuto
                                    ? strategy_override
                                    : ChosenStrategy(task);
@@ -67,31 +66,19 @@ Result<EngineRun> CpuTadocEngine::Run(Task task,
   }
   init_meter.Charge(init_ops);
 
-  switch (task) {
-    case Task::kWordCount:
-    case Task::kSort:
+  switch (kernel.shape()) {
+    case TraversalShape::kGlobalWeight:
       run.result = strategy == TraversalStrategy::kBottomUp
-                       ? WordCountBottomUp(&traverse_meter)
-                       : WordCountTopDown(&traverse_meter);
-      if (task == Task::kSort) {
-        const auto& wc = run.result.word_count;
-        AnalyticsResult sorted;
-        sorted.task = Task::kSort;
-        sorted.sort.assign(wc.begin(), wc.end());
-        std::sort(sorted.sort.begin(), sorted.sort.end(), CountDescIdAsc);
-        traverse_meter.Charge(4 * sorted.sort.size() * Log2Ceil(sorted.sort.size()));
-        run.result = std::move(sorted);
-      }
+                       ? GlobalBottomUp(kernel, &traverse_meter)
+                       : GlobalTopDown(kernel, &traverse_meter);
       break;
-    case Task::kInvertedIndex:
-    case Task::kTermVector:
+    case TraversalShape::kPerFileWeight:
       run.result = strategy == TraversalStrategy::kBottomUp
-                       ? FileTaskBottomUp(task, &traverse_meter)
-                       : FileTaskTopDown(task, &traverse_meter);
+                       ? FileTaskBottomUp(kernel, &traverse_meter)
+                       : FileTaskTopDown(kernel, &traverse_meter);
       break;
-    case Task::kSequenceCount:
-    case Task::kRankedInvertedIndex:
-      run.result = SequenceTask(task, &traverse_meter);
+    case TraversalShape::kSequence:
+      run.result = SequenceTask(kernel, &traverse_meter);
       break;
   }
 
@@ -104,13 +91,67 @@ Result<EngineRun> CpuTadocEngine::Run(Task task,
   return run;
 }
 
+namespace {
+
+/// Reverse-topological relevance of a selective kernel's accepted words: a
+/// rule is relevant iff it owns an accepted word or any child subtree does —
+/// the CPU twin of the GPU genQueryReach pass. All-ones when not selective.
+std::vector<uint8_t> ComputeRelevance(const DagView& dag,
+                                      const WordFilter& filter,
+                                      CpuCostMeter* meter) {
+  const size_t n = dag.num_rules();
+  if (!filter.selective()) return std::vector<uint8_t>(n, 1);
+  std::vector<uint8_t> relevant(n, 0);
+  const auto& order = dag.topo_order();
+  for (auto it = order.rbegin(); it != order.rend(); ++it) {
+    const uint32_t r = *it;
+    uint8_t rel = 0;
+    for (const RuleWordEntry& w : dag.words(r)) {
+      meter->Charge(1);
+      if (filter.Accepts(w.word)) {
+        rel = 1;
+        break;
+      }
+    }
+    if (rel == 0) {
+      for (const RuleChildEntry& e : dag.children(r)) {
+        meter->Charge(1);
+        if (relevant[e.child] != 0) {
+          rel = 1;
+          break;
+        }
+      }
+    }
+    relevant[r] = rel;
+  }
+  return relevant;
+}
+
+/// Converts the per-file accumulation maps into the canonical (file, word,
+/// count) triples every per-file kernel assembles from.
+std::vector<FileWordCount> TriplesFromFileMaps(
+    const std::vector<std::unordered_map<uint32_t, uint64_t>>& tv) {
+  std::vector<FileWordCount> triples;
+  for (uint32_t f = 0; f < tv.size(); ++f) {
+    for (const auto& [word, c] : tv[f]) {
+      if (c > 0) triples.push_back(FileWordCount{f, word, c});
+    }
+  }
+  return triples;
+}
+
+}  // namespace
+
 // ---------------------------------------------------------------------------
-// wordCount / sort
+// kGlobalWeight
 // ---------------------------------------------------------------------------
 
-AnalyticsResult CpuTadocEngine::WordCountTopDown(CpuCostMeter* meter) const {
+AnalyticsResult CpuTadocEngine::GlobalTopDown(const TaskKernel& kernel,
+                                              CpuCostMeter* meter) const {
   AnalyticsResult out;
-  out.task = Task::kWordCount;
+  out.task = kernel.task();
+  const TaskInput input = MakeInput();
+  const WordFilter filter(kernel, input, g_->num_words);
 
   // Rule occurrence weights, parents before children (Algorithm 1's effect,
   // computed sequentially in topological order).
@@ -122,24 +163,34 @@ AnalyticsResult CpuTadocEngine::WordCountTopDown(CpuCostMeter* meter) const {
       meter->Charge(4);
     }
   }
-  // Reduce: every rule's local words scaled by its weight.
+  // Reduce: every rule's accepted local words scaled by its weight.
   std::unordered_map<uint32_t, uint64_t> counts;
   for (uint32_t r = 0; r < dag_.num_rules(); ++r) {
     for (const RuleWordEntry& w : dag_.words(r)) {
+      if (!filter.Accepts(w.word)) {
+        meter->Charge(1);
+        continue;
+      }
       counts[w.word] += weight[r] * w.freq;
       meter->Charge(kCpuHashUpdateOps);
     }
   }
-  out.word_count.insert(counts.begin(), counts.end());
-  meter->Charge(counts.size());
+  std::vector<std::pair<uint32_t, uint64_t>> pairs(counts.begin(),
+                                                   counts.end());
+  CpuAssembly ops(meter);
+  kernel.AssembleGlobal(input, pairs, &ops, &out);
   return out;
 }
 
-AnalyticsResult CpuTadocEngine::WordCountBottomUp(CpuCostMeter* meter) const {
+AnalyticsResult CpuTadocEngine::GlobalBottomUp(const TaskKernel& kernel,
+                                               CpuCostMeter* meter) const {
   AnalyticsResult out;
-  out.task = Task::kWordCount;
+  out.task = kernel.task();
+  const TaskInput input = MakeInput();
+  const WordFilter filter(kernel, input, g_->num_words);
 
-  // Local tables: full-expansion word counts per rule (Figure 2).
+  // Local tables: full-expansion word counts per rule (Figure 2), restricted
+  // to accepted words.
   std::vector<std::unordered_map<uint32_t, uint64_t>> table(dag_.num_rules());
   const auto& order = dag_.topo_order();
   for (auto it = order.rbegin(); it != order.rend(); ++it) {
@@ -147,6 +198,10 @@ AnalyticsResult CpuTadocEngine::WordCountBottomUp(CpuCostMeter* meter) const {
     if (r == 0) continue;  // root is reduced below, not materialized
     auto& t = table[r];
     for (const RuleWordEntry& w : dag_.words(r)) {
+      if (!filter.Accepts(w.word)) {
+        meter->Charge(1);
+        continue;
+      }
       t[w.word] += w.freq;
       meter->Charge(kCpuHashUpdateOps);
     }
@@ -160,6 +215,10 @@ AnalyticsResult CpuTadocEngine::WordCountBottomUp(CpuCostMeter* meter) const {
   // Reduce from the root and its direct children (level-2 nodes).
   std::unordered_map<uint32_t, uint64_t> counts;
   for (const RuleWordEntry& w : dag_.words(0)) {
+    if (!filter.Accepts(w.word)) {
+      meter->Charge(1);
+      continue;
+    }
     counts[w.word] += w.freq;
     meter->Charge(kCpuHashUpdateOps);
   }
@@ -169,29 +228,35 @@ AnalyticsResult CpuTadocEngine::WordCountBottomUp(CpuCostMeter* meter) const {
       meter->Charge(kCpuHashUpdateOps);
     }
   }
-  out.word_count.insert(counts.begin(), counts.end());
-  meter->Charge(counts.size());
+  std::vector<std::pair<uint32_t, uint64_t>> pairs(counts.begin(),
+                                                   counts.end());
+  CpuAssembly ops(meter);
+  kernel.AssembleGlobal(input, pairs, &ops, &out);
   return out;
 }
 
 // ---------------------------------------------------------------------------
-// invertedIndex / termVector
+// kPerFileWeight
 // ---------------------------------------------------------------------------
 
-AnalyticsResult CpuTadocEngine::FileTaskTopDown(Task task,
+AnalyticsResult CpuTadocEngine::FileTaskTopDown(const TaskKernel& kernel,
                                                 CpuCostMeter* meter) const {
   AnalyticsResult out;
-  out.task = task;
+  out.task = kernel.task();
+  const TaskInput input = MakeInput();
+  const WordFilter filter(kernel, input, g_->num_words);
+  const std::vector<uint8_t> relevant = ComputeRelevance(dag_, filter, meter);
   const uint32_t num_files = g_->num_files();
 
   // Per-rule file weights: how many times rule r occurs inside each file.
   // This is the "file information" the paper notes becomes expensive with
-  // many files (Section VI-C).
+  // many files (Section VI-C). Selective kernels only track rules whose
+  // subtree can contribute.
   std::vector<std::unordered_map<uint32_t, uint64_t>> fweight(dag_.num_rules());
   std::vector<std::unordered_map<uint32_t, uint64_t>> tv(num_files);
 
   // Root scan: positions -> files; root occurrences seed child weights and
-  // root-owned words go straight to the per-file result.
+  // accepted root-owned words go straight to the per-file result.
   const std::vector<uint32_t>& root = g_->root();
   uint32_t cur_file = 0;
   for (uint32_t sym : root) {
@@ -199,18 +264,22 @@ AnalyticsResult CpuTadocEngine::FileTaskTopDown(Task task,
     if (g_->IsSplitter(sym)) {
       cur_file = g_->SplitterIndex(sym) + 1;
     } else if (g_->IsRule(sym)) {
-      ++fweight[g_->RuleIndex(sym)][cur_file];
+      const uint32_t r = g_->RuleIndex(sym);
+      if (relevant[r] == 0) continue;
+      ++fweight[r][cur_file];
       meter->Charge(kCpuHashUpdateOps);
-    } else {
+    } else if (filter.Accepts(sym)) {
       ++tv[cur_file][sym];
       meter->Charge(kCpuHashUpdateOps);
     }
   }
 
-  // Topological propagation of file-weight vectors.
+  // Topological propagation of file-weight vectors, pruned to relevant
+  // subtrees.
   for (uint32_t r : dag_.topo_order()) {
-    if (r == 0) continue;
+    if (r == 0 || relevant[r] == 0) continue;
     for (const RuleChildEntry& e : dag_.children(r)) {
+      if (relevant[e.child] == 0) continue;
       for (const auto& [file, w] : fweight[r]) {
         fweight[e.child][file] += w * e.freq;
         meter->Charge(kCpuHashUpdateOps);
@@ -218,9 +287,11 @@ AnalyticsResult CpuTadocEngine::FileTaskTopDown(Task task,
     }
   }
 
-  // Reduce: local words scaled by the rule's per-file weights.
+  // Reduce: accepted local words scaled by the rule's per-file weights.
   for (uint32_t r = 1; r < dag_.num_rules(); ++r) {
+    if (relevant[r] == 0) continue;
     for (const RuleWordEntry& w : dag_.words(r)) {
+      if (!filter.Accepts(w.word)) continue;
       for (const auto& [file, fw] : fweight[r]) {
         tv[file][w.word] += static_cast<uint64_t>(w.freq) * fw;
         meter->Charge(kCpuHashUpdateOps);
@@ -228,30 +299,23 @@ AnalyticsResult CpuTadocEngine::FileTaskTopDown(Task task,
     }
   }
 
-  if (task == Task::kTermVector) {
-    out.term_vector.resize(num_files);
-    for (uint32_t f = 0; f < num_files; ++f) {
-      out.term_vector[f].assign(tv[f].begin(), tv[f].end());
-      meter->Charge(tv[f].size() * 4);
-    }
-  } else {
-    for (uint32_t f = 0; f < num_files; ++f) {
-      for (const auto& [word, c] : tv[f]) {
-        if (c > 0) out.inverted_index[word].push_back(f);
-        meter->Charge(2);
-      }
-    }
-  }
+  CpuAssembly ops(meter);
+  kernel.AssembleFileWord(input, num_files, TriplesFromFileMaps(tv), &ops,
+                          &out);
   return out;
 }
 
-AnalyticsResult CpuTadocEngine::FileTaskBottomUp(Task task,
+AnalyticsResult CpuTadocEngine::FileTaskBottomUp(const TaskKernel& kernel,
                                                  CpuCostMeter* meter) const {
   AnalyticsResult out;
-  out.task = task;
+  out.task = kernel.task();
+  const TaskInput input = MakeInput();
+  const WordFilter filter(kernel, input, g_->num_words);
   const uint32_t num_files = g_->num_files();
 
-  // Local tables as in bottom-up word count.
+  // Local tables as in bottom-up word count, restricted to accepted words
+  // (tables of rules without accepted words stay empty, pruning the root
+  // scan below for free).
   std::vector<std::unordered_map<uint32_t, uint64_t>> table(dag_.num_rules());
   const auto& order = dag_.topo_order();
   for (auto it = order.rbegin(); it != order.rend(); ++it) {
@@ -259,6 +323,10 @@ AnalyticsResult CpuTadocEngine::FileTaskBottomUp(Task task,
     if (r == 0) continue;
     auto& t = table[r];
     for (const RuleWordEntry& w : dag_.words(r)) {
+      if (!filter.Accepts(w.word)) {
+        meter->Charge(1);
+        continue;
+      }
       t[w.word] += w.freq;
       meter->Charge(kCpuHashUpdateOps);
     }
@@ -271,7 +339,7 @@ AnalyticsResult CpuTadocEngine::FileTaskBottomUp(Task task,
   }
 
   // Root scan: each level-2 occurrence merges its table into the occurrence's
-  // file; root-owned words go to their position's file.
+  // file; accepted root-owned words go to their position's file.
   std::vector<std::unordered_map<uint32_t, uint64_t>> tv(num_files);
   uint32_t cur_file = 0;
   for (uint32_t sym : g_->root()) {
@@ -283,37 +351,27 @@ AnalyticsResult CpuTadocEngine::FileTaskBottomUp(Task task,
         tv[cur_file][word] += c;
         meter->Charge(kCpuHashUpdateOps);
       }
-    } else {
+    } else if (filter.Accepts(sym)) {
       ++tv[cur_file][sym];
       meter->Charge(kCpuHashUpdateOps);
     }
   }
 
-  if (task == Task::kTermVector) {
-    out.term_vector.resize(num_files);
-    for (uint32_t f = 0; f < num_files; ++f) {
-      out.term_vector[f].assign(tv[f].begin(), tv[f].end());
-      meter->Charge(tv[f].size() * 4);
-    }
-  } else {
-    for (uint32_t f = 0; f < num_files; ++f) {
-      for (const auto& [word, c] : tv[f]) {
-        if (c > 0) out.inverted_index[word].push_back(f);
-        meter->Charge(2);
-      }
-    }
-  }
+  CpuAssembly ops(meter);
+  kernel.AssembleFileWord(input, num_files, TriplesFromFileMaps(tv), &ops,
+                          &out);
   return out;
 }
 
 // ---------------------------------------------------------------------------
-// sequenceCount / rankedInvertedIndex — [2]'s recursive full-stream walk.
+// kSequence — [2]'s recursive full-stream walk.
 // ---------------------------------------------------------------------------
 
-AnalyticsResult CpuTadocEngine::SequenceTask(Task task,
+AnalyticsResult CpuTadocEngine::SequenceTask(const TaskKernel& kernel,
                                              CpuCostMeter* meter) const {
   AnalyticsResult out;
-  out.task = task;
+  out.task = kernel.task();
+  const TaskInput input = MakeInput();
   const uint32_t l = options_.ngram_len;
 
   // DFS token iterator over the full expansion (no materialization, but every
@@ -355,21 +413,19 @@ AnalyticsResult CpuTadocEngine::SequenceTask(Task task,
     }
   }
 
-  if (task == Task::kSequenceCount) {
-    out.sequence_count = std::move(counts);
-  } else {
-    std::map<std::vector<uint32_t>, std::vector<std::pair<uint32_t, uint64_t>>>
-        grouped;
-    for (const auto& [key, c] : counts) {
-      grouped[key.second].emplace_back(key.first, c);
-      meter->Charge(2);
-    }
-    for (auto& [gram, files] : grouped) {
-      std::sort(files.begin(), files.end(), CountDescIdAsc);
-      meter->Charge(files.size() * 2);
-    }
-    out.ranked_inverted_index = std::move(grouped);
+  // Reshape the (file, gram) counts through the kernel, identically to the
+  // GPU drain path.
+  std::vector<gpu::NgramCount> drained;
+  drained.reserve(counts.size());
+  for (auto& [key, c] : counts) {
+    gpu::NgramCount nc;
+    nc.file = key.first;
+    nc.words = key.second;
+    nc.count = c;
+    drained.push_back(std::move(nc));
   }
+  CpuAssembly ops(meter);
+  kernel.AssembleSequence(input, std::move(drained), &ops, &out);
   return out;
 }
 

@@ -5,6 +5,7 @@
 
 #include "analytics/engine.h"
 #include "analytics/results.h"
+#include "analytics/task_kernel.h"
 #include "common/result.h"
 #include "format/dag.h"
 #include "format/grammar.h"
@@ -18,21 +19,26 @@ struct CpuTadocOptions {
   gpu::CpuSpec cpu;  ///< cost-model parameters of the host CPU
   uint32_t ngram_len = 3;
   TraversalStrategy strategy = TraversalStrategy::kAuto;
+  /// Query word ids for selective kernels (kKeywordSearch).
+  std::vector<uint32_t> query_words;
 };
 
 /// \brief Sequential CPU TADOC — the paper's baseline ([2] with the adaptive
 /// traversal of [4]).
 ///
-/// The run is split into the paper's two phases:
+/// Task-agnostic like the GPU engine: Run dispatches on the task kernel's
+/// traversal shape, and the kernel assembles each shape's canonical
+/// accumulator into its result type, so CPU and GPU outputs agree by
+/// construction. The run is split into the paper's two phases:
 ///   - initialization: building the DAG view, the root's file segmentation
 ///     and the per-task data structures;
 ///   - graph traversal: weight propagation (top-down) or local-table merging
 ///     (bottom-up) plus final result reduction.
 ///
-/// The two sequence tasks reproduce [2]'s design faithfully: a recursive
-/// (DFS) walk over the *entire expanded token stream* with a sliding window,
-/// which is why the paper reports their CPU performance as close to
-/// uncompressed processing — the reuse opportunity G-TADOC later exploits.
+/// The sequence shape reproduces [2]'s design faithfully: a recursive (DFS)
+/// walk over the *entire expanded token stream* with a sliding window, which
+/// is why the paper reports their CPU performance as close to uncompressed
+/// processing — the reuse opportunity G-TADOC later exploits.
 ///
 /// Work is charged to a CpuCostMeter with the same discipline as the GPU
 /// kernels, so CPU/GPU simulated times are comparable; wall time is also
@@ -58,12 +64,21 @@ class CpuTadocEngine {
   CpuTadocEngine(const Grammar* g, DagView dag, const CpuTadocOptions& options)
       : g_(g), dag_(std::move(dag)), options_(options) {}
 
-  // Phase-2 task bodies; each returns the result and charges `meter`.
-  AnalyticsResult WordCountTopDown(CpuCostMeter* meter) const;
-  AnalyticsResult WordCountBottomUp(CpuCostMeter* meter) const;
-  AnalyticsResult FileTaskTopDown(Task task, CpuCostMeter* meter) const;
-  AnalyticsResult FileTaskBottomUp(Task task, CpuCostMeter* meter) const;
-  AnalyticsResult SequenceTask(Task task, CpuCostMeter* meter) const;
+  /// The per-run task parameters handed to every kernel hook.
+  TaskInput MakeInput() const;
+
+  // Phase-2 shape drivers; each returns the kernel-assembled result and
+  // charges `meter`.
+  AnalyticsResult GlobalTopDown(const TaskKernel& kernel,
+                                CpuCostMeter* meter) const;
+  AnalyticsResult GlobalBottomUp(const TaskKernel& kernel,
+                                 CpuCostMeter* meter) const;
+  AnalyticsResult FileTaskTopDown(const TaskKernel& kernel,
+                                  CpuCostMeter* meter) const;
+  AnalyticsResult FileTaskBottomUp(const TaskKernel& kernel,
+                                   CpuCostMeter* meter) const;
+  AnalyticsResult SequenceTask(const TaskKernel& kernel,
+                               CpuCostMeter* meter) const;
 
   /// Root-body file segmentation: file id of each root position (phase 1).
   std::vector<uint32_t> RootFileIds(CpuCostMeter* meter) const;

@@ -69,9 +69,6 @@ Result<ParallelTadocEngine::PartitionOutcome>
 ParallelTadocEngine::RunPartitions(Task task) const {
   PartitionOutcome o;
   o.merged.task = task;
-  if (task == Task::kTermVector) {
-    o.merged.term_vector.resize(corpus_->total_files);
-  }
 
   for (size_t p = 0; p < corpus_->partitions.size(); ++p) {
     auto engine = CpuTadocEngine::Create(&corpus_->partitions[p], options_);

@@ -1,22 +1,18 @@
 #include "tadoc/strategy.h"
 
+#include "analytics/task_kernel.h"
+
 namespace gtadoc {
 
 TraversalStrategy SelectStrategy(Task task, const Grammar& g,
-                                 const DagView& dag) {
-  (void)dag;
-  switch (task) {
-    case Task::kWordCount:
-    case Task::kSort:
-      return TraversalStrategy::kTopDown;
-    case Task::kInvertedIndex:
-    case Task::kTermVector:
-    case Task::kSequenceCount:
-    case Task::kRankedInvertedIndex:
-      return g.num_files() > kFileCountThreshold ? TraversalStrategy::kBottomUp
-                                                 : TraversalStrategy::kTopDown;
-  }
-  return TraversalStrategy::kTopDown;
+                                 const DagView& dag, const TaskInput* input) {
+  // The single task->strategy mapping: the kernel's hint. Both engines'
+  // ChosenStrategy route through here, so there is exactly one place a
+  // task's direction preference lives.
+  const TaskKernel* kernel = TaskRegistry::Find(task);
+  if (kernel == nullptr) return TraversalStrategy::kTopDown;
+  const TaskInput defaults;
+  return kernel->PreferredStrategy(g, dag, input ? *input : defaults);
 }
 
 const char* StrategyName(TraversalStrategy s) {

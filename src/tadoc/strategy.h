@@ -7,6 +7,8 @@
 
 namespace gtadoc {
 
+struct TaskInput;  // analytics/task_kernel.h
+
 /// DAG traversal direction (Section IV-B; both engines implement both).
 enum class TraversalStrategy {
   kAuto,      ///< pick via SelectStrategy
@@ -18,18 +20,17 @@ enum class TraversalStrategy {
 /// (Section IV-B "we develop both top-down and bottom-up traversals and use
 /// the strategy selector in [4] for such decisions").
 ///
-/// Heuristic reproduced from the paper's discussion (Section VI-C):
-///   - global tasks (wordCount, sort) propagate scalar weights, so top-down
-///     is cheap regardless of input;
-///   - per-file tasks (invertedIndex, termVector) propagate per-file weight
-///     vectors top-down, whose size grows with the file count: with many
-///     files (dataset A) bottom-up wins, with few files (dataset B) top-down
-///     wins. The threshold below mirrors the paper's observation that a
-///     16-byte file buffer (4 files) is negligible.
-///   - sequence tasks use the dedicated two-phase pipeline, which needs
-///     per-file weights; same rule as per-file tasks.
+/// Delegates to the task kernel's PreferredStrategy hint (the one place a
+/// task's direction preference lives); the default hint reproduces the
+/// paper's Section VI-C heuristic from the kernel's per-rule state footprint:
+/// scalar-weight kernels stay top-down, per-file kernels switch to bottom-up
+/// once the file count makes the propagated vectors exceed the footprint the
+/// paper calls negligible (a 16-byte buffer for 4 files). Unknown task ids
+/// fall back to top-down. `input` carries the run's task parameters so a
+/// kernel's hint can depend on them; null means defaults.
 TraversalStrategy SelectStrategy(Task task, const Grammar& g,
-                                 const DagView& dag);
+                                 const DagView& dag,
+                                 const TaskInput* input = nullptr);
 
 /// File-count threshold used by SelectStrategy.
 inline constexpr uint32_t kFileCountThreshold = 32;

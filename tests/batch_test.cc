@@ -309,5 +309,64 @@ TEST(EngineRebindTest, RebindMatchesColdEngine) {
   EXPECT_LT(second->timing.init_seconds, cold_run->timing.init_seconds);
 }
 
+// RunTiming::Accumulate must fold every field, including the pipeline
+// overlap and the document count, so aggregates of aggregates stay exact.
+TEST(RunTimingTest, AccumulateFoldsAllFields) {
+  RunTiming a;
+  a.init_seconds = 1.0;
+  a.traversal_seconds = 2.0;
+  a.upload_seconds = 0.25;
+  a.overlap_saved_seconds = 0.125;
+  a.init_ops = 10;
+  a.traversal_ops = 20;
+  a.documents = 3;
+  RunTiming b = a;
+  b.documents = 2;
+
+  RunTiming agg;
+  agg.documents = 0;
+  agg.Accumulate(a);
+  agg.Accumulate(b);
+  EXPECT_DOUBLE_EQ(agg.init_seconds, 2.0);
+  EXPECT_DOUBLE_EQ(agg.traversal_seconds, 4.0);
+  EXPECT_DOUBLE_EQ(agg.upload_seconds, 0.5);
+  EXPECT_DOUBLE_EQ(agg.overlap_saved_seconds, 0.25);
+  EXPECT_EQ(agg.init_ops, 20u);
+  EXPECT_EQ(agg.traversal_ops, 40u);
+  EXPECT_EQ(agg.documents, 5u);
+  EXPECT_DOUBLE_EQ(agg.serial_seconds(),
+                   a.serial_seconds() + b.serial_seconds());
+  EXPECT_DOUBLE_EQ(agg.total_seconds(), a.total_seconds() + b.total_seconds());
+}
+
+// Regression for the batch aggregate: its serial time is exactly the sum of
+// the per-document timings (plus the explicitly-charged corpus merge), and
+// it counts every document.
+TEST(RunTimingTest, BatchAggregateSerialSecondsEqualsDocumentSum) {
+  PartitionedCorpus corpus = MakeCorpus(12, 4);
+  BatchEngine::Options bopt;
+  bopt.engine = GpuOptions();
+  auto batch = BatchEngine::Create(&corpus, bopt);
+  ASSERT_TRUE(batch.ok());
+  auto run = (*batch)->Run(Task::kWordCount);
+  ASSERT_TRUE(run.ok());
+
+  RunTiming folded;
+  folded.documents = 0;
+  for (const BatchEngine::DocumentRun& doc : run->documents) {
+    folded.Accumulate(doc.timing);
+  }
+  EXPECT_EQ(folded.documents, run->documents.size());
+  EXPECT_EQ(run->timing.documents, run->documents.size());
+  EXPECT_DOUBLE_EQ(folded.serial_seconds(),
+                   folded.init_seconds + folded.traversal_seconds);
+  // The batch timing is the folded per-document sum plus the corpus merge
+  // (charged into traversal_seconds); init matches exactly.
+  EXPECT_DOUBLE_EQ(run->timing.init_seconds, folded.init_seconds);
+  EXPECT_GE(run->timing.serial_seconds(), folded.serial_seconds());
+  EXPECT_EQ(run->timing.init_ops, folded.init_ops);
+  EXPECT_GE(run->timing.traversal_ops, folded.traversal_ops);
+}
+
 }  // namespace
 }  // namespace gtadoc

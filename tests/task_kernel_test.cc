@@ -1,0 +1,371 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "analytics/batch.h"
+#include "analytics/task_kernel.h"
+#include "analytics/uncompressed.h"
+#include "datagen/datagen.h"
+#include "format/dag.h"
+#include "gpu/platform.h"
+#include "gtadoc/engine.h"
+#include "sequitur/compressor.h"
+#include "sequitur/tokenizer.h"
+#include "tadoc/cpu_engine.h"
+#include "tadoc/parallel_engine.h"
+#include "tadoc/strategy.h"
+
+namespace gtadoc {
+namespace {
+
+/// The seven built-in tasks (the paper's six + keywordSearch).
+std::vector<Task> BuiltinTasks() {
+  std::vector<Task> tasks = AllTasks();
+  tasks.push_back(Task::kKeywordSearch);
+  return tasks;
+}
+
+GTadocEngine::Options GpuOptions(std::vector<uint32_t> query = {}) {
+  GTadocEngine::Options opt;
+  opt.gpu = gpu::PascalPlatform().gpu;
+  opt.host_workers = 1;  // deterministic
+  opt.query_words = std::move(query);
+  return opt;
+}
+
+CpuTadocOptions CpuOptions(std::vector<uint32_t> query = {}) {
+  CpuTadocOptions opt;
+  opt.cpu = gpu::PascalPlatform().cpu;
+  opt.query_words = std::move(query);
+  return opt;
+}
+
+struct Prepared {
+  TokenizedCorpus tokens;
+  Grammar grammar;
+};
+
+Prepared PrepareCorpus(uint32_t num_files, uint64_t total_tokens,
+                       uint64_t seed) {
+  DatasetSpec spec = DatasetA();
+  spec.num_files = num_files;
+  spec.total_tokens = total_tokens;
+  spec.vocabulary = 200;
+  spec.seed = seed;
+  Prepared p;
+  p.tokens = GenerateTokens(spec);
+  auto g = CompressTokenStreams(p.tokens.file_tokens,
+                                static_cast<uint32_t>(p.tokens.words.size()));
+  EXPECT_TRUE(g.ok()) << g.status().ToString();
+  p.grammar = std::move(*g);
+  return p;
+}
+
+// -------------------------------------------------------------- registry ---
+
+TEST(TaskRegistryTest, EveryBuiltinRoundTripsThroughGet) {
+  for (Task task : BuiltinTasks()) {
+    auto kernel = TaskRegistry::Get(task);
+    ASSERT_TRUE(kernel.ok()) << static_cast<int>(task);
+    EXPECT_EQ((*kernel)->task(), task);
+    EXPECT_STREQ((*kernel)->name(), TaskName(task));
+    EXPECT_NE(TaskRegistry::Find(task), nullptr);
+  }
+}
+
+TEST(TaskRegistryTest, RegisteredTasksCoversBuiltins) {
+  const std::vector<Task> registered = TaskRegistry::RegisteredTasks();
+  for (Task task : BuiltinTasks()) {
+    EXPECT_NE(std::find(registered.begin(), registered.end(), task),
+              registered.end())
+        << TaskName(task);
+  }
+}
+
+TEST(TaskRegistryTest, UnknownIdReturnsCleanStatus) {
+  const Task bogus = static_cast<Task>(912);
+  auto kernel = TaskRegistry::Get(bogus);
+  EXPECT_FALSE(kernel.ok());
+  EXPECT_TRUE(kernel.status().IsNotFound()) << kernel.status().ToString();
+  EXPECT_EQ(TaskRegistry::Find(bogus), nullptr);
+  EXPECT_STREQ(TaskName(bogus), "?");
+  EXPECT_FALSE(IsSequenceTask(bogus));
+}
+
+/// Minimal kernel used by the registration tests.
+class NoopKernel : public TaskKernel {
+ public:
+  explicit NoopKernel(int id) : id_(id) {}
+  Task task() const override { return static_cast<Task>(id_); }
+  const char* name() const override { return "noop"; }
+  TraversalShape shape() const override {
+    return TraversalShape::kGlobalWeight;
+  }
+  void Merge(const AnalyticsResult&, uint32_t, AnalyticsResult*,
+             uint64_t*) const override {}
+  uint64_t ResultBytes(const AnalyticsResult&, uint32_t) const override {
+    return 0;
+  }
+  bool Equal(const AnalyticsResult&, const AnalyticsResult&) const override {
+    return true;
+  }
+  void DigestFold(const AnalyticsResult&, uint64_t*, size_t*) const override {}
+  AnalyticsResult RunUncompressed(const std::vector<std::vector<uint32_t>>&,
+                                  const TaskInput&,
+                                  CpuCostMeter*) const override {
+    return AnalyticsResult{};
+  }
+
+ private:
+  int id_;
+};
+
+TEST(TaskRegistryTest, DuplicateAndNullRegistrationsFail) {
+  TaskRegistry& registry = TaskRegistry::Instance();
+  EXPECT_FALSE(registry.Register(nullptr).ok());
+  ASSERT_TRUE(registry.Register(std::make_unique<NoopKernel>(901)).ok());
+  EXPECT_NE(TaskRegistry::Find(static_cast<Task>(901)), nullptr);
+  // Same id again: rejected, the first registration stays.
+  EXPECT_FALSE(registry.Register(std::make_unique<NoopKernel>(901)).ok());
+  // A built-in id cannot be shadowed either.
+  EXPECT_FALSE(TaskRegistry::Instance()
+                   .Register(std::make_unique<NoopKernel>(
+                       static_cast<int>(Task::kWordCount)))
+                   .ok());
+}
+
+TEST(TaskRegistryTest, EnginesRejectUnknownTasks) {
+  const Task bogus = static_cast<Task>(913);
+  Prepared p = PrepareCorpus(4, 3000, 3);
+
+  auto gpu = GTadocEngine::Create(&p.grammar, GpuOptions());
+  ASSERT_TRUE(gpu.ok());
+  EXPECT_TRUE((*gpu)->Run(bogus).status().IsNotFound());
+
+  auto cpu = CpuTadocEngine::Create(&p.grammar, CpuOptions());
+  ASSERT_TRUE(cpu.ok());
+  EXPECT_TRUE(cpu->Run(bogus).status().IsNotFound());
+
+  UncompressedAnalytics uncompressed(p.tokens.file_tokens);
+  gpu::Device device(gpu::PascalPlatform().gpu, 1);
+  EXPECT_TRUE(uncompressed.RunOnDevice(bogus, &device).status().IsNotFound());
+}
+
+TEST(TaskKernelTest, ShapeMetadata) {
+  EXPECT_EQ(TaskRegistry::Find(Task::kWordCount)->shape(),
+            TraversalShape::kGlobalWeight);
+  EXPECT_EQ(TaskRegistry::Find(Task::kSort)->shape(),
+            TraversalShape::kGlobalWeight);
+  EXPECT_EQ(TaskRegistry::Find(Task::kInvertedIndex)->shape(),
+            TraversalShape::kPerFileWeight);
+  EXPECT_EQ(TaskRegistry::Find(Task::kTermVector)->shape(),
+            TraversalShape::kPerFileWeight);
+  EXPECT_EQ(TaskRegistry::Find(Task::kSequenceCount)->shape(),
+            TraversalShape::kSequence);
+  EXPECT_EQ(TaskRegistry::Find(Task::kRankedInvertedIndex)->shape(),
+            TraversalShape::kSequence);
+  EXPECT_EQ(TaskRegistry::Find(Task::kKeywordSearch)->shape(),
+            TraversalShape::kPerFileWeight);
+  EXPECT_TRUE(IsSequenceTask(Task::kSequenceCount));
+  EXPECT_FALSE(IsSequenceTask(Task::kKeywordSearch));
+  EXPECT_STREQ(TraversalShapeName(TraversalShape::kPerFileWeight),
+               "perFileWeight");
+}
+
+// The kernel's strategy hint is the single task->strategy mapping: the
+// selector and both engines must agree with it.
+TEST(TaskKernelTest, StrategyHintDrivesSelectorAndEngines) {
+  Prepared few = PrepareCorpus(4, 3000, 5);
+  Prepared many = PrepareCorpus(40, 8000, 6);
+  auto few_dag = DagView::Build(few.grammar);
+  auto many_dag = DagView::Build(many.grammar);
+  ASSERT_TRUE(few_dag.ok());
+  ASSERT_TRUE(many_dag.ok());
+
+  for (Task task : {Task::kWordCount, Task::kSort}) {
+    EXPECT_EQ(SelectStrategy(task, few.grammar, *few_dag),
+              TraversalStrategy::kTopDown);
+    EXPECT_EQ(SelectStrategy(task, many.grammar, *many_dag),
+              TraversalStrategy::kTopDown);
+  }
+  for (Task task : {Task::kInvertedIndex, Task::kTermVector,
+                    Task::kKeywordSearch, Task::kSequenceCount}) {
+    EXPECT_EQ(SelectStrategy(task, few.grammar, *few_dag),
+              TraversalStrategy::kTopDown)
+        << TaskName(task);
+    EXPECT_EQ(SelectStrategy(task, many.grammar, *many_dag),
+              TraversalStrategy::kBottomUp)
+        << TaskName(task);
+  }
+
+  // Engines read the same hint.
+  auto gpu = GTadocEngine::Create(&many.grammar, GpuOptions());
+  ASSERT_TRUE(gpu.ok());
+  auto cpu = CpuTadocEngine::Create(&many.grammar, CpuOptions());
+  ASSERT_TRUE(cpu.ok());
+  for (Task task : BuiltinTasks()) {
+    const TraversalStrategy hint = TaskRegistry::Find(task)->PreferredStrategy(
+        many.grammar, *many_dag, TaskInput{});
+    EXPECT_EQ((*gpu)->ChosenStrategy(task), hint) << TaskName(task);
+    EXPECT_EQ(cpu->ChosenStrategy(task), hint) << TaskName(task);
+  }
+}
+
+// ------------------------------------- cross-engine result consistency ---
+
+class AllEnginesAgree : public testing::TestWithParam<int> {};
+
+// The framework's core guarantee, table-driven over all seven built-in
+// tasks on random corpora: GPU (both traversal directions), both CPU
+// engines, and the GPU-uncompressed baseline all equal the kernel's own
+// uncompressed reference loop.
+TEST_P(AllEnginesAgree, OnRandomCorpora) {
+  const Task task = BuiltinTasks()[GetParam()];
+  struct Config {
+    uint32_t num_files;
+    uint64_t tokens;
+    uint64_t seed;
+  };
+  for (const Config& cfg : {Config{3, 4000, 11}, Config{24, 9000, 12}}) {
+    SCOPED_TRACE(testing::Message() << TaskName(task) << " files="
+                                    << cfg.num_files);
+    Prepared p = PrepareCorpus(cfg.num_files, cfg.tokens, cfg.seed);
+    // A mixed query: common ids, a rare id, and one absent from the corpus.
+    const std::vector<uint32_t> query = {1, 3, 9, 150, 100000};
+
+    UncompressedAnalytics uncompressed(p.tokens.file_tokens, 3, query);
+    const AnalyticsResult truth = uncompressed.RunSequential(task);
+
+    auto gpu = GTadocEngine::Create(&p.grammar, GpuOptions(query));
+    ASSERT_TRUE(gpu.ok()) << gpu.status().ToString();
+    for (TraversalStrategy strategy :
+         {TraversalStrategy::kAuto, TraversalStrategy::kTopDown,
+          TraversalStrategy::kBottomUp}) {
+      auto run = (*gpu)->Run(task, strategy);
+      ASSERT_TRUE(run.ok()) << run.status().ToString();
+      EXPECT_TRUE(run->result.SameAs(truth))
+          << StrategyName(strategy) << ": " << run->result.Digest() << " vs "
+          << truth.Digest();
+    }
+
+    auto cpu = CpuTadocEngine::Create(&p.grammar, CpuOptions(query));
+    ASSERT_TRUE(cpu.ok());
+    for (TraversalStrategy strategy :
+         {TraversalStrategy::kTopDown, TraversalStrategy::kBottomUp}) {
+      auto run = cpu->Run(task, strategy);
+      ASSERT_TRUE(run.ok()) << run.status().ToString();
+      EXPECT_TRUE(run->result.SameAs(truth))
+          << StrategyName(strategy) << ": " << run->result.Digest() << " vs "
+          << truth.Digest();
+    }
+
+    gpu::Device device(gpu::PascalPlatform().gpu, 1);
+    auto unc_dev = uncompressed.RunOnDevice(task, &device);
+    ASSERT_TRUE(unc_dev.ok()) << unc_dev.status().ToString();
+    EXPECT_TRUE(unc_dev->result.SameAs(truth))
+        << unc_dev->result.Digest() << " vs " << truth.Digest();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(SevenTasks, AllEnginesAgree, testing::Range(0, 7),
+                         [](const auto& info) {
+                           return std::string(
+                               TaskName(BuiltinTasks()[info.param]));
+                         });
+
+// --------------------------------------------------------- keywordSearch ---
+
+TEST(KeywordSearchTest, HandComputedTinyCorpus) {
+  // file0: a b a c   file1: b a b   file2: d d  (ids a=0 b=1 c=2 d=3)
+  const std::vector<std::vector<uint32_t>> files = {
+      {0, 1, 0, 2}, {1, 0, 1}, {3, 3}};
+  auto grammar = CompressTokenStreams(files, 4);
+  ASSERT_TRUE(grammar.ok());
+  const std::vector<uint32_t> query = {0, 2};  // a, c
+
+  // a and c: file0 holds a,a,c = 3 hits; file1 holds a = 1 hit; file2 none.
+  const KeywordSearchResult expected = {{0, 3}, {1, 1}};
+
+  UncompressedAnalytics uncompressed(files, 3, query);
+  const AnalyticsResult truth =
+      uncompressed.RunSequential(Task::kKeywordSearch);
+  EXPECT_EQ(truth.keyword_search, expected);
+
+  auto gpu = GTadocEngine::Create(&*grammar, GpuOptions(query));
+  ASSERT_TRUE(gpu.ok());
+  auto gpu_run = (*gpu)->Run(Task::kKeywordSearch);
+  ASSERT_TRUE(gpu_run.ok()) << gpu_run.status().ToString();
+  EXPECT_EQ(gpu_run->result.keyword_search, expected);
+
+  auto cpu = CpuTadocEngine::Create(&*grammar, CpuOptions(query));
+  ASSERT_TRUE(cpu.ok());
+  auto cpu_run = cpu->Run(Task::kKeywordSearch);
+  ASSERT_TRUE(cpu_run.ok());
+  EXPECT_EQ(cpu_run->result.keyword_search, expected);
+}
+
+TEST(KeywordSearchTest, EmptyAndAbsentQueriesReturnNoDocuments) {
+  Prepared p = PrepareCorpus(6, 4000, 17);
+  for (const std::vector<uint32_t>& query :
+       {std::vector<uint32_t>{}, std::vector<uint32_t>{100000, 100001}}) {
+    auto gpu = GTadocEngine::Create(&p.grammar, GpuOptions(query));
+    ASSERT_TRUE(gpu.ok());
+    auto run = (*gpu)->Run(Task::kKeywordSearch);
+    ASSERT_TRUE(run.ok()) << run.status().ToString();
+    EXPECT_TRUE(run->result.keyword_search.empty());
+  }
+}
+
+// The grammar exploit: a selective scan prunes rules without query words, so
+// it does strictly less traversal work than the per-file task that must
+// touch every word.
+TEST(KeywordSearchTest, SelectiveScanDoesLessWorkThanFullFileTask) {
+  Prepared p = PrepareCorpus(8, 20000, 19);
+  const std::vector<uint32_t> query = {7};  // one word
+  auto gpu = GTadocEngine::Create(&p.grammar, GpuOptions(query));
+  ASSERT_TRUE(gpu.ok());
+  auto keyword = (*gpu)->Run(Task::kKeywordSearch);
+  ASSERT_TRUE(keyword.ok());
+  auto inverted = (*gpu)->Run(Task::kInvertedIndex);
+  ASSERT_TRUE(inverted.ok());
+  EXPECT_LT(keyword->timing.traversal_ops, inverted->timing.traversal_ops);
+}
+
+TEST(KeywordSearchTest, RunsThroughBatchAndParallelEngines) {
+  DatasetSpec spec = DatasetA();
+  spec.num_files = 12;
+  spec.total_tokens = 8000;
+  spec.vocabulary = 250;
+  spec.seed = 23;
+  Corpus corpus = GenerateCorpus(spec);
+  auto part = PartitionAndCompress(corpus, 4);
+  ASSERT_TRUE(part.ok());
+  const std::vector<uint32_t> query = {2, 5, 11};
+
+  TokenizedCorpus tokens = Tokenize(corpus);
+  UncompressedAnalytics uncompressed(tokens.file_tokens, 3, query);
+  const AnalyticsResult truth =
+      uncompressed.RunSequential(Task::kKeywordSearch);
+  ASSERT_FALSE(truth.keyword_search.empty());
+
+  BatchEngine::Options bopt;
+  bopt.engine = GpuOptions(query);
+  auto batch = BatchEngine::Create(&*part, bopt);
+  ASSERT_TRUE(batch.ok());
+  auto batch_run = (*batch)->Run(Task::kKeywordSearch);
+  ASSERT_TRUE(batch_run.ok()) << batch_run.status().ToString();
+  EXPECT_TRUE(batch_run->merged.SameAs(truth))
+      << batch_run->merged.Digest() << " vs " << truth.Digest();
+
+  auto parallel = ParallelTadocEngine::Create(&*part, CpuOptions(query));
+  ASSERT_TRUE(parallel.ok());
+  auto parallel_run = parallel->Run(Task::kKeywordSearch);
+  ASSERT_TRUE(parallel_run.ok());
+  EXPECT_TRUE(parallel_run->result.SameAs(truth))
+      << parallel_run->result.Digest() << " vs " << truth.Digest();
+}
+
+}  // namespace
+}  // namespace gtadoc
