@@ -54,10 +54,32 @@ int main() {
       gopt.charge_pcie = true;
       auto engine = GTadocEngine::Create(&d.grammar, gopt);
       if (!engine.ok()) return 1;
+      const uint64_t retries_before =
+          (*engine)->device()->stats().retry_rounds;
       auto gr = (*engine)->Run(Task::kKeywordSearch);
       if (!gr.ok()) {
         std::fprintf(stderr, "%s: %s\n", spec.name.c_str(),
                      gr.status().ToString().c_str());
+        return 1;
+      }
+      const uint64_t keyword_retries =
+          (*engine)->device()->stats().retry_rounds - retries_before;
+
+      // Kernel-owned table sizing: the selective kernel's query-sized table
+      // (ExpectedDistinctKeys) and pruned insert volume must never cost more
+      // try-lock retry rounds than the non-selective per-file task that
+      // hammers a full (file, word) table on the same corpus.
+      const uint64_t inv_before = (*engine)->device()->stats().retry_rounds;
+      auto ir = (*engine)->Run(Task::kInvertedIndex);
+      if (!ir.ok()) return 1;
+      const uint64_t inverted_retries =
+          (*engine)->device()->stats().retry_rounds - inv_before;
+      if (keyword_retries > inverted_retries) {
+        std::fprintf(stderr,
+                     "REGRESSION %s q=%u: keywordSearch paid %" PRIu64
+                     " retry rounds vs invertedIndex's %" PRIu64 "\n",
+                     spec.name.c_str(), query_size, keyword_retries,
+                     inverted_retries);
         return 1;
       }
 
@@ -79,10 +101,12 @@ int main() {
       const double gt = gr->timing.total_seconds();
       const double gu = ur->timing.total_seconds();
       const double vs_gpu = gu / gt;
-      std::printf("%-8s %6u %8zu | %12.3f %12.3f %12.3f | %9.2fx %9.2fx\n",
+      std::printf("%-8s %6u %8zu | %12.3f %12.3f %12.3f | %9.2fx %9.2fx | "
+                  "retries %" PRIu64 " <= %" PRIu64 "\n",
                   spec.name.c_str(), query_size,
                   gr->result.keyword_search.size(), gt * 1e3, gu * 1e3,
-                  cpu_seq * 1e3, vs_gpu, cpu_seq / gt);
+                  cpu_seq * 1e3, vs_gpu, cpu_seq / gt, keyword_retries,
+                  inverted_retries);
       gpu_speedups.push_back(vs_gpu);
     }
   }

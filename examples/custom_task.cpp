@@ -7,6 +7,13 @@
 // engine automatically restricts its reduce to those words and the GPU
 // drivers prune rules whose subtree contains none of them.
 //
+// It also declares its own accumulator StateLayout: a saturating occurrence
+// counter instead of the canonical unbounded scalar weight. The traversal
+// drivers allocate, initialize, merge and read the per-rule state purely
+// through the layout's hooks, so the custom shape runs on GPU and CPU
+// without engine edits — the same mechanism that lets in-tree kernels carry
+// dense file vectors, private word tables, or bounded heaps.
+//
 // Build:  cmake -B build && cmake --build build
 // Run:    ./build/custom_task
 
@@ -27,6 +34,58 @@ namespace {
 // Any id outside the built-in enum works; pick one far away from them.
 constexpr Task kStopwordProfile = static_cast<Task>(1000);
 
+/// A custom per-rule accumulator: an occurrence weight that saturates at
+/// 2^40 instead of growing unboundedly — stopword profiles never need exact
+/// astronomically-large counts, and the clamp documents that. Implementing
+/// the five StateLayout hooks is all it takes for every traversal driver to
+/// carry this shape through its pool regions.
+class SaturatingWeightLayout : public StateLayout {
+ public:
+  static constexpr uint64_t kCeiling = 1ull << 40;
+
+  const char* name() const override { return "saturatingWeight"; }
+
+  uint64_t SlotsForBound(const StateDims& dims, uint64_t bound) const override {
+    (void)dims;
+    (void)bound;
+    return 1;  // one slot: the clamped weight
+  }
+  uint64_t PropagatedBytesPerRule(const StateDims& dims) const override {
+    (void)dims;
+    return 8;  // feeds the strategy selector exactly like the scalar weight
+  }
+
+  void Absorb(StateView s, uint32_t key, uint64_t delta,
+              StateOps& ops) const override {
+    (void)key;
+    ops.Arith(1);
+    ops.Atomic(1);
+    const uint64_t w = s.atomic_at(0).fetch_add(delta);
+    if (w + delta > kCeiling) s.atomic_at(0).store(kCeiling);
+  }
+
+  void Merge(StateView dst, StateView src, uint64_t freq,
+             StateOps& ops) const override {
+    ops.Touch(1);
+    Absorb(dst, 0, src.at(0) * freq, ops);
+  }
+
+  uint64_t EntryCount(StateView s) const override {
+    return s.at(0) != 0 ? 1 : 0;
+  }
+  uint64_t ReadableSlots(StateView s) const override {
+    (void)s;
+    return 1;
+  }
+  bool ReadSlot(StateView s, uint64_t slot, uint32_t* key,
+                uint64_t* value) const override {
+    (void)slot;
+    *key = 0;
+    *value = s.at(0);
+    return *value != 0;
+  }
+};
+
 /// Corpus-wide frequency of a fixed word set (word_count restricted to the
 /// query words). ~60 lines buys a task that runs on GPU, CPU, and
 /// uncompressed engines with identical results.
@@ -36,6 +95,16 @@ class StopwordProfileKernel : public TaskKernel {
   const char* name() const override { return "stopwordProfile"; }
   TraversalShape shape() const override {
     return TraversalShape::kGlobalWeight;
+  }
+
+  const StateLayout& Layout(TraversalStrategy strategy) const override {
+    static const SaturatingWeightLayout* layout =
+        new SaturatingWeightLayout();
+    // Bottom-up carries word tables, not weights: keep the canonical layout.
+    if (strategy == TraversalStrategy::kBottomUp) {
+      return LocalWordTableLayout();
+    }
+    return *layout;
   }
 
   const std::vector<uint32_t>* AcceptedWords(
@@ -109,8 +178,11 @@ int main() {
     std::fprintf(stderr, "register: %s\n", st.ToString().c_str());
     return 1;
   }
-  std::printf("registered task '%s' (id %d)\n", TaskName(kStopwordProfile),
-              static_cast<int>(kStopwordProfile));
+  std::printf("registered task '%s' (id %d, top-down state layout '%s')\n",
+              TaskName(kStopwordProfile), static_cast<int>(kStopwordProfile),
+              TaskRegistry::Find(kStopwordProfile)
+                  ->Layout(TraversalStrategy::kTopDown)
+                  .name());
 
   // 2. A small synthetic corpus, compressed with TADOC.
   DatasetSpec spec = DatasetD();

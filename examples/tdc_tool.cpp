@@ -77,7 +77,9 @@ int RunTask(const char* path, const char* task_name) {
   if (!g.ok()) return Fail(g.status());
   Task task = Task::kWordCount;
   bool found = false;
-  for (Task t : AllTasks()) {
+  // Resolve over the full registry, so every registered kernel — the paper
+  // six, keywordSearch, topKWords, tfIdf, out-of-tree ones — is runnable.
+  for (Task t : TaskRegistry::RegisteredTasks()) {
     if (std::strcmp(TaskName(t), task_name) == 0) {
       task = t;
       found = true;

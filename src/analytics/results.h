@@ -21,6 +21,8 @@ enum class Task : int {
   kSequenceCount = 4,
   kRankedInvertedIndex = 5,
   kKeywordSearch = 6,
+  kTopKWords = 7,
+  kTfIdf = 8,
 };
 
 /// Kernel name for a registered task, "?" otherwise (display helper; the
@@ -58,6 +60,28 @@ using RankedInvertedIndexResult =
 /// query word, ordered by file id asc.
 using KeywordSearchResult = std::vector<std::pair<uint32_t, uint64_t>>;
 
+/// Per file: the k most frequent words as (word id, frequency), ordered by
+/// frequency desc then word id asc (k from the engines' top_k option).
+using TopKWordsResult = std::vector<std::vector<std::pair<uint32_t, uint64_t>>>;
+
+/// One scored term of a file's tf-idf vector. The score is
+/// tf * log2(num_files / df) in 1/1024 fixed-point units, computed with pure
+/// integer math so every engine produces bit-identical vectors.
+struct TfIdfEntry {
+  uint32_t word = 0;
+  uint64_t tf = 0;     ///< term frequency in the file
+  uint64_t score = 0;  ///< scaled tf-idf
+
+  bool operator==(const TfIdfEntry& o) const {
+    return word == o.word && tf == o.tf && score == o.score;
+  }
+};
+
+/// Per file: tf-idf entries ordered by score desc then word id asc. Entries
+/// with idf 0 (words present in every file) are kept with score 0 so merges
+/// can recompute document frequencies exactly.
+using TfIdfResult = std::vector<std::vector<TfIdfEntry>>;
+
 /// \brief Union holder for one task's output, so engines can expose a single
 /// `Run(task)` entry point. Only the member matching `task` is populated.
 struct AnalyticsResult {
@@ -69,6 +93,8 @@ struct AnalyticsResult {
   SequenceCountResult sequence_count;
   RankedInvertedIndexResult ranked_inverted_index;
   KeywordSearchResult keyword_search;
+  TopKWordsResult top_k_words;
+  TfIdfResult tf_idf;
 
   /// Structural equality on the member selected by `task`.
   bool SameAs(const AnalyticsResult& other) const;

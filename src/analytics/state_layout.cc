@@ -1,0 +1,424 @@
+#include "analytics/state_layout.h"
+
+#include <algorithm>
+
+#include "common/hash.h"
+#include "common/logging.h"
+
+namespace gtadoc {
+
+namespace {
+
+uint64_t RoundUpPow2(uint64_t v) {
+  uint64_t p = 1;
+  while (p < v) p <<= 1;
+  return p;
+}
+
+/// Orders heap candidates: true when a=(key_a, val_a) outranks b under the
+/// canonical top-k ordering (value desc, key asc).
+bool HeapBetter(uint32_t key_a, uint64_t val_a, uint32_t key_b,
+                uint64_t val_b) {
+  if (val_a != val_b) return val_a > val_b;
+  return key_a < key_b;
+}
+
+}  // namespace
+
+void StateLayout::Init(StateView s, StateOps& ops) const {
+  (void)s;
+  ops.Touch(1);  // slabs arrive zero-filled; nothing to write
+}
+
+void StateLayout::Merge(StateView dst, StateView src, uint64_t freq,
+                        StateOps& ops) const {
+  ForEach(src, ops, [&](uint32_t key, uint64_t value) {
+    ops.Arith(1);  // the freq scale
+    Absorb(dst, key, value * freq, ops);
+  });
+}
+
+void StateLayout::ForEach(
+    StateView s, StateOps& ops,
+    const std::function<void(uint32_t, uint64_t)>& fn) const {
+  const uint64_t n = ReadableSlots(s);
+  for (uint64_t i = 0; i < n; ++i) {
+    ops.Touch(1);
+    uint32_t key;
+    uint64_t value;
+    if (ReadSlot(s, i, &key, &value)) fn(key, value);
+  }
+}
+
+// ------------------------------------------------------------ ScalarWeight
+
+namespace {
+
+/// One slot holding the rule's occurrence weight. Multi-writer: parents add
+/// into their children concurrently during the top-down rounds.
+class ScalarWeightImpl : public StateLayout {
+ public:
+  const char* name() const override { return "scalarWeight"; }
+
+  uint64_t SlotsForBound(const StateDims& dims, uint64_t bound) const override {
+    (void)dims;
+    (void)bound;
+    return 1;
+  }
+  uint64_t PropagatedBytesPerRule(const StateDims& dims) const override {
+    (void)dims;
+    return 8;
+  }
+
+  void Init(StateView s, StateOps& ops) const override {
+    // The zeroed slab is the initial state; the drivers' flat per-rule init
+    // charge covers the mask/seed bookkeeping.
+    (void)s;
+    (void)ops;
+  }
+
+  void Absorb(StateView s, uint32_t key, uint64_t delta,
+              StateOps& ops) const override {
+    (void)key;
+    ops.Atomic(1);
+    s.atomic_at(0).fetch_add(delta, std::memory_order_relaxed);
+  }
+
+  void Merge(StateView dst, StateView src, uint64_t freq,
+             StateOps& ops) const override {
+    // One fused multiply-add on a register-cached source weight: priced as
+    // the single distributed atomic the hand-written kernel charged.
+    const uint64_t w = src.atomic_at(0).load(std::memory_order_relaxed);
+    ops.Atomic(1);
+    dst.atomic_at(0).fetch_add(w * freq, std::memory_order_relaxed);
+  }
+
+  uint64_t EntryCount(StateView s) const override {
+    return s.at(0) != 0 ? 1 : 0;
+  }
+  uint64_t ReadableSlots(StateView s) const override {
+    (void)s;
+    return 1;
+  }
+  bool ReadSlot(StateView s, uint64_t slot, uint32_t* key,
+                uint64_t* value) const override {
+    (void)slot;
+    *key = 0;
+    *value = s.at(0);
+    return *value != 0;
+  }
+};
+
+// ------------------------------------------------------------ DensePerFile
+
+/// [0] nonzero-file count, [1 .. F] dense weights by file, [1+F .. 2F]
+/// nonzero-file list. Multi-writer: the 0 -> nonzero transition is detected
+/// via the atomic fetch_add on the dense slot, exactly as the hand-written
+/// per-file driver did.
+class DensePerFileImpl : public StateLayout {
+ public:
+  const char* name() const override { return "densePerFile"; }
+
+  uint64_t SlotsForBound(const StateDims& dims, uint64_t bound) const override {
+    (void)bound;
+    return 1 + 2ull * dims.num_files;
+  }
+  uint64_t PropagatedBytesPerRule(const StateDims& dims) const override {
+    // Dense weight + list slot per file: the Section VI-C growth that makes
+    // top-down lose to bottom-up past the file-count threshold.
+    return 16ull * dims.num_files;
+  }
+
+  void Init(StateView s, StateOps& ops) const override {
+    // The slab arrives zeroed; charge the equivalent wide-store memset —
+    // the rules x files initialization bill many-file datasets pay.
+    ops.Touch(std::max<uint64_t>(1, s.slots() / 8));
+  }
+
+  void Absorb(StateView s, uint32_t file, uint64_t delta,
+              StateOps& ops) const override {
+    const uint64_t files = (s.slots() - 1) / 2;
+    ops.Update(1);
+    ops.Atomic(1);
+    if (s.atomic_at(1 + file).fetch_add(delta, std::memory_order_relaxed) ==
+        0) {
+      ops.Atomic(1);
+      const uint64_t slot =
+          s.atomic_at(0).fetch_add(1, std::memory_order_relaxed);
+      s.at(1 + files + slot) = file;
+    }
+  }
+
+  void Merge(StateView dst, StateView src, uint64_t freq,
+             StateOps& ops) const override {
+    const uint64_t n = EntryCount(src);
+    for (uint64_t i = 0; i < n; ++i) {
+      uint32_t file;
+      uint64_t w;
+      ReadSlot(src, i, &file, &w);
+      ops.Touch(2);
+      Absorb(dst, file, w * freq, ops);
+    }
+  }
+
+  uint64_t EntryCount(StateView s) const override { return s.at(0); }
+  uint64_t ReadableSlots(StateView s) const override { return s.at(0); }
+  bool ReadSlot(StateView s, uint64_t slot, uint32_t* key,
+                uint64_t* value) const override {
+    const uint64_t files = (s.slots() - 1) / 2;
+    const uint32_t file = static_cast<uint32_t>(s.at(1 + files + slot));
+    *key = file;
+    *value = s.at(1 + file);
+    return true;
+  }
+};
+
+// ---------------------------------------------------------- LocalWordTable
+
+/// A rule-private open-addressing word table (Section IV-C: "if the hash
+/// table is private and owned by one thread, we do not need to create the
+/// locks"). [0] entry count, [1 .. cap] keys (kEmpty when free),
+/// [1+cap .. 2cap] values; cap is a power of two at least twice the bound so
+/// probes stay short. Single-owner: only the rule's thread writes.
+class LocalWordTableImpl : public StateLayout {
+ public:
+  static constexpr uint64_t kEmpty = ~0ull;
+
+  const char* name() const override { return "localWordTable"; }
+
+  uint64_t SlotsForBound(const StateDims& dims, uint64_t bound) const override {
+    (void)dims;
+    return 1 + 2ull * RoundUpPow2(std::max<uint64_t>(2, 2 * bound));
+  }
+  uint64_t PropagatedBytesPerRule(const StateDims& dims) const override {
+    (void)dims;
+    // One key + value per distinct word: input- not file-bound, the reason
+    // bottom-up wins once per-file state grows with the corpus.
+    return 16;
+  }
+
+  void Init(StateView s, StateOps& ops) const override {
+    const uint64_t cap = Cap(s);
+    for (uint64_t i = 0; i < cap; ++i) s.at(1 + i) = kEmpty;
+    s.at(0) = 0;
+    ops.Touch(cap);
+  }
+
+  void Absorb(StateView s, uint32_t word, uint64_t delta,
+              StateOps& ops) const override {
+    const uint64_t cap = Cap(s);
+    ops.Update(1);
+    uint64_t i = Mix64(word) & (cap - 1);
+    for (;;) {
+      ops.Touch(1);
+      const uint64_t k = s.at(1 + i);
+      if (k == kEmpty) {
+        s.at(1 + i) = word;
+        s.at(1 + cap + i) = delta;
+        ++s.at(0);
+        return;
+      }
+      if (k == word) {
+        s.at(1 + cap + i) += delta;
+        return;
+      }
+      i = (i + 1) & (cap - 1);
+    }
+  }
+
+  uint64_t EntryCount(StateView s) const override { return s.at(0); }
+  uint64_t ReadableSlots(StateView s) const override { return Cap(s); }
+  bool ReadSlot(StateView s, uint64_t slot, uint32_t* key,
+                uint64_t* value) const override {
+    const uint64_t k = s.at(1 + slot);
+    if (k == kEmpty) return false;
+    *key = static_cast<uint32_t>(k);
+    *value = s.at(1 + Cap(s) + slot);
+    return true;
+  }
+
+ private:
+  static uint64_t Cap(StateView s) { return (s.slots() - 1) / 2; }
+};
+
+// ---------------------------------------------------------------- HeadTail
+
+/// The sequence pipeline's head/tail expansion buffers (Figure 7). A buffer
+/// layout, not a key-value accumulator: the pipeline reads and writes it
+/// through HeadTailRef, so the key-value hooks are unreachable.
+class HeadTailImpl : public StateLayout {
+ public:
+  const char* name() const override { return "headTail"; }
+
+  uint64_t SlotsForBound(const StateDims& dims, uint64_t bound) const override {
+    (void)bound;
+    return 1 + 2ull * (dims.ngram_len - 1);
+  }
+  uint64_t PropagatedBytesPerRule(const StateDims& dims) const override {
+    // The window pipeline needs head/tail buffers either way; what the
+    // strategy selector reasons about is the phase-2a per-file weight
+    // attribution, which grows with the file count like DensePerFile.
+    return 16ull * dims.num_files;
+  }
+
+  void Absorb(StateView, uint32_t, uint64_t, StateOps&) const override {
+    GTADOC_CHECK(false);  // buffer layout: use HeadTailRef
+  }
+  uint64_t EntryCount(StateView) const override { return 0; }
+  uint64_t ReadableSlots(StateView) const override { return 0; }
+  bool ReadSlot(StateView, uint64_t, uint32_t*, uint64_t*) const override {
+    return false;
+  }
+};
+
+// ------------------------------------------------------------- BoundedHeap
+
+/// A k-bounded selection heap ordered by (value desc, key asc): [0] size,
+/// [1 .. k] values, [1+k .. 2k] keys, arranged as a min-heap whose root is
+/// the current worst survivor. Absorbing n entries costs n log k instead of
+/// the n log n of a full sort — the win kTopKWords banks over `sort`-style
+/// assembly. Single-owner.
+class BoundedHeapImpl : public StateLayout {
+ public:
+  const char* name() const override { return "boundedHeap"; }
+
+  uint64_t SlotsForBound(const StateDims& dims, uint64_t bound) const override {
+    (void)dims;
+    return 1 + 2ull * bound;
+  }
+  uint64_t PropagatedBytesPerRule(const StateDims& dims) const override {
+    return 16ull * dims.top_k;
+  }
+
+  void Init(StateView s, StateOps& ops) const override {
+    // Only the size slot must be zero (entries past it are never read), so
+    // heap regions are safe on recycled, still-dirty slabs.
+    s.at(0) = 0;
+    ops.Touch(1);
+  }
+
+  void Absorb(StateView s, uint32_t key, uint64_t value,
+              StateOps& ops) const override {
+    const uint64_t k = Cap(s);
+    ops.Touch(1);
+    if (k == 0) return;
+    uint64_t size = s.at(0);
+    if (size < k) {
+      // Sift up from the new leaf.
+      uint64_t i = size;
+      Set(s, i, key, value);
+      while (i > 0) {
+        const uint64_t parent = (i - 1) / 2;
+        ops.Arith(1);
+        if (!Worse(s, i, parent)) break;
+        Swap(s, i, parent);
+        i = parent;
+      }
+      s.at(0) = size + 1;
+      return;
+    }
+    // Full: replace the worst survivor iff the candidate outranks it.
+    ops.Arith(1);
+    if (!HeapBetter(key, value, Key(s, 0), Value(s, 0))) return;
+    Set(s, 0, key, value);
+    uint64_t i = 0;
+    for (;;) {
+      uint64_t worst = i;
+      const uint64_t l = 2 * i + 1, r = 2 * i + 2;
+      ops.Arith(2);
+      if (l < size && Worse(s, l, worst)) worst = l;
+      if (r < size && Worse(s, r, worst)) worst = r;
+      if (worst == i) break;
+      Swap(s, i, worst);
+      i = worst;
+    }
+  }
+
+  uint64_t EntryCount(StateView s) const override { return s.at(0); }
+  uint64_t ReadableSlots(StateView s) const override { return s.at(0); }
+  bool ReadSlot(StateView s, uint64_t slot, uint32_t* key,
+                uint64_t* value) const override {
+    *key = Key(s, slot);
+    *value = Value(s, slot);
+    return true;
+  }
+
+ private:
+  static uint64_t Cap(StateView s) { return (s.slots() - 1) / 2; }
+  static uint32_t Key(StateView s, uint64_t i) {
+    return static_cast<uint32_t>(s.at(1 + Cap(s) + i));
+  }
+  static uint64_t Value(StateView s, uint64_t i) { return s.at(1 + i); }
+  static void Set(StateView s, uint64_t i, uint32_t key, uint64_t value) {
+    s.at(1 + i) = value;
+    s.at(1 + Cap(s) + i) = key;
+  }
+  static void Swap(StateView s, uint64_t a, uint64_t b) {
+    std::swap(s.at(1 + a), s.at(1 + b));
+    std::swap(s.at(1 + Cap(s) + a), s.at(1 + Cap(s) + b));
+  }
+  /// Heap order: a is worse than b (the heap bubbles the worst to the root).
+  static bool Worse(StateView s, uint64_t a, uint64_t b) {
+    return HeapBetter(Key(s, b), Value(s, b), Key(s, a), Value(s, a));
+  }
+};
+
+}  // namespace
+
+const StateLayout& ScalarWeightLayout() {
+  static const ScalarWeightImpl* layout = new ScalarWeightImpl();
+  return *layout;
+}
+
+const StateLayout& DensePerFileLayout() {
+  static const DensePerFileImpl* layout = new DensePerFileImpl();
+  return *layout;
+}
+
+const StateLayout& LocalWordTableLayout() {
+  static const LocalWordTableImpl* layout = new LocalWordTableImpl();
+  return *layout;
+}
+
+const StateLayout& HeadTailLayout() {
+  static const HeadTailImpl* layout = new HeadTailImpl();
+  return *layout;
+}
+
+const StateLayout& BoundedHeapLayout() {
+  static const BoundedHeapImpl* layout = new BoundedHeapImpl();
+  return *layout;
+}
+
+void DrainHeapSorted(StateView s,
+                     std::vector<std::pair<uint32_t, uint64_t>>* out) {
+  const StateLayout& heap = BoundedHeapLayout();
+  const uint64_t n = heap.EntryCount(s);
+  out->clear();
+  out->reserve(n);
+  for (uint64_t i = 0; i < n; ++i) {
+    uint32_t key;
+    uint64_t value;
+    heap.ReadSlot(s, i, &key, &value);
+    out->emplace_back(key, value);
+  }
+  std::sort(out->begin(), out->end(), [](const auto& a, const auto& b) {
+    return HeapBetter(a.first, a.second, b.first, b.second);
+  });
+}
+
+Status HostStateArena::Plan(const std::vector<uint64_t>& sizes,
+                            uint64_t align) {
+  sizes_ = sizes;
+  offsets_.assign(sizes.size(), 0);
+  uint64_t cursor = 0;
+  for (size_t i = 0; i < sizes.size(); ++i) {
+    if (align > 1) cursor = (cursor + align - 1) / align * align;
+    offsets_[i] = cursor;
+    cursor += sizes[i];
+  }
+  slab_.assign(cursor, 0);
+  return Status::OK();
+}
+
+}  // namespace gtadoc

@@ -1,0 +1,250 @@
+#ifndef GTADOC_ANALYTICS_STATE_LAYOUT_H_
+#define GTADOC_ANALYTICS_STATE_LAYOUT_H_
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <utility>
+#include <vector>
+
+#include "analytics/engine.h"
+#include "common/result.h"
+#include "gpu/device.h"
+
+namespace gtadoc {
+
+/// \brief Run dimensions a StateLayout sizes itself from.
+///
+/// Built once per run by each driver; `num_words` is the *accepted*
+/// vocabulary bound (the WordFilter's count for selective kernels), so
+/// layouts of selective kernels size to the query, not the dictionary.
+struct StateDims {
+  uint32_t num_rules = 0;
+  uint32_t num_files = 1;
+  uint32_t num_words = 0;
+  uint32_t ngram_len = 3;
+  uint32_t top_k = 0;  ///< k of bounded-selection layouts (Options::top_k)
+};
+
+/// \brief View of one accumulator instance: `slots` uint64 slots starting at
+/// `base` inside a slab.
+///
+/// The slab is a gpu::MemoryPool slab on the GPU engine and a plain host
+/// vector on the CPU engines, so one layout implementation serves both. The
+/// view is trivially copyable; it does not own the slab.
+class StateView {
+ public:
+  StateView() = default;
+  StateView(uint64_t* slab, uint64_t base, uint64_t slots)
+      : slab_(slab), base_(base), slots_(slots) {}
+
+  uint64_t& at(uint64_t i) const { return slab_[base_ + i]; }
+  /// Atomic access to a slot (the layouts' multi-writer hooks rely on
+  /// uint64 slots being atomically addressable, as the hand-written dense
+  /// accumulators did).
+  std::atomic<uint64_t>& atomic_at(uint64_t i) const {
+    return *reinterpret_cast<std::atomic<uint64_t>*>(&slab_[base_ + i]);
+  }
+  uint64_t slots() const { return slots_; }
+  /// An irrelevant/pruned rule owns no region; its state is invalid and no
+  /// hook may be called on it.
+  bool valid() const { return slab_ != nullptr && slots_ != 0; }
+
+ private:
+  uint64_t* slab_ = nullptr;
+  uint64_t base_ = 0;
+  uint64_t slots_ = 0;
+};
+
+/// \brief Cost seam of the state hooks.
+///
+/// One layout implementation runs under every engine; the adapter prices its
+/// operations with the engine's own discipline. The GPU prices individual
+/// memory operations and atomics (imbalance and RMW serialization drive its
+/// clock); the CPU prices logical container updates at kCpuHashUpdateOps,
+/// matching the map-based engines the layouts replaced, and absorbs slot
+/// scans into that update price.
+class StateOps {
+ public:
+  virtual ~StateOps() = default;
+  /// n slot probes/scans (GPU: n ops; CPU: folded into Update pricing).
+  virtual void Touch(uint64_t n) = 0;
+  /// n plain ALU steps, priced 1:1 by both engines.
+  virtual void Arith(uint64_t n) = 0;
+  /// One logical find-or-insert (CPU: kCpuHashUpdateOps; GPU: free — the
+  /// probes and atomics are already charged individually).
+  virtual void Update(uint64_t n) = 0;
+  /// n atomic RMWs (GPU: ChargeAtomic; CPU: one op each).
+  virtual void Atomic(uint64_t n) = 0;
+};
+
+/// StateOps charging a GPU kernel's ThreadCtx.
+class GpuStateOps : public StateOps {
+ public:
+  explicit GpuStateOps(gpu::ThreadCtx* ctx) : ctx_(ctx) {}
+  void Touch(uint64_t n) override { ctx_->Charge(n); }
+  void Arith(uint64_t n) override { ctx_->Charge(n); }
+  void Update(uint64_t n) override { (void)n; }
+  void Atomic(uint64_t n) override { ctx_->ChargeAtomic(n); }
+
+ private:
+  gpu::ThreadCtx* ctx_;
+};
+
+/// StateOps charging a CpuCostMeter (null meter charges nothing).
+class CpuStateOps : public StateOps {
+ public:
+  explicit CpuStateOps(CpuCostMeter* meter) : meter_(meter) {}
+  void Touch(uint64_t n) override { (void)n; }
+  void Arith(uint64_t n) override {
+    if (meter_ != nullptr) meter_->Charge(n);
+  }
+  void Update(uint64_t n) override {
+    if (meter_ != nullptr) meter_->Charge(n * kCpuHashUpdateOps);
+  }
+  void Atomic(uint64_t n) override {
+    if (meter_ != nullptr) meter_->Charge(n);
+  }
+
+ private:
+  CpuCostMeter* meter_;
+};
+
+/// \brief Kernel-described accumulator state (Section IV-C, generalized).
+///
+/// A layout describes the per-rule (or per-group) accumulator a traversal
+/// carries: how many slots it needs, how it is initialized, how one entry is
+/// folded in (thread-merge), how a whole source state folds into a
+/// destination scaled by an edge frequency (cross-chunk reduce), and how the
+/// drivers read it back in retry-idempotent units. The traversal drivers
+/// allocate regions from gpu::MemoryPool (GPU) or a HostStateArena (CPU) and
+/// drive these hooks generically — the driver never knows whether a rule
+/// carries a scalar weight, a dense file vector, a private word table, a
+/// presence bitmap, or a bounded heap.
+///
+/// Thread-safety contract: Absorb must be safe under concurrent callers for
+/// layouts used in multi-writer traversal rounds (ScalarWeight,
+/// DensePerFile); single-owner layouts (LocalWordTable, BoundedHeap) are
+/// only ever driven by the rule's one thread, which is exactly why they can
+/// skip locks ("if the hash table is private and owned by one thread, we do
+/// not need to create the locks").
+class StateLayout {
+ public:
+  virtual ~StateLayout() = default;
+  virtual const char* name() const = 0;
+
+  // --- geometry -----------------------------------------------------------
+  /// Slots of one state instance. `bound` is the driver-computed content
+  /// bound (distinct accepted words for local tables, k for bounded heaps;
+  /// layouts with dimension-derived sizes ignore it).
+  virtual uint64_t SlotsForBound(const StateDims& dims,
+                                 uint64_t bound) const = 0;
+  /// Region alignment in slots (pool planning rounds offsets up to this).
+  virtual uint64_t AlignSlots() const { return 1; }
+  /// Bytes of state the traversal propagates per rule — what the strategy
+  /// selector reasons about (TaskKernel::StateBytesPerRule delegates here).
+  virtual uint64_t PropagatedBytesPerRule(const StateDims& dims) const = 0;
+
+  // --- hooks --------------------------------------------------------------
+  /// Prepares a fresh region. Slabs arrive zero-filled (pool contract);
+  /// layouts that need non-zero sentinels fill them here.
+  virtual void Init(StateView s, StateOps& ops) const;
+  /// Folds one (key, delta) entry into the state.
+  virtual void Absorb(StateView s, uint32_t key, uint64_t delta,
+                      StateOps& ops) const = 0;
+  /// Folds `src` into `dst` scaled by `freq` (the cross-chunk reduce along a
+  /// DAG edge). Default: enumerate src and Absorb each entry.
+  virtual void Merge(StateView dst, StateView src, uint64_t freq,
+                     StateOps& ops) const;
+  /// Logical entries currently held (drives selective-kernel pruning).
+  virtual uint64_t EntryCount(StateView s) const = 0;
+  /// Number of retry-idempotent read units: reduce kernels enumerate
+  /// [0, ReadableSlots) and re-read a unit on retry without double counting.
+  virtual uint64_t ReadableSlots(StateView s) const = 0;
+  /// Reads one unit; false when the unit holds no entry.
+  virtual bool ReadSlot(StateView s, uint64_t slot, uint32_t* key,
+                        uint64_t* value) const = 0;
+
+  /// Enumerates all entries (one Touch per scanned unit).
+  void ForEach(StateView s, StateOps& ops,
+               const std::function<void(uint32_t, uint64_t)>& fn) const;
+};
+
+// --- the canonical built-in layouts ---------------------------------------
+// These are the three accumulator shapes the hand-written drivers used to
+// hard-code (plus the private bottom-up word table that lived inside
+// bottomup.cc), now expressed as StateLayout instances so the seven
+// pre-existing kernels ride the generic drivers bit-identically.
+
+/// One scalar occurrence weight per rule (Algorithm 1 top-down reduction).
+const StateLayout& ScalarWeightLayout();
+/// A dense per-file weight array plus a nonzero-file list (the paper's
+/// "small buffer in each rule indicating its file information").
+const StateLayout& DensePerFileLayout();
+/// A rule-private open-addressing word table (Algorithm 2 local tables).
+const StateLayout& LocalWordTableLayout();
+/// Head/tail expansion buffers of the sequence pipeline (Figure 7); accessed
+/// through HeadTailRef, not the key-value hooks.
+const StateLayout& HeadTailLayout();
+/// A bounded k-best heap ordered by (value desc, key asc) — the selection
+/// state of kTopKWords' device-side assembly.
+const StateLayout& BoundedHeapLayout();
+
+/// Typed accessor over a HeadTailLayout region: slot 0 packs
+/// head_len << 32 | tail_len, then ngram_len-1 head words and ngram_len-1
+/// tail words, one per slot.
+class HeadTailRef {
+ public:
+  HeadTailRef(StateView s, uint32_t hl) : s_(s), hl_(hl) {}
+
+  uint32_t head_len() const { return static_cast<uint32_t>(s_.at(0) >> 32); }
+  uint32_t tail_len() const {
+    return static_cast<uint32_t>(s_.at(0) & 0xffffffffu);
+  }
+  void set_lens(uint32_t head, uint32_t tail) {
+    s_.at(0) = (static_cast<uint64_t>(head) << 32) | tail;
+  }
+  uint32_t head(uint32_t i) const {
+    return static_cast<uint32_t>(s_.at(1 + i));
+  }
+  void set_head(uint32_t i, uint32_t word) { s_.at(1 + i) = word; }
+  uint32_t tail(uint32_t i) const {
+    return static_cast<uint32_t>(s_.at(1 + hl_ + i));
+  }
+  void set_tail(uint32_t i, uint32_t word) { s_.at(1 + hl_ + i) = word; }
+
+ private:
+  StateView s_;
+  uint32_t hl_;
+};
+
+/// Drains a BoundedHeapLayout state into (key, value) pairs ordered by
+/// (value desc, key asc) — the canonical top-k ordering.
+void DrainHeapSorted(StateView s,
+                     std::vector<std::pair<uint32_t, uint64_t>>* out);
+
+/// \brief Host-side state arena: the CPU engines' twin of the memory pool.
+///
+/// Plans per-rule regions over one host slab with the same exclusive-scan
+/// discipline as gpu::MemoryPool::PlanRegions, so the CPU engines allocate
+/// and reduce accumulator state through the same StateLayout hooks as the
+/// GPU drivers.
+class HostStateArena {
+ public:
+  /// Lays out one region per entry of `sizes` (0 slots -> invalid state),
+  /// offsets aligned up to `align` slots. The slab arrives zero-filled.
+  Status Plan(const std::vector<uint64_t>& sizes, uint64_t align = 1);
+
+  StateView at(size_t i) {
+    return StateView(slab_.data(), offsets_[i], sizes_[i]);
+  }
+
+ private:
+  std::vector<uint64_t> slab_;
+  std::vector<uint64_t> offsets_;
+  std::vector<uint64_t> sizes_;
+};
+
+}  // namespace gtadoc
+
+#endif  // GTADOC_ANALYTICS_STATE_LAYOUT_H_

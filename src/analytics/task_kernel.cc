@@ -9,6 +9,7 @@
 #include "common/logging.h"
 #include "common/status.h"
 #include "gpu/device.h"
+#include "gpu/memory_pool.h"
 #include "gpu/primitives.h"
 
 namespace gtadoc {
@@ -33,6 +34,32 @@ uint64_t Log2Ceil(uint64_t n) {
 /// the paper's observation that a 16-byte file buffer (4 files) is negligible
 /// scales to kFileCountThreshold files of dense+list state (16 bytes each).
 constexpr uint64_t kTopDownStateByteLimit = 16ull * kFileCountThreshold;
+
+/// log2(num/den) in 1/1024 fixed-point units (num >= den > 0), pure integer
+/// math so every engine computes bit-identical idf scores.
+uint64_t FixedLog2(uint64_t num, uint64_t den) {
+  // Normalize num/den into [1, 2) as a Q32 value.
+  uint64_t e = 0;
+  while (num / den >= 2) {
+    den <<= 1;
+    ++e;
+  }
+  unsigned __int128 x = ((static_cast<unsigned __int128>(num)) << 32) / den;
+  uint64_t frac = 0;
+  for (int bit = 0; bit < 10; ++bit) {
+    x = (x * x) >> 32;  // square in Q32
+    frac <<= 1;
+    if (x >= (static_cast<unsigned __int128>(2) << 32)) {
+      x >>= 1;
+      frac |= 1;
+    }
+  }
+  return (e << 10) | frac;
+}
+
+/// The scaled inverse document frequency of a word present in `df` of `n`
+/// files: log2(n/df) in 1/1024 units.
+uint64_t ScaledIdf(uint64_t n, uint64_t df) { return FixedLog2(n, df); }
 
 }  // namespace
 
@@ -99,31 +126,114 @@ void GpuAssembly::SortPairs(std::vector<std::pair<uint64_t, uint64_t>>* kv) {
   gpu::DeviceSortPairs(device_, kv);
 }
 
+void CpuAssembly::SelectTopK(
+    uint32_t k,
+    std::vector<std::vector<std::pair<uint32_t, uint64_t>>>* groups) {
+  const StateLayout& heap = BoundedHeapLayout();
+  StateDims dims;
+  dims.top_k = k;
+  const uint64_t group_slots = heap.SlotsForBound(dims, k);
+  std::vector<uint64_t> slab(group_slots * groups->size(), 0);
+  CpuStateOps ops(meter_);
+  for (size_t g = 0; g < groups->size(); ++g) {
+    StateView state(slab.data(), g * group_slots, group_slots);
+    heap.Init(state, ops);
+    for (const auto& [id, count] : (*groups)[g]) {
+      heap.Absorb(state, id, count, ops);
+    }
+    if (meter_ != nullptr) meter_->Charge(2 * (*groups)[g].size());
+    DrainHeapSorted(state, &(*groups)[g]);
+  }
+}
+
+void GpuAssembly::SelectTopK(
+    uint32_t k,
+    std::vector<std::vector<std::pair<uint32_t, uint64_t>>>* groups) {
+  if (groups->empty()) return;
+  const StateLayout& heap = BoundedHeapLayout();
+  StateDims dims;
+  dims.top_k = k;
+  const uint64_t group_slots = heap.SlotsForBound(dims, k);
+  const uint64_t total_slots = group_slots * groups->size();
+  // Per-group heap regions carved from the memory pool — the same Section
+  // IV-C discipline as the traversal state, so the selection runs as a real
+  // device stage (one logical thread per group, its sift steps on the
+  // critical path) instead of a free host reshape. The run's recycled pool
+  // is reused when the driver provided one (its traversal regions are dead
+  // by now; heap Init tolerates the dirty slab), so only growth past the
+  // high-water mark charges an allocation call.
+  std::unique_ptr<gpu::MemoryPool> scoped;
+  gpu::MemoryPool* pool = pool_;
+  if (pool != nullptr) {
+    pool->Reset();
+    pool->EnsureCapacity(total_slots);
+  } else {
+    scoped = std::make_unique<gpu::MemoryPool>(device_, total_slots);
+    pool = scoped.get();
+  }
+  uint64_t total_entries = 0;
+  device_->Launch("assembleTopK", static_cast<uint32_t>(groups->size()),
+                  [&](gpu::ThreadCtx& ctx) {
+                    GpuStateOps ops(&ctx);
+                    StateView state(pool->slab(), ctx.tid() * group_slots,
+                                    group_slots);
+                    heap.Init(state, ops);
+                    for (const auto& [id, count] : (*groups)[ctx.tid()]) {
+                      heap.Absorb(state, id, count, ops);
+                    }
+                  });
+  for (const auto& g : *groups) total_entries += g.size();
+  ChargeGroupSort(groups->size(), total_entries);  // the ordered drains
+  for (size_t g = 0; g < groups->size(); ++g) {
+    StateView state(pool->slab(), g * group_slots, group_slots);
+    DrainHeapSorted(state, &(*groups)[g]);
+  }
+}
+
 // ---------------------------------------------------------------------------
 // TaskKernel defaults
 // ---------------------------------------------------------------------------
 
-uint64_t TaskKernel::StateBytesPerRule(const Grammar& g, const TaskInput& input,
-                                       TraversalStrategy strategy) const {
+const StateLayout& TaskKernel::Layout(TraversalStrategy strategy) const {
   switch (shape()) {
     case TraversalShape::kGlobalWeight:
-      return 8;  // one scalar occurrence weight
+      return strategy == TraversalStrategy::kBottomUp ? LocalWordTableLayout()
+                                                      : ScalarWeightLayout();
     case TraversalShape::kPerFileWeight:
-      // Top-down carries a dense per-file weight array plus a nonzero list
-      // (8 bytes each); bottom-up keeps a word-keyed local table whose size
-      // is input- not file-bound.
-      return strategy == TraversalStrategy::kBottomUp
-                 ? 16
-                 : 16ull * g.num_files();
+      return strategy == TraversalStrategy::kBottomUp ? LocalWordTableLayout()
+                                                      : DensePerFileLayout();
     case TraversalShape::kSequence:
-      // The window pipeline needs head/tail buffers either way; the
-      // strategy-sensitive term is the per-file weight state, as for
-      // kPerFileWeight. (input.ngram_len sizes the head/tail buffers but
-      // does not influence direction.)
-      (void)input;
-      return 16ull * g.num_files();
+      return HeadTailLayout();
   }
-  return 8;
+  return ScalarWeightLayout();
+}
+
+uint64_t TaskKernel::StateBytesPerRule(const Grammar& g, const TaskInput& input,
+                                       TraversalStrategy strategy) const {
+  StateDims dims;
+  dims.num_files = g.num_files();
+  dims.num_words = g.num_words;
+  dims.ngram_len = input.ngram_len;
+  dims.top_k = input.top_k;
+  return Layout(strategy).PropagatedBytesPerRule(dims);
+}
+
+uint64_t TaskKernel::ExpectedDistinctKeys(const StateDims& dims,
+                                          const TaskInput& input) const {
+  uint64_t vocab = dims.num_words;
+  const std::vector<uint32_t>* accepted = AcceptedWords(input);
+  if (accepted != nullptr) {
+    vocab = std::min<uint64_t>(vocab, accepted->size());
+  }
+  switch (shape()) {
+    case TraversalShape::kGlobalWeight:
+      return std::max<uint64_t>(1, vocab);
+    case TraversalShape::kPerFileWeight:
+      return std::max<uint64_t>(1, vocab * dims.num_files);
+    case TraversalShape::kSequence:
+      return 0;  // distinct windows are unknowable before the traversal
+  }
+  return 0;
 }
 
 TraversalStrategy TaskKernel::PreferredStrategy(const Grammar& g,
@@ -796,6 +906,223 @@ class KeywordSearchKernel : public TaskKernel {
   }
 };
 
+// ------------------------------------------------------------- topKWords ---
+
+/// Per-file bounded selection: the k most frequent words of every file,
+/// k from the engines' top_k option. The first kernel impossible under the
+/// fixed accumulator shapes: its selection state is a BoundedHeapLayout —
+/// per-group k-best heaps carved from the memory pool and reduced on the
+/// device — instead of the full sort the `sort`/termVector assembly pays.
+class TopKWordsKernel : public TaskKernel {
+ public:
+  Task task() const override { return Task::kTopKWords; }
+  const char* name() const override { return "topKWords"; }
+  TraversalShape shape() const override {
+    return TraversalShape::kPerFileWeight;
+  }
+
+  void AssembleFileWord(const TaskInput& input, uint32_t num_files,
+                        const std::vector<FileWordCount>& counts,
+                        AssemblyOps* ops, AnalyticsResult* out) const override {
+    std::vector<std::vector<std::pair<uint32_t, uint64_t>>> groups(num_files);
+    for (const FileWordCount& e : counts) {
+      groups[e.file].emplace_back(e.word, e.count);
+    }
+    ops->ChargeUpdates(counts.size());
+    ops->SelectTopK(input.top_k, &groups);
+    out->top_k_words = std::move(groups);
+  }
+
+  void Canonicalize(AnalyticsResult* r) const override {
+    for (auto& vec : r->top_k_words) {
+      std::sort(vec.begin(), vec.end(), CountDescIdAsc);
+    }
+  }
+
+  void Merge(const AnalyticsResult& doc, uint32_t file_base,
+             AnalyticsResult* acc, uint64_t* merge_ops) const override {
+    if (acc->top_k_words.size() < file_base + doc.top_k_words.size()) {
+      acc->top_k_words.resize(file_base + doc.top_k_words.size());
+    }
+    for (size_t f = 0; f < doc.top_k_words.size(); ++f) {
+      acc->top_k_words[file_base + f] = doc.top_k_words[f];
+      *merge_ops += doc.top_k_words[f].size();
+    }
+  }
+
+  uint64_t ResultBytes(const AnalyticsResult& r,
+                       uint32_t ngram_len) const override {
+    (void)ngram_len;
+    uint64_t bytes = 0;
+    for (const auto& v : r.top_k_words) bytes += 4 + v.size() * 12;
+    return bytes;
+  }
+
+  bool Equal(const AnalyticsResult& a,
+             const AnalyticsResult& b) const override {
+    return a.top_k_words == b.top_k_words;
+  }
+
+  void DigestFold(const AnalyticsResult& r, uint64_t* h,
+                  size_t* entries) const override {
+    for (const auto& vec : r.top_k_words) {
+      for (const auto& [w, c] : vec) *h = HashCombine(HashCombine(*h, w), c);
+      ++*entries;
+    }
+  }
+
+  AnalyticsResult RunUncompressed(
+      const std::vector<std::vector<uint32_t>>& files, const TaskInput& input,
+      CpuCostMeter* meter) const override {
+    AnalyticsResult out;
+    out.task = Task::kTopKWords;
+    out.top_k_words.resize(files.size());
+    for (uint32_t f = 0; f < files.size(); ++f) {
+      std::unordered_map<uint32_t, uint64_t> counts;
+      for (uint32_t w : files[f]) {
+        ++counts[w];
+        if (meter != nullptr) meter->Charge(kCpuHashUpdateOps);
+      }
+      // The reference baseline pays the full count + sort the device heaps
+      // avoid; the truncation afterwards makes the outputs comparable.
+      std::vector<std::pair<uint32_t, uint64_t>> all(counts.begin(),
+                                                     counts.end());
+      std::sort(all.begin(), all.end(), CountDescIdAsc);
+      if (all.size() > input.top_k) all.resize(input.top_k);
+      out.top_k_words[f] = std::move(all);
+      if (meter != nullptr && !counts.empty()) {
+        meter->Charge(4 * counts.size() * Log2Ceil(counts.size()));
+      }
+    }
+    return out;
+  }
+};
+
+// ----------------------------------------------------------------- tfIdf ---
+
+/// Per-file scored term vectors: tf from the file's word counts (termVector
+/// state), df from the word's distinct-file presence (invertedIndex state),
+/// both composed out of one per-file-weight traversal. Scores are scaled
+/// integers (tf * log2(N/df) in 1/1024 units, pure integer math), so every
+/// engine and the batch merge produce bit-identical vectors.
+class TfIdfKernel : public TaskKernel {
+ public:
+  Task task() const override { return Task::kTfIdf; }
+  const char* name() const override { return "tfIdf"; }
+  TraversalShape shape() const override {
+    return TraversalShape::kPerFileWeight;
+  }
+
+  void AssembleFileWord(const TaskInput& input, uint32_t num_files,
+                        const std::vector<FileWordCount>& counts,
+                        AssemblyOps* ops, AnalyticsResult* out) const override {
+    (void)input;
+    std::unordered_map<uint32_t, uint32_t> df;
+    for (const FileWordCount& e : counts) ++df[e.word];  // (file, word) unique
+    out->tf_idf.assign(num_files, std::vector<TfIdfEntry>());
+    for (const FileWordCount& e : counts) {
+      TfIdfEntry entry;
+      entry.word = e.word;
+      entry.tf = e.count;
+      entry.score = e.count * ScaledIdf(num_files, df[e.word]);
+      out->tf_idf[e.file].push_back(entry);
+    }
+    ops->ChargeUpdates(2 * counts.size());
+    ops->ChargeGroupSort(num_files, counts.size());
+    // The caller's canonicalize pass supplies the per-file score ordering.
+  }
+
+  void Canonicalize(AnalyticsResult* r) const override {
+    for (auto& vec : r->tf_idf) {
+      std::sort(vec.begin(), vec.end(),
+                [](const TfIdfEntry& a, const TfIdfEntry& b) {
+                  if (a.score != b.score) return a.score > b.score;
+                  return a.word < b.word;
+                });
+    }
+  }
+
+  void Merge(const AnalyticsResult& doc, uint32_t file_base,
+             AnalyticsResult* acc, uint64_t* merge_ops) const override {
+    if (acc->tf_idf.size() < file_base + doc.tf_idf.size()) {
+      acc->tf_idf.resize(file_base + doc.tf_idf.size());
+    }
+    for (size_t f = 0; f < doc.tf_idf.size(); ++f) {
+      // Term frequencies merge verbatim; the scores are document-local and
+      // FinalizeMerge re-derives them from the corpus-wide df.
+      acc->tf_idf[file_base + f] = doc.tf_idf[f];
+      *merge_ops += doc.tf_idf[f].size();
+    }
+  }
+
+  void FinalizeMerge(AnalyticsResult* acc, uint64_t* merge_ops) const override {
+    const uint64_t num_files = acc->tf_idf.size();
+    std::unordered_map<uint32_t, uint32_t> df;
+    for (const auto& vec : acc->tf_idf) {
+      for (const TfIdfEntry& e : vec) ++df[e.word];
+    }
+    for (auto& vec : acc->tf_idf) {
+      for (TfIdfEntry& e : vec) {
+        e.score = e.tf * ScaledIdf(num_files, df[e.word]);
+        *merge_ops += 2;
+      }
+    }
+    Canonicalize(acc);
+  }
+
+  uint64_t ResultBytes(const AnalyticsResult& r,
+                       uint32_t ngram_len) const override {
+    (void)ngram_len;
+    uint64_t bytes = 0;
+    for (const auto& v : r.tf_idf) bytes += 4 + v.size() * 20;
+    return bytes;
+  }
+
+  bool Equal(const AnalyticsResult& a,
+             const AnalyticsResult& b) const override {
+    return a.tf_idf == b.tf_idf;
+  }
+
+  void DigestFold(const AnalyticsResult& r, uint64_t* h,
+                  size_t* entries) const override {
+    for (const auto& vec : r.tf_idf) {
+      for (const TfIdfEntry& e : vec) {
+        *h = HashCombine(HashCombine(HashCombine(*h, e.word), e.tf), e.score);
+      }
+      ++*entries;
+    }
+  }
+
+  AnalyticsResult RunUncompressed(
+      const std::vector<std::vector<uint32_t>>& files, const TaskInput& input,
+      CpuCostMeter* meter) const override {
+    (void)input;
+    AnalyticsResult out;
+    out.task = Task::kTfIdf;
+    const uint64_t num_files = files.size();
+    std::vector<std::unordered_map<uint32_t, uint64_t>> tf(files.size());
+    std::unordered_map<uint32_t, uint32_t> df;
+    for (uint32_t f = 0; f < files.size(); ++f) {
+      for (uint32_t w : files[f]) {
+        if (++tf[f][w] == 1) ++df[w];
+        if (meter != nullptr) meter->Charge(kCpuHashUpdateOps);
+      }
+    }
+    out.tf_idf.assign(files.size(), std::vector<TfIdfEntry>());
+    for (uint32_t f = 0; f < files.size(); ++f) {
+      for (const auto& [w, count] : tf[f]) {
+        TfIdfEntry entry;
+        entry.word = w;
+        entry.tf = count;
+        entry.score = count * ScaledIdf(num_files, df[w]);
+        out.tf_idf[f].push_back(entry);
+        if (meter != nullptr) meter->Charge(4);
+      }
+    }
+    return out;
+  }
+};
+
 }  // namespace
 
 // ---------------------------------------------------------------------------
@@ -818,6 +1145,8 @@ TaskRegistry::TaskRegistry() : impl_(new Impl) {
   add(std::make_unique<SequenceCountKernel>());
   add(std::make_unique<RankedInvertedIndexKernel>());
   add(std::make_unique<KeywordSearchKernel>());
+  add(std::make_unique<TopKWordsKernel>());
+  add(std::make_unique<TfIdfKernel>());
 }
 
 TaskRegistry& TaskRegistry::Instance() {

@@ -8,6 +8,7 @@
 
 #include "analytics/engine.h"
 #include "analytics/results.h"
+#include "analytics/state_layout.h"
 #include "common/result.h"
 #include "format/dag.h"
 #include "format/grammar.h"
@@ -15,6 +16,10 @@
 #include "tadoc/strategy.h"
 
 namespace gtadoc {
+
+namespace gpu {
+class MemoryPool;
+}
 
 /// \brief Per-run task parameters beyond the task id itself.
 ///
@@ -25,6 +30,8 @@ struct TaskInput {
   uint32_t ngram_len = 3;  ///< l of the sequence tasks
   /// The query word-id set of selective kernels (kKeywordSearch).
   std::vector<uint32_t> query_words;
+  /// k of bounded-selection kernels (kTopKWords).
+  uint32_t top_k = 10;
 };
 
 /// \brief The traversal machinery a kernel rides on.
@@ -76,6 +83,14 @@ class AssemblyOps {
   /// Sorts (key, value) pairs ascending by key, charging this backend's sort
   /// cost (the `sort` task's final ordering).
   virtual void SortPairs(std::vector<std::pair<uint64_t, uint64_t>>* kv) = 0;
+  /// Bounded selection: reduces each group to its k best (count desc, id
+  /// asc) entries, ordered. Both backends push through BoundedHeapLayout
+  /// state — the GPU over pool-carved per-group regions as device kernels,
+  /// the CPU over a host arena charged to the meter — so the survivors are
+  /// bit-identical; only the pricing differs.
+  virtual void SelectTopK(
+      uint32_t k,
+      std::vector<std::vector<std::pair<uint32_t, uint64_t>>>* groups) = 0;
 };
 
 /// AssemblyOps charging a CpuCostMeter (CPU engines + sequential baseline).
@@ -88,6 +103,10 @@ class CpuAssembly : public AssemblyOps {
   void ChargeSort(uint64_t n) override;
   void ChargeGroupSort(uint64_t groups, uint64_t entries) override;
   void SortPairs(std::vector<std::pair<uint64_t, uint64_t>>* kv) override;
+  void SelectTopK(
+      uint32_t k,
+      std::vector<std::vector<std::pair<uint32_t, uint64_t>>>* groups)
+      override;
 
  private:
   CpuCostMeter* meter_;
@@ -95,18 +114,27 @@ class CpuAssembly : public AssemblyOps {
 
 /// AssemblyOps charging the virtual GPU. Host-side reshaping of drained
 /// tables is free (it happens after the D2H drain, like the hand-written
-/// drivers it replaces); sorts run as device kernels.
+/// drivers it replaces); sorts run as device kernels. `pool` (optional) is
+/// the run's recycled memory pool: SelectTopK carves its heap regions from
+/// it — the traversal regions are dead by assembly time — so warm runs pay
+/// no extra allocation call; without one it falls back to a scoped pool.
 class GpuAssembly : public AssemblyOps {
  public:
-  explicit GpuAssembly(gpu::Device* device) : device_(device) {}
+  explicit GpuAssembly(gpu::Device* device, gpu::MemoryPool* pool = nullptr)
+      : device_(device), pool_(pool) {}
 
   void ChargeUpdates(uint64_t n) override;
   void ChargeSort(uint64_t n) override;
   void ChargeGroupSort(uint64_t groups, uint64_t entries) override;
   void SortPairs(std::vector<std::pair<uint64_t, uint64_t>>* kv) override;
+  void SelectTopK(
+      uint32_t k,
+      std::vector<std::vector<std::pair<uint32_t, uint64_t>>>* groups)
+      override;
 
  private:
   gpu::Device* device_;
+  gpu::MemoryPool* pool_;
 };
 
 /// \brief One analytics task as a pluggable operator.
@@ -133,11 +161,33 @@ class TaskKernel {
     return shape() == TraversalShape::kSequence;
   }
 
+  /// The accumulator state this kernel's traversal carries per rule under
+  /// `strategy`. Defaults to the canonical layout of the kernel's shape
+  /// (scalar weight / dense per-file / local word table / head-tail); a
+  /// kernel overrides it to carry a custom shape — a presence bitmap, a
+  /// bounded heap, a scored vector — through the unmodified drivers, which
+  /// allocate, initialize, merge and drain state purely through the layout's
+  /// hooks.
+  virtual const StateLayout& Layout(TraversalStrategy strategy) const;
+
   /// Approximate per-rule bytes of accumulator state the traversal carries
   /// under `strategy` — the Section IV-C memory-requirement hint the
-  /// strategy selector reasons about.
+  /// strategy selector reasons about. The default charges the kernel's
+  /// Layout for it, so a custom layout automatically steers the selector.
   virtual uint64_t StateBytesPerRule(const Grammar& g, const TaskInput& input,
                                      TraversalStrategy strategy) const;
+
+  /// Upper bound on the distinct keys of the run's global reduce table (the
+  /// Figure-5 hash table / n-gram table): the vocabulary for word-keyed
+  /// shapes, files x vocabulary for per-file shapes, both clamped to the
+  /// accept set for selective kernels. Drivers size the table from the
+  /// tighter of this hint and their structural bound, cutting the try-lock
+  /// retry rounds selective kernels would pay on an oversized generic
+  /// table. 0 means "no hint" (sequence shapes: distinct windows are
+  /// unknowable before the traversal). Must never under-estimate — a table
+  /// sized from a low hint fails the run with Internal.
+  virtual uint64_t ExpectedDistinctKeys(const StateDims& dims,
+                                        const TaskInput& input) const;
 
   /// The kernel's preferred traversal direction for this grammar and run
   /// input. The default derives the paper's heuristic from the footprint

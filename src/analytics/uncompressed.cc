@@ -29,6 +29,7 @@ TaskInput UncompressedAnalytics::MakeInput() const {
   TaskInput input;
   input.ngram_len = ngram_len_;
   input.query_words = query_words_;
+  input.top_k = top_k_;
   return input;
 }
 
@@ -116,9 +117,20 @@ Result<EngineRun> UncompressedAnalytics::RunOnDevice(Task task,
       break;
     }
     case TraversalShape::kPerFileWeight: {
+      // The structural bound (one node per token) capped by the kernel's
+      // distinct-key hint: selective kernels get a query-sized table.
+      StateDims dims;
+      dims.num_files = static_cast<uint32_t>(files_.size());
+      dims.num_words = max_word + 1;
+      dims.ngram_len = ngram_len_;
+      dims.top_k = top_k_;
+      const uint64_t structural = std::min<uint64_t>(n, 1u << 26);
+      uint64_t nodes = structural;
+      const uint64_t hint = kernel.ExpectedDistinctKeys(dims, input);
+      if (hint > 0) nodes = std::min(nodes, hint);
       gpu::GpuHashTable::Options opt;
-      opt.max_nodes = static_cast<uint32_t>(std::min<size_t>(n, 1u << 26)) + 64;
-      opt.num_entries = opt.max_nodes / 2 + 64;
+      opt.max_nodes = static_cast<uint32_t>(nodes) + 64;
+      opt.num_entries = static_cast<uint32_t>(structural / 2) + 64;
       gpu::GpuHashTable table(device, opt);
       const bool ok = gpu::RoundLoop(
           device, "uncPerFile", n, chunk,

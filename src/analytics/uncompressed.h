@@ -25,15 +25,17 @@ namespace gtadoc {
 ///
 /// `files[f]` is the word-id stream of file f. `ngram_len` is the l of the
 /// sequence tasks (paper default: 3-word sequences); `query_words` feeds
-/// selective kernels (kKeywordSearch).
+/// selective kernels (kKeywordSearch) and `top_k` bounded-selection kernels
+/// (kTopKWords).
 class UncompressedAnalytics {
  public:
   explicit UncompressedAnalytics(
       const std::vector<std::vector<uint32_t>>& files, uint32_t ngram_len = 3,
-      std::vector<uint32_t> query_words = {})
+      std::vector<uint32_t> query_words = {}, uint32_t top_k = 10)
       : files_(files),
         ngram_len_(ngram_len),
-        query_words_(std::move(query_words)) {}
+        query_words_(std::move(query_words)),
+        top_k_(top_k) {}
 
   /// Single-threaded reference run (the kernel's uncompressed loop); charges
   /// ops into `meter` when non-null.
@@ -55,6 +57,7 @@ class UncompressedAnalytics {
   const std::vector<std::vector<uint32_t>>& files_;
   uint32_t ngram_len_;
   std::vector<uint32_t> query_words_;
+  uint32_t top_k_;
 };
 
 }  // namespace gtadoc

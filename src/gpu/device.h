@@ -75,6 +75,12 @@ struct DeviceStats {
   uint64_t d2h_bytes = 0;
   uint64_t device_allocs = 0;  ///< charged allocation calls (ChargeDeviceAlloc)
   size_t peak_device_bytes = 0;
+  /// Extra kernel rounds forced by busy try-locks (Figure 8's stop-flag
+  /// relaunches), and the total items that had to be re-attempted. Smaller
+  /// tables sized from kernel hints and selective kernels' pruned insert
+  /// volumes show up here.
+  uint64_t retry_rounds = 0;
+  uint64_t lock_retries = 0;
 };
 
 /// \brief Virtual GPU: functional kernel execution + simulated clock.
@@ -132,6 +138,13 @@ class Device {
   void AdvanceClock(double seconds) { sim_seconds_ += seconds; }
 
   const DeviceStats& stats() const { return stats_; }
+
+  /// Records one retry round of the host-driven protocol (`items` deferred
+  /// inserts re-attempted next round). Called by gpu::RoundLoop.
+  void RecordRetryRound(uint64_t items) {
+    ++stats_.retry_rounds;
+    stats_.lock_retries += items;
+  }
 
   /// Device memory accounting (used by DeviceBuffer / MemoryPool).
   void RegisterAllocation(size_t bytes);

@@ -24,10 +24,11 @@ void MemoryPool::ResetForReuse() {
 }
 
 Result<std::vector<uint64_t>> MemoryPool::PlanRegions(
-    const std::vector<uint64_t>& sizes) {
+    const std::vector<uint64_t>& sizes, uint64_t align) {
   std::vector<uint64_t> offsets(sizes.size());
   uint64_t cursor = cursor_.load(std::memory_order_relaxed);
   for (size_t i = 0; i < sizes.size(); ++i) {
+    if (align > 1) cursor = (cursor + align - 1) / align * align;
     offsets[i] = cursor;
     cursor += sizes[i];
   }

@@ -55,10 +55,12 @@ class MemoryPool {
   void ResetForReuse();
 
   /// Host-side planning: assigns a contiguous region of sizes[i] slots per
-  /// rule. Returns the region offsets (exclusive scan of sizes) or
+  /// rule, each offset rounded up to `align` slots (a StateLayout's
+  /// AlignSlots). Returns the region offsets (exclusive scan of sizes) or
   /// OutOfMemory when the slab cannot fit them. Regions planned this way are
   /// carved before any device-side AtomicAlloc.
-  Result<std::vector<uint64_t>> PlanRegions(const std::vector<uint64_t>& sizes);
+  Result<std::vector<uint64_t>> PlanRegions(const std::vector<uint64_t>& sizes,
+                                            uint64_t align = 1);
 
   /// Device-side bump allocation of `slots` consecutive slots; charges one
   /// atomic. Returns kPoolInvalid when exhausted.

@@ -52,6 +52,7 @@ inline bool RoundLoop(
         failed[item] = 0;
       }
     }
+    if (!next.empty()) device->RecordRetryRound(next.size());
     pending.swap(next);
   }
   return true;

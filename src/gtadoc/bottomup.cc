@@ -16,174 +16,85 @@ uint64_t PackPair(uint32_t hi, uint32_t lo) {
   return (static_cast<uint64_t>(hi) << 32) | lo;
 }
 
-uint32_t RoundUpPow2(uint32_t v) {
-  uint32_t p = 1;
-  while (p < v) p <<= 1;
-  return p;
-}
+}  // namespace
 
-/// \brief A rule-local open-addressing word table living in a memory-pool
-/// region (Section IV-C: "if the hash table is private and owned by one
-/// thread, we do not need to create the locks").
-///
-/// Region layout: cap key slots (word id or kEmpty) followed by cap value
-/// slots. cap is a power of two at least twice the bound, so probes stay
-/// short; every probe step is charged.
-class LocalWordTable {
- public:
-  static constexpr uint64_t kEmpty = ~0ull;
+// ---------------------------------------------------------------------------
+// Shared Algorithm 2 machinery for both bottom-up drivers: per-rule content
+// bounds (restricted to accepted words for selective kernels), pool regions
+// shaped by the kernel's bottom-up StateLayout, and the leaves-to-root merge
+// rounds driving the layout's Init/Absorb/Merge hooks. The two drivers
+// differ only in the reduce step, exactly as in the paper.
+// ---------------------------------------------------------------------------
 
-  static uint64_t SlotsFor(uint64_t bound) {
-    return 2ull * RoundUpPow2(static_cast<uint32_t>(
-                      std::max<uint64_t>(2, 2 * bound)));
-  }
+Status GTadocEngine::BuildRuleStates(const TaskKernel& kernel,
+                                     const WordFilter& filter,
+                                     BottomUpStates* out) {
+  const uint32_t n = dev_.num_rules;
+  const StateLayout& layout = kernel.Layout(TraversalStrategy::kBottomUp);
+  const StateDims dims = MakeDims(filter);
 
-  LocalWordTable(gpu::MemoryPool* pool, uint64_t base, uint64_t slots)
-      : pool_(pool), base_(base), cap_(slots / 2) {}
-
-  void Clear(gpu::ThreadCtx& ctx) {
-    for (uint64_t i = 0; i < cap_; ++i) pool_->at(base_ + i) = kEmpty;
-    ctx.Charge(cap_);
-  }
-
-  void Add(gpu::ThreadCtx& ctx, uint32_t word, uint64_t count) {
-    uint64_t i = Mix64(word) & (cap_ - 1);
-    for (;;) {
-      ctx.Charge(1);
-      const uint64_t k = pool_->at(base_ + i);
-      if (k == kEmpty) {
-        pool_->at(base_ + i) = word;
-        pool_->at(base_ + cap_ + i) = count;
-        ++size_;
-        return;
-      }
-      if (k == word) {
-        pool_->at(base_ + cap_ + i) += count;
-        return;
-      }
-      i = (i + 1) & (cap_ - 1);
-    }
-  }
-
-  /// Iterates all (word, count) entries.
-  template <typename Fn>
-  void ForEach(gpu::ThreadCtx& ctx, Fn fn) const {
-    for (uint64_t i = 0; i < cap_; ++i) {
-      ctx.Charge(1);
-      const uint64_t k = pool_->at(base_ + i);
-      if (k != kEmpty) {
-        fn(static_cast<uint32_t>(k), pool_->at(base_ + cap_ + i));
-      }
-    }
-  }
-
-  /// Reads one slot; returns false when it is empty. Gives the reduce kernels
-  /// idempotent single-insert work items for the retry protocol.
-  bool ReadSlot(uint64_t slot, uint32_t* word, uint64_t* count) const {
-    const uint64_t k = pool_->at(base_ + slot);
-    if (k == kEmpty) return false;
-    *word = static_cast<uint32_t>(k);
-    *count = pool_->at(base_ + cap_ + slot);
-    return true;
-  }
-
-  uint64_t size() const { return size_; }
-  uint64_t cap() const { return cap_; }
-
- private:
-  gpu::MemoryPool* pool_;
-  uint64_t base_;
-  uint64_t cap_;
-  uint64_t size_ = 0;
-};
-
-/// Shared Algorithm 2 machinery for both bottom-up drivers: per-rule bounds
-/// (restricted to accepted words for selective kernels), pool-carved local
-/// tables, and the leaves-to-root merge rounds. The two drivers differ only
-/// in the reduce step, exactly as in the paper.
-struct BottomUpTables {
-  std::vector<uint64_t> lb;
-  std::vector<uint64_t> sizes;
-  uint64_t total_slots = 0;
-  std::vector<std::unique_ptr<LocalWordTable>> table;
-  uint32_t rounds = 0;
-};
-
-Status BuildLocalTables(
-    gpu::Device* device, const DeviceGrammar& dev, const WordFilter& filter,
-    const std::function<gpu::MemoryPool*(uint64_t)>& acquire_pool,
-    BottomUpTables* out) {
-  const uint32_t n = dev.num_rules;
-
-  // genLocTblBoundKernel: lb[r] = own distinct (accepted) words + sum of
+  // genLocTblBoundKernel: bound[r] = own distinct (accepted) words + sum of
   // children's bounds, clamped by the accepted vocabulary (Algorithm 2
-  // lines 5-9).
-  out->lb.assign(n, 0);
-  std::vector<uint64_t>& lb = out->lb;
+  // lines 5-9) — the init-traversal memory-requirement transmission the
+  // layout turns into region sizes.
+  out->bound.assign(n, 0);
+  std::vector<uint64_t>& bound = out->bound;
   const uint64_t vocab_clamp =
-      filter.selective() ? filter.accepted_count() : dev.num_words;
+      filter.selective() ? filter.accepted_count() : dev_.num_words;
   internal::BottomUpRounds(
-      device, dev, "genLocTblBound", [&](uint32_t r, gpu::ThreadCtx& ctx) {
+      device_, dev_, "genLocTblBound", [&](uint32_t r, gpu::ThreadCtx& ctx) {
         uint64_t b;
         if (filter.selective()) {
           b = 0;
-          for (uint32_t e = dev.word_off[r]; e < dev.word_off[r + 1]; ++e) {
+          for (uint32_t e = dev_.word_off[r]; e < dev_.word_off[r + 1]; ++e) {
             ctx.Charge(1);
-            if (filter.Accepts(dev.word_id[e])) ++b;
+            if (filter.Accepts(dev_.word_id[e])) ++b;
           }
         } else {
-          b = dev.word_off[r + 1] - dev.word_off[r];
+          b = dev_.word_off[r + 1] - dev_.word_off[r];
         }
-        for (uint32_t e = dev.child_off[r]; e < dev.child_off[r + 1]; ++e) {
-          b += lb[dev.child_id[e]];
+        for (uint32_t e = dev_.child_off[r]; e < dev_.child_off[r + 1]; ++e) {
+          b += bound[dev_.child_id[e]];
           ctx.Charge(1);
         }
-        lb[r] = std::min<uint64_t>(std::max<uint64_t>(vocab_clamp, 1), b);
+        bound[r] = std::min<uint64_t>(std::max<uint64_t>(vocab_clamp, 1), b);
       });
 
-  // Allocate rules.locTbl from the pool (line 10). The root needs no table.
-  out->sizes.assign(n, 0);
+  // Allocate rules.locTbl regions from the pool (line 10). The root needs no
+  // state.
+  std::vector<uint64_t> sizes(n, 0);
   for (uint32_t r = 1; r < n; ++r) {
-    out->sizes[r] = LocalWordTable::SlotsFor(lb[r]);
-    out->total_slots += out->sizes[r];
+    sizes[r] = layout.SlotsForBound(dims, bound[r]);
   }
-  gpu::MemoryPool& pool = *acquire_pool(out->total_slots + 1);
-  auto offsets = pool.PlanRegions(out->sizes);
-  if (!offsets.ok()) return offsets.status();
-  out->table.resize(n);
-  for (uint32_t r = 1; r < n; ++r) {
-    out->table[r] =
-        std::make_unique<LocalWordTable>(&pool, (*offsets)[r], out->sizes[r]);
-  }
+  auto states = CarveStates(layout, std::move(sizes));
+  if (!states.ok()) return states.status();
+  out->states = std::move(*states);
 
-  // genLocTblKernel: merge own (accepted) words plus children's tables
-  // (lines 12-16). Children of a selective kernel carry only accepted words,
-  // so the merge is already pruned.
-  auto& table = out->table;
+  // genLocTblKernel: init the rule's state, absorb its own (accepted) words,
+  // then fold in the children's states (lines 12-16). Children of a
+  // selective kernel carry only accepted words, so the merge is already
+  // pruned.
   out->rounds = internal::BottomUpRounds(
-      device, dev, "genLocTbl", [&](uint32_t r, gpu::ThreadCtx& ctx) {
+      device_, dev_, "genLocTbl", [&](uint32_t r, gpu::ThreadCtx& ctx) {
         if (r == 0) return;  // root is handled by the reduce kernel
-        table[r]->Clear(ctx);
-        for (uint32_t e = dev.word_off[r]; e < dev.word_off[r + 1]; ++e) {
-          if (!filter.Accepts(dev.word_id[e])) continue;
-          table[r]->Add(ctx, dev.word_id[e], dev.word_freq[e]);
+        GpuStateOps ops(&ctx);
+        const StateView state = out->states.at(r);
+        layout.Init(state, ops);
+        for (uint32_t e = dev_.word_off[r]; e < dev_.word_off[r + 1]; ++e) {
+          if (!filter.Accepts(dev_.word_id[e])) continue;
+          layout.Absorb(state, dev_.word_id[e], dev_.word_freq[e], ops);
         }
-        for (uint32_t e = dev.child_off[r]; e < dev.child_off[r + 1]; ++e) {
-          const uint32_t c = dev.child_id[e];
-          const uint64_t f = dev.child_freq[e];
-          table[c]->ForEach(ctx, [&](uint32_t w, uint64_t cnt) {
-            table[r]->Add(ctx, w, cnt * f);
-          });
+        for (uint32_t e = dev_.child_off[r]; e < dev_.child_off[r + 1]; ++e) {
+          layout.Merge(state, out->states.at(dev_.child_id[e]),
+                       dev_.child_freq[e], ops);
         }
       });
   return Status::OK();
 }
 
-}  // namespace
-
 // ---------------------------------------------------------------------------
-// kGlobalWeight, Algorithm 2: local tables flow leaves -> root, then the
-// level-2 reduce. Task-agnostic: the kernel's filter restricts the tables,
+// kGlobalWeight, Algorithm 2: local state flows leaves -> root, then the
+// level-2 reduce. Task-agnostic: the kernel's filter restricts the state,
 // the kernel assembles the drained global table.
 // ---------------------------------------------------------------------------
 
@@ -191,34 +102,23 @@ Status GTadocEngine::GlobalBottomUp(const TaskKernel& kernel,
                                     AnalyticsResult* out) {
   const TaskInput input = MakeInput();
   const WordFilter filter(kernel, input, dev_.num_words);
+  const StateLayout& layout = kernel.Layout(TraversalStrategy::kBottomUp);
   const uint32_t n = dev_.num_rules;
 
-  BottomUpTables bu;
-  PoolHandle lease;
-  Status st = BuildLocalTables(device_, dev_, filter,
-                               [this, &lease](uint64_t slots) {
-                                 lease = AcquirePool(slots);
-                                 return lease.pool;
-                               },
-                               &bu);
+  BottomUpStates bu;
+  Status st = BuildRuleStates(kernel, filter, &bu);
   if (!st.ok()) return st;
   last_rounds_ = bu.rounds;
-  auto& table = bu.table;
 
-  // reduceResultKernel: root words + level-2 tables scaled by root frequency
+  // reduceResultKernel: root words + level-2 states scaled by root frequency
   // into the global table; one logical thread per level-2 node plus chunked
   // threads for the root's own words.
-  uint64_t total_entries = dev_.word_off[n];
-  gpu::GpuHashTable::Options topt;
-  topt.max_nodes = static_cast<uint32_t>(std::min<uint64_t>(
-      1ull << 28, std::max<uint64_t>(total_entries, 64) + 64));
-  topt.num_entries = topt.max_nodes / 2 + 64;
-  topt.lock_mode = options_.lock_mode;
-  gpu::GpuHashTable global(device_, topt);
+  gpu::GpuHashTable global(device_,
+                           WordTableOptions(kernel, input, dev_.word_off[n]));
 
   // Level-2 merges. Retry items must be idempotent, so the unit of work is a
-  // single table slot (at most one global insert each), not a whole node.
-  // A selective kernel skips children whose tables stayed empty (their
+  // single readable state slot (at most one global insert each), not a whole
+  // node. A selective kernel skips children whose states stayed empty (their
   // subtree holds no accepted word).
   struct SlotItem {
     uint32_t child;
@@ -228,8 +128,11 @@ Status GTadocEngine::GlobalBottomUp(const TaskKernel& kernel,
   std::vector<SlotItem> slot_items;
   for (uint32_t e = dev_.child_off[0]; e < dev_.child_off[1]; ++e) {
     const uint32_t c = dev_.child_id[e];
-    if (filter.selective() && table[c]->size() == 0) continue;
-    for (uint64_t s = 0; s < table[c]->cap(); ++s) {
+    if (filter.selective() && layout.EntryCount(bu.states.at(c)) == 0) {
+      continue;
+    }
+    const uint64_t slots = layout.ReadableSlots(bu.states.at(c));
+    for (uint64_t s = 0; s < slots; ++s) {
       slot_items.push_back(SlotItem{c, dev_.child_freq[e],
                                     static_cast<uint32_t>(s)});
     }
@@ -241,7 +144,7 @@ Status GTadocEngine::GlobalBottomUp(const TaskKernel& kernel,
         ctx.Charge(1);
         uint32_t word;
         uint64_t cnt;
-        if (!table[it.child]->ReadSlot(it.slot, &word, &cnt)) {
+        if (!layout.ReadSlot(bu.states.at(it.child), it.slot, &word, &cnt)) {
           return gpu::InsertOutcome::kDone;
         }
         return global.AddOrInsert(ctx, word, cnt * it.freq);
@@ -260,53 +163,41 @@ Status GTadocEngine::GlobalBottomUp(const TaskKernel& kernel,
 
   std::vector<std::pair<uint32_t, uint64_t>> counts;
   DrainWordTable(global, &counts);
-  GpuAssembly ops(device_);
+  GpuAssembly ops(device_, bu.states.lease.pool);
   kernel.AssembleGlobal(input, counts, &ops, out);
   return Status::OK();
 }
 
 // ---------------------------------------------------------------------------
-// kPerFileWeight, bottom-up: same local tables, then a root scan attributes
-// each level-2 occurrence's table to the occurrence's file.
+// kPerFileWeight, bottom-up: same local state, then a root scan attributes
+// each level-2 occurrence's state to the occurrence's file.
 // ---------------------------------------------------------------------------
 
 Status GTadocEngine::FileTaskBottomUp(const TaskKernel& kernel,
                                       AnalyticsResult* out) {
   const TaskInput input = MakeInput();
   const WordFilter filter(kernel, input, dev_.num_words);
+  const StateLayout& layout = kernel.Layout(TraversalStrategy::kBottomUp);
   const uint32_t num_files = dev_.num_files;
 
-  BottomUpTables bu;
-  PoolHandle lease;
-  Status st = BuildLocalTables(device_, dev_, filter,
-                               [this, &lease](uint64_t slots) {
-                                 lease = AcquirePool(slots);
-                                 return lease.pool;
-                               },
-                               &bu);
+  BottomUpStates bu;
+  Status st = BuildRuleStates(kernel, filter, &bu);
   if (!st.ok()) return st;
   last_rounds_ = bu.rounds;
-  auto& table = bu.table;
-  auto& lb = bu.lb;
 
   // Reduce: the root scan walks every root position; a level-2 occurrence
-  // merges its table into the occurrence's file, root words insert directly.
+  // merges its state into the occurrence's file, root words insert directly.
   uint64_t estimate = dev_.body_off[1];
   for (uint32_t e = dev_.child_off[0]; e < dev_.child_off[0 + 1]; ++e) {
     estimate += static_cast<uint64_t>(dev_.child_freq[e]) *
-                std::max<uint64_t>(1, lb[dev_.child_id[e]]);
+                std::max<uint64_t>(1, bu.bound[dev_.child_id[e]]);
   }
-  gpu::GpuHashTable::Options topt;
-  topt.max_nodes =
-      static_cast<uint32_t>(std::min<uint64_t>(estimate + 64, 1ull << 28));
-  topt.num_entries = topt.max_nodes / 2 + 64;
-  topt.lock_mode = options_.lock_mode;
-  gpu::GpuHashTable global(device_, topt);
+  gpu::GpuHashTable global(device_, WordTableOptions(kernel, input, estimate));
 
-  // Work items are single inserts so retries stay idempotent: one item per
-  // (accepted) root word position, plus one item per (level-2 occurrence,
-  // table slot). Occurrences of rules whose subtree holds no accepted word
-  // are pruned entirely for selective kernels.
+  // Work items are single layout read units so retries stay idempotent: one
+  // item per (accepted) root word position, plus one item per (level-2
+  // occurrence, state slot). Occurrences of rules whose subtree holds no
+  // accepted word are pruned entirely for selective kernels.
   struct ScanItem {
     uint64_t pos;    // root position
     uint32_t child;  // rule index, or UINT32_MAX for a root-owned word
@@ -321,8 +212,11 @@ Status GTadocEngine::FileTaskBottomUp(const TaskKernel& kernel,
       scan_items.push_back(ScanItem{p, UINT32_MAX, 0});
     } else if (sym >= dev_.num_words + (dev_.num_files - 1)) {
       const uint32_t c = sym - (dev_.num_words + dev_.num_files - 1);
-      if (filter.selective() && table[c]->size() == 0) continue;
-      for (uint64_t s = 0; s < table[c]->cap(); ++s) {
+      if (filter.selective() && layout.EntryCount(bu.states.at(c)) == 0) {
+        continue;
+      }
+      const uint64_t slots = layout.ReadableSlots(bu.states.at(c));
+      for (uint64_t s = 0; s < slots; ++s) {
         scan_items.push_back(ScanItem{p, c, static_cast<uint32_t>(s)});
       }
     }
@@ -339,7 +233,7 @@ Status GTadocEngine::FileTaskBottomUp(const TaskKernel& kernel,
         }
         uint32_t word;
         uint64_t cnt;
-        if (!table[it.child]->ReadSlot(it.slot, &word, &cnt)) {
+        if (!layout.ReadSlot(bu.states.at(it.child), it.slot, &word, &cnt)) {
           return gpu::InsertOutcome::kDone;
         }
         return global.AddOrInsert(ctx, PackPair(file, word), cnt);
@@ -356,7 +250,7 @@ Status GTadocEngine::FileTaskBottomUp(const TaskKernel& kernel,
                                     static_cast<uint32_t>(key & 0xffffffffu),
                                     c});
   }
-  GpuAssembly ops(device_);
+  GpuAssembly ops(device_, bu.states.lease.pool);
   kernel.AssembleFileWord(input, num_files, triples, &ops, out);
   return Status::OK();
 }

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "common/logging.h"
 #include "common/timer.h"
 #include "gpu/primitives.h"
 #include "gtadoc/traversal_util.h"
@@ -30,6 +31,9 @@ Result<std::unique_ptr<GTadocEngine>> GTadocEngine::Create(
     engine->owned_device_ =
         std::make_unique<gpu::Device>(options.gpu, options.host_workers);
     engine->device_ = engine->owned_device_.get();
+  }
+  if (options.shared_pool == nullptr) {
+    engine->owned_pool_ = std::make_unique<gpu::MemoryPool>(engine->device_);
   }
   engine->device_->ResetClock();
   const gpu::DeviceStats before = engine->device_->stats();
@@ -68,7 +72,57 @@ TaskInput GTadocEngine::MakeInput() const {
   TaskInput input;
   input.ngram_len = options_.ngram_len;
   input.query_words = options_.query_words;
+  input.top_k = options_.top_k;
   return input;
+}
+
+StateDims GTadocEngine::MakeDims() const {
+  StateDims dims;
+  dims.num_rules = dev_.num_rules;
+  dims.num_files = dev_.num_files;
+  dims.num_words = dev_.num_words;
+  dims.ngram_len = options_.ngram_len;
+  dims.top_k = options_.top_k;
+  return dims;
+}
+
+StateDims GTadocEngine::MakeDims(const WordFilter& filter) const {
+  StateDims dims = MakeDims();
+  if (filter.selective()) dims.num_words = filter.accepted_count();
+  return dims;
+}
+
+gpu::GpuHashTable::Options GTadocEngine::WordTableOptions(
+    const TaskKernel& kernel, const TaskInput& input,
+    uint64_t structural_bound) const {
+  const StateDims dims = MakeDims();
+  uint64_t nodes = structural_bound;
+  const uint64_t hint = kernel.ExpectedDistinctKeys(dims, input);
+  if (hint > 0) nodes = std::min(nodes, hint);
+  gpu::GpuHashTable::Options topt;
+  // The hint caps the node pool (the memory win); the bucket count keeps the
+  // structural bound so chains — and try-lock contention per bucket — stay
+  // as short as under generic sizing.
+  topt.max_nodes =
+      static_cast<uint32_t>(std::min<uint64_t>(nodes + 64, 1ull << 28));
+  topt.num_entries = static_cast<uint32_t>(
+      std::min<uint64_t>(structural_bound + 64, 1ull << 28) / 2 + 64);
+  topt.lock_mode = options_.lock_mode;
+  return topt;
+}
+
+Result<GTadocEngine::RuleStates> GTadocEngine::CarveStates(
+    const StateLayout& layout, std::vector<uint64_t> sizes) {
+  uint64_t total = 0;
+  const uint64_t align = layout.AlignSlots();
+  for (uint64_t s : sizes) total += s + (align > 1 ? align - 1 : 0);
+  RuleStates states;
+  states.lease = AcquirePool(total + 1);
+  auto offsets = states.lease.pool->PlanRegions(sizes, align);
+  if (!offsets.ok()) return offsets.status();
+  states.offsets = std::move(*offsets);
+  states.sizes = std::move(sizes);
+  return states;
 }
 
 Result<EngineRun> GTadocEngine::Run(Task task,
@@ -127,24 +181,29 @@ Result<EngineRun> GTadocEngine::Run(Task task,
 
 GTadocEngine::PoolHandle GTadocEngine::AcquirePool(uint64_t slots) {
   PoolHandle h;
-  if (options_.shared_pool != nullptr) {
-    // A grown slab arrives zeroed; only a kept slab needs the scrub.
-    if (!options_.shared_pool->EnsureCapacity(slots)) {
-      options_.shared_pool->ResetForReuse();
-    }
-    h.pool = options_.shared_pool;
-  } else {
-    h.owned = std::make_unique<gpu::MemoryPool>(device_, slots);
-    h.pool = h.owned.get();
-  }
+  gpu::MemoryPool* pool = options_.shared_pool != nullptr
+                              ? options_.shared_pool
+                              : owned_pool_.get();
+  // A grown slab arrives zeroed; only a kept slab needs the scrub.
+  if (!pool->EnsureCapacity(slots)) pool->ResetForReuse();
+  h.pool = pool;
   return h;
 }
 
-uint32_t GTadocEngine::ComputeGlobalWeights(std::vector<uint64_t>* weights) {
+uint32_t GTadocEngine::ComputeGlobalWeights(const TaskKernel& kernel,
+                                            std::vector<uint64_t>* weights) {
   const uint32_t n = dev_.num_rules;
   weights->assign(n, 0);
   std::vector<uint64_t>& weight = *weights;
-  std::vector<std::atomic<uint64_t>> aweight(n);
+
+  // The per-rule weight state lives in pool regions described by the
+  // kernel's top-down layout (a scalar for the built-ins; custom kernels may
+  // carry e.g. saturating counters through the same rounds).
+  const StateLayout& layout = kernel.Layout(TraversalStrategy::kTopDown);
+  std::vector<uint64_t> sizes(n, layout.SlotsForBound(MakeDims(), 1));
+  auto states = CarveStates(layout, std::move(sizes));
+  GTADOC_CHECK(states.ok());  // the pool was sized for exactly these regions
+
   std::vector<std::atomic<uint32_t>> cur_in(n);
   std::vector<uint8_t> mask(n, 0);
   std::vector<std::atomic<uint8_t>> mask_next(n);
@@ -155,11 +214,16 @@ uint32_t GTadocEngine::ComputeGlobalWeights(std::vector<uint64_t>* weights) {
     const uint32_t r = ctx.tid();
     ctx.Charge(2);
     if (r == 0) return;
-    aweight[r].store(dev_.root_freq[r], std::memory_order_relaxed);
+    GpuStateOps ops(&ctx);
+    layout.Init(states->at(r), ops);
+    if (dev_.root_freq[r] != 0) {
+      layout.Absorb(states->at(r), 0, dev_.root_freq[r], ops);
+    }
     if (dev_.in_edges_nonroot[r] == 0) mask[r] = 1;
   });
 
-  // topDownKernel rounds (Algorithm 1 lines 3-7).
+  // topDownKernel rounds (Algorithm 1 lines 3-7): a ready rule folds its
+  // state into every child, scaled by the edge frequency.
   uint32_t rounds = 0;
   std::atomic<bool> stop{false};
   while (!stop.load(std::memory_order_relaxed)) {
@@ -169,13 +233,13 @@ uint32_t GTadocEngine::ComputeGlobalWeights(std::vector<uint64_t>* weights) {
       const uint32_t r = ctx.tid();
       ctx.Charge(1);
       if (r == 0 || !mask[r]) return;
-      const uint64_t w = aweight[r].load(std::memory_order_relaxed);
+      GpuStateOps ops(&ctx);
       for (uint32_t e = dev_.child_off[r]; e < dev_.child_off[r + 1]; ++e) {
         const uint32_t c = dev_.child_id[e];
-        aweight[c].fetch_add(w * dev_.child_freq[e], std::memory_order_relaxed);
+        layout.Merge(states->at(c), states->at(r), dev_.child_freq[e], ops);
         const uint32_t got =
             cur_in[c].fetch_add(1, std::memory_order_relaxed) + 1;
-        ctx.ChargeAtomic(2);
+        ctx.ChargeAtomic(1);
         if (got == dev_.in_edges_nonroot[c]) {
           mask_next[c].store(1, std::memory_order_relaxed);
           stop.store(false, std::memory_order_relaxed);
@@ -193,7 +257,10 @@ uint32_t GTadocEngine::ComputeGlobalWeights(std::vector<uint64_t>* weights) {
 
   weight[0] = 1;
   for (uint32_t r = 1; r < n; ++r) {
-    weight[r] = aweight[r].load(std::memory_order_relaxed);
+    uint32_t key;
+    uint64_t value;
+    weight[r] =
+        layout.ReadSlot(states->at(r), 0, &key, &value) ? value : 0;
   }
   return rounds;
 }

@@ -52,6 +52,8 @@ class GTadocEngine {
     uint32_t ngram_len = 3;
     /// Query word ids for selective kernels (kKeywordSearch).
     std::vector<uint32_t> query_words;
+    /// k of bounded-selection kernels (kTopKWords).
+    uint32_t top_k = 10;
     TraversalStrategy strategy = TraversalStrategy::kAuto;
     /// The "16x the average number of elements per thread" rule threshold.
     uint32_t split_threshold = 16;
@@ -105,9 +107,20 @@ class GTadocEngine {
   // --- shared helpers (engine.cc) ---
   /// The per-run task parameters handed to every kernel hook.
   TaskInput MakeInput() const;
-  /// Per-rule occurrence weights via Algorithm 1; returns the number of
-  /// kernel rounds executed.
-  uint32_t ComputeGlobalWeights(std::vector<uint64_t>* weights);
+  /// The layout dimensions of this engine (raw vocabulary).
+  StateDims MakeDims() const;
+  /// The layout dimensions of this run (accepted-vocabulary aware).
+  StateDims MakeDims(const WordFilter& filter) const;
+  /// Sizes the global reduce table from the tighter of the kernel's
+  /// ExpectedDistinctKeys hint and the driver's structural bound.
+  gpu::GpuHashTable::Options WordTableOptions(const TaskKernel& kernel,
+                                              const TaskInput& input,
+                                              uint64_t structural_bound) const;
+  /// Per-rule occurrence weights via Algorithm 1, carried in the kernel's
+  /// top-down state layout over pool regions; returns the number of kernel
+  /// rounds executed.
+  uint32_t ComputeGlobalWeights(const TaskKernel& kernel,
+                                std::vector<uint64_t>* weights);
   /// Drains a global word table into (word, count) pairs (order unspecified),
   /// charging the D2H copy when PCIe is billed.
   void DrainWordTable(const gpu::GpuHashTable& table,
@@ -118,13 +131,41 @@ class GTadocEngine {
   std::vector<uint8_t> ComputeRelevance(const WordFilter& filter);
 
   /// The run's memory pool: the shared pool recycled in place when the
-  /// options carry one, otherwise a cold per-run pool (whose allocation call
-  /// is charged to the device clock).
+  /// options carry one, otherwise the engine-owned pool — also recycled
+  /// (EnsureCapacity + ResetForReuse), so an allocation call is only charged
+  /// when a run outgrows the engine's high-water mark, exactly like the
+  /// batch warm path. At most one acquisition per run (growth invalidates
+  /// planned regions).
   struct PoolHandle {
     gpu::MemoryPool* pool = nullptr;
-    std::unique_ptr<gpu::MemoryPool> owned;
   };
   PoolHandle AcquirePool(uint64_t slots);
+
+  /// Per-rule accumulator regions carved from the run's pool under a
+  /// kernel's StateLayout. sizes[r] == 0 marks a pruned rule: it owns no
+  /// region and its view is invalid — the Section IV-C memory-requirement
+  /// transmission, made layout-generic.
+  struct RuleStates {
+    PoolHandle lease;
+    std::vector<uint64_t> offsets;
+    std::vector<uint64_t> sizes;
+    StateView at(uint32_t r) const {
+      return StateView(lease.pool->slab(), offsets[r], sizes[r]);
+    }
+  };
+  Result<RuleStates> CarveStates(const StateLayout& layout,
+                                 std::vector<uint64_t> sizes);
+
+  /// Algorithm 2 shared machinery (bottomup.cc): per-rule content bounds,
+  /// pool regions under the kernel's bottom-up layout, and the
+  /// leaves-to-root merge rounds driving the layout hooks.
+  struct BottomUpStates {
+    std::vector<uint64_t> bound;
+    RuleStates states;
+    uint32_t rounds = 0;
+  };
+  Status BuildRuleStates(const TaskKernel& kernel, const WordFilter& filter,
+                         BottomUpStates* out);
 
   /// (Re)measures init-phase cost: device-grammar build/rebind + root scan.
   void MeasureCreate(uint64_t ops_before, uint64_t h2d_before);
@@ -150,6 +191,9 @@ class GTadocEngine {
   Options options_;
   std::unique_ptr<gpu::Device> owned_device_;
   gpu::Device* device_ = nullptr;  ///< owned_device_ or options_.shared_device
+  /// The engine's recycled state pool (used when options_.shared_pool is
+  /// null); grows to the engine's high-water mark once.
+  std::unique_ptr<gpu::MemoryPool> owned_pool_;
   DeviceGrammar dev_;
   /// Simulated seconds consumed by Create/Rebind (charged into every Run's
   /// phase 1), and the H2D share of them that a batch can overlap with a

@@ -31,11 +31,12 @@ ThreadAssignment BuildAssignment(const std::vector<uint64_t>& loads,
     // Average load per thread if every rule had exactly one thread.
     const uint64_t avg = std::max<uint64_t>(1, total / n);
     for (size_t r = 0; r < n; ++r) {
-      const bool oversized = loads[r] > static_cast<uint64_t>(threshold_factor) * avg;
+      const bool oversized =
+          loads[r] > static_cast<uint64_t>(threshold_factor) * avg;
       // The root (rule 0) always gets a group proportional to its length.
       if (oversized || (r == 0 && loads[0] > avg)) {
-        a.threads_of_rule[r] =
-            static_cast<uint32_t>(std::min<uint64_t>(1024, (loads[r] + avg - 1) / avg));
+        a.threads_of_rule[r] = static_cast<uint32_t>(
+            std::min<uint64_t>(1024, (loads[r] + avg - 1) / avg));
       }
     }
   }
@@ -52,7 +53,8 @@ ThreadAssignment BuildAssignment(const std::vector<uint64_t>& loads,
   a.slot_of_thread.resize(next);
   for (size_t r = 0; r < n; ++r) {
     for (uint32_t s = 0; s < a.threads_of_rule[r]; ++s) {
-      a.rule_of_thread[a.first_thread_of_rule[r] + s] = static_cast<uint32_t>(r);
+      a.rule_of_thread[a.first_thread_of_rule[r] + s] =
+          static_cast<uint32_t>(r);
       a.slot_of_thread[a.first_thread_of_rule[r] + s] = s;
     }
   }

@@ -100,6 +100,7 @@ Status GTadocEngine::SequenceTask(const TaskKernel& kernel,
   const uint32_t hl = l - 1;
   const uint32_t n = dev_.num_rules;
   const uint32_t rule_base = dev_.num_words + (dev_.num_files - 1);
+  const uint64_t allocs_at_entry = device_->stats().device_allocs;
 
   // =========================================================================
   // Phase 1: expansion lengths, then head/tail buffers (Figure 7).
@@ -119,11 +120,18 @@ Status GTadocEngine::SequenceTask(const TaskKernel& kernel,
         exp_len[r] = std::min<uint64_t>(total, 1ull << 62);
       });
 
-  // head/tail storage: fixed stride hl per rule (Equation 1 bounds the
-  // per-rule requirement; the fixed stride is its upper bound).
-  std::vector<uint32_t> head(static_cast<size_t>(n) * hl, 0);
-  std::vector<uint32_t> tail(static_cast<size_t>(n) * hl, 0);
-  std::vector<uint32_t> head_len(n, 0), tail_len(n, 0);
+  // Head/tail storage: one HeadTailLayout region per rule, carved from the
+  // memory pool (Equation 1 bounds the per-rule requirement; the layout's
+  // fixed stride is its upper bound). The sequence pipeline's accumulator
+  // state thereby rides the same Section IV-C pool discipline as the other
+  // shapes instead of ad-hoc host arrays.
+  const StateLayout& layout = kernel.Layout(TraversalStrategy::kTopDown);
+  const WordFilter filter(kernel, input, dev_.num_words);
+  const StateDims dims = MakeDims(filter);
+  auto states = CarveStates(
+      layout, std::vector<uint64_t>(n, layout.SlotsForBound(dims, hl)));
+  if (!states.ok()) return states.status();
+  auto ht = [&](uint32_t r) { return HeadTailRef(states->at(r), hl); };
   std::vector<uint8_t> ht_mask(n, 0);
   ht_mask[0] = 1;  // the root has no parents; its buffers are never read
 
@@ -147,15 +155,13 @@ Status GTadocEngine::SequenceTask(const TaskKernel& kernel,
         const uint32_t sym = dev_.body_sym[p];
         ctx.Charge(1);
         if (sym < dev_.num_words) {
-          head[static_cast<size_t>(r) * hl + got++] = sym;
+          ht(r).set_head(got++, sym);
         } else {
           const uint32_t c = sym - rule_base;
           if (!ht_mask[c]) return;  // fail; retry next round
-          const uint32_t take =
-              std::min(want_h - got, head_len[c]);
+          const uint32_t take = std::min(want_h - got, ht(c).head_len());
           for (uint32_t i = 0; i < take; ++i) {
-            head[static_cast<size_t>(r) * hl + got++] =
-                head[static_cast<size_t>(c) * hl + i];
+            ht(r).set_head(got++, ht(c).head(i));
           }
           ctx.Charge(take);
           // If the child holds its complete (short) expansion we continue to
@@ -176,19 +182,18 @@ Status GTadocEngine::SequenceTask(const TaskKernel& kernel,
         } else {
           const uint32_t c = sym - rule_base;
           if (!ht_mask[c]) return;
-          const uint32_t take = std::min(want_t - got_t, tail_len[c]);
+          const uint32_t tl = ht(c).tail_len();
+          const uint32_t take = std::min(want_t - got_t, tl);
           for (uint32_t i = 0; i < take; ++i) {
-            rev.push_back(
-                tail[static_cast<size_t>(c) * hl + tail_len[c] - 1 - i]);
+            rev.push_back(ht(c).tail(tl - 1 - i));
             ++got_t;
           }
           ctx.Charge(take);
         }
       }
-      head_len[r] = got;
-      tail_len[r] = got_t;
+      ht(r).set_lens(got, got_t);
       for (uint32_t i = 0; i < got_t; ++i) {
-        tail[static_cast<size_t>(r) * hl + got_t - 1 - i] = rev[i];
+        ht(r).set_tail(got_t - 1 - i, rev[i]);
       }
       ht_mask[r] = 1;
       progress.store(true, std::memory_order_relaxed);
@@ -197,7 +202,11 @@ Status GTadocEngine::SequenceTask(const TaskKernel& kernel,
   for (uint32_t r = 1; r < n; ++r) {
     if (!ht_mask[r]) return Status::Internal("head/tail init did not converge");
   }
-  *phase1_seconds = device_->SimSeconds();
+  // Allocation calls are accounted separately into phase 1 by Run; excluding
+  // them here keeps the cold and rebind paths' phase decomposition identical.
+  *phase1_seconds =
+      device_->SimSeconds() -
+      device_->AllocSeconds(device_->stats().device_allocs - allocs_at_entry);
 
   // =========================================================================
   // Phase 2a: per-file rule weights (the file attribution for counts).
@@ -344,21 +353,23 @@ Status GTadocEngine::SequenceTask(const TaskKernel& kernel,
         cur_file = dev_.root_file_of_pos[p];
       } else {
         const uint32_t c = sym - rule_base;
-        const size_t cb = static_cast<size_t>(c) * hl;
+        const HeadTailRef cht = ht(c);
+        const uint32_t chl = cht.head_len();
         if (exp_len[c] <= hl) {
           // Complete expansion stored in the head buffer.
-          for (uint32_t i = 0; i < head_len[c]; ++i) {
-            ring.Push(head[cb + i], static_cast<uint32_t>(rel));
+          for (uint32_t i = 0; i < chl; ++i) {
+            ring.Push(cht.head(i), static_cast<uint32_t>(rel));
             emit_window();
           }
         } else {
-          for (uint32_t i = 0; i < head_len[c]; ++i) {
-            ring.Push(head[cb + i], static_cast<uint32_t>(rel));
+          for (uint32_t i = 0; i < chl; ++i) {
+            ring.Push(cht.head(i), static_cast<uint32_t>(rel));
             emit_window();
           }
           ring.Reset();  // the GAP: interior windows belong to the child
-          for (uint32_t i = 0; i < tail_len[c]; ++i) {
-            ring.Push(tail[cb + i], static_cast<uint32_t>(rel));
+          const uint32_t ctl = cht.tail_len();
+          for (uint32_t i = 0; i < ctl; ++i) {
+            ring.Push(cht.tail(i), static_cast<uint32_t>(rel));
             emit_window();
           }
         }
@@ -376,10 +387,16 @@ Status GTadocEngine::SequenceTask(const TaskKernel& kernel,
       flat_items.push_back(slice_start[t] + i);
     }
   }
+  // Sized from the tighter of the emitted-pair bound and the kernel's
+  // distinct-key hint (0 for the built-ins: distinct windows are unknowable
+  // before the traversal, so the structural bound stands).
+  uint64_t ngram_nodes = flat_items.size();
+  const uint64_t ngram_hint = kernel.ExpectedDistinctKeys(dims, input);
+  if (ngram_hint > 0) ngram_nodes = std::min(ngram_nodes, ngram_hint);
   gpu::GpuNgramTable::Options nopt;
   nopt.ngram_len = l;
-  nopt.max_nodes = static_cast<uint32_t>(
-      std::min<uint64_t>(flat_items.size() + 64, 1ull << 27));
+  nopt.max_nodes =
+      static_cast<uint32_t>(std::min<uint64_t>(ngram_nodes + 64, 1ull << 27));
   nopt.num_entries = nopt.max_nodes / 2 + 64;
   nopt.lock_mode = options_.lock_mode;
   gpu::GpuNgramTable table(device_, nopt);
@@ -401,7 +418,7 @@ Status GTadocEngine::SequenceTask(const TaskKernel& kernel,
   if (options_.charge_pcie) {
     device_->CopyDeviceToHost(counts.size() * (16 + 4ull * l));
   }
-  GpuAssembly ops(device_);
+  GpuAssembly ops(device_, states->lease.pool);
   kernel.AssembleSequence(input, std::move(counts), &ops, out);
   return Status::OK();
 }

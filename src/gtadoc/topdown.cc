@@ -17,8 +17,10 @@ uint64_t PackPair(uint32_t hi, uint32_t lo) {
 
 // ---------------------------------------------------------------------------
 // kGlobalWeight, Algorithm 1: weights then a fine-grained parallel reduce.
-// Task-agnostic: the kernel's word filter gates the reduce, the kernel
-// assembles the drained table into its result type.
+// Task-agnostic AND layout-agnostic: the per-rule weight state lives in pool
+// regions described by the kernel's StateLayout (ComputeGlobalWeights), the
+// kernel's word filter gates the reduce, and the kernel assembles the
+// drained table into its result type.
 // ---------------------------------------------------------------------------
 
 Status GTadocEngine::GlobalTopDown(const TaskKernel& kernel,
@@ -26,7 +28,7 @@ Status GTadocEngine::GlobalTopDown(const TaskKernel& kernel,
   const TaskInput input = MakeInput();
   const WordFilter filter(kernel, input, dev_.num_words);
   std::vector<uint64_t> weight;
-  last_rounds_ = ComputeGlobalWeights(&weight);
+  last_rounds_ = ComputeGlobalWeights(kernel, &weight);
 
   // reduceResultKernel: every rule merges its (accepted) local words, scaled
   // by its weight, into the global Figure-5 hash table. Oversized word lists
@@ -40,11 +42,8 @@ Status GTadocEngine::GlobalTopDown(const TaskKernel& kernel,
   ThreadAssignment assign =
       BuildAssignment(loads, options_.scheduling, options_.split_threshold);
 
-  gpu::GpuHashTable::Options topt;
-  topt.max_nodes = static_cast<uint32_t>(total_entries) + 64;
-  topt.num_entries = topt.max_nodes / 2 + 64;
-  topt.lock_mode = options_.lock_mode;
-  gpu::GpuHashTable table(device_, topt);
+  gpu::GpuHashTable table(device_,
+                          WordTableOptions(kernel, input, total_entries));
 
   (void)assign;
   bool ok;
@@ -117,7 +116,9 @@ Status GTadocEngine::GlobalTopDown(const TaskKernel& kernel,
 // Figure 4(a) strawman: vertical partitioning. Each thread owns a consecutive
 // slice of the root body and walks its whole reachable subtree; shared rules
 // are re-scanned by every thread that reaches them — the duplicated work that
-// made the paper abandon this design.
+// made the paper abandon this design. Kept as the scheduling ablation's
+// baseline; it carries no per-rule state, so there is nothing for a
+// StateLayout to describe.
 // ---------------------------------------------------------------------------
 
 Status GTadocEngine::GlobalVerticalPartition(const TaskKernel& kernel,
@@ -183,14 +184,15 @@ Status GTadocEngine::GlobalVerticalPartition(const TaskKernel& kernel,
 }
 
 // ---------------------------------------------------------------------------
-// kPerFileWeight, top-down: per-file weight vectors flow from the root.
-// Every rule owns an inbox (per-edge segments, so parents write without
-// locks) and an aggregated (file, weight) table, both carved from the memory
-// pool after the init traversal computes their bounds — the Section IV-C
-// memory-requirement transmission. The kernel's word filter gates the reduce;
-// for selective kernels the relevance mask prunes every rule whose subtree
-// holds no accepted word, so only the matching corner of the grammar carries
-// state.
+// kPerFileWeight, top-down: per-file accumulator states flow from the root.
+// Every relevant rule owns one region carved from the memory pool after the
+// init traversal computes the bounds — the Section IV-C memory-requirement
+// transmission — and the region's shape is whatever the kernel's StateLayout
+// declares (the canonical dense-array-plus-nonzero-list for the built-ins, a
+// presence bitmap or anything else for custom kernels). The driver only
+// drives Init/Absorb/Merge/ReadSlot; for selective kernels the relevance
+// mask prunes every rule whose subtree holds no accepted word, so only the
+// matching corner of the grammar carries state.
 // ---------------------------------------------------------------------------
 
 Status GTadocEngine::FileTaskTopDown(const TaskKernel& kernel,
@@ -200,68 +202,38 @@ Status GTadocEngine::FileTaskTopDown(const TaskKernel& kernel,
   const std::vector<uint8_t> relevant = ComputeRelevance(filter);
   const uint32_t n = dev_.num_rules;
   const uint32_t num_files = dev_.num_files;
+  const StateLayout& layout = kernel.Layout(TraversalStrategy::kTopDown);
+  const StateDims dims = MakeDims(filter);
 
-  // Per-rule file-weight storage: a dense per-file array (the paper's "small
-  // buffer in each rule indicating its file information" — 16 bytes for
-  // dataset B's 4 files) plus a nonzero-file list so pushes and reduces walk
-  // only the files a rule actually appears in. Both are carved from the
-  // memory pool; the pool grows with rules x files, which is exactly why
-  // top-down is the wrong strategy for many-file inputs (Section VI-C).
-  // Irrelevant rules of a selective kernel get no regions at all.
-  std::vector<uint64_t> sizes(2 * n, 0);
-  uint64_t total_slots = 0;
+  // Region sizes from the layout; the pool grows with rules x state size,
+  // which is exactly why top-down is the wrong strategy once the per-rule
+  // footprint grows with the file count (Section VI-C). Irrelevant rules of
+  // a selective kernel get no regions at all.
+  std::vector<uint64_t> sizes(n, 0);
   for (uint32_t r = 1; r < n; ++r) {
-    if (relevant[r] == 0) continue;
-    sizes[2 * r] = num_files;      // dense weights
-    sizes[2 * r + 1] = num_files;  // nonzero file list
-    total_slots += 2ull * num_files;
+    if (relevant[r] != 0) sizes[r] = layout.SlotsForBound(dims, num_files);
   }
-  PoolHandle lease = AcquirePool(total_slots + 1);
-  gpu::MemoryPool& pool = *lease.pool;
-  auto offsets = pool.PlanRegions(sizes);
-  if (!offsets.ok()) return offsets.status();
-  auto dense_at = [&](uint32_t r) { return (*offsets)[2 * r]; };
-  auto list_at = [&](uint32_t r) { return (*offsets)[2 * r + 1]; };
-  std::vector<std::atomic<uint32_t>> list_size(n);
+  auto states = CarveStates(layout, std::move(sizes));
+  if (!states.ok()) return states.status();
 
-  // The pool slab is zero-initialized on allocation; the equivalent device
-  // memset is charged here, spread across chunked threads. This is the
-  // rules x files initialization bill that many-file datasets pay.
-  {
-    const uint64_t slots = total_slots;
-    const uint32_t init_threads =
-        static_cast<uint32_t>(std::max<uint64_t>(1, (slots + 4095) / 4096));
-    device_->Launch("fileDenseInit", init_threads, [&](gpu::ThreadCtx& ctx) {
-      const uint64_t lo = static_cast<uint64_t>(ctx.tid()) * 4096;
-      const uint64_t hi = std::min(slots, lo + 4096);
-      ctx.Charge(hi > lo ? (hi - lo) / 8 : 0);  // wide stores
-    });
-  }
+  // State initialization, one logical thread per relevant rule (the
+  // rules x files zeroing bill that many-file datasets pay).
+  device_->Launch("stateInit", n, [&](gpu::ThreadCtx& ctx) {
+    const uint32_t r = ctx.tid();
+    ctx.Charge(1);
+    if (!states->at(r).valid()) return;
+    GpuStateOps ops(&ctx);
+    layout.Init(states->at(r), ops);
+  });
 
-  // Adds w to rule r's weight for `file`; maintains the nonzero list. Safe
-  // under concurrent callers: the 0 -> nonzero transition is detected via the
-  // atomic fetch_add on the dense slot. Callers must never pass an
-  // irrelevant rule (it owns no region).
-  auto add_weight = [&](gpu::ThreadCtx& ctx, uint32_t r, uint32_t file,
-                        uint64_t w) {
-    auto* cell = reinterpret_cast<std::atomic<uint64_t>*>(
-        &pool.at(dense_at(r) + file));
-    ctx.ChargeAtomic();
-    if (cell->fetch_add(w, std::memory_order_relaxed) == 0) {
-      const uint32_t slot =
-          list_size[r].fetch_add(1, std::memory_order_relaxed);
-      ctx.ChargeAtomic();
-      pool.at(list_at(r) + slot) = file;
-    }
-  };
-
-  // Root scan: every root occurrence seeds its rule's file weights.
+  // Root scan: every root occurrence seeds its rule's state with its file.
   // Fine-grained: the root body is chunked across threads.
   const uint64_t root_len = dev_.body_off[1];
   device_->Launch(
       "rootSeedFiles",
       static_cast<uint32_t>(std::max<uint64_t>(1, (root_len + 255) / 256)),
       [&](gpu::ThreadCtx& ctx) {
+        GpuStateOps ops(&ctx);
         const uint64_t lo = static_cast<uint64_t>(ctx.tid()) * 256;
         const uint64_t hi = std::min(root_len, lo + 256);
         for (uint64_t p = lo; p < hi; ++p) {
@@ -270,16 +242,16 @@ Status GTadocEngine::FileTaskTopDown(const TaskKernel& kernel,
           if (sym >= dev_.num_words + (dev_.num_files - 1)) {
             const uint32_t r = sym - (dev_.num_words + dev_.num_files - 1);
             if (relevant[r] != 0) {
-              add_weight(ctx, r, dev_.root_file_of_pos[p], 1);
+              layout.Absorb(states->at(r), dev_.root_file_of_pos[p], 1, ops);
             }
           }
         }
       });
 
-  // Traversal rounds (Algorithm 1 with per-file weights): a ready rule pushes
-  // its nonzero (file, weight) entries into each relevant child, scaled by
-  // the edge frequency. Readiness counters are bumped for every child so the
-  // mask protocol converges regardless of pruning.
+  // Traversal rounds (Algorithm 1 with layout state): a ready rule folds its
+  // state into each relevant child, scaled by the edge frequency (the
+  // layout's cross-chunk reduce). Readiness counters are bumped for every
+  // child so the mask protocol converges regardless of pruning.
   std::vector<uint8_t> mask(n, 0);
   std::vector<std::atomic<uint8_t>> mask_next(n);
   std::vector<std::atomic<uint32_t>> cur_in(n);
@@ -298,23 +270,15 @@ Status GTadocEngine::FileTaskTopDown(const TaskKernel& kernel,
       const uint32_t r = ctx.tid();
       ctx.Charge(1);
       if (r == 0 || !mask[r]) return;
-      const uint32_t nz =
-          relevant[r] != 0 ? list_size[r].load(std::memory_order_relaxed) : 0;
+      GpuStateOps ops(&ctx);
       for (uint32_t e = dev_.child_off[r]; e < dev_.child_off[r + 1]; ++e) {
         const uint32_t c = dev_.child_id[e];
-        const uint64_t f = dev_.child_freq[e];
-        if (relevant[c] != 0) {
-          for (uint32_t i = 0; i < nz; ++i) {
-            const uint32_t file =
-                static_cast<uint32_t>(pool.at(list_at(r) + i));
-            const uint64_t w = pool.at(dense_at(r) + file);
-            ctx.Charge(2);
-            add_weight(ctx, c, file, w * f);
-          }
+        if (states->at(r).valid() && states->at(c).valid()) {
+          layout.Merge(states->at(c), states->at(r), dev_.child_freq[e], ops);
         }
         const uint32_t got =
             cur_in[c].fetch_add(1, std::memory_order_relaxed) + 1;
-        ctx.ChargeAtomic();
+        ctx.ChargeAtomic(1);
         if (got == dev_.in_edges_nonroot[c]) {
           mask_next[c].store(1, std::memory_order_relaxed);
           stop.store(false, std::memory_order_relaxed);
@@ -329,40 +293,39 @@ Status GTadocEngine::FileTaskTopDown(const TaskKernel& kernel,
   last_rounds_ = rounds;
 
   // --- Reduce: (file, word) counts into the global table. Work items are
-  // single inserts — (rule, word entry, nonzero slot) — so the retry
+  // single layout read units — (rule, word entry, state slot) — so the retry
   // protocol stays idempotent. Only relevant rules and accepted words emit.
   struct ReduceItem {
     uint32_t rule;
     uint32_t entry;  // index into dev_.word_id
-    uint32_t slot;   // index into the rule's nonzero file list
+    uint32_t slot;   // index into the rule's readable state slots
   };
   std::vector<ReduceItem> items;
   for (uint32_t r = 1; r < n; ++r) {
-    if (relevant[r] == 0) continue;
-    const uint32_t nz = list_size[r].load(std::memory_order_relaxed);
-    if (nz == 0) continue;
+    if (!states->at(r).valid()) continue;
+    const uint64_t slots = layout.ReadableSlots(states->at(r));
+    if (slots == 0) continue;
     for (uint32_t e = dev_.word_off[r]; e < dev_.word_off[r + 1]; ++e) {
       if (!filter.Accepts(dev_.word_id[e])) continue;
-      for (uint32_t t = 0; t < nz; ++t) {
-        items.push_back(ReduceItem{r, e, t});
+      for (uint64_t t = 0; t < slots; ++t) {
+        items.push_back(ReduceItem{r, e, static_cast<uint32_t>(t)});
       }
     }
   }
-  gpu::GpuHashTable::Options topt;
-  topt.max_nodes = static_cast<uint32_t>(
-      std::min<uint64_t>(items.size() + dev_.body_off[1] + 64, 1ull << 28));
-  topt.num_entries = topt.max_nodes / 2 + 64;
-  topt.lock_mode = options_.lock_mode;
-  gpu::GpuHashTable table(device_, topt);
+  gpu::GpuHashTable table(
+      device_,
+      WordTableOptions(kernel, input, items.size() + dev_.body_off[1]));
 
   bool ok = gpu::RoundLoop(
       device_, "fileReduce", items.size(), 16,
       [&](size_t i, gpu::ThreadCtx& ctx) {
         const ReduceItem& it = items[i];
-        const uint32_t file =
-            static_cast<uint32_t>(pool.at(list_at(it.rule) + it.slot));
-        const uint64_t w = pool.at(dense_at(it.rule) + file);
+        uint32_t file;
+        uint64_t w;
         ctx.Charge(2);
+        if (!layout.ReadSlot(states->at(it.rule), it.slot, &file, &w)) {
+          return gpu::InsertOutcome::kDone;
+        }
         return table.AddOrInsert(
             ctx, PackPair(file, dev_.word_id[it.entry]),
             w * dev_.word_freq[it.entry]);
@@ -394,7 +357,7 @@ Status GTadocEngine::FileTaskTopDown(const TaskKernel& kernel,
                                     static_cast<uint32_t>(key & 0xffffffffu),
                                     c});
   }
-  GpuAssembly ops(device_);
+  GpuAssembly ops(device_, states->lease.pool);
   kernel.AssembleFileWord(input, num_files, triples, &ops, out);
   return Status::OK();
 }

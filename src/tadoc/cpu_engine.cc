@@ -27,7 +27,19 @@ TaskInput CpuTadocEngine::MakeInput() const {
   TaskInput input;
   input.ngram_len = options_.ngram_len;
   input.query_words = options_.query_words;
+  input.top_k = options_.top_k;
   return input;
+}
+
+StateDims CpuTadocEngine::MakeDims(const WordFilter& filter) const {
+  StateDims dims;
+  dims.num_rules = static_cast<uint32_t>(dag_.num_rules());
+  dims.num_files = g_->num_files();
+  dims.num_words =
+      filter.selective() ? filter.accepted_count() : g_->num_words;
+  dims.ngram_len = options_.ngram_len;
+  dims.top_k = options_.top_k;
+  return dims;
 }
 
 std::vector<uint32_t> CpuTadocEngine::RootFileIds(CpuCostMeter* meter) const {
@@ -127,6 +139,71 @@ std::vector<uint8_t> ComputeRelevance(const DagView& dag,
   return relevant;
 }
 
+/// Per-rule content bounds of the bottom-up state (the CPU twin of the GPU
+/// genLocTblBound pass): own distinct accepted words plus the children's
+/// bounds, clamped by the accepted vocabulary.
+std::vector<uint64_t> StateBounds(const DagView& dag, const WordFilter& filter,
+                                  uint64_t vocab_clamp, CpuCostMeter* meter) {
+  const size_t n = dag.num_rules();
+  std::vector<uint64_t> bound(n, 0);
+  const auto& order = dag.topo_order();
+  for (auto it = order.rbegin(); it != order.rend(); ++it) {
+    const uint32_t r = *it;
+    uint64_t b = 0;
+    if (filter.selective()) {
+      for (const RuleWordEntry& w : dag.words(r)) {
+        meter->Charge(1);
+        if (filter.Accepts(w.word)) ++b;
+      }
+    } else {
+      b = dag.words(r).size();
+    }
+    for (const RuleChildEntry& e : dag.children(r)) {
+      b += bound[e.child];
+      meter->Charge(1);
+    }
+    bound[r] = std::min<uint64_t>(std::max<uint64_t>(vocab_clamp, 1), b);
+  }
+  return bound;
+}
+
+/// Builds the bottom-up per-rule states over a host arena under the kernel's
+/// layout: init, absorb own accepted words, fold in the children — the CPU
+/// twin of the GPU genLocTbl rounds, charged with the CPU discipline.
+void BuildRuleStatesCpu(const DagView& dag, const WordFilter& filter,
+                        const StateLayout& layout, const StateDims& dims,
+                        CpuCostMeter* meter, HostStateArena* arena,
+                        std::vector<uint64_t>* bound) {
+  const size_t n = dag.num_rules();
+  const uint64_t vocab_clamp =
+      filter.selective() ? filter.accepted_count() : dims.num_words;
+  *bound = StateBounds(dag, filter, vocab_clamp, meter);
+  std::vector<uint64_t> sizes(n, 0);
+  for (uint32_t r = 1; r < n; ++r) {
+    sizes[r] = layout.SlotsForBound(dims, (*bound)[r]);
+  }
+  arena->Plan(sizes, layout.AlignSlots());
+
+  CpuStateOps ops(meter);
+  const auto& order = dag.topo_order();
+  for (auto it = order.rbegin(); it != order.rend(); ++it) {
+    const uint32_t r = *it;
+    if (r == 0) continue;  // the root is reduced directly, not materialized
+    const StateView state = arena->at(r);
+    layout.Init(state, ops);
+    for (const RuleWordEntry& w : dag.words(r)) {
+      if (!filter.Accepts(w.word)) {
+        meter->Charge(1);
+        continue;
+      }
+      layout.Absorb(state, w.word, w.freq, ops);
+    }
+    for (const RuleChildEntry& e : dag.children(r)) {
+      layout.Merge(state, arena->at(e.child), e.freq, ops);
+    }
+  }
+}
+
 /// Converts the per-file accumulation maps into the canonical (file, word,
 /// count) triples every per-file kernel assembles from.
 std::vector<FileWordCount> TriplesFromFileMaps(
@@ -152,33 +229,49 @@ AnalyticsResult CpuTadocEngine::GlobalTopDown(const TaskKernel& kernel,
   out.task = kernel.task();
   const TaskInput input = MakeInput();
   const WordFilter filter(kernel, input, g_->num_words);
+  const StateLayout& layout = kernel.Layout(TraversalStrategy::kTopDown);
+  const StateDims dims = MakeDims(filter);
+  const uint32_t n = static_cast<uint32_t>(dag_.num_rules());
 
-  // Rule occurrence weights, parents before children (Algorithm 1's effect,
-  // computed sequentially in topological order).
-  std::vector<uint64_t> weight(dag_.num_rules(), 0);
-  weight[0] = 1;
+  // Rule occurrence weights carried in layout state over a host arena,
+  // parents before children (Algorithm 1's effect, computed sequentially in
+  // topological order).
+  HostStateArena arena;
+  arena.Plan(std::vector<uint64_t>(n, layout.SlotsForBound(dims, 1)),
+             layout.AlignSlots());
+  CpuStateOps ops(meter);
+  for (uint32_t r = 0; r < n; ++r) layout.Init(arena.at(r), ops);
+  layout.Absorb(arena.at(0), 0, 1, ops);
   for (uint32_t r : dag_.topo_order()) {
     for (const RuleChildEntry& e : dag_.children(r)) {
-      weight[e.child] += weight[r] * e.freq;
-      meter->Charge(4);
+      layout.Merge(arena.at(e.child), arena.at(r), e.freq, ops);
+      meter->Charge(1);  // the readiness bookkeeping of the parallel rounds
     }
   }
+  auto weight_of = [&](uint32_t r) {
+    uint32_t key;
+    uint64_t value;
+    return layout.ReadSlot(arena.at(r), 0, &key, &value) ? value : 0;
+  };
+
   // Reduce: every rule's accepted local words scaled by its weight.
   std::unordered_map<uint32_t, uint64_t> counts;
-  for (uint32_t r = 0; r < dag_.num_rules(); ++r) {
+  for (uint32_t r = 0; r < n; ++r) {
+    const uint64_t weight = weight_of(r);
+    if (weight == 0) continue;
     for (const RuleWordEntry& w : dag_.words(r)) {
       if (!filter.Accepts(w.word)) {
         meter->Charge(1);
         continue;
       }
-      counts[w.word] += weight[r] * w.freq;
+      counts[w.word] += weight * w.freq;
       meter->Charge(kCpuHashUpdateOps);
     }
   }
   std::vector<std::pair<uint32_t, uint64_t>> pairs(counts.begin(),
                                                    counts.end());
-  CpuAssembly ops(meter);
-  kernel.AssembleGlobal(input, pairs, &ops, &out);
+  CpuAssembly assembly(meter);
+  kernel.AssembleGlobal(input, pairs, &assembly, &out);
   return out;
 }
 
@@ -188,30 +281,16 @@ AnalyticsResult CpuTadocEngine::GlobalBottomUp(const TaskKernel& kernel,
   out.task = kernel.task();
   const TaskInput input = MakeInput();
   const WordFilter filter(kernel, input, g_->num_words);
+  const StateLayout& layout = kernel.Layout(TraversalStrategy::kBottomUp);
+  const StateDims dims = MakeDims(filter);
 
-  // Local tables: full-expansion word counts per rule (Figure 2), restricted
-  // to accepted words.
-  std::vector<std::unordered_map<uint32_t, uint64_t>> table(dag_.num_rules());
-  const auto& order = dag_.topo_order();
-  for (auto it = order.rbegin(); it != order.rend(); ++it) {
-    const uint32_t r = *it;
-    if (r == 0) continue;  // root is reduced below, not materialized
-    auto& t = table[r];
-    for (const RuleWordEntry& w : dag_.words(r)) {
-      if (!filter.Accepts(w.word)) {
-        meter->Charge(1);
-        continue;
-      }
-      t[w.word] += w.freq;
-      meter->Charge(kCpuHashUpdateOps);
-    }
-    for (const RuleChildEntry& e : dag_.children(r)) {
-      for (const auto& [word, c] : table[e.child]) {
-        t[word] += c * e.freq;
-        meter->Charge(kCpuHashUpdateOps);
-      }
-    }
-  }
+  // Local state: full-expansion word tables per rule (Figure 2), restricted
+  // to accepted words and shaped by the kernel's bottom-up layout.
+  HostStateArena arena;
+  std::vector<uint64_t> bound;
+  BuildRuleStatesCpu(dag_, filter, layout, dims, meter, &arena, &bound);
+  CpuStateOps ops(meter);
+
   // Reduce from the root and its direct children (level-2 nodes).
   std::unordered_map<uint32_t, uint64_t> counts;
   for (const RuleWordEntry& w : dag_.words(0)) {
@@ -223,15 +302,15 @@ AnalyticsResult CpuTadocEngine::GlobalBottomUp(const TaskKernel& kernel,
     meter->Charge(kCpuHashUpdateOps);
   }
   for (const RuleChildEntry& e : dag_.children(0)) {
-    for (const auto& [word, c] : table[e.child]) {
+    layout.ForEach(arena.at(e.child), ops, [&](uint32_t word, uint64_t c) {
       counts[word] += c * e.freq;
       meter->Charge(kCpuHashUpdateOps);
-    }
+    });
   }
   std::vector<std::pair<uint32_t, uint64_t>> pairs(counts.begin(),
                                                    counts.end());
-  CpuAssembly ops(meter);
-  kernel.AssembleGlobal(input, pairs, &ops, &out);
+  CpuAssembly assembly(meter);
+  kernel.AssembleGlobal(input, pairs, &assembly, &out);
   return out;
 }
 
@@ -247,15 +326,28 @@ AnalyticsResult CpuTadocEngine::FileTaskTopDown(const TaskKernel& kernel,
   const WordFilter filter(kernel, input, g_->num_words);
   const std::vector<uint8_t> relevant = ComputeRelevance(dag_, filter, meter);
   const uint32_t num_files = g_->num_files();
+  const StateLayout& layout = kernel.Layout(TraversalStrategy::kTopDown);
+  const StateDims dims = MakeDims(filter);
+  const uint32_t n = static_cast<uint32_t>(dag_.num_rules());
 
-  // Per-rule file weights: how many times rule r occurs inside each file.
-  // This is the "file information" the paper notes becomes expensive with
-  // many files (Section VI-C). Selective kernels only track rules whose
+  // Per-rule file state: how rule r's occurrences distribute over files, in
+  // whatever shape the kernel's layout declares. This is the "file
+  // information" the paper notes becomes expensive with many files
+  // (Section VI-C). Selective kernels only give state to rules whose
   // subtree can contribute.
-  std::vector<std::unordered_map<uint32_t, uint64_t>> fweight(dag_.num_rules());
+  HostStateArena arena;
+  std::vector<uint64_t> sizes(n, 0);
+  for (uint32_t r = 1; r < n; ++r) {
+    if (relevant[r] != 0) sizes[r] = layout.SlotsForBound(dims, num_files);
+  }
+  arena.Plan(sizes, layout.AlignSlots());
+  CpuStateOps ops(meter);
+  for (uint32_t r = 1; r < n; ++r) {
+    if (arena.at(r).valid()) layout.Init(arena.at(r), ops);
+  }
   std::vector<std::unordered_map<uint32_t, uint64_t>> tv(num_files);
 
-  // Root scan: positions -> files; root occurrences seed child weights and
+  // Root scan: positions -> files; root occurrences seed child states and
   // accepted root-owned words go straight to the per-file result.
   const std::vector<uint32_t>& root = g_->root();
   uint32_t cur_file = 0;
@@ -266,42 +358,38 @@ AnalyticsResult CpuTadocEngine::FileTaskTopDown(const TaskKernel& kernel,
     } else if (g_->IsRule(sym)) {
       const uint32_t r = g_->RuleIndex(sym);
       if (relevant[r] == 0) continue;
-      ++fweight[r][cur_file];
-      meter->Charge(kCpuHashUpdateOps);
+      layout.Absorb(arena.at(r), cur_file, 1, ops);
     } else if (filter.Accepts(sym)) {
       ++tv[cur_file][sym];
       meter->Charge(kCpuHashUpdateOps);
     }
   }
 
-  // Topological propagation of file-weight vectors, pruned to relevant
-  // subtrees.
+  // Topological propagation of the file states, pruned to relevant subtrees
+  // (the layout's cross-chunk reduce along each DAG edge).
   for (uint32_t r : dag_.topo_order()) {
     if (r == 0 || relevant[r] == 0) continue;
     for (const RuleChildEntry& e : dag_.children(r)) {
       if (relevant[e.child] == 0) continue;
-      for (const auto& [file, w] : fweight[r]) {
-        fweight[e.child][file] += w * e.freq;
-        meter->Charge(kCpuHashUpdateOps);
-      }
+      layout.Merge(arena.at(e.child), arena.at(r), e.freq, ops);
     }
   }
 
-  // Reduce: accepted local words scaled by the rule's per-file weights.
-  for (uint32_t r = 1; r < dag_.num_rules(); ++r) {
+  // Reduce: accepted local words scaled by the rule's per-file state.
+  for (uint32_t r = 1; r < n; ++r) {
     if (relevant[r] == 0) continue;
     for (const RuleWordEntry& w : dag_.words(r)) {
       if (!filter.Accepts(w.word)) continue;
-      for (const auto& [file, fw] : fweight[r]) {
+      layout.ForEach(arena.at(r), ops, [&](uint32_t file, uint64_t fw) {
         tv[file][w.word] += static_cast<uint64_t>(w.freq) * fw;
         meter->Charge(kCpuHashUpdateOps);
-      }
+      });
     }
   }
 
-  CpuAssembly ops(meter);
-  kernel.AssembleFileWord(input, num_files, TriplesFromFileMaps(tv), &ops,
-                          &out);
+  CpuAssembly assembly(meter);
+  kernel.AssembleFileWord(input, num_files, TriplesFromFileMaps(tv),
+                          &assembly, &out);
   return out;
 }
 
@@ -312,34 +400,20 @@ AnalyticsResult CpuTadocEngine::FileTaskBottomUp(const TaskKernel& kernel,
   const TaskInput input = MakeInput();
   const WordFilter filter(kernel, input, g_->num_words);
   const uint32_t num_files = g_->num_files();
+  const StateLayout& layout = kernel.Layout(TraversalStrategy::kBottomUp);
+  const StateDims dims = MakeDims(filter);
 
-  // Local tables as in bottom-up word count, restricted to accepted words
-  // (tables of rules without accepted words stay empty, pruning the root
+  // Local state as in bottom-up word count, restricted to accepted words
+  // (states of rules without accepted words stay empty, pruning the root
   // scan below for free).
-  std::vector<std::unordered_map<uint32_t, uint64_t>> table(dag_.num_rules());
-  const auto& order = dag_.topo_order();
-  for (auto it = order.rbegin(); it != order.rend(); ++it) {
-    const uint32_t r = *it;
-    if (r == 0) continue;
-    auto& t = table[r];
-    for (const RuleWordEntry& w : dag_.words(r)) {
-      if (!filter.Accepts(w.word)) {
-        meter->Charge(1);
-        continue;
-      }
-      t[w.word] += w.freq;
-      meter->Charge(kCpuHashUpdateOps);
-    }
-    for (const RuleChildEntry& e : dag_.children(r)) {
-      for (const auto& [word, c] : table[e.child]) {
-        t[word] += c * e.freq;
-        meter->Charge(kCpuHashUpdateOps);
-      }
-    }
-  }
+  HostStateArena arena;
+  std::vector<uint64_t> bound;
+  BuildRuleStatesCpu(dag_, filter, layout, dims, meter, &arena, &bound);
+  CpuStateOps ops(meter);
 
-  // Root scan: each level-2 occurrence merges its table into the occurrence's
-  // file; accepted root-owned words go to their position's file.
+  // Root scan: each level-2 occurrence merges its state into the
+  // occurrence's file; accepted root-owned words go to their position's
+  // file.
   std::vector<std::unordered_map<uint32_t, uint64_t>> tv(num_files);
   uint32_t cur_file = 0;
   for (uint32_t sym : g_->root()) {
@@ -347,24 +421,30 @@ AnalyticsResult CpuTadocEngine::FileTaskBottomUp(const TaskKernel& kernel,
     if (g_->IsSplitter(sym)) {
       cur_file = g_->SplitterIndex(sym) + 1;
     } else if (g_->IsRule(sym)) {
-      for (const auto& [word, c] : table[g_->RuleIndex(sym)]) {
-        tv[cur_file][word] += c;
-        meter->Charge(kCpuHashUpdateOps);
-      }
+      layout.ForEach(arena.at(g_->RuleIndex(sym)), ops,
+                     [&](uint32_t word, uint64_t c) {
+                       tv[cur_file][word] += c;
+                       meter->Charge(kCpuHashUpdateOps);
+                     });
     } else if (filter.Accepts(sym)) {
       ++tv[cur_file][sym];
       meter->Charge(kCpuHashUpdateOps);
     }
   }
 
-  CpuAssembly ops(meter);
-  kernel.AssembleFileWord(input, num_files, TriplesFromFileMaps(tv), &ops,
-                          &out);
+  CpuAssembly assembly(meter);
+  kernel.AssembleFileWord(input, num_files, TriplesFromFileMaps(tv),
+                          &assembly, &out);
   return out;
 }
 
 // ---------------------------------------------------------------------------
 // kSequence — [2]'s recursive full-stream walk.
+//
+// The CPU baseline visits every token of the original text with a sliding
+// window (no head/tail state at all — the reuse opportunity G-TADOC's
+// HeadTailLayout pipeline later exploits), so there is no per-rule
+// accumulator here for a StateLayout to describe.
 // ---------------------------------------------------------------------------
 
 AnalyticsResult CpuTadocEngine::SequenceTask(const TaskKernel& kernel,
@@ -424,8 +504,8 @@ AnalyticsResult CpuTadocEngine::SequenceTask(const TaskKernel& kernel,
     nc.count = c;
     drained.push_back(std::move(nc));
   }
-  CpuAssembly ops(meter);
-  kernel.AssembleSequence(input, std::move(drained), &ops, &out);
+  CpuAssembly assembly(meter);
+  kernel.AssembleSequence(input, std::move(drained), &assembly, &out);
   return out;
 }
 

@@ -21,6 +21,8 @@ struct CpuTadocOptions {
   TraversalStrategy strategy = TraversalStrategy::kAuto;
   /// Query word ids for selective kernels (kKeywordSearch).
   std::vector<uint32_t> query_words;
+  /// k of bounded-selection kernels (kTopKWords).
+  uint32_t top_k = 10;
 };
 
 /// \brief Sequential CPU TADOC — the paper's baseline ([2] with the adaptive
@@ -66,6 +68,8 @@ class CpuTadocEngine {
 
   /// The per-run task parameters handed to every kernel hook.
   TaskInput MakeInput() const;
+  /// The layout dimensions of this run (accepted-vocabulary aware).
+  StateDims MakeDims(const WordFilter& filter) const;
 
   // Phase-2 shape drivers; each returns the kernel-assembled result and
   // charges `meter`.

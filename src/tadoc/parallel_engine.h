@@ -53,7 +53,8 @@ class ParallelTadocEngine {
   Result<EngineRun> Run(Task task) const;
 
   /// Distributed run under `cluster`'s cost model.
-  Result<EngineRun> RunOnCluster(Task task, const gpu::ClusterSpec& cluster) const;
+  Result<EngineRun> RunOnCluster(Task task,
+                                 const gpu::ClusterSpec& cluster) const;
 
  private:
   ParallelTadocEngine(const PartitionedCorpus* corpus,

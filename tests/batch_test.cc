@@ -339,6 +339,37 @@ TEST(RunTimingTest, AccumulateFoldsAllFields) {
   EXPECT_DOUBLE_EQ(agg.total_seconds(), a.total_seconds() + b.total_seconds());
 }
 
+// Regression for the per-layout assembly costs (the device-heap selection
+// stage and its pool carving): they must fold into the phase decomposition
+// identically on the cold-create and rebind paths, or batch aggregates
+// (ComposeTiming / Accumulate) would skew depending on which path produced
+// each document. Traversal must match bit-for-bit; the rebind path may only
+// save init time.
+TEST(RunTimingTest, AssemblyCostsFoldIdenticallyOnColdAndRebindPaths) {
+  PartitionedCorpus corpus = MakeCorpus(8, 2);
+
+  for (Task task : {Task::kTopKWords, Task::kTfIdf, Task::kSequenceCount}) {
+    SCOPED_TRACE(static_cast<int>(task));
+    auto cold = GTadocEngine::Create(&corpus.partitions[1], GpuOptions());
+    ASSERT_TRUE(cold.ok());
+    auto cold_run = (*cold)->Run(task);
+    ASSERT_TRUE(cold_run.ok()) << cold_run.status().ToString();
+
+    auto rebound = GTadocEngine::Create(&corpus.partitions[0], GpuOptions());
+    ASSERT_TRUE(rebound.ok());
+    ASSERT_TRUE((*rebound)->Rebind(&corpus.partitions[1]).ok());
+    auto rebind_run = (*rebound)->Run(task);
+    ASSERT_TRUE(rebind_run.ok());
+
+    EXPECT_TRUE(rebind_run->result.SameAs(cold_run->result));
+    EXPECT_DOUBLE_EQ(rebind_run->timing.traversal_seconds,
+                     cold_run->timing.traversal_seconds);
+    EXPECT_EQ(rebind_run->timing.traversal_ops,
+              cold_run->timing.traversal_ops);
+    EXPECT_LE(rebind_run->timing.init_seconds, cold_run->timing.init_seconds);
+  }
+}
+
 // Regression for the batch aggregate: its serial time is exactly the sum of
 // the per-document timings (plus the explicitly-charged corpus merge), and
 // it counts every document.

@@ -7,6 +7,7 @@
 #include "analytics/batch.h"
 #include "analytics/task_kernel.h"
 #include "analytics/uncompressed.h"
+#include "common/hash.h"
 #include "datagen/datagen.h"
 #include "format/dag.h"
 #include "gpu/platform.h"
@@ -20,10 +21,13 @@
 namespace gtadoc {
 namespace {
 
-/// The seven built-in tasks (the paper's six + keywordSearch).
+/// The nine built-in tasks (the paper's six + keywordSearch + the two
+/// StateLayout proof kernels).
 std::vector<Task> BuiltinTasks() {
   std::vector<Task> tasks = AllTasks();
   tasks.push_back(Task::kKeywordSearch);
+  tasks.push_back(Task::kTopKWords);
+  tasks.push_back(Task::kTfIdf);
   return tasks;
 }
 
@@ -168,10 +172,63 @@ TEST(TaskKernelTest, ShapeMetadata) {
             TraversalShape::kSequence);
   EXPECT_EQ(TaskRegistry::Find(Task::kKeywordSearch)->shape(),
             TraversalShape::kPerFileWeight);
+  EXPECT_EQ(TaskRegistry::Find(Task::kTopKWords)->shape(),
+            TraversalShape::kPerFileWeight);
+  EXPECT_EQ(TaskRegistry::Find(Task::kTfIdf)->shape(),
+            TraversalShape::kPerFileWeight);
   EXPECT_TRUE(IsSequenceTask(Task::kSequenceCount));
   EXPECT_FALSE(IsSequenceTask(Task::kKeywordSearch));
   EXPECT_STREQ(TraversalShapeName(TraversalShape::kPerFileWeight),
                "perFileWeight");
+}
+
+// Every built-in kernel's canonical layout is consistent with its shape, and
+// the layouts expose the geometry the drivers size pool regions from.
+TEST(TaskKernelTest, CanonicalLayoutsMatchShapes) {
+  StateDims dims;
+  dims.num_files = 8;
+  dims.num_words = 100;
+  const TaskKernel* word_count = TaskRegistry::Find(Task::kWordCount);
+  EXPECT_STREQ(word_count->Layout(TraversalStrategy::kTopDown).name(),
+               "scalarWeight");
+  EXPECT_STREQ(word_count->Layout(TraversalStrategy::kBottomUp).name(),
+               "localWordTable");
+  const TaskKernel* term_vector = TaskRegistry::Find(Task::kTermVector);
+  EXPECT_STREQ(term_vector->Layout(TraversalStrategy::kTopDown).name(),
+               "densePerFile");
+  EXPECT_STREQ(TaskRegistry::Find(Task::kSequenceCount)
+                   ->Layout(TraversalStrategy::kTopDown)
+                   .name(),
+               "headTail");
+  // Geometry: dense per-file regions grow with the file count, local tables
+  // with the content bound, scalar weights not at all.
+  EXPECT_EQ(ScalarWeightLayout().SlotsForBound(dims, 1), 1u);
+  EXPECT_EQ(DensePerFileLayout().SlotsForBound(dims, 8), 1u + 16u);
+  EXPECT_GE(LocalWordTableLayout().SlotsForBound(dims, 10), 1u + 2u * 20u);
+  dims.ngram_len = 4;
+  EXPECT_EQ(HeadTailLayout().SlotsForBound(dims, 3), 1u + 6u);
+}
+
+// The distinct-key hint: selective kernels advertise query-sized tables,
+// non-selective ones vocabulary-sized, sequence kernels none.
+TEST(TaskKernelTest, ExpectedDistinctKeysTracksSelectivity) {
+  StateDims dims;
+  dims.num_files = 10;
+  dims.num_words = 1000;
+  TaskInput input;
+  input.query_words = {1, 2, 3};
+  EXPECT_EQ(TaskRegistry::Find(Task::kWordCount)
+                ->ExpectedDistinctKeys(dims, input),
+            1000u);
+  EXPECT_EQ(TaskRegistry::Find(Task::kInvertedIndex)
+                ->ExpectedDistinctKeys(dims, input),
+            10000u);
+  EXPECT_EQ(TaskRegistry::Find(Task::kKeywordSearch)
+                ->ExpectedDistinctKeys(dims, input),
+            30u);
+  EXPECT_EQ(TaskRegistry::Find(Task::kSequenceCount)
+                ->ExpectedDistinctKeys(dims, input),
+            0u);
 }
 
 // The kernel's strategy hint is the single task->strategy mapping: the
@@ -191,7 +248,8 @@ TEST(TaskKernelTest, StrategyHintDrivesSelectorAndEngines) {
               TraversalStrategy::kTopDown);
   }
   for (Task task : {Task::kInvertedIndex, Task::kTermVector,
-                    Task::kKeywordSearch, Task::kSequenceCount}) {
+                    Task::kKeywordSearch, Task::kSequenceCount,
+                    Task::kTopKWords, Task::kTfIdf}) {
     EXPECT_EQ(SelectStrategy(task, few.grammar, *few_dag),
               TraversalStrategy::kTopDown)
         << TaskName(task);
@@ -269,7 +327,7 @@ TEST_P(AllEnginesAgree, OnRandomCorpora) {
   }
 }
 
-INSTANTIATE_TEST_SUITE_P(SevenTasks, AllEnginesAgree, testing::Range(0, 7),
+INSTANTIATE_TEST_SUITE_P(NineTasks, AllEnginesAgree, testing::Range(0, 9),
                          [](const auto& info) {
                            return std::string(
                                TaskName(BuiltinTasks()[info.param]));
@@ -331,6 +389,278 @@ TEST(KeywordSearchTest, SelectiveScanDoesLessWorkThanFullFileTask) {
   auto inverted = (*gpu)->Run(Task::kInvertedIndex);
   ASSERT_TRUE(inverted.ok());
   EXPECT_LT(keyword->timing.traversal_ops, inverted->timing.traversal_ops);
+}
+
+// ------------------------------------------- topKWords / tfIdf (layouts) ---
+
+TEST(TopKWordsTest, HandComputedTinyCorpus) {
+  // file0: a b a c   file1: b a b   file2: d d  (ids a=0 b=1 c=2 d=3)
+  const std::vector<std::vector<uint32_t>> files = {
+      {0, 1, 0, 2}, {1, 0, 1}, {3, 3}};
+  auto grammar = CompressTokenStreams(files, 4);
+  ASSERT_TRUE(grammar.ok());
+
+  GTadocEngine::Options gopt = GpuOptions();
+  gopt.top_k = 1;
+  auto gpu = GTadocEngine::Create(&*grammar, gopt);
+  ASSERT_TRUE(gpu.ok());
+  auto run = (*gpu)->Run(Task::kTopKWords);
+  ASSERT_TRUE(run.ok()) << run.status().ToString();
+  const TopKWordsResult expected = {{{0, 2}}, {{1, 2}}, {{3, 2}}};
+  EXPECT_EQ(run->result.top_k_words, expected);
+
+  // k larger than any vocabulary degrades to the full termVector ordering.
+  gopt.top_k = 100;
+  auto gpu_all = GTadocEngine::Create(&*grammar, gopt);
+  ASSERT_TRUE(gpu_all.ok());
+  auto run_all = (*gpu_all)->Run(Task::kTopKWords);
+  ASSERT_TRUE(run_all.ok());
+  EXPECT_EQ(run_all->result.top_k_words[0].size(), 3u);  // a, c, b by rank
+  EXPECT_EQ(run_all->result.top_k_words[0][0], (std::pair<uint32_t, uint64_t>{
+                                                   0, 2}));
+
+  // k = 0 selects nothing but keeps the per-file structure.
+  gopt.top_k = 0;
+  auto gpu_none = GTadocEngine::Create(&*grammar, gopt);
+  ASSERT_TRUE(gpu_none.ok());
+  auto run_none = (*gpu_none)->Run(Task::kTopKWords);
+  ASSERT_TRUE(run_none.ok());
+  ASSERT_EQ(run_none->result.top_k_words.size(), 3u);
+  for (const auto& vec : run_none->result.top_k_words) {
+    EXPECT_TRUE(vec.empty());
+  }
+}
+
+TEST(TfIdfTest, RareWordsOutrankFrequentOnes) {
+  // file0: a b a c   file1: b a b   file2: d d. df: a=2 b=2 c=1 d=1, N=3.
+  const std::vector<std::vector<uint32_t>> files = {
+      {0, 1, 0, 2}, {1, 0, 1}, {3, 3}};
+  auto grammar = CompressTokenStreams(files, 4);
+  ASSERT_TRUE(grammar.ok());
+
+  auto gpu = GTadocEngine::Create(&*grammar, GpuOptions());
+  ASSERT_TRUE(gpu.ok());
+  auto run = (*gpu)->Run(Task::kTfIdf);
+  ASSERT_TRUE(run.ok()) << run.status().ToString();
+  const TfIdfResult& tfidf = run->result.tf_idf;
+  ASSERT_EQ(tfidf.size(), 3u);
+  // file0 holds a(tf 2, df 2), b(tf 1, df 2), c(tf 1, df 1): the rare c
+  // outranks the frequent a because idf(3/1) > 2 * idf(3/2).
+  ASSERT_EQ(tfidf[0].size(), 3u);
+  EXPECT_EQ(tfidf[0][0].word, 2u);
+  EXPECT_EQ(tfidf[0][0].tf, 1u);
+  EXPECT_EQ(tfidf[0][1].word, 0u);
+  EXPECT_EQ(tfidf[0][1].tf, 2u);
+  EXPECT_EQ(tfidf[0][2].word, 1u);
+  EXPECT_GT(tfidf[0][0].score, tfidf[0][1].score);
+
+  // The reference loop agrees bit-for-bit (integer fixed-point idf).
+  UncompressedAnalytics uncompressed(files);
+  EXPECT_TRUE(run->result.SameAs(uncompressed.RunSequential(Task::kTfIdf)));
+}
+
+TEST(StateLayoutKernelsTest, RunThroughBatchAndParallelEngines) {
+  DatasetSpec spec = DatasetA();
+  spec.num_files = 12;
+  spec.total_tokens = 8000;
+  spec.vocabulary = 250;
+  spec.seed = 29;
+  Corpus corpus = GenerateCorpus(spec);
+  auto part = PartitionAndCompress(corpus, 4);
+  ASSERT_TRUE(part.ok());
+  TokenizedCorpus tokens = Tokenize(corpus);
+  UncompressedAnalytics uncompressed(tokens.file_tokens);
+
+  for (Task task : {Task::kTopKWords, Task::kTfIdf}) {
+    SCOPED_TRACE(TaskName(task));
+    const AnalyticsResult truth = uncompressed.RunSequential(task);
+
+    BatchEngine::Options bopt;
+    bopt.engine = GpuOptions();
+    auto batch = BatchEngine::Create(&*part, bopt);
+    ASSERT_TRUE(batch.ok());
+    auto batch_run = (*batch)->Run(task);
+    ASSERT_TRUE(batch_run.ok()) << batch_run.status().ToString();
+    EXPECT_TRUE(batch_run->merged.SameAs(truth))
+        << batch_run->merged.Digest() << " vs " << truth.Digest();
+
+    auto parallel = ParallelTadocEngine::Create(&*part, CpuOptions());
+    ASSERT_TRUE(parallel.ok());
+    auto parallel_run = parallel->Run(task);
+    ASSERT_TRUE(parallel_run.ok());
+    EXPECT_TRUE(parallel_run->result.SameAs(truth))
+        << parallel_run->result.Digest() << " vs " << truth.Digest();
+  }
+}
+
+// ----------------------------------------- custom out-of-tree StateLayout ---
+
+/// A custom accumulator shape no canonical layout provides: one presence bit
+/// per file (1/128th of the dense-per-file footprint), merged with bitwise
+/// OR. Registered from this test, mirroring examples/custom_task.cpp.
+class FilePresenceLayout : public StateLayout {
+ public:
+  const char* name() const override { return "filePresence"; }
+
+  uint64_t SlotsForBound(const StateDims& dims, uint64_t bound) const override {
+    (void)bound;
+    return (dims.num_files + 63) / 64;
+  }
+  uint64_t PropagatedBytesPerRule(const StateDims& dims) const override {
+    return 8ull * ((dims.num_files + 63) / 64);
+  }
+
+  void Absorb(StateView s, uint32_t file, uint64_t delta,
+              StateOps& ops) const override {
+    (void)delta;  // presence only — weights are deliberately dropped
+    ops.Atomic(1);
+    s.atomic_at(file / 64).fetch_or(1ull << (file % 64),
+                                    std::memory_order_relaxed);
+  }
+
+  uint64_t EntryCount(StateView s) const override {
+    uint64_t bits = 0;
+    for (uint64_t i = 0; i < s.slots(); ++i) {
+      uint64_t v = s.at(i);
+      while (v != 0) {
+        v &= v - 1;
+        ++bits;
+      }
+    }
+    return bits;
+  }
+  uint64_t ReadableSlots(StateView s) const override { return s.slots() * 64; }
+  bool ReadSlot(StateView s, uint64_t slot, uint32_t* key,
+                uint64_t* value) const override {
+    if ((s.at(slot / 64) & (1ull << (slot % 64))) == 0) return false;
+    *key = static_cast<uint32_t>(slot);
+    *value = 1;
+    return true;
+  }
+};
+
+constexpr Task kDocFrequency = static_cast<Task>(950);
+
+/// word -> number of files containing it. Counts need only presence, so the
+/// kernel overrides the canonical dense-per-file top-down layout with the
+/// 64x-smaller presence bitmap; bottom-up keeps the canonical local tables.
+/// The unmodified drivers run both.
+class DocFrequencyKernel : public TaskKernel {
+ public:
+  Task task() const override { return kDocFrequency; }
+  const char* name() const override { return "docFrequency"; }
+  TraversalShape shape() const override {
+    return TraversalShape::kPerFileWeight;
+  }
+
+  const StateLayout& Layout(TraversalStrategy strategy) const override {
+    static const FilePresenceLayout* presence = new FilePresenceLayout();
+    if (strategy == TraversalStrategy::kBottomUp) {
+      return LocalWordTableLayout();
+    }
+    return *presence;
+  }
+
+  void AssembleFileWord(const TaskInput& input, uint32_t num_files,
+                        const std::vector<FileWordCount>& counts,
+                        AssemblyOps* ops, AnalyticsResult* out) const override {
+    (void)input;
+    (void)num_files;
+    // One triple per (file, word) with any positive count: df is the number
+    // of triples a word appears in.
+    for (const FileWordCount& e : counts) ++out->word_count[e.word];
+    ops->ChargeUpdates(counts.size());
+  }
+
+  void Merge(const AnalyticsResult& doc, uint32_t file_base,
+             AnalyticsResult* acc, uint64_t* merge_ops) const override {
+    (void)file_base;  // files are disjoint across documents: df sums
+    for (const auto& [w, c] : doc.word_count) {
+      acc->word_count[w] += c;
+      ++*merge_ops;
+    }
+  }
+
+  uint64_t ResultBytes(const AnalyticsResult& r,
+                       uint32_t ngram_len) const override {
+    (void)ngram_len;
+    return r.word_count.size() * 12;
+  }
+
+  bool Equal(const AnalyticsResult& a,
+             const AnalyticsResult& b) const override {
+    return a.word_count == b.word_count;
+  }
+
+  void DigestFold(const AnalyticsResult& r, uint64_t* h,
+                  size_t* entries) const override {
+    for (const auto& [w, c] : r.word_count) {
+      *h = HashCombine(HashCombine(*h, w), c);
+      ++*entries;
+    }
+  }
+
+  AnalyticsResult RunUncompressed(
+      const std::vector<std::vector<uint32_t>>& files, const TaskInput& input,
+      CpuCostMeter* meter) const override {
+    (void)input;
+    AnalyticsResult out;
+    out.task = kDocFrequency;
+    for (const auto& file : files) {
+      std::vector<uint32_t> seen(file.begin(), file.end());
+      std::sort(seen.begin(), seen.end());
+      seen.erase(std::unique(seen.begin(), seen.end()), seen.end());
+      for (uint32_t w : seen) ++out.word_count[w];
+      if (meter != nullptr) meter->Charge(file.size() * 2);
+    }
+    return out;
+  }
+};
+
+// A layout registered from outside the tree drives the unmodified drivers:
+// both engines, both traversal directions, identical results — and the
+// presence bitmap's footprint is a fraction of the canonical dense state.
+TEST(StateLayoutKernelsTest, CustomLayoutRunsThroughUnmodifiedDrivers) {
+  static const bool registered = [] {
+    return TaskRegistry::Instance()
+        .Register(std::make_unique<DocFrequencyKernel>())
+        .ok();
+  }();
+  ASSERT_TRUE(registered);
+
+  Prepared p = PrepareCorpus(24, 9000, 31);
+  UncompressedAnalytics uncompressed(p.tokens.file_tokens);
+  const AnalyticsResult truth = uncompressed.RunSequential(kDocFrequency);
+  ASSERT_FALSE(truth.word_count.empty());
+
+  auto gpu = GTadocEngine::Create(&p.grammar, GpuOptions());
+  ASSERT_TRUE(gpu.ok());
+  for (TraversalStrategy strategy :
+       {TraversalStrategy::kTopDown, TraversalStrategy::kBottomUp}) {
+    auto run = (*gpu)->Run(kDocFrequency, strategy);
+    ASSERT_TRUE(run.ok()) << run.status().ToString();
+    EXPECT_TRUE(run->result.SameAs(truth))
+        << StrategyName(strategy) << ": " << run->result.Digest() << " vs "
+        << truth.Digest();
+  }
+  auto cpu = CpuTadocEngine::Create(&p.grammar, CpuOptions());
+  ASSERT_TRUE(cpu.ok());
+  for (TraversalStrategy strategy :
+       {TraversalStrategy::kTopDown, TraversalStrategy::kBottomUp}) {
+    auto run = cpu->Run(kDocFrequency, strategy);
+    ASSERT_TRUE(run.ok());
+    EXPECT_TRUE(run->result.SameAs(truth)) << StrategyName(strategy);
+  }
+
+  // The custom layout is what the drivers size regions from: a presence
+  // bitmap for 24 files is one slot against the dense layout's 49.
+  StateDims dims;
+  dims.num_files = 24;
+  const DocFrequencyKernel kernel;
+  EXPECT_EQ(kernel.Layout(TraversalStrategy::kTopDown)
+                .SlotsForBound(dims, dims.num_files),
+            1u);
+  EXPECT_EQ(DensePerFileLayout().SlotsForBound(dims, dims.num_files), 49u);
 }
 
 TEST(KeywordSearchTest, RunsThroughBatchAndParallelEngines) {
