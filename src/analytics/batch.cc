@@ -25,7 +25,15 @@ Result<std::unique_ptr<BatchEngine>> BatchEngine::Create(
         "batch engine manages device sharing; leave "
         "engine.shared_device/shared_pool null");
   }
-  return std::unique_ptr<BatchEngine>(new BatchEngine(corpus, options));
+  std::unique_ptr<BatchEngine> engine(new BatchEngine(corpus, options));
+  if (engine->options_.engine.plan_cache == nullptr) {
+    // One plan cache for every worker context and every Run: same-shape
+    // repeat documents skip planning entirely (the serving warm path).
+    engine->owned_plan_cache_ = std::make_shared<PlanCache>(
+        std::max<size_t>(256, 4 * corpus->partitions.size()));
+    engine->options_.engine.plan_cache = engine->owned_plan_cache_.get();
+  }
+  return engine;
 }
 
 Status BatchEngine::RunShard(Task task, size_t lo, size_t hi,

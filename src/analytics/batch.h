@@ -49,7 +49,11 @@ class BatchEngine {
  public:
   struct Options {
     /// Per-document engine configuration. `shared_device`/`shared_pool` are
-    /// managed by the batch engine and must be left null. Keep
+    /// managed by the batch engine and must be left null; `plan_cache` may
+    /// be preset to share plans with other engines, otherwise the batch
+    /// engine installs one cache shared by every worker and every Run, so a
+    /// document planned once (same grammar, same task, same shape options)
+    /// is never planned again — warm batch runs pay zero plan_seconds. Keep
     /// engine.host_workers = 1 unless each document is itself large: batch
     /// workers multiply it.
     GTadocEngine::Options engine;
@@ -96,6 +100,8 @@ class BatchEngine {
   size_t num_documents() const { return corpus_->partitions.size(); }
   uint32_t total_files() const { return corpus_->total_files; }
   const Options& options() const { return options_; }
+  /// The plan cache shared by every worker context (serving diagnostics).
+  PlanCache* plan_cache() const { return options_.engine.plan_cache; }
 
  private:
   BatchEngine(const PartitionedCorpus* corpus, const Options& options)
@@ -113,6 +119,8 @@ class BatchEngine {
 
   const PartitionedCorpus* corpus_;
   Options options_;
+  /// Backing storage when the caller preset no options.engine.plan_cache.
+  std::shared_ptr<PlanCache> owned_plan_cache_;
 };
 
 }  // namespace gtadoc

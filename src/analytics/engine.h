@@ -26,6 +26,14 @@ struct RunTiming {
   uint64_t init_ops = 0;         ///< abstract ops charged in phase 1
   uint64_t traversal_ops = 0;    ///< abstract ops charged in phase 2
 
+  /// Share of init_seconds spent building the RunPlan (strategy decision,
+  /// relevance mask, region layout, table geometry). Zero on a plan-cache
+  /// hit: the hit path performs no planning at all, which is the whole win
+  /// of rebind-heavy serving over same-shape documents.
+  double plan_seconds = 0;
+  /// Plan-cache hits this timing aggregates (0 or 1 for a single run).
+  uint64_t plan_cache_hits = 0;
+
   /// H2D share of init_seconds (the grammar upload). This is the part of
   /// phase 1 a batch can overlap with the previous document's traversal;
   /// zero when the dataset is modeled as GPU-resident (charge_pcie off).
@@ -51,6 +59,8 @@ struct RunTiming {
   void Accumulate(const RunTiming& doc) {
     init_seconds += doc.init_seconds;
     traversal_seconds += doc.traversal_seconds;
+    plan_seconds += doc.plan_seconds;
+    plan_cache_hits += doc.plan_cache_hits;
     upload_seconds += doc.upload_seconds;
     overlap_saved_seconds += doc.overlap_saved_seconds;
     init_ops += doc.init_ops;

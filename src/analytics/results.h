@@ -23,6 +23,7 @@ enum class Task : int {
   kKeywordSearch = 6,
   kTopKWords = 7,
   kTfIdf = 8,
+  kPhraseSearch = 9,
 };
 
 /// Kernel name for a registered task, "?" otherwise (display helper; the
@@ -60,6 +61,10 @@ using RankedInvertedIndexResult =
 /// query word, ordered by file id asc.
 using KeywordSearchResult = std::vector<std::pair<uint32_t, uint64_t>>;
 
+/// (file id, phrase occurrence count) for every file containing the phrase
+/// at least once, ordered by file id asc (kPhraseSearch).
+using PhraseSearchResult = std::vector<std::pair<uint32_t, uint64_t>>;
+
 /// Per file: the k most frequent words as (word id, frequency), ordered by
 /// frequency desc then word id asc (k from the engines' top_k option).
 using TopKWordsResult = std::vector<std::vector<std::pair<uint32_t, uint64_t>>>;
@@ -95,6 +100,12 @@ struct AnalyticsResult {
   KeywordSearchResult keyword_search;
   TopKWordsResult top_k_words;
   TfIdfResult tf_idf;
+  PhraseSearchResult phrase_search;
+  /// Per-query-set results of a multi-query run (Options::query_sets):
+  /// keyword_multi[i] is query set i's result, bit-identical to a
+  /// single-query run of that set. Populated by kKeywordSearch (hits per
+  /// file) and kPhraseSearch (phrase counts per file); empty otherwise.
+  std::vector<KeywordSearchResult> keyword_multi;
 
   /// Structural equality on the member selected by `task`.
   bool SameAs(const AnalyticsResult& other) const;

@@ -1,0 +1,212 @@
+#ifndef GTADOC_ANALYTICS_RUN_PLAN_H_
+#define GTADOC_ANALYTICS_RUN_PLAN_H_
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "analytics/task_kernel.h"
+#include "common/result.h"
+#include "format/dag.h"
+#include "format/grammar.h"
+#include "tadoc/strategy.h"
+
+namespace gtadoc {
+
+/// Identity of a grammar for plan-cache keying: an FNV fold of the symbol
+/// space and every rule body. Host-side and O(compressed size); engines
+/// compute it once per Create/Rebind, never per Run.
+uint64_t GrammarFingerprint(const Grammar& g);
+
+/// \brief The run options that affect a plan's shape.
+///
+/// Two runs with equal PlanShape (and equal grammar fingerprint, task and
+/// strategy override) consume the same plan: the strategy decision, the
+/// relevance mask, every region offset and the table geometry are all pure
+/// functions of these fields.
+struct PlanShape {
+  TaskInput input;  ///< ngram_len, effective query words, query sets, top_k
+  int scheduling = 0;
+  /// True when the global shape runs the Figure 4(a) vertical-partition
+  /// strawman, which carries no per-rule state for the plan to lay out.
+  bool vertical_partition = false;
+  int lock_mode = 0;
+  uint32_t split_threshold = 16;
+
+  uint64_t Fingerprint() const;
+};
+
+/// PlanKey::backend values. Plans embed engine-specific artifacts (GPU plans
+/// carry sequence expansion lengths, CPU plans none), so a cache shared
+/// between a CPU and a GPU engine must never serve a plan across backends —
+/// the backend field keys them apart.
+enum PlanBackend : int {
+  kGpuPlanBackend = 0,
+  kCpuPlanBackend = 1,
+};
+
+/// Cache key of one plan: (backend, grammar, kernel, strategy override,
+/// shape).
+struct PlanKey {
+  int backend = kGpuPlanBackend;
+  uint64_t grammar_fp = 0;
+  int task = 0;
+  int strategy_override = 0;
+  uint64_t shape_fp = 0;
+
+  bool operator==(const PlanKey& o) const {
+    return backend == o.backend && grammar_fp == o.grammar_fp &&
+           task == o.task && strategy_override == o.strategy_override &&
+           shape_fp == o.shape_fp;
+  }
+};
+
+struct PlanKeyHash {
+  size_t operator()(const PlanKey& k) const;
+};
+
+/// One family of pool regions with resolved offsets (absolute slots into the
+/// run's pool slab), one region per rule; sizes[r] == 0 marks a rule that
+/// owns no region (pruned, or the root).
+struct RegionGroup {
+  std::vector<uint64_t> sizes;
+  std::vector<uint64_t> offsets;
+
+  bool empty() const { return sizes.empty(); }
+  bool operator==(const RegionGroup& o) const {
+    return sizes == o.sizes && offsets == o.offsets;
+  }
+};
+
+/// One past the last slot a region group occupies (0 for an empty group) —
+/// what a backing slab must cover to hold just this group.
+uint64_t RegionGroupEnd(const RegionGroup& group);
+
+/// \brief Everything a traversal needs that is a pure function of (grammar,
+/// kernel, shape-relevant options) — produced once by a Planner, cached in a
+/// PlanCache, and consumed by the engines' executors.
+///
+/// A plan holds the strategy decision, the run's word filter and accepted
+/// dimensions, the rule-relevance mask of selective kernels, the bottom-up
+/// content bounds, the full StateLayout region plan with resolved offsets
+/// (traversal state, sequence per-file-weight state, and the assembly lease),
+/// and the ExpectedDistinctKeys table sizing hint. Executing from a cached
+/// plan performs zero region planning and zero relevance traversal.
+struct RunPlan {
+  PlanKey key;
+  Task task = Task::kWordCount;
+  TraversalStrategy strategy = TraversalStrategy::kTopDown;
+  /// Accepted-vocabulary-aware layout dimensions (ngram_len is the kernel's
+  /// sequence window, which query-derived kernels may override).
+  StateDims dims;
+  uint32_t window = 3;
+  WordFilter filter;
+  /// Per-rule relevance of selective per-file top-down runs; empty when the
+  /// executor needs no mask. True = the rule's subtree may contain an
+  /// accepted word (exact from the traversal pass, a superset from persisted
+  /// rule Blooms — supersets only cost work, never correctness).
+  std::vector<uint8_t> relevant;
+  bool relevance_from_bloom = false;
+  /// Bottom-up per-rule content bounds (Algorithm 2's memory-requirement
+  /// transmission); empty for top-down plans.
+  std::vector<uint64_t> bound;
+  /// Per-rule expansion lengths of the sequence pipeline; empty elsewhere.
+  std::vector<uint64_t> exp_len;
+  /// Traversal state regions (the kernel's layout).
+  RegionGroup state;
+  /// Sequence-shape per-file rule-weight regions (DensePerFileLayout).
+  RegionGroup aux;
+  /// Assembly lease: slots reserved for AssemblyOps::SelectTopK heaps so the
+  /// assembly reuses the run's pool instead of a scoped pool.
+  uint64_t assembly_offset = 0;
+  uint64_t assembly_slots = 0;
+  /// Pool capacity covering every group above.
+  uint64_t total_slots = 0;
+  /// The kernel's distinct-key hint for the global reduce table, resolved
+  /// against the raw dimensions (0 = no hint).
+  uint64_t expected_keys = 0;
+};
+
+/// Structural equality of two plans (the cache-determinism contract: a
+/// cached plan must be bit-for-bit the plan a fresh Planner would build).
+bool PlanEquals(const RunPlan& a, const RunPlan& b);
+
+/// Node-pool size for a global reduce table: the structural bound capped by
+/// the plan's distinct-key hint, plus the drivers' slack margin.
+uint64_t PlannedTableNodes(uint64_t structural_bound, uint64_t expected_keys);
+
+/// \brief Thread-safe plan cache keyed by (grammar fingerprint, kernel,
+/// strategy override, shape options).
+///
+/// Engines consult it at the top of every Run; a hit skips the whole
+/// planning phase (plan_seconds == 0). Entries are evicted FIFO past
+/// `capacity` so rebind-heavy serving over a large corpus stays bounded.
+class PlanCache {
+ public:
+  explicit PlanCache(size_t capacity = 256) : capacity_(capacity) {}
+
+  /// The cached plan for `key`, or null (counted as a hit/miss).
+  std::shared_ptr<const RunPlan> Get(const PlanKey& key);
+  /// Like Get but without touching the hit/miss counters (tests/diagnostics).
+  std::shared_ptr<const RunPlan> Peek(const PlanKey& key) const;
+  void Put(std::shared_ptr<const RunPlan> plan);
+
+  uint64_t hits() const;
+  uint64_t misses() const;
+  size_t size() const;
+
+ private:
+  const size_t capacity_;
+  mutable std::mutex mu_;
+  std::unordered_map<PlanKey, std::shared_ptr<const RunPlan>, PlanKeyHash>
+      plans_;
+  std::deque<PlanKey> order_;
+  uint64_t hits_ = 0;
+  uint64_t misses_ = 0;
+};
+
+/// \brief Builds RunPlans: consumes (grammar fingerprint, kernel id, shape
+/// options) and produces the strategy decision, the relevance mask, the full
+/// region plan with resolved offsets and the table-sizing hint.
+///
+/// The plan *values* are engine-independent; what differs per engine is how
+/// the planning passes are charged (the GPU prices them as mask-protocol
+/// device kernels, the CPU as metered topological loops), so each engine
+/// implements the three charged passes and inherits the shared skeleton.
+/// When the grammar carries compression-time rule Blooms, the relevance mask
+/// needs no traversal at all: one flat probe pass over the persisted filters
+/// replaces the bottom-up reachability rounds.
+class Planner {
+ public:
+  virtual ~Planner() = default;
+
+  /// One full plan build (a cache miss). Charges the engine's cost model
+  /// through the virtual passes; everything else is host-side work the
+  /// pre-plan drivers never charged either.
+  Result<std::shared_ptr<const RunPlan>> BuildPlan(
+      const TaskKernel& kernel, const Grammar& g, const DagView& dag,
+      const PlanShape& shape, TraversalStrategy strategy_override,
+      const PlanKey& key);
+
+ protected:
+  /// Exact per-rule relevance via the engine's bottom-up reachability pass
+  /// (the fallback when the grammar persists no rule Blooms).
+  virtual std::vector<uint8_t> RelevanceTraversal(const WordFilter& filter) = 0;
+  /// Bottom-up content bounds (own accepted words + children, clamped).
+  virtual std::vector<uint64_t> BoundsTraversal(const WordFilter& filter,
+                                                uint64_t vocab_clamp) = 0;
+  /// Per-rule expansion lengths for the sequence pipeline; engines whose
+  /// sequence path never reads them may return an empty vector.
+  virtual std::vector<uint64_t> ExpansionPass() = 0;
+  /// Flat per-rule work (the Bloom relevance probes), `ops_per_item` charged
+  /// for each of `items` logical threads.
+  virtual void ChargeFlat(const char* what, uint64_t items,
+                          uint64_t ops_per_item) = 0;
+};
+
+}  // namespace gtadoc
+
+#endif  // GTADOC_ANALYTICS_RUN_PLAN_H_

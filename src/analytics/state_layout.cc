@@ -407,6 +407,14 @@ void DrainHeapSorted(StateView s,
   });
 }
 
+void HostStateArena::Bind(std::vector<uint64_t> sizes,
+                          std::vector<uint64_t> offsets,
+                          uint64_t total_slots) {
+  sizes_ = std::move(sizes);
+  offsets_ = std::move(offsets);
+  slab_.assign(total_slots, 0);
+}
+
 Status HostStateArena::Plan(const std::vector<uint64_t>& sizes,
                             uint64_t align) {
   sizes_ = sizes;

@@ -235,6 +235,12 @@ class HostStateArena {
   /// offsets aligned up to `align` slots. The slab arrives zero-filled.
   Status Plan(const std::vector<uint64_t>& sizes, uint64_t align = 1);
 
+  /// Binds the arena to regions already resolved by a RunPlan: the slab is
+  /// sized to `total_slots` and views sit at the given absolute offsets, so
+  /// executing from a cached plan performs zero region planning.
+  void Bind(std::vector<uint64_t> sizes, std::vector<uint64_t> offsets,
+            uint64_t total_slots);
+
   StateView at(size_t i) {
     return StateView(slab_.data(), offsets_[i], sizes_[i]);
   }

@@ -158,24 +158,32 @@ void GpuAssembly::SelectTopK(
   // Per-group heap regions carved from the memory pool — the same Section
   // IV-C discipline as the traversal state, so the selection runs as a real
   // device stage (one logical thread per group, its sift steps on the
-  // critical path) instead of a free host reshape. The run's recycled pool
-  // is reused when the driver provided one (its traversal regions are dead
-  // by now; heap Init tolerates the dirty slab), so only growth past the
-  // high-water mark charges an allocation call.
+  // critical path) instead of a free host reshape. The run's planned lease
+  // is the fast path: the planner reserved these slots inside the run's one
+  // pool acquisition (AssemblyStateSlots), so assembly charges no
+  // allocation call and never touches the traversal regions (heap Init
+  // tolerates the dirty slab). A pool with an undersized lease (a custom
+  // kernel without the hint) is recycled whole — its traversal regions are
+  // dead by assembly time — and only without any pool does a scoped pool
+  // pay the old per-assembly allocation.
   std::unique_ptr<gpu::MemoryPool> scoped;
-  gpu::MemoryPool* pool = pool_;
-  if (pool != nullptr) {
+  gpu::MemoryPool* pool = lease_.pool;
+  uint64_t base = lease_.offset;
+  if (pool != nullptr && total_slots > lease_.slots) {
     pool->Reset();
     pool->EnsureCapacity(total_slots);
-  } else {
+    base = 0;
+  } else if (pool == nullptr) {
     scoped = std::make_unique<gpu::MemoryPool>(device_, total_slots);
     pool = scoped.get();
+    base = 0;
   }
   uint64_t total_entries = 0;
   device_->Launch("assembleTopK", static_cast<uint32_t>(groups->size()),
                   [&](gpu::ThreadCtx& ctx) {
                     GpuStateOps ops(&ctx);
-                    StateView state(pool->slab(), ctx.tid() * group_slots,
+                    StateView state(pool->slab(),
+                                    base + ctx.tid() * group_slots,
                                     group_slots);
                     heap.Init(state, ops);
                     for (const auto& [id, count] : (*groups)[ctx.tid()]) {
@@ -185,7 +193,7 @@ void GpuAssembly::SelectTopK(
   for (const auto& g : *groups) total_entries += g.size();
   ChargeGroupSort(groups->size(), total_entries);  // the ordered drains
   for (size_t g = 0; g < groups->size(); ++g) {
-    StateView state(pool->slab(), g * group_slots, group_slots);
+    StateView state(pool->slab(), base + g * group_slots, group_slots);
     DrainHeapSorted(state, &(*groups)[g]);
   }
 }
@@ -812,13 +820,46 @@ class RankedInvertedIndexKernel : public TaskKernel {
 
 // ----------------------------------------------------------- keywordSearch ---
 
+/// Per-file hit totals of one query word set over pre-aggregated
+/// (file, word, count) triples — the shared reduction of keywordSearch's
+/// single- and multi-query assemblies.
+KeywordSearchResult HitsForQuery(const std::vector<uint32_t>& query,
+                                 const std::vector<FileWordCount>& counts) {
+  std::vector<uint32_t> sorted = query;
+  std::sort(sorted.begin(), sorted.end());
+  std::map<uint32_t, uint64_t> hits;
+  for (const FileWordCount& e : counts) {
+    if (!std::binary_search(sorted.begin(), sorted.end(), e.word)) continue;
+    hits[e.file] += e.count;
+  }
+  return KeywordSearchResult(hits.begin(), hits.end());
+}
+
+/// Folds one document's per-set results into the accumulator with file ids
+/// offset — shared by the keyword and phrase kernels' Merge.
+void MergeMultiQuery(const AnalyticsResult& doc, uint32_t file_base,
+                     AnalyticsResult* acc, uint64_t* merge_ops) {
+  if (acc->keyword_multi.size() < doc.keyword_multi.size()) {
+    acc->keyword_multi.resize(doc.keyword_multi.size());
+  }
+  for (size_t q = 0; q < doc.keyword_multi.size(); ++q) {
+    for (const auto& [f, hits] : doc.keyword_multi[q]) {
+      acc->keyword_multi[q].emplace_back(f + file_base, hits);
+      ++*merge_ops;
+    }
+  }
+}
+
 /// The seventh task, written purely against the framework: given a query
 /// word set, return the documents (files) containing at least one query word
 /// with their total hit counts — a grep-style selective scan. It rides the
 /// per-file-weight shape and declares its accept set, which lets every
 /// driver prune rules whose subtree contains no query word: the compressed
 /// traversal touches only the matching corner of the grammar instead of the
-/// whole token stream.
+/// whole token stream. With Options::query_sets the one pruned traversal
+/// serves every set at once: the accept set is the union, and the assembly
+/// splits the drained triples into per-set results bit-identical to
+/// single-query runs.
 class KeywordSearchKernel : public TaskKernel {
  public:
   Task task() const override { return Task::kKeywordSearch; }
@@ -837,20 +878,22 @@ class KeywordSearchKernel : public TaskKernel {
                         AssemblyOps* ops, AnalyticsResult* out) const override {
     (void)num_files;
     // Defensive re-filter: the result must be query-only even under a driver
-    // that forgot to filter.
-    std::vector<uint32_t> query = input.query_words;
-    std::sort(query.begin(), query.end());
-    std::map<uint32_t, uint64_t> hits;
-    for (const FileWordCount& e : counts) {
-      if (!std::binary_search(query.begin(), query.end(), e.word)) continue;
-      hits[e.file] += e.count;
-    }
+    // that forgot to filter. (query_words is the union when sets are given.)
+    out->keyword_search = HitsForQuery(input.query_words, counts);
     ops->ChargeUpdates(counts.size());
-    out->keyword_search.assign(hits.begin(), hits.end());
+    if (!input.query_sets.empty()) {
+      out->keyword_multi.clear();
+      out->keyword_multi.reserve(input.query_sets.size());
+      for (const auto& set : input.query_sets) {
+        out->keyword_multi.push_back(HitsForQuery(set, counts));
+      }
+      ops->ChargeUpdates(counts.size() * input.query_sets.size());
+    }
   }
 
   void Canonicalize(AnalyticsResult* r) const override {
     std::sort(r->keyword_search.begin(), r->keyword_search.end());
+    for (auto& set : r->keyword_multi) std::sort(set.begin(), set.end());
   }
 
   void Merge(const AnalyticsResult& doc, uint32_t file_base,
@@ -859,28 +902,39 @@ class KeywordSearchKernel : public TaskKernel {
       acc->keyword_search.emplace_back(f + file_base, hits);
       ++*merge_ops;
     }
+    MergeMultiQuery(doc, file_base, acc, merge_ops);
   }
 
   void FinalizeMerge(AnalyticsResult* acc, uint64_t* merge_ops) const override {
     *merge_ops += acc->keyword_search.size();
+    for (const auto& set : acc->keyword_multi) *merge_ops += set.size();
     Canonicalize(acc);
   }
 
   uint64_t ResultBytes(const AnalyticsResult& r,
                        uint32_t ngram_len) const override {
     (void)ngram_len;
-    return r.keyword_search.size() * 12;
+    uint64_t bytes = r.keyword_search.size() * 12;
+    for (const auto& set : r.keyword_multi) bytes += set.size() * 12;
+    return bytes;
   }
 
   bool Equal(const AnalyticsResult& a,
              const AnalyticsResult& b) const override {
-    return a.keyword_search == b.keyword_search;
+    return a.keyword_search == b.keyword_search &&
+           a.keyword_multi == b.keyword_multi;
   }
 
   void DigestFold(const AnalyticsResult& r, uint64_t* h,
                   size_t* entries) const override {
     for (const auto& [f, hits] : r.keyword_search) {
       *h = HashCombine(HashCombine(*h, f), hits);
+      ++*entries;
+    }
+    for (const auto& set : r.keyword_multi) {
+      for (const auto& [f, hits] : set) {
+        *h = HashCombine(HashCombine(*h, f), hits);
+      }
       ++*entries;
     }
   }
@@ -890,17 +944,25 @@ class KeywordSearchKernel : public TaskKernel {
       CpuCostMeter* meter) const override {
     AnalyticsResult out;
     out.task = Task::kKeywordSearch;
-    std::vector<uint32_t> query = input.query_words;
-    std::sort(query.begin(), query.end());
-    for (uint32_t f = 0; f < files.size(); ++f) {
-      uint64_t hits = 0;
-      for (uint32_t w : files[f]) {
-        // One membership probe per token: the grep-style full scan the
-        // compressed traversal is benchmarked against.
-        if (std::binary_search(query.begin(), query.end(), w)) ++hits;
-        if (meter != nullptr) meter->Charge(2);
+    auto scan = [&](const std::vector<uint32_t>& words) {
+      KeywordSearchResult result;
+      std::vector<uint32_t> query = words;
+      std::sort(query.begin(), query.end());
+      for (uint32_t f = 0; f < files.size(); ++f) {
+        uint64_t hits = 0;
+        for (uint32_t w : files[f]) {
+          // One membership probe per token: the grep-style full scan the
+          // compressed traversal is benchmarked against.
+          if (std::binary_search(query.begin(), query.end(), w)) ++hits;
+          if (meter != nullptr) meter->Charge(2);
+        }
+        if (hits > 0) result.emplace_back(f, hits);
       }
-      if (hits > 0) out.keyword_search.emplace_back(f, hits);
+      return result;
+    };
+    out.keyword_search = scan(input.query_words);
+    for (const auto& set : input.query_sets) {
+      out.keyword_multi.push_back(scan(set));
     }
     return out;
   }
@@ -919,6 +981,16 @@ class TopKWordsKernel : public TaskKernel {
   const char* name() const override { return "topKWords"; }
   TraversalShape shape() const override {
     return TraversalShape::kPerFileWeight;
+  }
+
+  uint64_t AssemblyStateSlots(const StateDims& dims,
+                              const TaskInput& input) const override {
+    // One BoundedHeap region per file, leased from the run's pool so
+    // SelectTopK charges no extra allocation call.
+    StateDims heap_dims;
+    heap_dims.top_k = input.top_k;
+    return dims.num_files *
+           BoundedHeapLayout().SlotsForBound(heap_dims, input.top_k);
   }
 
   void AssembleFileWord(const TaskInput& input, uint32_t num_files,
@@ -1123,6 +1195,134 @@ class TfIdfKernel : public TaskKernel {
   }
 };
 
+// ------------------------------------------------------------ phraseSearch ---
+
+/// Multi-word phrase hits per file, riding the sequence pipeline and the
+/// multi-query seam: the window length is the phrase's length
+/// (SequenceWindow), the head/tail machinery enumerates every l-window of
+/// the compressed stream exactly once, and the assembly keeps only windows
+/// equal to the phrase. With Options::query_sets each set is one phrase
+/// (all sets must share a length — the window — for a set to match; other
+/// lengths yield empty results) and one traversal serves them all. A
+/// one-word "phrase" is keywordSearch's job: the window then falls back to
+/// ngram_len and nothing matches.
+class PhraseSearchKernel : public TaskKernel {
+ public:
+  Task task() const override { return Task::kPhraseSearch; }
+  const char* name() const override { return "phraseSearch"; }
+  TraversalShape shape() const override { return TraversalShape::kSequence; }
+
+  uint32_t SequenceWindow(const TaskInput& input) const override {
+    const std::vector<uint32_t>* phrase = &input.query_words;
+    if (!input.query_sets.empty()) phrase = &input.query_sets.front();
+    return phrase->size() >= 2 ? static_cast<uint32_t>(phrase->size())
+                               : input.ngram_len;
+  }
+
+  void AssembleSequence(const TaskInput& input,
+                        std::vector<gpu::NgramCount> counts, AssemblyOps* ops,
+                        AnalyticsResult* out) const override {
+    auto match = [&counts](const std::vector<uint32_t>& phrase) {
+      std::map<uint32_t, uint64_t> hits;
+      for (const gpu::NgramCount& nc : counts) {
+        if (nc.words == phrase) hits[nc.file] += nc.count;
+      }
+      return PhraseSearchResult(hits.begin(), hits.end());
+    };
+    if (input.query_sets.empty()) {
+      out->phrase_search = match(input.query_words);
+      ops->ChargeUpdates(counts.size());
+    } else {
+      out->keyword_multi.clear();
+      out->keyword_multi.reserve(input.query_sets.size());
+      for (const auto& phrase : input.query_sets) {
+        out->keyword_multi.push_back(match(phrase));
+      }
+      ops->ChargeUpdates(counts.size() * input.query_sets.size());
+    }
+  }
+
+  void Canonicalize(AnalyticsResult* r) const override {
+    std::sort(r->phrase_search.begin(), r->phrase_search.end());
+    for (auto& set : r->keyword_multi) std::sort(set.begin(), set.end());
+  }
+
+  void Merge(const AnalyticsResult& doc, uint32_t file_base,
+             AnalyticsResult* acc, uint64_t* merge_ops) const override {
+    for (const auto& [f, hits] : doc.phrase_search) {
+      acc->phrase_search.emplace_back(f + file_base, hits);
+      ++*merge_ops;
+    }
+    MergeMultiQuery(doc, file_base, acc, merge_ops);
+  }
+
+  void FinalizeMerge(AnalyticsResult* acc, uint64_t* merge_ops) const override {
+    *merge_ops += acc->phrase_search.size();
+    for (const auto& set : acc->keyword_multi) *merge_ops += set.size();
+    Canonicalize(acc);
+  }
+
+  uint64_t ResultBytes(const AnalyticsResult& r,
+                       uint32_t ngram_len) const override {
+    (void)ngram_len;
+    uint64_t bytes = r.phrase_search.size() * 12;
+    for (const auto& set : r.keyword_multi) bytes += set.size() * 12;
+    return bytes;
+  }
+
+  bool Equal(const AnalyticsResult& a,
+             const AnalyticsResult& b) const override {
+    return a.phrase_search == b.phrase_search &&
+           a.keyword_multi == b.keyword_multi;
+  }
+
+  void DigestFold(const AnalyticsResult& r, uint64_t* h,
+                  size_t* entries) const override {
+    for (const auto& [f, hits] : r.phrase_search) {
+      *h = HashCombine(HashCombine(*h, f), hits);
+      ++*entries;
+    }
+    for (const auto& set : r.keyword_multi) {
+      for (const auto& [f, hits] : set) {
+        *h = HashCombine(HashCombine(*h, f), hits);
+      }
+      ++*entries;
+    }
+  }
+
+  AnalyticsResult RunUncompressed(
+      const std::vector<std::vector<uint32_t>>& files, const TaskInput& input,
+      CpuCostMeter* meter) const override {
+    AnalyticsResult out;
+    out.task = Task::kPhraseSearch;
+    const uint32_t l = SequenceWindow(input);
+    auto scan = [&](const std::vector<uint32_t>& phrase) {
+      PhraseSearchResult result;
+      if (phrase.size() != l) return result;
+      for (uint32_t f = 0; f < files.size(); ++f) {
+        const auto& file = files[f];
+        uint64_t hits = 0;
+        for (size_t i = 0; i + l <= file.size(); ++i) {
+          if (std::equal(phrase.begin(), phrase.end(), file.begin() + i)) {
+            ++hits;
+          }
+          if (meter != nullptr) meter->Charge(2);
+        }
+        if (hits > 0) result.emplace_back(f, hits);
+      }
+      return result;
+    };
+    if (input.query_sets.empty()) {
+      out.phrase_search = scan(input.query_words);
+    } else {
+      for (const auto& phrase : input.query_sets) {
+        out.keyword_multi.push_back(scan(phrase));
+      }
+    }
+    return out;
+  }
+};
+
 }  // namespace
 
 // ---------------------------------------------------------------------------
@@ -1147,6 +1347,7 @@ TaskRegistry::TaskRegistry() : impl_(new Impl) {
   add(std::make_unique<KeywordSearchKernel>());
   add(std::make_unique<TopKWordsKernel>());
   add(std::make_unique<TfIdfKernel>());
+  add(std::make_unique<PhraseSearchKernel>());
 }
 
 TaskRegistry& TaskRegistry::Instance() {

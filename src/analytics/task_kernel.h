@@ -28,8 +28,15 @@ class MemoryPool;
 /// every engine and every run.
 struct TaskInput {
   uint32_t ngram_len = 3;  ///< l of the sequence tasks
-  /// The query word-id set of selective kernels (kKeywordSearch).
+  /// The query word-id set of selective kernels (kKeywordSearch), or the
+  /// ordered phrase of kPhraseSearch. When query_sets is non-empty this
+  /// holds the flattened union of all sets (the run's accept set), built by
+  /// the engines' MakeInput.
   std::vector<uint32_t> query_words;
+  /// Multi-query sets (the engines' Options::query_sets): one relevance and
+  /// traversal pass serves every set, with per-set results delivered in
+  /// AnalyticsResult::keyword_multi.
+  std::vector<std::vector<uint32_t>> query_sets;
   /// k of bounded-selection kernels (kTopKWords).
   uint32_t top_k = 10;
 };
@@ -112,16 +119,29 @@ class CpuAssembly : public AssemblyOps {
   CpuCostMeter* meter_;
 };
 
+/// A planned region of the run's memory pool handed to the assembly stage:
+/// `slots` slots starting at `offset` in `pool`'s slab, reserved by the
+/// RunPlan so SelectTopK heaps live inside the run's single pool acquisition
+/// (no extra allocation call, no scoped pool, and the traversal regions stay
+/// untouched). slots == 0 means no lease was planned.
+struct PoolLease {
+  gpu::MemoryPool* pool = nullptr;
+  uint64_t offset = 0;
+  uint64_t slots = 0;
+};
+
 /// AssemblyOps charging the virtual GPU. Host-side reshaping of drained
 /// tables is free (it happens after the D2H drain, like the hand-written
-/// drivers it replaces); sorts run as device kernels. `pool` (optional) is
-/// the run's recycled memory pool: SelectTopK carves its heap regions from
-/// it — the traversal regions are dead by assembly time — so warm runs pay
-/// no extra allocation call; without one it falls back to a scoped pool.
+/// drivers it replaces); sorts run as device kernels. `lease` (optional) is
+/// the run's planned assembly region: SelectTopK carves its heap regions
+/// from it, so warm runs pay no extra allocation call. With a pool but an
+/// undersized lease (a custom kernel that declared no AssemblyStateSlots)
+/// it recycles the pool whole — the traversal regions are dead by assembly
+/// time — and only without any pool does it fall back to a scoped one.
 class GpuAssembly : public AssemblyOps {
  public:
-  explicit GpuAssembly(gpu::Device* device, gpu::MemoryPool* pool = nullptr)
-      : device_(device), pool_(pool) {}
+  explicit GpuAssembly(gpu::Device* device, PoolLease lease = PoolLease())
+      : device_(device), lease_(lease) {}
 
   void ChargeUpdates(uint64_t n) override;
   void ChargeSort(uint64_t n) override;
@@ -134,7 +154,7 @@ class GpuAssembly : public AssemblyOps {
 
  private:
   gpu::Device* device_;
-  gpu::MemoryPool* pool_;
+  PoolLease lease_;
 };
 
 /// \brief One analytics task as a pluggable operator.
@@ -197,6 +217,26 @@ class TaskKernel {
   virtual TraversalStrategy PreferredStrategy(const Grammar& g,
                                               const DagView& dag,
                                               const TaskInput& input) const;
+
+  /// Window length of the sequence pipeline: the l of the drained
+  /// (file, l-gram) table. Defaults to the run's ngram_len; kernels whose
+  /// window is query-derived (kPhraseSearch matches phrases of the query's
+  /// length) override it. Only consulted for kSequence shapes.
+  virtual uint32_t SequenceWindow(const TaskInput& input) const {
+    return input.ngram_len;
+  }
+
+  /// Pool slots this kernel's result assembly needs (the
+  /// AssemblyOps::SelectTopK heap regions). The planner reserves them inside
+  /// the run's single pool acquisition so assembly reuses the run's lease
+  /// instead of growing the pool or opening a scoped one. 0 (the default)
+  /// reserves nothing.
+  virtual uint64_t AssemblyStateSlots(const StateDims& dims,
+                                      const TaskInput& input) const {
+    (void)dims;
+    (void)input;
+    return 0;
+  }
 
   // --- selective-scan support ---------------------------------------------
   /// Null: the kernel consumes every word. Non-null: only the returned
@@ -262,6 +302,8 @@ class TaskKernel {
 /// probe. `selective()` gates the drivers' rule-pruning passes.
 class WordFilter {
  public:
+  /// Non-selective filter accepting everything (RunPlan default state).
+  WordFilter() = default;
   WordFilter(const TaskKernel& kernel, const TaskInput& input,
              uint32_t num_words);
 
@@ -272,6 +314,12 @@ class WordFilter {
   /// Number of distinct accepted words (vocabulary size when not selective).
   uint32_t accepted_count() const { return accepted_count_; }
 
+  /// Bitwise equality (the plan-cache determinism contract).
+  bool operator==(const WordFilter& o) const {
+    return selective_ == o.selective_ &&
+           accepted_count_ == o.accepted_count_ && bits_ == o.bits_;
+  }
+
  private:
   bool selective_ = false;
   uint32_t accepted_count_ = 0;
@@ -280,7 +328,7 @@ class WordFilter {
 
 /// \brief Process-wide task registry: one kernel per task id.
 ///
-/// Seeded with the seven built-in kernels on first use; out-of-tree kernels
+/// Seeded with the ten built-in kernels on first use; out-of-tree kernels
 /// register at runtime (see examples/custom_task.cpp) and immediately work
 /// through every engine, because the engines dispatch on shape, not task id.
 class TaskRegistry {

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "analytics/run_plan.h"
 #include "common/logging.h"
 #include "common/timer.h"
 #include "gpu/hash_table.h"
@@ -28,8 +29,17 @@ size_t UncompressedAnalytics::total_tokens() const {
 TaskInput UncompressedAnalytics::MakeInput() const {
   TaskInput input;
   input.ngram_len = ngram_len_;
-  input.query_words = query_words_;
   input.top_k = top_k_;
+  input.query_sets = query_sets_;
+  if (!input.query_sets.empty()) {
+    // One accept set serves every query: the flattened union.
+    for (const auto& set : input.query_sets) {
+      input.query_words.insert(input.query_words.end(), set.begin(),
+                               set.end());
+    }
+  } else {
+    input.query_words = query_words_;
+  }
   return input;
 }
 
@@ -88,7 +98,9 @@ Result<EngineRun> UncompressedAnalytics::RunOnDevice(Task task,
   const size_t n = stream.size();
   if (n == 0) return Status::InvalidArgument("empty input");
   const size_t chunk = 256;
-  const uint32_t l = ngram_len_;
+  // Kernel-resolved window (query-derived for phraseSearch): the same hook
+  // every compressed engine's plan consults.
+  const uint32_t l = kernel.SequenceWindow(input);
   const WordFilter filter(kernel, input, max_word + 1);
   GpuAssembly ops(device);
 
@@ -122,14 +134,14 @@ Result<EngineRun> UncompressedAnalytics::RunOnDevice(Task task,
       StateDims dims;
       dims.num_files = static_cast<uint32_t>(files_.size());
       dims.num_words = max_word + 1;
-      dims.ngram_len = ngram_len_;
+      dims.ngram_len = l;
       dims.top_k = top_k_;
       const uint64_t structural = std::min<uint64_t>(n, 1u << 26);
-      uint64_t nodes = structural;
-      const uint64_t hint = kernel.ExpectedDistinctKeys(dims, input);
-      if (hint > 0) nodes = std::min(nodes, hint);
+      // The plan layer's shared geometry: structural bound capped by the
+      // kernel's distinct-key hint.
       gpu::GpuHashTable::Options opt;
-      opt.max_nodes = static_cast<uint32_t>(nodes) + 64;
+      opt.max_nodes = static_cast<uint32_t>(PlannedTableNodes(
+          structural, kernel.ExpectedDistinctKeys(dims, input)));
       opt.num_entries = static_cast<uint32_t>(structural / 2) + 64;
       gpu::GpuHashTable table(device, opt);
       const bool ok = gpu::RoundLoop(

@@ -25,17 +25,21 @@ namespace gtadoc {
 ///
 /// `files[f]` is the word-id stream of file f. `ngram_len` is the l of the
 /// sequence tasks (paper default: 3-word sequences); `query_words` feeds
-/// selective kernels (kKeywordSearch) and `top_k` bounded-selection kernels
-/// (kTopKWords).
+/// selective kernels (kKeywordSearch, and the ordered phrase of
+/// kPhraseSearch), `top_k` bounded-selection kernels (kTopKWords), and
+/// `query_sets` the multi-query API (per-set results in
+/// AnalyticsResult::keyword_multi, superseding query_words when non-empty).
 class UncompressedAnalytics {
  public:
   explicit UncompressedAnalytics(
       const std::vector<std::vector<uint32_t>>& files, uint32_t ngram_len = 3,
-      std::vector<uint32_t> query_words = {}, uint32_t top_k = 10)
+      std::vector<uint32_t> query_words = {}, uint32_t top_k = 10,
+      std::vector<std::vector<uint32_t>> query_sets = {})
       : files_(files),
         ngram_len_(ngram_len),
         query_words_(std::move(query_words)),
-        top_k_(top_k) {}
+        top_k_(top_k),
+        query_sets_(std::move(query_sets)) {}
 
   /// Single-threaded reference run (the kernel's uncompressed loop); charges
   /// ops into `meter` when non-null.
@@ -58,6 +62,7 @@ class UncompressedAnalytics {
   uint32_t ngram_len_;
   std::vector<uint32_t> query_words_;
   uint32_t top_k_;
+  std::vector<std::vector<uint32_t>> query_sets_;
 };
 
 }  // namespace gtadoc

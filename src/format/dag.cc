@@ -110,8 +110,8 @@ Result<DagStats> ComputeDagStats(const Grammar& g) {
     s.num_edges += v.children(r).size();
     s.total_body_symbols += v.body_size(r);
   }
-  s.avg_body_length =
-      static_cast<double>(s.total_body_symbols) / static_cast<double>(s.num_rules);
+  s.avg_body_length = static_cast<double>(s.total_body_symbols) /
+                      static_cast<double>(s.num_rules);
 
   // Expanded token counts per rule, children before parents (reverse topo).
   std::vector<uint64_t> expanded(v.num_rules(), 0);
@@ -131,6 +131,24 @@ Result<DagStats> ComputeDagStats(const Grammar& g) {
                        : static_cast<double>(s.expanded_tokens) /
                              static_cast<double>(s.total_body_symbols);
   return s;
+}
+
+Status ComputeRuleBlooms(Grammar* g) {
+  auto view = DagView::Build(*g);
+  if (!view.ok()) return view.status();
+  const DagView& v = *view;
+  g->rule_blooms.assign(v.num_rules(), 0);
+  const std::vector<uint32_t>& order = v.topo_order();
+  for (auto it = order.rbegin(); it != order.rend(); ++it) {
+    const uint32_t r = *it;
+    uint64_t bloom = 0;
+    for (const RuleWordEntry& w : v.words(r)) bloom |= WordBloomMask(w.word);
+    for (const RuleChildEntry& e : v.children(r)) {
+      bloom |= g->rule_blooms[e.child];
+    }
+    g->rule_blooms[r] = bloom;
+  }
+  return Status::OK();
 }
 
 }  // namespace gtadoc

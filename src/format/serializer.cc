@@ -7,21 +7,32 @@ namespace gtadoc {
 
 namespace {
 constexpr char kMagic[4] = {'G', 'T', 'D', 'C'};
+/// v1: header + dictionary + rules. v2 adds the optional per-rule subtree
+/// Bloom section (kFlagRuleBlooms) between the dictionary and the rules.
+/// A grammar without Blooms serializes as v1 byte-for-byte, so old readers
+/// keep working whenever the new section is absent.
 constexpr uint8_t kVersion = 1;
+constexpr uint8_t kVersionBlooms = 2;
 constexpr uint8_t kFlagDictionary = 0x01;
+constexpr uint8_t kFlagRuleBlooms = 0x02;
 }  // namespace
 
-std::string SerializeGrammar(const Grammar& g, bool include_dictionary) {
+std::string SerializeGrammar(const Grammar& g, bool include_dictionary,
+                             bool include_blooms) {
   BinaryWriter w;
   w.PutRaw(kMagic, sizeof(kMagic));
-  w.PutU8(kVersion);
   const bool dict = include_dictionary && g.words.size() == g.num_words;
-  w.PutU8(dict ? kFlagDictionary : 0);
+  const bool blooms = include_blooms && g.has_rule_blooms();
+  w.PutU8(blooms ? kVersionBlooms : kVersion);
+  w.PutU8((dict ? kFlagDictionary : 0) | (blooms ? kFlagRuleBlooms : 0));
   w.PutVarint32(g.num_words);
   w.PutVarint32(g.num_splitters);
   w.PutVarint64(g.rules.size());
   if (dict) {
     for (const std::string& word : g.words) w.PutLengthPrefixed(word);
+  }
+  if (blooms) {
+    for (uint64_t bloom : g.rule_blooms) w.PutU64(bloom);
   }
   for (const auto& body : g.rules) {
     w.PutVarint32(static_cast<uint32_t>(body.size()));
@@ -57,11 +68,15 @@ Result<Grammar> ParseGrammar(Slice data) {
   }
   auto version = r.GetU8();
   if (!version.ok()) return version.status();
-  if (*version != kVersion) {
-    return Status::Corruption("unsupported version " + std::to_string(*version));
+  if (*version != kVersion && *version != kVersionBlooms) {
+    return Status::Corruption("unsupported version " +
+                              std::to_string(*version));
   }
   auto flags = r.GetU8();
   if (!flags.ok()) return flags.status();
+  if (*version == kVersion && (*flags & kFlagRuleBlooms) != 0) {
+    return Status::Corruption("v1 container cannot carry rule Blooms");
+  }
 
   Grammar g;
   GTADOC_ASSIGN_OR_RETURN(g.num_words, r.GetVarint32());
@@ -69,7 +84,15 @@ Result<Grammar> ParseGrammar(Slice data) {
   uint64_t num_rules;
   GTADOC_ASSIGN_OR_RETURN(num_rules, r.GetVarint64());
   if (num_rules == 0) return Status::Corruption("grammar has no rules");
-  if (num_rules > (1ull << 32)) return Status::Corruption("rule count too large");
+  if (num_rules > (1ull << 32)) {
+    return Status::Corruption("rule count too large");
+  }
+  // Every rule costs at least one body-length byte, so a fabricated count
+  // larger than the remaining input is rejected before any allocation sized
+  // from it (a crafted header must not force a multi-GiB reserve).
+  if (num_rules > r.remaining()) {
+    return Status::Corruption("rule count exceeds input size");
+  }
 
   if (*flags & kFlagDictionary) {
     g.words.reserve(g.num_words);
@@ -77,6 +100,18 @@ Result<Grammar> ParseGrammar(Slice data) {
       auto word = r.GetLengthPrefixed();
       if (!word.ok()) return word.status();
       g.words.push_back(word->ToString());
+    }
+  }
+
+  if (*flags & kFlagRuleBlooms) {
+    if (num_rules * 8 > r.remaining()) {
+      return Status::Corruption("rule Bloom section truncated");
+    }
+    g.rule_blooms.reserve(num_rules);
+    for (uint64_t i = 0; i < num_rules; ++i) {
+      auto bloom = r.GetU64();
+      if (!bloom.ok()) return bloom.status();
+      g.rule_blooms.push_back(*bloom);
     }
   }
 
@@ -91,7 +126,9 @@ Result<Grammar> ParseGrammar(Slice data) {
     for (uint32_t j = 0; j < len; ++j) {
       uint32_t sym;
       GTADOC_ASSIGN_OR_RETURN(sym, r.GetVarint32());
-      if (sym >= max_symbol) return Status::Corruption("symbol id out of range");
+      if (sym >= max_symbol) {
+        return Status::Corruption("symbol id out of range");
+      }
       g.rules[i].push_back(sym);
     }
   }

@@ -9,23 +9,31 @@
 
 namespace gtadoc {
 
-/// \brief Binary TADOC container: header, optional dictionary, varint-encoded
-/// rule bodies, trailing FNV-1a checksum.
+/// \brief Binary TADOC container: header, optional dictionary, optional
+/// per-rule subtree Bloom filters, varint-encoded rule bodies, trailing
+/// FNV-1a checksum.
 ///
 /// Layout:
 ///   magic  "GTDC"            (4 bytes)
-///   version u8               (currently 1)
-///   flags   u8               (bit 0: dictionary present)
+///   version u8               (1, or 2 when rule Blooms are present)
+///   flags   u8               (bit 0: dictionary, bit 1: rule Blooms)
 ///   num_words     varint32
 ///   num_splitters varint32
 ///   num_rules     varint64
 ///   [dictionary: num_words length-prefixed strings]
+///   [rule Blooms: num_rules u64 filters — v2 only]
 ///   per rule: varint32 body length, then that many varint32 symbol ids
 ///   checksum u64 (FNV-1a of all preceding bytes)
 ///
+/// Backward compatibility: a grammar without Blooms (or with
+/// include_blooms = false) serializes as a v1 container byte-for-byte, and
+/// ParseGrammar reads both versions — v1 files simply load with empty
+/// rule_blooms, and relevance planning falls back to a traversal.
+///
 /// ParseGrammar verifies the magic, version, checksum and every id range, and
 /// returns Corruption on any mismatch — it never crashes on malformed input.
-std::string SerializeGrammar(const Grammar& g, bool include_dictionary = true);
+std::string SerializeGrammar(const Grammar& g, bool include_dictionary = true,
+                             bool include_blooms = true);
 
 Result<Grammar> ParseGrammar(Slice data);
 

@@ -19,73 +19,37 @@ uint64_t PackPair(uint32_t hi, uint32_t lo) {
 }  // namespace
 
 // ---------------------------------------------------------------------------
-// Shared Algorithm 2 machinery for both bottom-up drivers: per-rule content
-// bounds (restricted to accepted words for selective kernels), pool regions
-// shaped by the kernel's bottom-up StateLayout, and the leaves-to-root merge
-// rounds driving the layout's Init/Absorb/Merge hooks. The two drivers
-// differ only in the reduce step, exactly as in the paper.
+// Shared Algorithm 2 machinery for both bottom-up executors: the per-rule
+// content bounds were computed at plan time (the genLocTblBound pass, cached
+// with the plan), the pool regions sit at the plan's resolved offsets, and
+// the leaves-to-root merge rounds drive the layout's Init/Absorb/Merge
+// hooks. The two executors differ only in the reduce step, exactly as in
+// the paper.
 // ---------------------------------------------------------------------------
 
 Status GTadocEngine::BuildRuleStates(const TaskKernel& kernel,
-                                     const WordFilter& filter,
-                                     BottomUpStates* out) {
-  const uint32_t n = dev_.num_rules;
+                                     const RunPlan& plan,
+                                     const PlannedLease& lease,
+                                     uint32_t* rounds) {
   const StateLayout& layout = kernel.Layout(TraversalStrategy::kBottomUp);
-  const StateDims dims = MakeDims(filter);
-
-  // genLocTblBoundKernel: bound[r] = own distinct (accepted) words + sum of
-  // children's bounds, clamped by the accepted vocabulary (Algorithm 2
-  // lines 5-9) — the init-traversal memory-requirement transmission the
-  // layout turns into region sizes.
-  out->bound.assign(n, 0);
-  std::vector<uint64_t>& bound = out->bound;
-  const uint64_t vocab_clamp =
-      filter.selective() ? filter.accepted_count() : dev_.num_words;
-  internal::BottomUpRounds(
-      device_, dev_, "genLocTblBound", [&](uint32_t r, gpu::ThreadCtx& ctx) {
-        uint64_t b;
-        if (filter.selective()) {
-          b = 0;
-          for (uint32_t e = dev_.word_off[r]; e < dev_.word_off[r + 1]; ++e) {
-            ctx.Charge(1);
-            if (filter.Accepts(dev_.word_id[e])) ++b;
-          }
-        } else {
-          b = dev_.word_off[r + 1] - dev_.word_off[r];
-        }
-        for (uint32_t e = dev_.child_off[r]; e < dev_.child_off[r + 1]; ++e) {
-          b += bound[dev_.child_id[e]];
-          ctx.Charge(1);
-        }
-        bound[r] = std::min<uint64_t>(std::max<uint64_t>(vocab_clamp, 1), b);
-      });
-
-  // Allocate rules.locTbl regions from the pool (line 10). The root needs no
-  // state.
-  std::vector<uint64_t> sizes(n, 0);
-  for (uint32_t r = 1; r < n; ++r) {
-    sizes[r] = layout.SlotsForBound(dims, bound[r]);
-  }
-  auto states = CarveStates(layout, std::move(sizes));
-  if (!states.ok()) return states.status();
-  out->states = std::move(*states);
+  const WordFilter& filter = plan.filter;
 
   // genLocTblKernel: init the rule's state, absorb its own (accepted) words,
   // then fold in the children's states (lines 12-16). Children of a
   // selective kernel carry only accepted words, so the merge is already
-  // pruned.
-  out->rounds = internal::BottomUpRounds(
+  // pruned. The root needs no state.
+  *rounds = internal::BottomUpRounds(
       device_, dev_, "genLocTbl", [&](uint32_t r, gpu::ThreadCtx& ctx) {
         if (r == 0) return;  // root is handled by the reduce kernel
         GpuStateOps ops(&ctx);
-        const StateView state = out->states.at(r);
+        const StateView state = lease.state_at(r);
         layout.Init(state, ops);
         for (uint32_t e = dev_.word_off[r]; e < dev_.word_off[r + 1]; ++e) {
           if (!filter.Accepts(dev_.word_id[e])) continue;
           layout.Absorb(state, dev_.word_id[e], dev_.word_freq[e], ops);
         }
         for (uint32_t e = dev_.child_off[r]; e < dev_.child_off[r + 1]; ++e) {
-          layout.Merge(state, out->states.at(dev_.child_id[e]),
+          layout.Merge(state, lease.state_at(dev_.child_id[e]),
                        dev_.child_freq[e], ops);
         }
       });
@@ -94,27 +58,27 @@ Status GTadocEngine::BuildRuleStates(const TaskKernel& kernel,
 
 // ---------------------------------------------------------------------------
 // kGlobalWeight, Algorithm 2: local state flows leaves -> root, then the
-// level-2 reduce. Task-agnostic: the kernel's filter restricts the state,
-// the kernel assembles the drained global table.
+// level-2 reduce. Task-agnostic: the plan's filter restricts the state, the
+// kernel assembles the drained global table.
 // ---------------------------------------------------------------------------
 
 Status GTadocEngine::GlobalBottomUp(const TaskKernel& kernel,
+                                    const RunPlan& plan,
                                     AnalyticsResult* out) {
   const TaskInput input = MakeInput();
-  const WordFilter filter(kernel, input, dev_.num_words);
+  const WordFilter& filter = plan.filter;
   const StateLayout& layout = kernel.Layout(TraversalStrategy::kBottomUp);
   const uint32_t n = dev_.num_rules;
 
-  BottomUpStates bu;
-  Status st = BuildRuleStates(kernel, filter, &bu);
+  const PlannedLease lease = AcquirePlanned(plan);
+  Status st = BuildRuleStates(kernel, plan, lease, &last_rounds_);
   if (!st.ok()) return st;
-  last_rounds_ = bu.rounds;
 
   // reduceResultKernel: root words + level-2 states scaled by root frequency
   // into the global table; one logical thread per level-2 node plus chunked
   // threads for the root's own words.
   gpu::GpuHashTable global(device_,
-                           WordTableOptions(kernel, input, dev_.word_off[n]));
+                           WordTableOptions(plan, dev_.word_off[n]));
 
   // Level-2 merges. Retry items must be idempotent, so the unit of work is a
   // single readable state slot (at most one global insert each), not a whole
@@ -128,10 +92,10 @@ Status GTadocEngine::GlobalBottomUp(const TaskKernel& kernel,
   std::vector<SlotItem> slot_items;
   for (uint32_t e = dev_.child_off[0]; e < dev_.child_off[1]; ++e) {
     const uint32_t c = dev_.child_id[e];
-    if (filter.selective() && layout.EntryCount(bu.states.at(c)) == 0) {
+    if (filter.selective() && layout.EntryCount(lease.state_at(c)) == 0) {
       continue;
     }
-    const uint64_t slots = layout.ReadableSlots(bu.states.at(c));
+    const uint64_t slots = layout.ReadableSlots(lease.state_at(c));
     for (uint64_t s = 0; s < slots; ++s) {
       slot_items.push_back(SlotItem{c, dev_.child_freq[e],
                                     static_cast<uint32_t>(s)});
@@ -144,7 +108,8 @@ Status GTadocEngine::GlobalBottomUp(const TaskKernel& kernel,
         ctx.Charge(1);
         uint32_t word;
         uint64_t cnt;
-        if (!layout.ReadSlot(bu.states.at(it.child), it.slot, &word, &cnt)) {
+        if (!layout.ReadSlot(lease.state_at(it.child), it.slot, &word,
+                             &cnt)) {
           return gpu::InsertOutcome::kDone;
         }
         return global.AddOrInsert(ctx, word, cnt * it.freq);
@@ -163,7 +128,7 @@ Status GTadocEngine::GlobalBottomUp(const TaskKernel& kernel,
 
   std::vector<std::pair<uint32_t, uint64_t>> counts;
   DrainWordTable(global, &counts);
-  GpuAssembly ops(device_, bu.states.lease.pool);
+  GpuAssembly ops(device_, lease.assembly());
   kernel.AssembleGlobal(input, counts, &ops, out);
   return Status::OK();
 }
@@ -174,25 +139,25 @@ Status GTadocEngine::GlobalBottomUp(const TaskKernel& kernel,
 // ---------------------------------------------------------------------------
 
 Status GTadocEngine::FileTaskBottomUp(const TaskKernel& kernel,
+                                      const RunPlan& plan,
                                       AnalyticsResult* out) {
   const TaskInput input = MakeInput();
-  const WordFilter filter(kernel, input, dev_.num_words);
+  const WordFilter& filter = plan.filter;
   const StateLayout& layout = kernel.Layout(TraversalStrategy::kBottomUp);
   const uint32_t num_files = dev_.num_files;
 
-  BottomUpStates bu;
-  Status st = BuildRuleStates(kernel, filter, &bu);
+  const PlannedLease lease = AcquirePlanned(plan);
+  Status st = BuildRuleStates(kernel, plan, lease, &last_rounds_);
   if (!st.ok()) return st;
-  last_rounds_ = bu.rounds;
 
   // Reduce: the root scan walks every root position; a level-2 occurrence
   // merges its state into the occurrence's file, root words insert directly.
   uint64_t estimate = dev_.body_off[1];
   for (uint32_t e = dev_.child_off[0]; e < dev_.child_off[0 + 1]; ++e) {
     estimate += static_cast<uint64_t>(dev_.child_freq[e]) *
-                std::max<uint64_t>(1, bu.bound[dev_.child_id[e]]);
+                std::max<uint64_t>(1, plan.bound[dev_.child_id[e]]);
   }
-  gpu::GpuHashTable global(device_, WordTableOptions(kernel, input, estimate));
+  gpu::GpuHashTable global(device_, WordTableOptions(plan, estimate));
 
   // Work items are single layout read units so retries stay idempotent: one
   // item per (accepted) root word position, plus one item per (level-2
@@ -212,10 +177,10 @@ Status GTadocEngine::FileTaskBottomUp(const TaskKernel& kernel,
       scan_items.push_back(ScanItem{p, UINT32_MAX, 0});
     } else if (sym >= dev_.num_words + (dev_.num_files - 1)) {
       const uint32_t c = sym - (dev_.num_words + dev_.num_files - 1);
-      if (filter.selective() && layout.EntryCount(bu.states.at(c)) == 0) {
+      if (filter.selective() && layout.EntryCount(lease.state_at(c)) == 0) {
         continue;
       }
-      const uint64_t slots = layout.ReadableSlots(bu.states.at(c));
+      const uint64_t slots = layout.ReadableSlots(lease.state_at(c));
       for (uint64_t s = 0; s < slots; ++s) {
         scan_items.push_back(ScanItem{p, c, static_cast<uint32_t>(s)});
       }
@@ -233,7 +198,8 @@ Status GTadocEngine::FileTaskBottomUp(const TaskKernel& kernel,
         }
         uint32_t word;
         uint64_t cnt;
-        if (!layout.ReadSlot(bu.states.at(it.child), it.slot, &word, &cnt)) {
+        if (!layout.ReadSlot(lease.state_at(it.child), it.slot, &word,
+                             &cnt)) {
           return gpu::InsertOutcome::kDone;
         }
         return global.AddOrInsert(ctx, PackPair(file, word), cnt);
@@ -250,7 +216,7 @@ Status GTadocEngine::FileTaskBottomUp(const TaskKernel& kernel,
                                     static_cast<uint32_t>(key & 0xffffffffu),
                                     c});
   }
-  GpuAssembly ops(device_, bu.states.lease.pool);
+  GpuAssembly ops(device_, lease.assembly());
   kernel.AssembleFileWord(input, num_files, triples, &ops, out);
   return Status::OK();
 }

@@ -25,6 +25,7 @@ Result<std::unique_ptr<GTadocEngine>> GTadocEngine::Create(
   if (!dag.ok()) return dag.status();
   std::unique_ptr<GTadocEngine> engine(
       new GTadocEngine(g, std::move(*dag), options));
+  engine->grammar_fp_ = GrammarFingerprint(*g);
   if (options.shared_device != nullptr) {
     engine->device_ = options.shared_device;
   } else {
@@ -34,6 +35,12 @@ Result<std::unique_ptr<GTadocEngine>> GTadocEngine::Create(
   }
   if (options.shared_pool == nullptr) {
     engine->owned_pool_ = std::make_unique<gpu::MemoryPool>(engine->device_);
+  }
+  if (options.plan_cache != nullptr) {
+    engine->plan_cache_ = options.plan_cache;
+  } else {
+    engine->owned_plan_cache_ = std::make_shared<PlanCache>();
+    engine->plan_cache_ = engine->owned_plan_cache_.get();
   }
   engine->device_->ResetClock();
   const gpu::DeviceStats before = engine->device_->stats();
@@ -48,6 +55,7 @@ Status GTadocEngine::Rebind(const Grammar* g) {
   if (!dag.ok()) return dag.status();
   g_ = g;
   dag_ = std::move(*dag);
+  grammar_fp_ = GrammarFingerprint(*g);
   device_->ResetClock();
   const gpu::DeviceStats before = device_->stats();
   dev_.Rebind(*g, dag_, device_, options_.charge_pcie);
@@ -71,212 +79,99 @@ TraversalStrategy GTadocEngine::ChosenStrategy(Task task) const {
 TaskInput GTadocEngine::MakeInput() const {
   TaskInput input;
   input.ngram_len = options_.ngram_len;
-  input.query_words = options_.query_words;
   input.top_k = options_.top_k;
+  input.query_sets = options_.query_sets;
+  if (!input.query_sets.empty()) {
+    // One accept set serves every query: the flattened union.
+    for (const auto& set : input.query_sets) {
+      input.query_words.insert(input.query_words.end(), set.begin(),
+                               set.end());
+    }
+  } else {
+    input.query_words = options_.query_words;
+  }
   return input;
 }
 
-StateDims GTadocEngine::MakeDims() const {
-  StateDims dims;
-  dims.num_rules = dev_.num_rules;
-  dims.num_files = dev_.num_files;
-  dims.num_words = dev_.num_words;
-  dims.ngram_len = options_.ngram_len;
-  dims.top_k = options_.top_k;
-  return dims;
+PlanShape GTadocEngine::MakeShape() const {
+  PlanShape shape;
+  shape.input = MakeInput();
+  shape.scheduling = static_cast<int>(options_.scheduling);
+  shape.vertical_partition =
+      options_.scheduling == SchedulingMode::kVerticalPartition;
+  shape.lock_mode = static_cast<int>(options_.lock_mode);
+  shape.split_threshold = options_.split_threshold;
+  return shape;
 }
 
-StateDims GTadocEngine::MakeDims(const WordFilter& filter) const {
-  StateDims dims = MakeDims();
-  if (filter.selective()) dims.num_words = filter.accepted_count();
-  return dims;
-}
-
-gpu::GpuHashTable::Options GTadocEngine::WordTableOptions(
-    const TaskKernel& kernel, const TaskInput& input,
-    uint64_t structural_bound) const {
-  const StateDims dims = MakeDims();
-  uint64_t nodes = structural_bound;
-  const uint64_t hint = kernel.ExpectedDistinctKeys(dims, input);
-  if (hint > 0) nodes = std::min(nodes, hint);
-  gpu::GpuHashTable::Options topt;
-  // The hint caps the node pool (the memory win); the bucket count keeps the
-  // structural bound so chains — and try-lock contention per bucket — stay
-  // as short as under generic sizing.
-  topt.max_nodes =
-      static_cast<uint32_t>(std::min<uint64_t>(nodes + 64, 1ull << 28));
-  topt.num_entries = static_cast<uint32_t>(
-      std::min<uint64_t>(structural_bound + 64, 1ull << 28) / 2 + 64);
-  topt.lock_mode = options_.lock_mode;
-  return topt;
-}
-
-Result<GTadocEngine::RuleStates> GTadocEngine::CarveStates(
-    const StateLayout& layout, std::vector<uint64_t> sizes) {
-  uint64_t total = 0;
-  const uint64_t align = layout.AlignSlots();
-  for (uint64_t s : sizes) total += s + (align > 1 ? align - 1 : 0);
-  RuleStates states;
-  states.lease = AcquirePool(total + 1);
-  auto offsets = states.lease.pool->PlanRegions(sizes, align);
-  if (!offsets.ok()) return offsets.status();
-  states.offsets = std::move(*offsets);
-  states.sizes = std::move(sizes);
-  return states;
-}
-
-Result<EngineRun> GTadocEngine::Run(Task task,
-                                    TraversalStrategy strategy_override) {
-  auto kernel_lookup = TaskRegistry::Get(task);
-  if (!kernel_lookup.ok()) return kernel_lookup.status();
-  const TaskKernel& kernel = **kernel_lookup;
-
-  TraversalStrategy strategy = strategy_override != TraversalStrategy::kAuto
-                                   ? strategy_override
-                                   : ChosenStrategy(task);
-  EngineRun run;
-  run.result.task = task;
-  Timer wall;
-  device_->ResetClock();
-  const uint64_t ops_before = device_->stats().total_ops;
-  const uint64_t allocs_before = device_->stats().device_allocs;
-
-  Status st;
-  double phase1_extra = 0;  // shape-specific init (e.g. head/tail rounds)
-  switch (kernel.shape()) {
-    case TraversalShape::kGlobalWeight:
-      if (options_.scheduling == SchedulingMode::kVerticalPartition) {
-        st = GlobalVerticalPartition(kernel, &run.result);
-      } else if (strategy == TraversalStrategy::kBottomUp) {
-        st = GlobalBottomUp(kernel, &run.result);
-      } else {
-        st = GlobalTopDown(kernel, &run.result);
-      }
-      break;
-    case TraversalShape::kPerFileWeight:
-      st = strategy == TraversalStrategy::kBottomUp
-               ? FileTaskBottomUp(kernel, &run.result)
-               : FileTaskTopDown(kernel, &run.result);
-      break;
-    case TraversalShape::kSequence:
-      st = SequenceTask(kernel, &run.result, &phase1_extra);
-      break;
+PlanKey GTadocEngine::MakePlanKey(Task task,
+                                  TraversalStrategy* strategy_override,
+                                  const PlanShape& shape) const {
+  if (*strategy_override == TraversalStrategy::kAuto) {
+    *strategy_override = options_.strategy;
   }
-  if (!st.ok()) return st;
-
-  Canonicalize(&run.result);
-  const double sim = device_->SimSeconds();
-  // Mid-run allocation calls (pools, per-run tables) belong to the paper's
-  // phase 1 ("pool planning"), not to graph traversal.
-  const double alloc_seconds =
-      device_->AllocSeconds(device_->stats().device_allocs - allocs_before);
-  run.timing.init_seconds = create_seconds_ + phase1_extra + alloc_seconds;
-  run.timing.traversal_seconds = sim - phase1_extra - alloc_seconds;
-  run.timing.upload_seconds = upload_seconds_;
-  run.timing.wall_seconds = wall.ElapsedSeconds();
-  run.timing.init_ops = create_ops_;
-  run.timing.traversal_ops = device_->stats().total_ops - ops_before;
-  return run;
+  PlanKey key;
+  key.backend = kGpuPlanBackend;
+  key.grammar_fp = grammar_fp_;
+  key.task = static_cast<int>(task);
+  key.strategy_override = static_cast<int>(*strategy_override);
+  key.shape_fp = shape.Fingerprint();
+  return key;
 }
 
-GTadocEngine::PoolHandle GTadocEngine::AcquirePool(uint64_t slots) {
-  PoolHandle h;
-  gpu::MemoryPool* pool = options_.shared_pool != nullptr
-                              ? options_.shared_pool
-                              : owned_pool_.get();
-  // A grown slab arrives zeroed; only a kept slab needs the scrub.
-  if (!pool->EnsureCapacity(slots)) pool->ResetForReuse();
-  h.pool = pool;
-  return h;
-}
+// ---------------------------------------------------------------------------
+// Planning: the engine's charged passes + the cache-fronted resolution.
+// ---------------------------------------------------------------------------
 
-uint32_t GTadocEngine::ComputeGlobalWeights(const TaskKernel& kernel,
-                                            std::vector<uint64_t>* weights) {
-  const uint32_t n = dev_.num_rules;
-  weights->assign(n, 0);
-  std::vector<uint64_t>& weight = *weights;
+struct GTadocEngine::GpuPlanner : public Planner {
+  explicit GpuPlanner(GTadocEngine* e) : engine(e) {}
+  GTadocEngine* engine;
 
-  // The per-rule weight state lives in pool regions described by the
-  // kernel's top-down layout (a scalar for the built-ins; custom kernels may
-  // carry e.g. saturating counters through the same rounds).
-  const StateLayout& layout = kernel.Layout(TraversalStrategy::kTopDown);
-  std::vector<uint64_t> sizes(n, layout.SlotsForBound(MakeDims(), 1));
-  auto states = CarveStates(layout, std::move(sizes));
-  GTADOC_CHECK(states.ok());  // the pool was sized for exactly these regions
-
-  std::vector<std::atomic<uint32_t>> cur_in(n);
-  std::vector<uint8_t> mask(n, 0);
-  std::vector<std::atomic<uint8_t>> mask_next(n);
-
-  // initTopDownMaskKernel: weights seeded with root frequencies; rules whose
-  // only parent is the root start the traversal (Algorithm 1 lines 2, 9-11).
-  device_->Launch("initTopDownMask", n, [&](gpu::ThreadCtx& ctx) {
-    const uint32_t r = ctx.tid();
-    ctx.Charge(2);
-    if (r == 0) return;
-    GpuStateOps ops(&ctx);
-    layout.Init(states->at(r), ops);
-    if (dev_.root_freq[r] != 0) {
-      layout.Absorb(states->at(r), 0, dev_.root_freq[r], ops);
-    }
-    if (dev_.in_edges_nonroot[r] == 0) mask[r] = 1;
-  });
-
-  // topDownKernel rounds (Algorithm 1 lines 3-7): a ready rule folds its
-  // state into every child, scaled by the edge frequency.
-  uint32_t rounds = 0;
-  std::atomic<bool> stop{false};
-  while (!stop.load(std::memory_order_relaxed)) {
-    stop.store(true, std::memory_order_relaxed);
-    ++rounds;
-    device_->Launch("topDown", n, [&](gpu::ThreadCtx& ctx) {
-      const uint32_t r = ctx.tid();
-      ctx.Charge(1);
-      if (r == 0 || !mask[r]) return;
-      GpuStateOps ops(&ctx);
-      for (uint32_t e = dev_.child_off[r]; e < dev_.child_off[r + 1]; ++e) {
-        const uint32_t c = dev_.child_id[e];
-        layout.Merge(states->at(c), states->at(r), dev_.child_freq[e], ops);
-        const uint32_t got =
-            cur_in[c].fetch_add(1, std::memory_order_relaxed) + 1;
-        ctx.ChargeAtomic(1);
-        if (got == dev_.in_edges_nonroot[c]) {
-          mask_next[c].store(1, std::memory_order_relaxed);
-          stop.store(false, std::memory_order_relaxed);
-        }
-      }
-    });
-    // Swap masks: rules that just finished never rerun; newly-ready rules run
-    // in the next round (rule.mask <- false, subRule.mask <- true).
-    // Double-buffered masks: the production kernels read the mask through a
-    // pointer the host swaps between rounds, so this costs no device work.
-    for (uint32_t r = 0; r < n; ++r) {
-      mask[r] = mask_next[r].exchange(0, std::memory_order_relaxed);
-    }
+ protected:
+  std::vector<uint8_t> RelevanceTraversal(const WordFilter& filter) override {
+    return engine->RelevancePass(filter);
   }
-
-  weight[0] = 1;
-  for (uint32_t r = 1; r < n; ++r) {
-    uint32_t key;
-    uint64_t value;
-    weight[r] =
-        layout.ReadSlot(states->at(r), 0, &key, &value) ? value : 0;
+  std::vector<uint64_t> BoundsTraversal(const WordFilter& filter,
+                                        uint64_t vocab_clamp) override {
+    return engine->BoundsPass(filter, vocab_clamp);
   }
-  return rounds;
+  std::vector<uint64_t> ExpansionPass() override {
+    return engine->ExpansionLengths();
+  }
+  void ChargeFlat(const char* what, uint64_t items,
+                  uint64_t ops_per_item) override {
+    engine->device_->Launch(
+        what, static_cast<uint32_t>(std::max<uint64_t>(1, items)),
+        [ops_per_item](gpu::ThreadCtx& ctx) { ctx.Charge(ops_per_item); });
+  }
+};
+
+Result<std::shared_ptr<const RunPlan>> GTadocEngine::ResolvePlan(
+    const TaskKernel& kernel, TraversalStrategy strategy_override,
+    bool* cache_hit) {
+  const PlanShape shape = MakeShape();
+  const PlanKey key = MakePlanKey(kernel.task(), &strategy_override, shape);
+  std::shared_ptr<const RunPlan> plan = plan_cache_->Get(key);
+  if (plan != nullptr) {
+    *cache_hit = true;
+    return plan;
+  }
+  *cache_hit = false;
+  GpuPlanner planner(this);
+  auto built = planner.BuildPlan(kernel, *g_, dag_, shape, strategy_override,
+                                 key);
+  if (!built.ok()) return built.status();
+  plan_cache_->Put(*built);
+  return *built;
 }
 
-void GTadocEngine::DrainWordTable(
-    const gpu::GpuHashTable& table,
-    std::vector<std::pair<uint32_t, uint64_t>>* counts) {
-  auto pairs = table.Drain();
-  if (options_.charge_pcie) device_->CopyDeviceToHost(pairs.size() * 16);
-  counts->reserve(pairs.size());
-  for (const auto& [w, c] : pairs) {
-    counts->emplace_back(static_cast<uint32_t>(w), c);
-  }
+std::shared_ptr<const RunPlan> GTadocEngine::CachedPlan(
+    Task task, TraversalStrategy strategy_override) const {
+  const PlanShape shape = MakeShape();
+  return plan_cache_->Peek(MakePlanKey(task, &strategy_override, shape));
 }
 
-std::vector<uint8_t> GTadocEngine::ComputeRelevance(const WordFilter& filter) {
+std::vector<uint8_t> GTadocEngine::RelevancePass(const WordFilter& filter) {
   const uint32_t n = dev_.num_rules;
   if (!filter.selective()) return std::vector<uint8_t>(n, 1);
   // genQueryReachKernel: bottom-up reachability of accepted words — the
@@ -307,6 +202,237 @@ std::vector<uint8_t> GTadocEngine::ComputeRelevance(const WordFilter& filter) {
         relevant[r] = rel;
       });
   return relevant;
+}
+
+std::vector<uint64_t> GTadocEngine::BoundsPass(const WordFilter& filter,
+                                               uint64_t vocab_clamp) {
+  // genLocTblBoundKernel: bound[r] = own distinct (accepted) words + sum of
+  // children's bounds, clamped by the accepted vocabulary (Algorithm 2
+  // lines 5-9) — the init-traversal memory-requirement transmission the
+  // plan turns into resolved region offsets.
+  const uint32_t n = dev_.num_rules;
+  std::vector<uint64_t> bound(n, 0);
+  internal::BottomUpRounds(
+      device_, dev_, "genLocTblBound", [&](uint32_t r, gpu::ThreadCtx& ctx) {
+        uint64_t b;
+        if (filter.selective()) {
+          b = 0;
+          for (uint32_t e = dev_.word_off[r]; e < dev_.word_off[r + 1]; ++e) {
+            ctx.Charge(1);
+            if (filter.Accepts(dev_.word_id[e])) ++b;
+          }
+        } else {
+          b = dev_.word_off[r + 1] - dev_.word_off[r];
+        }
+        for (uint32_t e = dev_.child_off[r]; e < dev_.child_off[r + 1]; ++e) {
+          b += bound[dev_.child_id[e]];
+          ctx.Charge(1);
+        }
+        bound[r] = std::min<uint64_t>(std::max<uint64_t>(vocab_clamp, 1), b);
+      });
+  return bound;
+}
+
+std::vector<uint64_t> GTadocEngine::ExpansionLengths() {
+  // expLenKernel: per-rule expansion lengths, leaves to root — the sequence
+  // pipeline's sizing pass, cached with the plan so same-shape rebind runs
+  // skip it.
+  const uint32_t n = dev_.num_rules;
+  std::vector<uint64_t> exp_len(n, 0);
+  internal::BottomUpRounds(
+      device_, dev_, "expLen", [&](uint32_t r, gpu::ThreadCtx& ctx) {
+        uint64_t total = 0;
+        for (uint32_t e = dev_.word_off[r]; e < dev_.word_off[r + 1]; ++e) {
+          total += dev_.word_freq[e];
+          ctx.Charge(1);
+        }
+        for (uint32_t e = dev_.child_off[r]; e < dev_.child_off[r + 1]; ++e) {
+          total += exp_len[dev_.child_id[e]] * dev_.child_freq[e];
+          ctx.Charge(1);
+        }
+        exp_len[r] = std::min<uint64_t>(total, 1ull << 62);
+      });
+  return exp_len;
+}
+
+// ---------------------------------------------------------------------------
+// Execution.
+// ---------------------------------------------------------------------------
+
+gpu::GpuHashTable::Options GTadocEngine::WordTableOptions(
+    const RunPlan& plan, uint64_t structural_bound) const {
+  gpu::GpuHashTable::Options topt;
+  // The plan's hint caps the node pool (the memory win); the bucket count
+  // keeps the structural bound so chains — and try-lock contention per
+  // bucket — stay as short as under generic sizing.
+  topt.max_nodes = static_cast<uint32_t>(
+      PlannedTableNodes(structural_bound, plan.expected_keys));
+  topt.num_entries = static_cast<uint32_t>(
+      std::min<uint64_t>(structural_bound + 64, 1ull << 28) / 2 + 64);
+  topt.lock_mode = options_.lock_mode;
+  return topt;
+}
+
+GTadocEngine::PlannedLease GTadocEngine::AcquirePlanned(const RunPlan& plan) {
+  PlannedLease lease;
+  gpu::MemoryPool* pool = options_.shared_pool != nullptr
+                              ? options_.shared_pool
+                              : owned_pool_.get();
+  // A grown slab arrives zeroed; only a kept slab needs the scrub.
+  if (!pool->EnsureCapacity(plan.total_slots)) pool->ResetForReuse();
+  lease.pool = pool;
+  lease.plan = &plan;
+  return lease;
+}
+
+Result<EngineRun> GTadocEngine::Run(Task task,
+                                    TraversalStrategy strategy_override) {
+  auto kernel_lookup = TaskRegistry::Get(task);
+  if (!kernel_lookup.ok()) return kernel_lookup.status();
+  const TaskKernel& kernel = **kernel_lookup;
+
+  EngineRun run;
+  run.result.task = task;
+  Timer wall;
+  device_->ResetClock();
+  const uint64_t ops_before = device_->stats().total_ops;
+  const uint64_t allocs_before = device_->stats().device_allocs;
+
+  // Plan resolution: a cache hit costs nothing; a miss runs the charged
+  // planning passes (relevance/bounds/expansion traversals).
+  bool cache_hit = false;
+  auto plan_lookup = ResolvePlan(kernel, strategy_override, &cache_hit);
+  if (!plan_lookup.ok()) return plan_lookup.status();
+  const RunPlan& plan = **plan_lookup;
+  const double plan_seconds = device_->SimSeconds();
+  const uint64_t plan_ops = device_->stats().total_ops - ops_before;
+
+  Status st;
+  double phase1_extra = 0;  // shape-specific init (e.g. head/tail rounds)
+  switch (kernel.shape()) {
+    case TraversalShape::kGlobalWeight:
+      if (options_.scheduling == SchedulingMode::kVerticalPartition) {
+        st = GlobalVerticalPartition(kernel, plan, &run.result);
+      } else if (plan.strategy == TraversalStrategy::kBottomUp) {
+        st = GlobalBottomUp(kernel, plan, &run.result);
+      } else {
+        st = GlobalTopDown(kernel, plan, &run.result);
+      }
+      break;
+    case TraversalShape::kPerFileWeight:
+      st = plan.strategy == TraversalStrategy::kBottomUp
+               ? FileTaskBottomUp(kernel, plan, &run.result)
+               : FileTaskTopDown(kernel, plan, &run.result);
+      break;
+    case TraversalShape::kSequence:
+      st = SequenceTask(kernel, plan, &run.result, &phase1_extra);
+      break;
+  }
+  if (!st.ok()) return st;
+
+  Canonicalize(&run.result);
+  const double sim = device_->SimSeconds();
+  // Mid-run allocation calls (pools, per-run tables) and the planning phase
+  // belong to the paper's phase 1 ("pool planning"), not to graph traversal.
+  const double alloc_seconds =
+      device_->AllocSeconds(device_->stats().device_allocs - allocs_before);
+  run.timing.init_seconds =
+      create_seconds_ + plan_seconds + phase1_extra + alloc_seconds;
+  run.timing.traversal_seconds =
+      sim - plan_seconds - phase1_extra - alloc_seconds;
+  run.timing.plan_seconds = plan_seconds;
+  run.timing.plan_cache_hits = cache_hit ? 1 : 0;
+  run.timing.upload_seconds = upload_seconds_;
+  run.timing.wall_seconds = wall.ElapsedSeconds();
+  run.timing.init_ops = create_ops_ + plan_ops;
+  run.timing.traversal_ops =
+      device_->stats().total_ops - ops_before - plan_ops;
+  return run;
+}
+
+uint32_t GTadocEngine::ComputeGlobalWeights(const TaskKernel& kernel,
+                                            const PlannedLease& lease,
+                                            std::vector<uint64_t>* weights) {
+  const uint32_t n = dev_.num_rules;
+  weights->assign(n, 0);
+  std::vector<uint64_t>& weight = *weights;
+
+  // The per-rule weight state lives in the plan's pool regions, described by
+  // the kernel's top-down layout (a scalar for the built-ins; custom kernels
+  // may carry e.g. saturating counters through the same rounds).
+  const StateLayout& layout = kernel.Layout(TraversalStrategy::kTopDown);
+
+  std::vector<std::atomic<uint32_t>> cur_in(n);
+  std::vector<uint8_t> mask(n, 0);
+  std::vector<std::atomic<uint8_t>> mask_next(n);
+
+  // initTopDownMaskKernel: weights seeded with root frequencies; rules whose
+  // only parent is the root start the traversal (Algorithm 1 lines 2, 9-11).
+  device_->Launch("initTopDownMask", n, [&](gpu::ThreadCtx& ctx) {
+    const uint32_t r = ctx.tid();
+    ctx.Charge(2);
+    if (r == 0) return;
+    GpuStateOps ops(&ctx);
+    layout.Init(lease.state_at(r), ops);
+    if (dev_.root_freq[r] != 0) {
+      layout.Absorb(lease.state_at(r), 0, dev_.root_freq[r], ops);
+    }
+    if (dev_.in_edges_nonroot[r] == 0) mask[r] = 1;
+  });
+
+  // topDownKernel rounds (Algorithm 1 lines 3-7): a ready rule folds its
+  // state into every child, scaled by the edge frequency.
+  uint32_t rounds = 0;
+  std::atomic<bool> stop{false};
+  while (!stop.load(std::memory_order_relaxed)) {
+    stop.store(true, std::memory_order_relaxed);
+    ++rounds;
+    device_->Launch("topDown", n, [&](gpu::ThreadCtx& ctx) {
+      const uint32_t r = ctx.tid();
+      ctx.Charge(1);
+      if (r == 0 || !mask[r]) return;
+      GpuStateOps ops(&ctx);
+      for (uint32_t e = dev_.child_off[r]; e < dev_.child_off[r + 1]; ++e) {
+        const uint32_t c = dev_.child_id[e];
+        layout.Merge(lease.state_at(c), lease.state_at(r), dev_.child_freq[e],
+                     ops);
+        const uint32_t got =
+            cur_in[c].fetch_add(1, std::memory_order_relaxed) + 1;
+        ctx.ChargeAtomic(1);
+        if (got == dev_.in_edges_nonroot[c]) {
+          mask_next[c].store(1, std::memory_order_relaxed);
+          stop.store(false, std::memory_order_relaxed);
+        }
+      }
+    });
+    // Swap masks: rules that just finished never rerun; newly-ready rules run
+    // in the next round (rule.mask <- false, subRule.mask <- true).
+    // Double-buffered masks: the production kernels read the mask through a
+    // pointer the host swaps between rounds, so this costs no device work.
+    for (uint32_t r = 0; r < n; ++r) {
+      mask[r] = mask_next[r].exchange(0, std::memory_order_relaxed);
+    }
+  }
+
+  weight[0] = 1;
+  for (uint32_t r = 1; r < n; ++r) {
+    uint32_t key;
+    uint64_t value;
+    weight[r] =
+        layout.ReadSlot(lease.state_at(r), 0, &key, &value) ? value : 0;
+  }
+  return rounds;
+}
+
+void GTadocEngine::DrainWordTable(
+    const gpu::GpuHashTable& table,
+    std::vector<std::pair<uint32_t, uint64_t>>* counts) {
+  auto pairs = table.Drain();
+  if (options_.charge_pcie) device_->CopyDeviceToHost(pairs.size() * 16);
+  counts->reserve(pairs.size());
+  for (const auto& [w, c] : pairs) {
+    counts->emplace_back(static_cast<uint32_t>(w), c);
+  }
 }
 
 }  // namespace gtadoc

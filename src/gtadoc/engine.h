@@ -5,6 +5,7 @@
 
 #include "analytics/engine.h"
 #include "analytics/results.h"
+#include "analytics/run_plan.h"
 #include "analytics/task_kernel.h"
 #include "common/result.h"
 #include "format/dag.h"
@@ -37,12 +38,20 @@ namespace gtadoc {
 ///   - kSequence: the two-phase sequence pipeline of Section IV-D —
 ///     head/tail buffer initialization (Figure 7), then weighted per-rule
 ///     window counting into the exact-key n-gram table (Figure 8)
-///     (sequenceCount, rankedInvertedIndex).
+///     (sequenceCount, rankedInvertedIndex, phraseSearch).
+///
+/// Plan/execute split: every Run first resolves a RunPlan — the strategy
+/// decision, relevance mask, full region layout and table geometry — through
+/// a PlanCache keyed by (grammar fingerprint, kernel, shape options). The
+/// shape pipelines are pure executors of that plan, so a same-shape rebind
+/// run (the serving hot path) skips planning entirely: plan_seconds == 0 and
+/// zero relevance/bounds traversals are launched.
 ///
 /// Timing: phase 1 (initialization) covers device-grammar construction, the
-/// PCIe transfer, root scanning, memory-bound computation, pool planning and
-/// head/tail initialization; phase 2 (graph traversal) covers the mask-driven
-/// traversal rounds, result reduction and the D2H copy of the final tables.
+/// PCIe transfer, root scanning, memory-bound computation, planning (or a
+/// free cache hit), pool allocation charges and head/tail initialization;
+/// phase 2 (graph traversal) covers the mask-driven traversal rounds, result
+/// reduction and the D2H copy of the final tables.
 class GTadocEngine {
  public:
   struct Options {
@@ -50,8 +59,14 @@ class GTadocEngine {
     /// Host worker threads executing kernels (1 = fully deterministic).
     size_t host_workers = 1;
     uint32_t ngram_len = 3;
-    /// Query word ids for selective kernels (kKeywordSearch).
+    /// Query word ids for selective kernels (kKeywordSearch), or the ordered
+    /// phrase of kPhraseSearch.
     std::vector<uint32_t> query_words;
+    /// Multi-query sets: one relevance/traversal pass serves every set, with
+    /// per-set results in AnalyticsResult::keyword_multi. When non-empty it
+    /// supersedes query_words (the run's accept set is the union of all
+    /// sets).
+    std::vector<std::vector<uint32_t>> query_sets;
     /// k of bounded-selection kernels (kTopKWords).
     uint32_t top_k = 10;
     TraversalStrategy strategy = TraversalStrategy::kAuto;
@@ -72,6 +87,11 @@ class GTadocEngine {
     /// (EnsureCapacity + ResetForReuse) instead of a cold per-run pool.
     /// Must be bound to `shared_device`. Null: task bodies allocate per run.
     gpu::MemoryPool* shared_pool = nullptr;
+    /// Externally owned plan cache shared across engines (the batch/serving
+    /// path: one cache serves every worker, so a document planned once is
+    /// never planned again). Must outlive the engine. Null: the engine owns
+    /// a private cache, which still serves repeat runs and rebinds.
+    PlanCache* plan_cache = nullptr;
   };
 
   /// Validates the grammar, builds the DAG view, the device grammar and the
@@ -96,6 +116,13 @@ class GTadocEngine {
   gpu::Device* device() { return device_; }
   TraversalStrategy ChosenStrategy(Task task) const;
   const Options& options() const { return options_; }
+  /// The engine's plan cache (owned or shared; diagnostics/serving stats).
+  PlanCache* plan_cache() const { return plan_cache_; }
+  /// The cached plan a Run of (task, strategy_override) would consume, or
+  /// null before any such run. Does not touch the hit/miss counters.
+  std::shared_ptr<const RunPlan> CachedPlan(
+      Task task,
+      TraversalStrategy strategy_override = TraversalStrategy::kAuto) const;
 
   /// Number of mask-protocol traversal rounds in the last Run (diagnostics;
   /// bounded by the DAG depth k of the complexity analysis).
@@ -104,96 +131,120 @@ class GTadocEngine {
  private:
   GTadocEngine(const Grammar* g, DagView dag, const Options& options);
 
+  /// The engine's charged planning passes (engine.cc): relevance and bounds
+  /// run as the genQueryReach / genLocTblBound mask-protocol device kernels,
+  /// expansion lengths as the sequence pipeline's expLen rounds.
+  struct GpuPlanner;
+
   // --- shared helpers (engine.cc) ---
-  /// The per-run task parameters handed to every kernel hook.
+  /// The per-run task parameters handed to every kernel hook (query_sets
+  /// flattened into the effective accept set).
   TaskInput MakeInput() const;
-  /// The layout dimensions of this engine (raw vocabulary).
-  StateDims MakeDims() const;
-  /// The layout dimensions of this run (accepted-vocabulary aware).
-  StateDims MakeDims(const WordFilter& filter) const;
-  /// Sizes the global reduce table from the tighter of the kernel's
+  /// The shape-relevant option slice feeding the plan key (builds and moves
+  /// its own TaskInput — no extra query copies on the hot path).
+  PlanShape MakeShape() const;
+  /// The one place plan keys are assembled: resolves a kAuto override
+  /// against the engine's configured strategy (in place) and stamps the GPU
+  /// backend, so store and lookup can never drift apart.
+  PlanKey MakePlanKey(Task task, TraversalStrategy* strategy_override,
+                      const PlanShape& shape) const;
+  /// Resolves (or fetches) the run's plan; `*cache_hit` reports which.
+  Result<std::shared_ptr<const RunPlan>> ResolvePlan(
+      const TaskKernel& kernel, TraversalStrategy strategy_override,
+      bool* cache_hit);
+  /// Sizes the global reduce table from the tighter of the plan's
   /// ExpectedDistinctKeys hint and the driver's structural bound.
-  gpu::GpuHashTable::Options WordTableOptions(const TaskKernel& kernel,
-                                              const TaskInput& input,
+  gpu::GpuHashTable::Options WordTableOptions(const RunPlan& plan,
                                               uint64_t structural_bound) const;
+  struct PlannedLease;  // defined below
   /// Per-rule occurrence weights via Algorithm 1, carried in the kernel's
-  /// top-down state layout over pool regions; returns the number of kernel
-  /// rounds executed.
+  /// top-down state layout over the lease's planned regions; returns the
+  /// number of kernel rounds executed.
   uint32_t ComputeGlobalWeights(const TaskKernel& kernel,
+                                const PlannedLease& lease,
                                 std::vector<uint64_t>* weights);
   /// Drains a global word table into (word, count) pairs (order unspecified),
   /// charging the D2H copy when PCIe is billed.
   void DrainWordTable(const gpu::GpuHashTable& table,
                       std::vector<std::pair<uint32_t, uint64_t>>* counts);
-  /// Per-rule relevance mask for a selective kernel: relevant[r] is 1 iff
-  /// rule r's subtree contains an accepted word (one bottom-up mask-protocol
-  /// pass). All-ones for non-selective filters.
-  std::vector<uint8_t> ComputeRelevance(const WordFilter& filter);
+  /// Exact per-rule relevance via the genQueryReach bottom-up pass (the
+  /// planner's fallback when the grammar persists no rule Blooms).
+  std::vector<uint8_t> RelevancePass(const WordFilter& filter);
+  /// Bottom-up content bounds via the genLocTblBound pass.
+  std::vector<uint64_t> BoundsPass(const WordFilter& filter,
+                                   uint64_t vocab_clamp);
+  /// Per-rule expansion lengths via the expLen bottom-up pass.
+  std::vector<uint64_t> ExpansionLengths();
 
-  /// The run's memory pool: the shared pool recycled in place when the
-  /// options carry one, otherwise the engine-owned pool — also recycled
-  /// (EnsureCapacity + ResetForReuse), so an allocation call is only charged
-  /// when a run outgrows the engine's high-water mark, exactly like the
-  /// batch warm path. At most one acquisition per run (growth invalidates
-  /// planned regions).
-  struct PoolHandle {
+  /// The run's pool regions, resolved by the plan and backed by one pool
+  /// acquisition: the shared pool recycled in place when the options carry
+  /// one, otherwise the engine-owned pool — also recycled (EnsureCapacity +
+  /// ResetForReuse), so an allocation call is only charged when a run
+  /// outgrows the engine's high-water mark. Exactly one acquisition per run
+  /// covers the traversal state, the sequence aux regions AND the assembly
+  /// lease (growth mid-run would invalidate planned offsets).
+  ///
+  /// sizes[r] == 0 marks a pruned rule: it owns no region and its view is
+  /// invalid — the Section IV-C memory-requirement transmission, resolved at
+  /// plan time.
+  struct PlannedLease {
     gpu::MemoryPool* pool = nullptr;
-  };
-  PoolHandle AcquirePool(uint64_t slots);
-
-  /// Per-rule accumulator regions carved from the run's pool under a
-  /// kernel's StateLayout. sizes[r] == 0 marks a pruned rule: it owns no
-  /// region and its view is invalid — the Section IV-C memory-requirement
-  /// transmission, made layout-generic.
-  struct RuleStates {
-    PoolHandle lease;
-    std::vector<uint64_t> offsets;
-    std::vector<uint64_t> sizes;
-    StateView at(uint32_t r) const {
-      return StateView(lease.pool->slab(), offsets[r], sizes[r]);
+    const RunPlan* plan = nullptr;
+    StateView state_at(uint32_t r) const {
+      return StateView(pool->slab(), plan->state.offsets[r],
+                       plan->state.sizes[r]);
+    }
+    StateView aux_at(uint32_t r) const {
+      return StateView(pool->slab(), plan->aux.offsets[r],
+                       plan->aux.sizes[r]);
+    }
+    PoolLease assembly() const {
+      return PoolLease{pool, plan->assembly_offset, plan->assembly_slots};
     }
   };
-  Result<RuleStates> CarveStates(const StateLayout& layout,
-                                 std::vector<uint64_t> sizes);
+  PlannedLease AcquirePlanned(const RunPlan& plan);
 
-  /// Algorithm 2 shared machinery (bottomup.cc): per-rule content bounds,
-  /// pool regions under the kernel's bottom-up layout, and the
-  /// leaves-to-root merge rounds driving the layout hooks.
-  struct BottomUpStates {
-    std::vector<uint64_t> bound;
-    RuleStates states;
-    uint32_t rounds = 0;
-  };
-  Status BuildRuleStates(const TaskKernel& kernel, const WordFilter& filter,
-                         BottomUpStates* out);
+  /// Algorithm 2 shared machinery (bottomup.cc): pool regions at the plan's
+  /// bottom-up offsets and the leaves-to-root merge rounds driving the
+  /// layout hooks (the bound pass already ran at plan time).
+  Status BuildRuleStates(const TaskKernel& kernel, const RunPlan& plan,
+                         const PlannedLease& lease, uint32_t* rounds);
 
   /// (Re)measures init-phase cost: device-grammar build/rebind + root scan.
   void MeasureCreate(uint64_t ops_before, uint64_t h2d_before);
 
-  // --- shape drivers: task-agnostic callers of the kernel interface ---
+  // --- shape drivers: pure executors of a RunPlan ---
   // top-down (topdown.cc)
-  Status GlobalTopDown(const TaskKernel& kernel, AnalyticsResult* out);
-  Status FileTaskTopDown(const TaskKernel& kernel, AnalyticsResult* out);
+  Status GlobalTopDown(const TaskKernel& kernel, const RunPlan& plan,
+                       AnalyticsResult* out);
+  Status FileTaskTopDown(const TaskKernel& kernel, const RunPlan& plan,
+                         AnalyticsResult* out);
   /// Figure 4(a) strawman used by the scheduling ablation.
-  Status GlobalVerticalPartition(const TaskKernel& kernel,
+  Status GlobalVerticalPartition(const TaskKernel& kernel, const RunPlan& plan,
                                  AnalyticsResult* out);
 
   // bottom-up (bottomup.cc)
-  Status GlobalBottomUp(const TaskKernel& kernel, AnalyticsResult* out);
-  Status FileTaskBottomUp(const TaskKernel& kernel, AnalyticsResult* out);
+  Status GlobalBottomUp(const TaskKernel& kernel, const RunPlan& plan,
+                        AnalyticsResult* out);
+  Status FileTaskBottomUp(const TaskKernel& kernel, const RunPlan& plan,
+                          AnalyticsResult* out);
 
   // sequence pipeline (sequence.cc)
-  Status SequenceTask(const TaskKernel& kernel, AnalyticsResult* out,
-                      double* phase1_seconds);
+  Status SequenceTask(const TaskKernel& kernel, const RunPlan& plan,
+                      AnalyticsResult* out, double* phase1_seconds);
 
   const Grammar* g_;
   DagView dag_;
   Options options_;
+  uint64_t grammar_fp_ = 0;
   std::unique_ptr<gpu::Device> owned_device_;
   gpu::Device* device_ = nullptr;  ///< owned_device_ or options_.shared_device
   /// The engine's recycled state pool (used when options_.shared_pool is
   /// null); grows to the engine's high-water mark once.
   std::unique_ptr<gpu::MemoryPool> owned_pool_;
+  /// The engine's plan cache when options_.plan_cache is null.
+  std::shared_ptr<PlanCache> owned_plan_cache_;
+  PlanCache* plan_cache_ = nullptr;
   DeviceGrammar dev_;
   /// Simulated seconds consumed by Create/Rebind (charged into every Run's
   /// phase 1), and the H2D share of them that a batch can overlap with a
@@ -202,8 +253,6 @@ class GTadocEngine {
   double upload_seconds_ = 0;
   uint64_t create_ops_ = 0;
   uint32_t last_rounds_ = 0;
-
-  friend class SequencePipeline;
 };
 
 }  // namespace gtadoc

@@ -1,7 +1,6 @@
 #include <algorithm>
 #include <atomic>
 #include <map>
-#include <unordered_map>
 
 #include "common/logging.h"
 #include "gpu/ngram_table.h"
@@ -17,7 +16,9 @@ namespace gtadoc {
 // Phase 1 (initialization, Figure 7): every rule gets a head and a tail
 // buffer of l-1 expanded words (or its complete expansion if shorter),
 // filled by mask-protocol rounds — a rule retries in the next round whenever
-// a needed child's buffers are not ready yet.
+// a needed child's buffers are not ready yet. The expansion lengths feeding
+// the truncation decisions are part of the RunPlan (the expLen bottom-up
+// pass), so same-shape rebind runs skip that sizing traversal.
 //
 // Phase 2 (graph traversal, Figure 8): every rule enumerates the l-windows of
 // its "bridge stream" — its body with child occurrences replaced by
@@ -27,6 +28,11 @@ namespace gtadoc {
 // occurrence counts, and the emitted key-value pairs are inserted into the
 // exact-key n-gram hash table under the try-lock retry protocol.
 //
+// The per-file occurrence counts themselves (phase 2a) are DensePerFileLayout
+// state over the plan's aux pool regions — the same Section IV-C discipline
+// as every other accumulator — instead of ad-hoc host maps, so the sequence
+// driver is fully layout-generic.
+//
 // Unique attribution argument: a text window is counted exactly once, by the
 // deepest rule occurrence whose expansion contains it without it fitting in a
 // single child. Bridging windows use at most l-1 words from each boundary
@@ -35,15 +41,31 @@ namespace gtadoc {
 
 namespace {
 
-/// Sentinel owner for "window broken" (splitter or uncounted start).
-constexpr uint32_t kGapOwner = UINT32_MAX;
-
 /// One emitted key-value pair of phase 2 (the paper's "each thread is
 /// responsible for one key-value pair").
 struct SeqPair {
   uint32_t file;
   uint32_t weight;
   uint32_t gram_off;  // offset into the flat gram-words array
+};
+
+/// StateOps that tallies the GPU price of layout operations without a live
+/// ThreadCtx. Probes and arithmetic cost plain ops; the layouts' Absorb
+/// atomics ALSO price as plain ops here, because phase 2a is single-owner:
+/// one logical thread owns each rule's merge step in the topological wave,
+/// so its dense updates need no atomic RMW — the paper's "private and owned
+/// by one thread" argument, applied to the per-file weight state. The
+/// propagation computes host-side in topological order and charges the tally
+/// through an equivalent per-rule kernel, mirroring the established
+/// seqFileWeights accounting.
+class TallyStateOps : public StateOps {
+ public:
+  void Touch(uint64_t n) override { ops += n; }
+  void Arith(uint64_t n) override { ops += n; }
+  void Update(uint64_t n) override { (void)n; }
+  void Atomic(uint64_t n) override { ops += n; }
+
+  uint64_t ops = 0;
 };
 
 /// Sliding window over the bridge stream of one rule.
@@ -93,45 +115,26 @@ class WindowRing {
 }  // namespace
 
 Status GTadocEngine::SequenceTask(const TaskKernel& kernel,
+                                  const RunPlan& plan,
                                   AnalyticsResult* out,
                                   double* phase1_seconds) {
   const TaskInput input = MakeInput();
-  const uint32_t l = options_.ngram_len;
+  const uint32_t l = plan.window;
   const uint32_t hl = l - 1;
   const uint32_t n = dev_.num_rules;
   const uint32_t rule_base = dev_.num_words + (dev_.num_files - 1);
+  const double sim_at_entry = device_->SimSeconds();
   const uint64_t allocs_at_entry = device_->stats().device_allocs;
 
   // =========================================================================
-  // Phase 1: expansion lengths, then head/tail buffers (Figure 7).
+  // Phase 1: head/tail buffers (Figure 7). The expansion lengths were
+  // resolved at plan time; head/tail storage sits at the plan's offsets —
+  // one HeadTailLayout region per rule — so the pipeline's accumulator state
+  // rides the same Section IV-C pool discipline as the other shapes.
   // =========================================================================
-  std::vector<uint64_t> exp_len(n, 0);
-  internal::BottomUpRounds(
-      device_, dev_, "expLen", [&](uint32_t r, gpu::ThreadCtx& ctx) {
-        uint64_t total = 0;
-        for (uint32_t e = dev_.word_off[r]; e < dev_.word_off[r + 1]; ++e) {
-          total += dev_.word_freq[e];
-          ctx.Charge(1);
-        }
-        for (uint32_t e = dev_.child_off[r]; e < dev_.child_off[r + 1]; ++e) {
-          total += exp_len[dev_.child_id[e]] * dev_.child_freq[e];
-          ctx.Charge(1);
-        }
-        exp_len[r] = std::min<uint64_t>(total, 1ull << 62);
-      });
-
-  // Head/tail storage: one HeadTailLayout region per rule, carved from the
-  // memory pool (Equation 1 bounds the per-rule requirement; the layout's
-  // fixed stride is its upper bound). The sequence pipeline's accumulator
-  // state thereby rides the same Section IV-C pool discipline as the other
-  // shapes instead of ad-hoc host arrays.
-  const StateLayout& layout = kernel.Layout(TraversalStrategy::kTopDown);
-  const WordFilter filter(kernel, input, dev_.num_words);
-  const StateDims dims = MakeDims(filter);
-  auto states = CarveStates(
-      layout, std::vector<uint64_t>(n, layout.SlotsForBound(dims, hl)));
-  if (!states.ok()) return states.status();
-  auto ht = [&](uint32_t r) { return HeadTailRef(states->at(r), hl); };
+  const std::vector<uint64_t>& exp_len = plan.exp_len;
+  const PlannedLease lease = AcquirePlanned(plan);
+  auto ht = [&](uint32_t r) { return HeadTailRef(lease.state_at(r), hl); };
   std::vector<uint8_t> ht_mask(n, 0);
   ht_mask[0] = 1;  // the root has no parents; its buffers are never read
 
@@ -205,46 +208,58 @@ Status GTadocEngine::SequenceTask(const TaskKernel& kernel,
   // Allocation calls are accounted separately into phase 1 by Run; excluding
   // them here keeps the cold and rebind paths' phase decomposition identical.
   *phase1_seconds =
-      device_->SimSeconds() -
+      device_->SimSeconds() - sim_at_entry -
       device_->AllocSeconds(device_->stats().device_allocs - allocs_at_entry);
 
   // =========================================================================
-  // Phase 2a: per-file rule weights (the file attribution for counts).
+  // Phase 2a: per-file rule weights (the file attribution for counts), as
+  // DensePerFileLayout state over the plan's aux regions.
   // =========================================================================
   std::vector<std::vector<std::pair<uint32_t, uint32_t>>> fweight(n);
   {
-    // Root scan seeds; topological propagation. Host computes in topo order;
-    // the charging kernel below accounts the equivalent per-layer waves.
-    std::vector<std::unordered_map<uint32_t, uint32_t>> fw(n);
+    const StateLayout& fw_layout = DensePerFileLayout();
+    // Root scan seeds; topological propagation. Host computes in topo order
+    // through the layout hooks; the charging kernels below account the
+    // equivalent per-layer waves at the GPU tariff tallied per rule.
+    std::vector<uint64_t> per_rule_work(n, 0);
     const uint64_t root_len = dev_.body_off[1];
+    TallyStateOps seed_tally;
     for (uint64_t p = 0; p < root_len; ++p) {
       const uint32_t sym = dev_.body_sym[p];
       if (sym >= rule_base) {
-        ++fw[sym - rule_base][dev_.root_file_of_pos[p]];
+        fw_layout.Absorb(lease.aux_at(sym - rule_base),
+                         dev_.root_file_of_pos[p], 1, seed_tally);
       }
     }
-    // The root scan is a chunked kernel in its own right.
+    // The root scan is a chunked kernel in its own right; its seeds' state
+    // updates ride along (spread evenly to keep the per-thread balance the
+    // scheduler assumes).
     const uint32_t seed_threads =
         static_cast<uint32_t>(std::max<uint64_t>(1, (root_len + 255) / 256));
+    const uint64_t seed_extra = seed_tally.ops / seed_threads + 1;
     device_->Launch("seqRootSeed", seed_threads, [&](gpu::ThreadCtx& ctx) {
       const uint64_t lo = static_cast<uint64_t>(ctx.tid()) * 256;
       const uint64_t hi = std::min(root_len, lo + 256);
-      ctx.Charge(hi > lo ? hi - lo : 0);
+      ctx.Charge((hi > lo ? hi - lo : 0) + seed_extra);
     });
-    std::vector<uint64_t> per_rule_work(n, 0);
     for (uint32_t r : dag_.topo_order()) {
       if (r == 0) continue;
+      TallyStateOps tally;
       for (uint32_t e = dev_.child_off[r]; e < dev_.child_off[r + 1]; ++e) {
-        const uint32_t c = dev_.child_id[e];
-        for (const auto& [file, w] : fw[r]) {
-          fw[c][file] += w * dev_.child_freq[e];
-        }
-        per_rule_work[r] += 2 * fw[r].size();
+        fw_layout.Merge(lease.aux_at(dev_.child_id[e]), lease.aux_at(r),
+                        dev_.child_freq[e], tally);
       }
+      per_rule_work[r] += tally.ops;
     }
     for (uint32_t r = 1; r < n; ++r) {
-      fweight[r].assign(fw[r].begin(), fw[r].end());
+      TallyStateOps read_tally;
+      fw_layout.ForEach(lease.aux_at(r), read_tally,
+                        [&](uint32_t file, uint64_t w) {
+                          fweight[r].emplace_back(
+                              file, static_cast<uint32_t>(w));
+                        });
       std::sort(fweight[r].begin(), fweight[r].end());
+      per_rule_work[r] += read_tally.ops;
     }
     device_->Launch("seqFileWeights", n, [&](gpu::ThreadCtx& ctx) {
       ctx.Charge(1 + per_rule_work[ctx.tid()]);
@@ -387,16 +402,13 @@ Status GTadocEngine::SequenceTask(const TaskKernel& kernel,
       flat_items.push_back(slice_start[t] + i);
     }
   }
-  // Sized from the tighter of the emitted-pair bound and the kernel's
+  // Sized from the tighter of the emitted-pair bound and the plan's
   // distinct-key hint (0 for the built-ins: distinct windows are unknowable
   // before the traversal, so the structural bound stands).
-  uint64_t ngram_nodes = flat_items.size();
-  const uint64_t ngram_hint = kernel.ExpectedDistinctKeys(dims, input);
-  if (ngram_hint > 0) ngram_nodes = std::min(ngram_nodes, ngram_hint);
   gpu::GpuNgramTable::Options nopt;
   nopt.ngram_len = l;
-  nopt.max_nodes =
-      static_cast<uint32_t>(std::min<uint64_t>(ngram_nodes + 64, 1ull << 27));
+  nopt.max_nodes = static_cast<uint32_t>(std::min<uint64_t>(
+      PlannedTableNodes(flat_items.size(), plan.expected_keys), 1ull << 27));
   nopt.num_entries = nopt.max_nodes / 2 + 64;
   nopt.lock_mode = options_.lock_mode;
   gpu::GpuNgramTable table(device_, nopt);
@@ -418,7 +430,7 @@ Status GTadocEngine::SequenceTask(const TaskKernel& kernel,
   if (options_.charge_pcie) {
     device_->CopyDeviceToHost(counts.size() * (16 + 4ull * l));
   }
-  GpuAssembly ops(device_, states->lease.pool);
+  GpuAssembly ops(device_, lease.assembly());
   kernel.AssembleSequence(input, std::move(counts), &ops, out);
   return Status::OK();
 }

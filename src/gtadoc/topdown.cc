@@ -17,18 +17,20 @@ uint64_t PackPair(uint32_t hi, uint32_t lo) {
 
 // ---------------------------------------------------------------------------
 // kGlobalWeight, Algorithm 1: weights then a fine-grained parallel reduce.
-// Task-agnostic AND layout-agnostic: the per-rule weight state lives in pool
-// regions described by the kernel's StateLayout (ComputeGlobalWeights), the
-// kernel's word filter gates the reduce, and the kernel assembles the
-// drained table into its result type.
+// A pure executor of the RunPlan: the per-rule weight state lives at the
+// plan's resolved pool offsets (ComputeGlobalWeights), the plan's word
+// filter gates the reduce, and the kernel assembles the drained table into
+// its result type.
 // ---------------------------------------------------------------------------
 
 Status GTadocEngine::GlobalTopDown(const TaskKernel& kernel,
+                                   const RunPlan& plan,
                                    AnalyticsResult* out) {
   const TaskInput input = MakeInput();
-  const WordFilter filter(kernel, input, dev_.num_words);
+  const WordFilter& filter = plan.filter;
+  const PlannedLease lease = AcquirePlanned(plan);
   std::vector<uint64_t> weight;
-  last_rounds_ = ComputeGlobalWeights(kernel, &weight);
+  last_rounds_ = ComputeGlobalWeights(kernel, lease, &weight);
 
   // reduceResultKernel: every rule merges its (accepted) local words, scaled
   // by its weight, into the global Figure-5 hash table. Oversized word lists
@@ -42,8 +44,7 @@ Status GTadocEngine::GlobalTopDown(const TaskKernel& kernel,
   ThreadAssignment assign =
       BuildAssignment(loads, options_.scheduling, options_.split_threshold);
 
-  gpu::GpuHashTable table(device_,
-                          WordTableOptions(kernel, input, total_entries));
+  gpu::GpuHashTable table(device_, WordTableOptions(plan, total_entries));
 
   (void)assign;
   bool ok;
@@ -107,7 +108,7 @@ Status GTadocEngine::GlobalTopDown(const TaskKernel& kernel,
   if (!ok) return Status::Internal("global word table undersized");
   std::vector<std::pair<uint32_t, uint64_t>> counts;
   DrainWordTable(table, &counts);
-  GpuAssembly ops(device_);
+  GpuAssembly ops(device_, lease.assembly());
   kernel.AssembleGlobal(input, counts, &ops, out);
   return Status::OK();
 }
@@ -117,14 +118,14 @@ Status GTadocEngine::GlobalTopDown(const TaskKernel& kernel,
 // slice of the root body and walks its whole reachable subtree; shared rules
 // are re-scanned by every thread that reaches them — the duplicated work that
 // made the paper abandon this design. Kept as the scheduling ablation's
-// baseline; it carries no per-rule state, so there is nothing for a
-// StateLayout to describe.
+// baseline; it carries no per-rule state, so its plan lays out no regions.
 // ---------------------------------------------------------------------------
 
 Status GTadocEngine::GlobalVerticalPartition(const TaskKernel& kernel,
+                                             const RunPlan& plan,
                                              AnalyticsResult* out) {
   const TaskInput input = MakeInput();
-  const WordFilter filter(kernel, input, dev_.num_words);
+  const WordFilter& filter = plan.filter;
   const uint64_t root_len = dev_.body_off[1] - dev_.body_off[0];
   const uint32_t num_threads = std::min<uint64_t>(
       1024, std::max<uint64_t>(1, root_len / 64));
@@ -185,45 +186,37 @@ Status GTadocEngine::GlobalVerticalPartition(const TaskKernel& kernel,
 
 // ---------------------------------------------------------------------------
 // kPerFileWeight, top-down: per-file accumulator states flow from the root.
-// Every relevant rule owns one region carved from the memory pool after the
-// init traversal computes the bounds — the Section IV-C memory-requirement
-// transmission — and the region's shape is whatever the kernel's StateLayout
-// declares (the canonical dense-array-plus-nonzero-list for the built-ins, a
-// presence bitmap or anything else for custom kernels). The driver only
-// drives Init/Absorb/Merge/ReadSlot; for selective kernels the relevance
-// mask prunes every rule whose subtree holds no accepted word, so only the
-// matching corner of the grammar carries state.
+// Every relevant rule owns one region at the plan's resolved offset — the
+// Section IV-C memory-requirement transmission, resolved at plan time — and
+// the region's shape is whatever the kernel's StateLayout declares (the
+// canonical dense-array-plus-nonzero-list for the built-ins, a presence
+// bitmap or anything else for custom kernels). The executor only drives
+// Init/Absorb/Merge/ReadSlot; the plan's relevance mask (a Bloom probe over
+// persisted filters, or the genQueryReach pass) already pruned every rule
+// whose subtree holds no accepted word, so only the matching corner of the
+// grammar carries state.
 // ---------------------------------------------------------------------------
 
 Status GTadocEngine::FileTaskTopDown(const TaskKernel& kernel,
+                                     const RunPlan& plan,
                                      AnalyticsResult* out) {
   const TaskInput input = MakeInput();
-  const WordFilter filter(kernel, input, dev_.num_words);
-  const std::vector<uint8_t> relevant = ComputeRelevance(filter);
+  const WordFilter& filter = plan.filter;
+  const std::vector<uint8_t>& relevant = plan.relevant;
   const uint32_t n = dev_.num_rules;
   const uint32_t num_files = dev_.num_files;
   const StateLayout& layout = kernel.Layout(TraversalStrategy::kTopDown);
-  const StateDims dims = MakeDims(filter);
-
-  // Region sizes from the layout; the pool grows with rules x state size,
-  // which is exactly why top-down is the wrong strategy once the per-rule
-  // footprint grows with the file count (Section VI-C). Irrelevant rules of
-  // a selective kernel get no regions at all.
-  std::vector<uint64_t> sizes(n, 0);
-  for (uint32_t r = 1; r < n; ++r) {
-    if (relevant[r] != 0) sizes[r] = layout.SlotsForBound(dims, num_files);
-  }
-  auto states = CarveStates(layout, std::move(sizes));
-  if (!states.ok()) return states.status();
+  const PlannedLease lease = AcquirePlanned(plan);
 
   // State initialization, one logical thread per relevant rule (the
-  // rules x files zeroing bill that many-file datasets pay).
+  // rules x files zeroing bill that many-file datasets pay). Irrelevant
+  // rules were planned no regions at all.
   device_->Launch("stateInit", n, [&](gpu::ThreadCtx& ctx) {
     const uint32_t r = ctx.tid();
     ctx.Charge(1);
-    if (!states->at(r).valid()) return;
+    if (!lease.state_at(r).valid()) return;
     GpuStateOps ops(&ctx);
-    layout.Init(states->at(r), ops);
+    layout.Init(lease.state_at(r), ops);
   });
 
   // Root scan: every root occurrence seeds its rule's state with its file.
@@ -242,7 +235,8 @@ Status GTadocEngine::FileTaskTopDown(const TaskKernel& kernel,
           if (sym >= dev_.num_words + (dev_.num_files - 1)) {
             const uint32_t r = sym - (dev_.num_words + dev_.num_files - 1);
             if (relevant[r] != 0) {
-              layout.Absorb(states->at(r), dev_.root_file_of_pos[p], 1, ops);
+              layout.Absorb(lease.state_at(r), dev_.root_file_of_pos[p], 1,
+                            ops);
             }
           }
         }
@@ -273,8 +267,9 @@ Status GTadocEngine::FileTaskTopDown(const TaskKernel& kernel,
       GpuStateOps ops(&ctx);
       for (uint32_t e = dev_.child_off[r]; e < dev_.child_off[r + 1]; ++e) {
         const uint32_t c = dev_.child_id[e];
-        if (states->at(r).valid() && states->at(c).valid()) {
-          layout.Merge(states->at(c), states->at(r), dev_.child_freq[e], ops);
+        if (lease.state_at(r).valid() && lease.state_at(c).valid()) {
+          layout.Merge(lease.state_at(c), lease.state_at(r),
+                       dev_.child_freq[e], ops);
         }
         const uint32_t got =
             cur_in[c].fetch_add(1, std::memory_order_relaxed) + 1;
@@ -302,8 +297,8 @@ Status GTadocEngine::FileTaskTopDown(const TaskKernel& kernel,
   };
   std::vector<ReduceItem> items;
   for (uint32_t r = 1; r < n; ++r) {
-    if (!states->at(r).valid()) continue;
-    const uint64_t slots = layout.ReadableSlots(states->at(r));
+    if (!lease.state_at(r).valid()) continue;
+    const uint64_t slots = layout.ReadableSlots(lease.state_at(r));
     if (slots == 0) continue;
     for (uint32_t e = dev_.word_off[r]; e < dev_.word_off[r + 1]; ++e) {
       if (!filter.Accepts(dev_.word_id[e])) continue;
@@ -313,8 +308,7 @@ Status GTadocEngine::FileTaskTopDown(const TaskKernel& kernel,
     }
   }
   gpu::GpuHashTable table(
-      device_,
-      WordTableOptions(kernel, input, items.size() + dev_.body_off[1]));
+      device_, WordTableOptions(plan, items.size() + dev_.body_off[1]));
 
   bool ok = gpu::RoundLoop(
       device_, "fileReduce", items.size(), 16,
@@ -323,7 +317,7 @@ Status GTadocEngine::FileTaskTopDown(const TaskKernel& kernel,
         uint32_t file;
         uint64_t w;
         ctx.Charge(2);
-        if (!layout.ReadSlot(states->at(it.rule), it.slot, &file, &w)) {
+        if (!layout.ReadSlot(lease.state_at(it.rule), it.slot, &file, &w)) {
           return gpu::InsertOutcome::kDone;
         }
         return table.AddOrInsert(
@@ -357,7 +351,7 @@ Status GTadocEngine::FileTaskTopDown(const TaskKernel& kernel,
                                     static_cast<uint32_t>(key & 0xffffffffu),
                                     c});
   }
-  GpuAssembly ops(device_, states->lease.pool);
+  GpuAssembly ops(device_, lease.assembly());
   kernel.AssembleFileWord(input, num_files, triples, &ops, out);
   return Status::OK();
 }

@@ -2,6 +2,7 @@
 
 #include <vector>
 
+#include "format/dag.h"
 #include "sequitur/sequitur.h"
 
 namespace gtadoc {
@@ -26,7 +27,11 @@ Result<Grammar> CompressTokenStreams(
     }
     for (uint32_t tok : file_tokens[f]) enc.Append(tok);
   }
-  return enc.Flatten(num_words, num_splitters);
+  Grammar g = enc.Flatten(num_words, num_splitters);
+  // Compression-time metadata: per-rule subtree Bloom filters, persisted by
+  // the serializer so keyword-style relevance needs no runtime traversal.
+  GTADOC_RETURN_IF_ERROR(ComputeRuleBlooms(&g));
+  return g;
 }
 
 Result<Grammar> CompressTokens(const TokenizedCorpus& tokens) {

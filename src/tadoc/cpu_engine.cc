@@ -14,7 +14,15 @@ Result<CpuTadocEngine> CpuTadocEngine::Create(const Grammar* g,
                                               const CpuTadocOptions& options) {
   auto dag = DagView::Build(*g);
   if (!dag.ok()) return dag.status();
-  return CpuTadocEngine(g, std::move(*dag), options);
+  CpuTadocEngine engine(g, std::move(*dag), options);
+  engine.grammar_fp_ = GrammarFingerprint(*g);
+  if (options.plan_cache != nullptr) {
+    engine.plan_cache_ = options.plan_cache;
+  } else {
+    engine.owned_plan_cache_ = std::make_shared<PlanCache>();
+    engine.plan_cache_ = engine.owned_plan_cache_.get();
+  }
+  return engine;
 }
 
 TraversalStrategy CpuTadocEngine::ChosenStrategy(Task task) const {
@@ -26,20 +34,18 @@ TraversalStrategy CpuTadocEngine::ChosenStrategy(Task task) const {
 TaskInput CpuTadocEngine::MakeInput() const {
   TaskInput input;
   input.ngram_len = options_.ngram_len;
-  input.query_words = options_.query_words;
   input.top_k = options_.top_k;
+  input.query_sets = options_.query_sets;
+  if (!input.query_sets.empty()) {
+    // One accept set serves every query: the flattened union.
+    for (const auto& set : input.query_sets) {
+      input.query_words.insert(input.query_words.end(), set.begin(),
+                               set.end());
+    }
+  } else {
+    input.query_words = options_.query_words;
+  }
   return input;
-}
-
-StateDims CpuTadocEngine::MakeDims(const WordFilter& filter) const {
-  StateDims dims;
-  dims.num_rules = static_cast<uint32_t>(dag_.num_rules());
-  dims.num_files = g_->num_files();
-  dims.num_words =
-      filter.selective() ? filter.accepted_count() : g_->num_words;
-  dims.ngram_len = options_.ngram_len;
-  dims.top_k = options_.top_k;
-  return dims;
 }
 
 std::vector<uint32_t> CpuTadocEngine::RootFileIds(CpuCostMeter* meter) const {
@@ -54,19 +60,144 @@ std::vector<uint32_t> CpuTadocEngine::RootFileIds(CpuCostMeter* meter) const {
   return file_of;
 }
 
+// ---------------------------------------------------------------------------
+// Planning: the CPU twins of the GPU passes, charged to a plan meter.
+// ---------------------------------------------------------------------------
+
+struct CpuTadocEngine::CpuPlanner : public Planner {
+  CpuPlanner(const DagView* dag, CpuCostMeter* meter)
+      : dag(dag), meter(meter) {}
+  const DagView* dag;
+  CpuCostMeter* meter;
+
+ protected:
+  /// Reverse-topological relevance of a selective kernel's accepted words: a
+  /// rule is relevant iff it owns an accepted word or any child subtree does
+  /// — the CPU twin of the GPU genQueryReach pass.
+  std::vector<uint8_t> RelevanceTraversal(const WordFilter& filter) override {
+    const size_t n = dag->num_rules();
+    if (!filter.selective()) return std::vector<uint8_t>(n, 1);
+    std::vector<uint8_t> relevant(n, 0);
+    const auto& order = dag->topo_order();
+    for (auto it = order.rbegin(); it != order.rend(); ++it) {
+      const uint32_t r = *it;
+      uint8_t rel = 0;
+      for (const RuleWordEntry& w : dag->words(r)) {
+        meter->Charge(1);
+        if (filter.Accepts(w.word)) {
+          rel = 1;
+          break;
+        }
+      }
+      if (rel == 0) {
+        for (const RuleChildEntry& e : dag->children(r)) {
+          meter->Charge(1);
+          if (relevant[e.child] != 0) {
+            rel = 1;
+            break;
+          }
+        }
+      }
+      relevant[r] = rel;
+    }
+    return relevant;
+  }
+
+  /// Per-rule content bounds of the bottom-up state (the CPU twin of the GPU
+  /// genLocTblBound pass): own distinct accepted words plus the children's
+  /// bounds, clamped by the accepted vocabulary.
+  std::vector<uint64_t> BoundsTraversal(const WordFilter& filter,
+                                        uint64_t vocab_clamp) override {
+    const size_t n = dag->num_rules();
+    std::vector<uint64_t> bound(n, 0);
+    const auto& order = dag->topo_order();
+    for (auto it = order.rbegin(); it != order.rend(); ++it) {
+      const uint32_t r = *it;
+      uint64_t b = 0;
+      if (filter.selective()) {
+        for (const RuleWordEntry& w : dag->words(r)) {
+          meter->Charge(1);
+          if (filter.Accepts(w.word)) ++b;
+        }
+      } else {
+        b = dag->words(r).size();
+      }
+      for (const RuleChildEntry& e : dag->children(r)) {
+        b += bound[e.child];
+        meter->Charge(1);
+      }
+      bound[r] = std::min<uint64_t>(std::max<uint64_t>(vocab_clamp, 1), b);
+    }
+    return bound;
+  }
+
+  /// The CPU sequence driver walks the full expanded stream and never reads
+  /// expansion lengths, so its plans carry none.
+  std::vector<uint64_t> ExpansionPass() override { return {}; }
+
+  void ChargeFlat(const char* what, uint64_t items,
+                  uint64_t ops_per_item) override {
+    (void)what;
+    meter->Charge(items * ops_per_item);
+  }
+};
+
+PlanKey CpuTadocEngine::MakePlanKey(Task task,
+                                    TraversalStrategy* strategy_override,
+                                    const PlanShape& shape) const {
+  if (*strategy_override == TraversalStrategy::kAuto) {
+    *strategy_override = options_.strategy;
+  }
+  PlanKey key;
+  key.backend = kCpuPlanBackend;
+  key.grammar_fp = grammar_fp_;
+  key.task = static_cast<int>(task);
+  key.strategy_override = static_cast<int>(*strategy_override);
+  key.shape_fp = shape.Fingerprint();
+  return key;
+}
+
+Result<std::shared_ptr<const RunPlan>> CpuTadocEngine::ResolvePlan(
+    const TaskKernel& kernel, TraversalStrategy strategy_override,
+    CpuCostMeter* plan_meter, bool* cache_hit) const {
+  PlanShape shape;
+  shape.input = MakeInput();
+  const PlanKey key = MakePlanKey(kernel.task(), &strategy_override, shape);
+  std::shared_ptr<const RunPlan> plan = plan_cache_->Get(key);
+  if (plan != nullptr) {
+    *cache_hit = true;
+    return plan;
+  }
+  *cache_hit = false;
+  CpuPlanner planner(&dag_, plan_meter);
+  auto built = planner.BuildPlan(kernel, *g_, dag_, shape, strategy_override,
+                                 key);
+  if (!built.ok()) return built.status();
+  plan_cache_->Put(*built);
+  return *built;
+}
+
+std::shared_ptr<const RunPlan> CpuTadocEngine::CachedPlan(
+    Task task, TraversalStrategy strategy_override) const {
+  PlanShape shape;
+  shape.input = MakeInput();
+  return plan_cache_->Peek(MakePlanKey(task, &strategy_override, shape));
+}
+
+// ---------------------------------------------------------------------------
+// Run: plan resolution, then the shape executors.
+// ---------------------------------------------------------------------------
+
 Result<EngineRun> CpuTadocEngine::Run(
     Task task, TraversalStrategy strategy_override) const {
   auto kernel_lookup = TaskRegistry::Get(task);
   if (!kernel_lookup.ok()) return kernel_lookup.status();
   const TaskKernel& kernel = **kernel_lookup;
 
-  TraversalStrategy strategy = strategy_override != TraversalStrategy::kAuto
-                                   ? strategy_override
-                                   : ChosenStrategy(task);
-
   EngineRun run;
   Timer wall;
   CpuCostMeter init_meter(options_.cpu);
+  CpuCostMeter plan_meter(options_.cpu);
   CpuCostMeter traverse_meter(options_.cpu);
 
   // Phase 1: data-structure preparation. Building the DAG view costs one
@@ -78,112 +209,61 @@ Result<EngineRun> CpuTadocEngine::Run(
   }
   init_meter.Charge(init_ops);
 
+  // Plan resolution: a cache hit costs nothing; a miss runs the metered
+  // relevance/bounds passes.
+  bool cache_hit = false;
+  auto plan_lookup =
+      ResolvePlan(kernel, strategy_override, &plan_meter, &cache_hit);
+  if (!plan_lookup.ok()) return plan_lookup.status();
+  const RunPlan& plan = **plan_lookup;
+
   switch (kernel.shape()) {
     case TraversalShape::kGlobalWeight:
-      run.result = strategy == TraversalStrategy::kBottomUp
-                       ? GlobalBottomUp(kernel, &traverse_meter)
-                       : GlobalTopDown(kernel, &traverse_meter);
+      run.result = plan.strategy == TraversalStrategy::kBottomUp
+                       ? GlobalBottomUp(kernel, plan, &traverse_meter)
+                       : GlobalTopDown(kernel, plan, &traverse_meter);
       break;
     case TraversalShape::kPerFileWeight:
-      run.result = strategy == TraversalStrategy::kBottomUp
-                       ? FileTaskBottomUp(kernel, &traverse_meter)
-                       : FileTaskTopDown(kernel, &traverse_meter);
+      run.result = plan.strategy == TraversalStrategy::kBottomUp
+                       ? FileTaskBottomUp(kernel, plan, &traverse_meter)
+                       : FileTaskTopDown(kernel, plan, &traverse_meter);
       break;
     case TraversalShape::kSequence:
-      run.result = SequenceTask(kernel, &traverse_meter);
+      run.result = SequenceTask(kernel, plan, &traverse_meter);
       break;
   }
 
   Canonicalize(&run.result);
-  run.timing.init_seconds = init_meter.SequentialSeconds();
+  run.timing.plan_seconds = plan_meter.SequentialSeconds();
+  run.timing.plan_cache_hits = cache_hit ? 1 : 0;
+  run.timing.init_seconds =
+      init_meter.SequentialSeconds() + run.timing.plan_seconds;
   run.timing.traversal_seconds = traverse_meter.SequentialSeconds();
   run.timing.wall_seconds = wall.ElapsedSeconds();
-  run.timing.init_ops = init_meter.ops();
+  run.timing.init_ops = init_meter.ops() + plan_meter.ops();
   run.timing.traversal_ops = traverse_meter.ops();
   return run;
 }
 
 namespace {
 
-/// Reverse-topological relevance of a selective kernel's accepted words: a
-/// rule is relevant iff it owns an accepted word or any child subtree does —
-/// the CPU twin of the GPU genQueryReach pass. All-ones when not selective.
-std::vector<uint8_t> ComputeRelevance(const DagView& dag,
-                                      const WordFilter& filter,
-                                      CpuCostMeter* meter) {
-  const size_t n = dag.num_rules();
-  if (!filter.selective()) return std::vector<uint8_t>(n, 1);
-  std::vector<uint8_t> relevant(n, 0);
-  const auto& order = dag.topo_order();
-  for (auto it = order.rbegin(); it != order.rend(); ++it) {
-    const uint32_t r = *it;
-    uint8_t rel = 0;
-    for (const RuleWordEntry& w : dag.words(r)) {
-      meter->Charge(1);
-      if (filter.Accepts(w.word)) {
-        rel = 1;
-        break;
-      }
-    }
-    if (rel == 0) {
-      for (const RuleChildEntry& e : dag.children(r)) {
-        meter->Charge(1);
-        if (relevant[e.child] != 0) {
-          rel = 1;
-          break;
-        }
-      }
-    }
-    relevant[r] = rel;
-  }
-  return relevant;
-}
-
-/// Per-rule content bounds of the bottom-up state (the CPU twin of the GPU
-/// genLocTblBound pass): own distinct accepted words plus the children's
-/// bounds, clamped by the accepted vocabulary.
-std::vector<uint64_t> StateBounds(const DagView& dag, const WordFilter& filter,
-                                  uint64_t vocab_clamp, CpuCostMeter* meter) {
-  const size_t n = dag.num_rules();
-  std::vector<uint64_t> bound(n, 0);
-  const auto& order = dag.topo_order();
-  for (auto it = order.rbegin(); it != order.rend(); ++it) {
-    const uint32_t r = *it;
-    uint64_t b = 0;
-    if (filter.selective()) {
-      for (const RuleWordEntry& w : dag.words(r)) {
-        meter->Charge(1);
-        if (filter.Accepts(w.word)) ++b;
-      }
-    } else {
-      b = dag.words(r).size();
-    }
-    for (const RuleChildEntry& e : dag.children(r)) {
-      b += bound[e.child];
-      meter->Charge(1);
-    }
-    bound[r] = std::min<uint64_t>(std::max<uint64_t>(vocab_clamp, 1), b);
-  }
-  return bound;
+/// Binds a host arena to the plan's resolved regions: every view sits at
+/// its planned offset, so the hit path re-plans nothing. The slab covers
+/// only this group's extent — the plan's GPU-only groups (assembly lease,
+/// sequence aux regions) cost the CPU nothing.
+void BindArena(const RegionGroup& group, HostStateArena* arena) {
+  arena->Bind(group.sizes, group.offsets, RegionGroupEnd(group));
 }
 
 /// Builds the bottom-up per-rule states over a host arena under the kernel's
 /// layout: init, absorb own accepted words, fold in the children — the CPU
-/// twin of the GPU genLocTbl rounds, charged with the CPU discipline.
-void BuildRuleStatesCpu(const DagView& dag, const WordFilter& filter,
-                        const StateLayout& layout, const StateDims& dims,
-                        CpuCostMeter* meter, HostStateArena* arena,
-                        std::vector<uint64_t>* bound) {
-  const size_t n = dag.num_rules();
-  const uint64_t vocab_clamp =
-      filter.selective() ? filter.accepted_count() : dims.num_words;
-  *bound = StateBounds(dag, filter, vocab_clamp, meter);
-  std::vector<uint64_t> sizes(n, 0);
-  for (uint32_t r = 1; r < n; ++r) {
-    sizes[r] = layout.SlotsForBound(dims, (*bound)[r]);
-  }
-  arena->Plan(sizes, layout.AlignSlots());
-
+/// twin of the GPU genLocTbl rounds, charged with the CPU discipline. The
+/// bounds and region offsets were resolved at plan time.
+void BuildRuleStatesCpu(const DagView& dag, const RunPlan& plan,
+                        const StateLayout& layout, CpuCostMeter* meter,
+                        HostStateArena* arena) {
+  BindArena(plan.state, arena);
+  const WordFilter& filter = plan.filter;
   CpuStateOps ops(meter);
   const auto& order = dag.topo_order();
   for (auto it = order.rbegin(); it != order.rend(); ++it) {
@@ -224,21 +304,20 @@ std::vector<FileWordCount> TriplesFromFileMaps(
 // ---------------------------------------------------------------------------
 
 AnalyticsResult CpuTadocEngine::GlobalTopDown(const TaskKernel& kernel,
+                                              const RunPlan& plan,
                                               CpuCostMeter* meter) const {
   AnalyticsResult out;
   out.task = kernel.task();
   const TaskInput input = MakeInput();
-  const WordFilter filter(kernel, input, g_->num_words);
+  const WordFilter& filter = plan.filter;
   const StateLayout& layout = kernel.Layout(TraversalStrategy::kTopDown);
-  const StateDims dims = MakeDims(filter);
   const uint32_t n = static_cast<uint32_t>(dag_.num_rules());
 
-  // Rule occurrence weights carried in layout state over a host arena,
-  // parents before children (Algorithm 1's effect, computed sequentially in
-  // topological order).
+  // Rule occurrence weights carried in layout state over a host arena at the
+  // plan's offsets, parents before children (Algorithm 1's effect, computed
+  // sequentially in topological order).
   HostStateArena arena;
-  arena.Plan(std::vector<uint64_t>(n, layout.SlotsForBound(dims, 1)),
-             layout.AlignSlots());
+  BindArena(plan.state, &arena);
   CpuStateOps ops(meter);
   for (uint32_t r = 0; r < n; ++r) layout.Init(arena.at(r), ops);
   layout.Absorb(arena.at(0), 0, 1, ops);
@@ -276,19 +355,19 @@ AnalyticsResult CpuTadocEngine::GlobalTopDown(const TaskKernel& kernel,
 }
 
 AnalyticsResult CpuTadocEngine::GlobalBottomUp(const TaskKernel& kernel,
+                                               const RunPlan& plan,
                                                CpuCostMeter* meter) const {
   AnalyticsResult out;
   out.task = kernel.task();
   const TaskInput input = MakeInput();
-  const WordFilter filter(kernel, input, g_->num_words);
+  const WordFilter& filter = plan.filter;
   const StateLayout& layout = kernel.Layout(TraversalStrategy::kBottomUp);
-  const StateDims dims = MakeDims(filter);
 
   // Local state: full-expansion word tables per rule (Figure 2), restricted
-  // to accepted words and shaped by the kernel's bottom-up layout.
+  // to accepted words and shaped by the kernel's bottom-up layout over the
+  // plan's regions.
   HostStateArena arena;
-  std::vector<uint64_t> bound;
-  BuildRuleStatesCpu(dag_, filter, layout, dims, meter, &arena, &bound);
+  BuildRuleStatesCpu(dag_, plan, layout, meter, &arena);
   CpuStateOps ops(meter);
 
   // Reduce from the root and its direct children (level-2 nodes).
@@ -319,28 +398,25 @@ AnalyticsResult CpuTadocEngine::GlobalBottomUp(const TaskKernel& kernel,
 // ---------------------------------------------------------------------------
 
 AnalyticsResult CpuTadocEngine::FileTaskTopDown(const TaskKernel& kernel,
+                                                const RunPlan& plan,
                                                 CpuCostMeter* meter) const {
   AnalyticsResult out;
   out.task = kernel.task();
   const TaskInput input = MakeInput();
-  const WordFilter filter(kernel, input, g_->num_words);
-  const std::vector<uint8_t> relevant = ComputeRelevance(dag_, filter, meter);
+  const WordFilter& filter = plan.filter;
+  const std::vector<uint8_t>& relevant = plan.relevant;
   const uint32_t num_files = g_->num_files();
   const StateLayout& layout = kernel.Layout(TraversalStrategy::kTopDown);
-  const StateDims dims = MakeDims(filter);
   const uint32_t n = static_cast<uint32_t>(dag_.num_rules());
 
   // Per-rule file state: how rule r's occurrences distribute over files, in
-  // whatever shape the kernel's layout declares. This is the "file
-  // information" the paper notes becomes expensive with many files
-  // (Section VI-C). Selective kernels only give state to rules whose
-  // subtree can contribute.
+  // whatever shape the kernel's layout declares, at the plan's resolved
+  // offsets. This is the "file information" the paper notes becomes
+  // expensive with many files (Section VI-C). The plan's relevance mask
+  // (Bloom probes or the traversal pass) already pruned rules whose subtree
+  // cannot contribute — they were planned no regions.
   HostStateArena arena;
-  std::vector<uint64_t> sizes(n, 0);
-  for (uint32_t r = 1; r < n; ++r) {
-    if (relevant[r] != 0) sizes[r] = layout.SlotsForBound(dims, num_files);
-  }
-  arena.Plan(sizes, layout.AlignSlots());
+  BindArena(plan.state, &arena);
   CpuStateOps ops(meter);
   for (uint32_t r = 1; r < n; ++r) {
     if (arena.at(r).valid()) layout.Init(arena.at(r), ops);
@@ -394,21 +470,20 @@ AnalyticsResult CpuTadocEngine::FileTaskTopDown(const TaskKernel& kernel,
 }
 
 AnalyticsResult CpuTadocEngine::FileTaskBottomUp(const TaskKernel& kernel,
+                                                 const RunPlan& plan,
                                                  CpuCostMeter* meter) const {
   AnalyticsResult out;
   out.task = kernel.task();
   const TaskInput input = MakeInput();
-  const WordFilter filter(kernel, input, g_->num_words);
+  const WordFilter& filter = plan.filter;
   const uint32_t num_files = g_->num_files();
   const StateLayout& layout = kernel.Layout(TraversalStrategy::kBottomUp);
-  const StateDims dims = MakeDims(filter);
 
   // Local state as in bottom-up word count, restricted to accepted words
   // (states of rules without accepted words stay empty, pruning the root
   // scan below for free).
   HostStateArena arena;
-  std::vector<uint64_t> bound;
-  BuildRuleStatesCpu(dag_, filter, layout, dims, meter, &arena, &bound);
+  BuildRuleStatesCpu(dag_, plan, layout, meter, &arena);
   CpuStateOps ops(meter);
 
   // Root scan: each level-2 occurrence merges its state into the
@@ -444,15 +519,17 @@ AnalyticsResult CpuTadocEngine::FileTaskBottomUp(const TaskKernel& kernel,
 // The CPU baseline visits every token of the original text with a sliding
 // window (no head/tail state at all — the reuse opportunity G-TADOC's
 // HeadTailLayout pipeline later exploits), so there is no per-rule
-// accumulator here for a StateLayout to describe.
+// accumulator here for a StateLayout to describe. The plan still supplies
+// the kernel's window length (query-derived for phraseSearch).
 // ---------------------------------------------------------------------------
 
 AnalyticsResult CpuTadocEngine::SequenceTask(const TaskKernel& kernel,
+                                             const RunPlan& plan,
                                              CpuCostMeter* meter) const {
   AnalyticsResult out;
   out.task = kernel.task();
   const TaskInput input = MakeInput();
-  const uint32_t l = options_.ngram_len;
+  const uint32_t l = plan.window;
 
   // DFS token iterator over the full expansion (no materialization, but every
   // token of the original text is visited — the inefficiency the paper

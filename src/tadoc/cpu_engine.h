@@ -5,6 +5,7 @@
 
 #include "analytics/engine.h"
 #include "analytics/results.h"
+#include "analytics/run_plan.h"
 #include "analytics/task_kernel.h"
 #include "common/result.h"
 #include "format/dag.h"
@@ -19,10 +20,18 @@ struct CpuTadocOptions {
   gpu::CpuSpec cpu;  ///< cost-model parameters of the host CPU
   uint32_t ngram_len = 3;
   TraversalStrategy strategy = TraversalStrategy::kAuto;
-  /// Query word ids for selective kernels (kKeywordSearch).
+  /// Query word ids for selective kernels (kKeywordSearch), or the ordered
+  /// phrase of kPhraseSearch.
   std::vector<uint32_t> query_words;
+  /// Multi-query sets: one traversal serves every set, with per-set results
+  /// in AnalyticsResult::keyword_multi. Supersedes query_words when set.
+  std::vector<std::vector<uint32_t>> query_sets;
   /// k of bounded-selection kernels (kTopKWords).
   uint32_t top_k = 10;
+  /// Externally owned plan cache shared across engines (e.g. by the
+  /// partitioned baseline). Must outlive the engine. Null: the engine owns
+  /// a private cache.
+  PlanCache* plan_cache = nullptr;
 };
 
 /// \brief Sequential CPU TADOC — the paper's baseline ([2] with the adaptive
@@ -31,9 +40,12 @@ struct CpuTadocOptions {
 /// Task-agnostic like the GPU engine: Run dispatches on the task kernel's
 /// traversal shape, and the kernel assembles each shape's canonical
 /// accumulator into its result type, so CPU and GPU outputs agree by
-/// construction. The run is split into the paper's two phases:
-///   - initialization: building the DAG view, the root's file segmentation
-///     and the per-task data structures;
+/// construction. Like the GPU engine, every Run first resolves a RunPlan
+/// (strategy decision, relevance mask, region layout) through a PlanCache;
+/// the drivers are pure executors, so repeat same-shape runs skip planning
+/// (plan_seconds == 0). The run is split into the paper's two phases:
+///   - initialization: building the DAG view, the root's file segmentation,
+///     planning (or a free cache hit) and the per-task data structures;
 ///   - graph traversal: weight propagation (top-down) or local-table merging
 ///     (bottom-up) plus final result reduction.
 ///
@@ -61,27 +73,48 @@ class CpuTadocEngine {
   const DagView& dag() const { return dag_; }
   /// The strategy the selector would pick for `task`.
   TraversalStrategy ChosenStrategy(Task task) const;
+  /// The engine's plan cache (owned or shared; diagnostics/serving stats).
+  PlanCache* plan_cache() const { return plan_cache_; }
+  /// The cached plan a Run of (task, strategy_override) would consume, or
+  /// null before any such run. Does not touch the hit/miss counters.
+  std::shared_ptr<const RunPlan> CachedPlan(
+      Task task,
+      TraversalStrategy strategy_override = TraversalStrategy::kAuto) const;
 
  private:
   CpuTadocEngine(const Grammar* g, DagView dag, const CpuTadocOptions& options)
       : g_(g), dag_(std::move(dag)), options_(options) {}
 
-  /// The per-run task parameters handed to every kernel hook.
-  TaskInput MakeInput() const;
-  /// The layout dimensions of this run (accepted-vocabulary aware).
-  StateDims MakeDims(const WordFilter& filter) const;
+  /// The engine's charged planning passes (cpu_engine.cc): relevance/bounds
+  /// as metered reverse-topological loops, the GPU passes' twins.
+  struct CpuPlanner;
 
-  // Phase-2 shape drivers; each returns the kernel-assembled result and
-  // charges `meter`.
-  AnalyticsResult GlobalTopDown(const TaskKernel& kernel,
+  /// The per-run task parameters handed to every kernel hook (query_sets
+  /// flattened into the effective accept set).
+  TaskInput MakeInput() const;
+  /// The one place CPU plan keys are assembled: resolves a kAuto override
+  /// against the engine's configured strategy (in place) and stamps the CPU
+  /// backend, so store and lookup can never drift apart.
+  PlanKey MakePlanKey(Task task, TraversalStrategy* strategy_override,
+                      const PlanShape& shape) const;
+  /// Resolves (or fetches) the run's plan, charging `plan_meter` on a miss.
+  Result<std::shared_ptr<const RunPlan>> ResolvePlan(
+      const TaskKernel& kernel, TraversalStrategy strategy_override,
+      CpuCostMeter* plan_meter, bool* cache_hit) const;
+
+  // Phase-2 shape drivers; each executes the plan, returns the
+  // kernel-assembled result and charges `meter`.
+  AnalyticsResult GlobalTopDown(const TaskKernel& kernel, const RunPlan& plan,
                                 CpuCostMeter* meter) const;
-  AnalyticsResult GlobalBottomUp(const TaskKernel& kernel,
+  AnalyticsResult GlobalBottomUp(const TaskKernel& kernel, const RunPlan& plan,
                                  CpuCostMeter* meter) const;
   AnalyticsResult FileTaskTopDown(const TaskKernel& kernel,
+                                  const RunPlan& plan,
                                   CpuCostMeter* meter) const;
   AnalyticsResult FileTaskBottomUp(const TaskKernel& kernel,
+                                   const RunPlan& plan,
                                    CpuCostMeter* meter) const;
-  AnalyticsResult SequenceTask(const TaskKernel& kernel,
+  AnalyticsResult SequenceTask(const TaskKernel& kernel, const RunPlan& plan,
                                CpuCostMeter* meter) const;
 
   /// Root-body file segmentation: file id of each root position (phase 1).
@@ -90,6 +123,11 @@ class CpuTadocEngine {
   const Grammar* g_;
   DagView dag_;
   CpuTadocOptions options_;
+  uint64_t grammar_fp_ = 0;
+  /// The engine's plan cache when options_.plan_cache is null (shared so the
+  /// value-type engine stays copyable).
+  std::shared_ptr<PlanCache> owned_plan_cache_;
+  PlanCache* plan_cache_ = nullptr;
 };
 
 }  // namespace gtadoc

@@ -21,13 +21,14 @@
 namespace gtadoc {
 namespace {
 
-/// The nine built-in tasks (the paper's six + keywordSearch + the two
-/// StateLayout proof kernels).
+/// The ten built-in tasks (the paper's six + keywordSearch + the two
+/// StateLayout proof kernels + phraseSearch on the multi-query seam).
 std::vector<Task> BuiltinTasks() {
   std::vector<Task> tasks = AllTasks();
   tasks.push_back(Task::kKeywordSearch);
   tasks.push_back(Task::kTopKWords);
   tasks.push_back(Task::kTfIdf);
+  tasks.push_back(Task::kPhraseSearch);
   return tasks;
 }
 
@@ -176,7 +177,10 @@ TEST(TaskKernelTest, ShapeMetadata) {
             TraversalShape::kPerFileWeight);
   EXPECT_EQ(TaskRegistry::Find(Task::kTfIdf)->shape(),
             TraversalShape::kPerFileWeight);
+  EXPECT_EQ(TaskRegistry::Find(Task::kPhraseSearch)->shape(),
+            TraversalShape::kSequence);
   EXPECT_TRUE(IsSequenceTask(Task::kSequenceCount));
+  EXPECT_TRUE(IsSequenceTask(Task::kPhraseSearch));
   EXPECT_FALSE(IsSequenceTask(Task::kKeywordSearch));
   EXPECT_STREQ(TraversalShapeName(TraversalShape::kPerFileWeight),
                "perFileWeight");
@@ -327,7 +331,7 @@ TEST_P(AllEnginesAgree, OnRandomCorpora) {
   }
 }
 
-INSTANTIATE_TEST_SUITE_P(NineTasks, AllEnginesAgree, testing::Range(0, 9),
+INSTANTIATE_TEST_SUITE_P(TenTasks, AllEnginesAgree, testing::Range(0, 10),
                          [](const auto& info) {
                            return std::string(
                                TaskName(BuiltinTasks()[info.param]));
