@@ -13,9 +13,22 @@
 // report plan_seconds == 0 — zero region planning, zero relevance/bounds/
 // expansion traversals — and never run slower than the planning pass. Both
 // properties are hard gates.
+//
+// SERVER MODE (the second half) drives the same machinery through the
+// CorpusServer front-end and hard-gates its two contracts:
+//   1. Concurrent submits under a device slot budget execute in FIFO
+//      admission waves with every context pool pre-sized from plan metadata
+//      — ZERO mid-run pool growth charges (a bare BatchEngine on the same
+//      corpus grows its pools while documents execute, printed as the
+//      contrast).
+//   2. A selective multi-query workload over a 16-document corpus skips at
+//      least half the documents by root-Bloom rejection, with the merged
+//      result bit-identical to the unskipped run.
 
 #include "analytics/batch.h"
+#include "analytics/server.h"
 #include "bench_util.h"
+#include "sequitur/compressor.h"
 
 using namespace gtadoc;
 
@@ -31,6 +44,200 @@ struct BatchResultRow {
   double cpu_total = 0;
   double overlap_saved = 0;
 };
+
+/// The server-mode section: admission packing + Bloom skip, both hard-gated.
+/// Returns 0 on success, 1 on a gate failure.
+int RunServerMode(const gpu::Platform& platform, double scale) {
+  bench::PrintRule('=');
+  std::printf(
+      "SERVER MODE: CorpusServer admission + root-Bloom skip over %u "
+      "documents\n",
+      kDocuments);
+
+  // The deterministic corpus-skip fixture (datagen's BuildMarkerCorpus):
+  // markers live only in the first half of the documents and every
+  // marker-free document's persisted root Bloom provably rejects them —
+  // the skip the gate measures is construction, not seed luck.
+  MarkerCorpusSpec mspec;
+  mspec.num_docs = kDocuments;
+  mspec.relevant = kDocuments / 2;
+  mspec.num_markers = 8;
+  mspec.files_per_doc = 4;
+  mspec.tokens_per_doc = 3000;
+  mspec.seed = 23;
+  mspec.scale = scale;
+  auto built = BuildMarkerCorpus(mspec);
+  if (!built.ok()) {
+    std::fprintf(stderr, "GATE FAILED: marker corpus: %s\n",
+                 built.status().ToString().c_str());
+    return 1;
+  }
+  MarkerCorpus mc = std::move(*built);
+
+  CorpusServer::Options sizing;
+  sizing.engine.gpu = platform.gpu;
+  sizing.engine.charge_pcie = true;
+
+  // The submitted workload: a packing mix of corpus-wide runs plus one
+  // selective multi-query keyword run (8 single-marker query sets answered
+  // in one pass).
+  std::vector<CorpusServer::RunRequest> requests;
+  for (Task t : {Task::kWordCount, Task::kInvertedIndex, Task::kTermVector,
+                 Task::kSort, Task::kInvertedIndex, Task::kWordCount}) {
+    CorpusServer::RunRequest req;
+    req.task = t;
+    requests.push_back(req);
+  }
+  {
+    CorpusServer::RunRequest req;
+    req.task = Task::kKeywordSearch;
+    for (uint32_t m : mc.markers) req.query_sets.push_back({m});
+    requests.push_back(req);
+  }
+
+  // Sizing pass: an unmetered server reports every run's plan-metadata
+  // footprint; the real budget is set to 1.5x the largest so packing is
+  // forced into multiple waves.
+  uint64_t max_fp = 0;
+  uint64_t sum_fp = 0;
+  {
+    auto sizer = CorpusServer::Create(&mc.corpus, sizing);
+    if (!sizer.ok()) return 1;
+    for (const auto& req : requests) {
+      auto admission = (*sizer)->Submit(req);
+      if (!admission.ok()) {
+        std::fprintf(stderr, "sizing submit: %s\n",
+                     admission.status().ToString().c_str());
+        return 1;
+      }
+      max_fp = std::max(max_fp, admission->footprint_slots);
+      sum_fp += admission->footprint_slots;
+    }
+  }
+
+  CorpusServer::Options opt = sizing;
+  opt.device_slot_budget = max_fp + max_fp / 2;
+  auto server = CorpusServer::Create(&mc.corpus, opt);
+  if (!server.ok()) return 1;
+  for (const auto& req : requests) {
+    auto admission = (*server)->Submit(req);
+    if (!admission.ok()) return 1;
+  }
+  auto served = (*server)->Drain();
+  if (!served.ok()) {
+    std::fprintf(stderr, "drain: %s\n", served.status().ToString().c_str());
+    return 1;
+  }
+
+  bench::PrintRule();
+  std::printf("%-8s %-16s %14s %6s %6s %7s %12s\n", "ticket", "task",
+              "footprint", "wave", "exec", "skip", "total (ms)");
+  bench::PrintRule();
+  for (const auto& run : *served) {
+    std::printf("%-8llu %-16s %14llu %6llu %6u %7u %12.3f\n",
+                static_cast<unsigned long long>(run.admission.ticket),
+                TaskName(run.batch.merged.task),
+                static_cast<unsigned long long>(
+                    run.admission.footprint_slots),
+                static_cast<unsigned long long>(run.wave),
+                run.admission.documents_to_execute,
+                run.admission.documents_skipped,
+                run.batch.timing.total_seconds() * 1e3);
+  }
+  const CorpusServer::Stats& stats = (*server)->stats();
+  std::printf(
+      "budget %llu slots (sum of footprints %llu): %llu waves, peak "
+      "admitted %llu slots\n",
+      static_cast<unsigned long long>(opt.device_slot_budget),
+      static_cast<unsigned long long>(sum_fp),
+      static_cast<unsigned long long>(stats.waves),
+      static_cast<unsigned long long>(stats.peak_admitted_slots));
+
+  // --- Gate 1: admission pre-sizing means zero mid-run pool growth. -------
+  if (stats.mid_run_pool_growths != 0) {
+    std::fprintf(stderr,
+                 "GATE FAILED: %llu mid-run pool growth charges under the "
+                 "server (must be 0)\n",
+                 static_cast<unsigned long long>(stats.mid_run_pool_growths));
+    return 1;
+  }
+  if (stats.peak_admitted_slots > opt.device_slot_budget) {
+    std::fprintf(stderr, "GATE FAILED: admitted set exceeded the budget\n");
+    return 1;
+  }
+  if (stats.waves < 2) {
+    std::fprintf(stderr,
+                 "GATE FAILED: budget never forced a second wave (packing "
+                 "untested)\n");
+    return 1;
+  }
+  uint64_t naive_growths = 0;
+  {
+    BatchEngine::Options bopt;
+    bopt.engine = sizing.engine;
+    auto batch = BatchEngine::Create(&mc.corpus, bopt);
+    if (!batch.ok()) return 1;
+    auto run = (*batch)->Run(Task::kInvertedIndex);
+    if (!run.ok()) return 1;
+    naive_growths = run->mid_run_pool_growths;
+  }
+  std::printf(
+      "mid-run pool growths: server 0 vs bare BatchEngine %llu (pool sized "
+      "lazily per document)\n",
+      static_cast<unsigned long long>(naive_growths));
+  if (naive_growths == 0) {
+    std::fprintf(stderr,
+                 "GATE FAILED: contrast lost — the lazy pool path charged no "
+                 "growth either\n");
+    return 1;
+  }
+
+  // --- Gate 2: the selective run skipped >= half, bit-identically. --------
+  const CorpusServer::ServedRun& selective = served->back();
+  if (selective.admission.documents_skipped < kDocuments / 2) {
+    std::fprintf(stderr,
+                 "GATE FAILED: root Blooms skipped %u of %u documents "
+                 "(need >= %u)\n",
+                 selective.admission.documents_skipped, kDocuments,
+                 kDocuments / 2);
+    return 1;
+  }
+  BatchEngine::Options full_opt;
+  full_opt.engine = sizing.engine;
+  full_opt.engine.query_sets = requests.back().query_sets;
+  auto full_engine = BatchEngine::Create(&mc.corpus, full_opt);
+  if (!full_engine.ok()) return 1;
+  auto full = (*full_engine)->Run(Task::kKeywordSearch);
+  if (!full.ok()) return 1;
+  if (!selective.batch.merged.SameAs(full->merged)) {
+    std::fprintf(stderr, "GATE FAILED: skipped run diverged: %s vs %s\n",
+                 selective.batch.merged.Digest().c_str(),
+                 full->merged.Digest().c_str());
+    return 1;
+  }
+  std::printf(
+      "bloom skip: %u/%u documents rejected by the root filter, merged "
+      "result bit-identical;\n            traversal ops %llu -> %llu "
+      "(%.2fx), upload %.3f -> %.3f ms\n",
+      selective.admission.documents_skipped, kDocuments,
+      static_cast<unsigned long long>(full->timing.traversal_ops),
+      static_cast<unsigned long long>(
+          selective.batch.timing.traversal_ops),
+      static_cast<double>(full->timing.traversal_ops) /
+          static_cast<double>(
+              std::max<uint64_t>(1, selective.batch.timing.traversal_ops)),
+      full->timing.upload_seconds * 1e3,
+      selective.batch.timing.upload_seconds * 1e3);
+  if (selective.batch.timing.traversal_ops >= full->timing.traversal_ops ||
+      selective.batch.timing.upload_seconds >=
+          full->timing.upload_seconds) {
+    std::fprintf(stderr,
+                 "GATE FAILED: the skipped run did not do strictly less "
+                 "work\n");
+    return 1;
+  }
+  return 0;
+}
 
 }  // namespace
 
@@ -175,5 +382,5 @@ int main() {
                  warm_geo, batch_geo);
     return 1;
   }
-  return 0;
+  return RunServerMode(platform, scale);
 }

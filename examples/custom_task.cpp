@@ -14,6 +14,10 @@
 // without engine edits — the same mechanism that lets in-tree kernels carry
 // dense file vectors, private word tables, or bounded heaps.
 //
+// This file is the worked example of docs/EXTENDING.md — the end-to-end
+// guide to adding a task (shape, filter, layout, assembly, merge, serving
+// hooks). Read the two together.
+//
 // Build:  cmake -B build && cmake --build build
 // Run:    ./build/custom_task
 

@@ -1,0 +1,58 @@
+#!/usr/bin/env bash
+# Docs health check, run by the CI docs job (and fine to run locally):
+#   1. every relative markdown link in README.md, ROADMAP.md and docs/
+#      resolves to an existing file or directory;
+#   2. drift check: every bench/bench_*.cc has a matching "## bench_*"
+#      section in docs/BENCHMARKS.md, and every such section has a matching
+#      bench file;
+#   3. the documented docs tree actually exists.
+# Pure grep/sed so it needs no extra tooling.
+set -u
+cd "$(dirname "$0")/.."
+status=0
+
+# --- 1. Relative markdown links must resolve --------------------------------
+for doc in README.md ROADMAP.md docs/*.md; do
+  [ -f "$doc" ] || continue
+  dir=$(dirname "$doc")
+  while IFS= read -r target; do
+    case "$target" in
+      http://* | https://* | mailto:*) continue ;;
+    esac
+    path="${target%%#*}"
+    [ -n "$path" ] || continue # pure-anchor link into the same file
+    if [ ! -e "$dir/$path" ] && [ ! -e "$path" ]; then
+      echo "BROKEN LINK: $doc -> $target"
+      status=1
+    fi
+  done < <(grep -oE '\]\([^)]+\)' "$doc" | sed -e 's/^](//' -e 's/)$//')
+done
+
+# --- 2. bench <-> docs/BENCHMARKS.md drift check -----------------------------
+for bench in bench/bench_*.cc; do
+  name=$(basename "$bench" .cc)
+  if ! grep -qE "^## ${name}\$" docs/BENCHMARKS.md; then
+    echo "DRIFT: $bench has no '## $name' section in docs/BENCHMARKS.md"
+    status=1
+  fi
+done
+while IFS= read -r heading; do
+  name=${heading#\#\# }
+  if [ ! -f "bench/$name.cc" ]; then
+    echo "DRIFT: docs/BENCHMARKS.md section '$name' has no bench/$name.cc"
+    status=1
+  fi
+done < <(grep -oE '^## bench_[a-z0-9_]+' docs/BENCHMARKS.md)
+
+# --- 3. The documented docs tree must exist ----------------------------------
+for required in docs/ARCHITECTURE.md docs/EXTENDING.md docs/BENCHMARKS.md; do
+  if [ ! -f "$required" ]; then
+    echo "MISSING: $required"
+    status=1
+  fi
+done
+
+if [ "$status" -eq 0 ]; then
+  echo "docs check OK"
+fi
+exit "$status"

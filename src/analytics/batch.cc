@@ -36,23 +36,90 @@ Result<std::unique_ptr<BatchEngine>> BatchEngine::Create(
   return engine;
 }
 
-Status BatchEngine::RunShard(Task task, size_t lo, size_t hi,
-                             std::vector<DocumentRun>* runs) const {
+namespace {
+
+/// The result a skipped document contributes: the kernel's own assembly of
+/// zero drained entries, which is bit-identical to what executing a document
+/// with no matching content would have produced (same code path, empty
+/// input). Costs nothing — skipping is the point.
+Status EmptyDocumentResult(const TaskKernel& kernel, const TaskInput& input,
+                           uint32_t num_files, AnalyticsResult* out) {
+  out->task = kernel.task();
+  CpuAssembly ops(nullptr);  // uncharged: no device work happened
+  switch (kernel.shape()) {
+    case TraversalShape::kGlobalWeight:
+      kernel.AssembleGlobal(input, {}, &ops, out);
+      break;
+    case TraversalShape::kPerFileWeight:
+      kernel.AssembleFileWord(input, num_files, {}, &ops, out);
+      break;
+    case TraversalShape::kSequence:
+      kernel.AssembleSequence(input, {}, &ops, out);
+      break;
+  }
+  kernel.Canonicalize(out);
+  return Status::OK();
+}
+
+}  // namespace
+
+Status BatchEngine::RunShard(Task task, const std::vector<uint8_t>* execute,
+                             size_t lo, size_t hi,
+                             std::vector<DocumentRun>* runs,
+                             uint64_t* mid_run_growths) const {
   GTadocEngine::Options eopt = options_.engine;
+  // A fully-masked shard must hold NO device state: admission only
+  // reserves budget for contexts that execute something, so allocating a
+  // pre-sized pool here would put more on the device than was reserved.
+  bool shard_executes = false;
+  for (size_t i = lo; i < hi && !shard_executes; ++i) {
+    shard_executes = execute == nullptr || (*execute)[i] != 0;
+  }
   std::unique_ptr<gpu::Device> device;
   std::unique_ptr<gpu::MemoryPool> pool;
-  if (options_.reuse_device_state) {
+  uint64_t growth_baseline = 0;
+  if (options_.reuse_device_state && shard_executes) {
     // One context for the whole shard: the pool grows to the shard's
     // high-water mark once, the grammar arena is rebound per document.
     device = std::make_unique<gpu::Device>(eopt.gpu, eopt.host_workers);
     pool = std::make_unique<gpu::MemoryPool>(device.get());
+    if (options_.presize_pool_slots > 0) {
+      // Admission pre-sizing: the serving layer knows the run's footprint
+      // from plan metadata, so the one growth happens here, before any
+      // document executes — growths past the baseline are mid-run.
+      pool->EnsureCapacity(options_.presize_pool_slots);
+    }
+    growth_baseline = pool->growth_count();
     eopt.shared_device = device.get();
     eopt.shared_pool = pool.get();
+  }
+
+  const TaskKernel* kernel = nullptr;
+  TaskInput input;
+  if (execute != nullptr) {
+    auto kernel_lookup = TaskRegistry::Get(task);
+    if (!kernel_lookup.ok()) return kernel_lookup.status();
+    kernel = *kernel_lookup;
+    input = GTadocEngine::InputFromOptions(options_.engine);
   }
 
   std::unique_ptr<GTadocEngine> engine;
   for (size_t i = lo; i < hi; ++i) {
     const Grammar* doc = &corpus_->partitions[i];
+    DocumentRun& out = (*runs)[i];
+    out.doc = static_cast<uint32_t>(i);
+    out.file_base = corpus_->file_base[i];
+    if (execute != nullptr && (*execute)[i] == 0) {
+      // Corpus-level pushdown: provably irrelevant document — no upload,
+      // no plan, no traversal. It still contributes a (trivially empty)
+      // per-document result so the merge path is unchanged.
+      Status st = EmptyDocumentResult(*kernel, input, doc->num_files(),
+                                      &out.result);
+      if (!st.ok()) return st;
+      out.timing = RunTiming();
+      out.skipped = true;
+      continue;
+    }
     if (engine != nullptr && options_.reuse_device_state) {
       Status st = engine->Rebind(doc);
       if (!st.ok()) return st;
@@ -65,13 +132,32 @@ Status BatchEngine::RunShard(Task task, size_t lo, size_t hi,
     }
     auto run = engine->Run(task);
     if (!run.ok()) return run.status();
-    DocumentRun& out = (*runs)[i];
-    out.doc = static_cast<uint32_t>(i);
-    out.file_base = corpus_->file_base[i];
     out.result = std::move(run->result);
     out.timing = run->timing;
   }
+  if (pool != nullptr && mid_run_growths != nullptr) {
+    *mid_run_growths = pool->growth_count() - growth_baseline;
+  }
   return Status::OK();
+}
+
+std::vector<std::pair<size_t, size_t>> BatchEngine::ShardSplit(
+    size_t n, size_t workers) {
+  if (workers == 0) {
+    workers = std::max<size_t>(1, std::thread::hardware_concurrency());
+  }
+  workers = std::min(workers, n);
+  // Contiguous shards: worker w owns documents [w*chunk, ...). The split is
+  // a pure function of (n, workers), so reruns see identical contexts and
+  // identical reuse accounting — and admission sees the same contexts as
+  // execution.
+  std::vector<std::pair<size_t, size_t>> shards;
+  if (n == 0) return shards;
+  const size_t chunk = (n + workers - 1) / workers;
+  for (size_t lo = 0; lo < n; lo += chunk) {
+    shards.emplace_back(lo, std::min(n, lo + chunk));
+  }
+  return shards;
 }
 
 RunTiming BatchEngine::ComposeTiming(const std::vector<DocumentRun>& runs,
@@ -108,43 +194,52 @@ RunTiming BatchEngine::ComposeTiming(const std::vector<DocumentRun>& runs,
 }
 
 Result<BatchEngine::BatchRun> BatchEngine::Run(Task task) {
+  return Run(task, std::vector<uint8_t>());
+}
+
+Result<BatchEngine::BatchRun> BatchEngine::Run(
+    Task task, const std::vector<uint8_t>& execute_mask) {
   Timer wall;
   const size_t n = corpus_->partitions.size();
-  size_t workers = options_.host_workers;
-  if (workers == 0) {
-    workers = std::max<size_t>(1, std::thread::hardware_concurrency());
+  const std::vector<uint8_t>* execute = nullptr;
+  if (!execute_mask.empty()) {
+    if (execute_mask.size() != n) {
+      return Status::InvalidArgument("execute mask size mismatch");
+    }
+    execute = &execute_mask;
   }
-  workers = std::min(workers, n);
 
   BatchRun batch;
   batch.documents.resize(n);
 
-  // Contiguous shards: worker w owns documents [w*chunk, ...). The split is
-  // a pure function of (n, workers), so reruns see identical contexts and
-  // identical reuse accounting.
-  std::vector<std::pair<size_t, size_t>> shards;
-  const size_t chunk = (n + workers - 1) / workers;
-  for (size_t lo = 0; lo < n; lo += chunk) {
-    shards.emplace_back(lo, std::min(n, lo + chunk));
-  }
+  const std::vector<std::pair<size_t, size_t>> shards =
+      ShardSplit(n, options_.host_workers);
 
+  std::vector<uint64_t> shard_growths(shards.size(), 0);
   if (shards.size() == 1) {
-    Status st = RunShard(task, shards[0].first, shards[0].second,
-                         &batch.documents);
+    Status st = RunShard(task, execute, shards[0].first, shards[0].second,
+                         &batch.documents, &shard_growths[0]);
     if (!st.ok()) return st;
   } else {
     std::vector<Status> shard_status(shards.size());
     ThreadPool host_pool(shards.size());
     for (size_t s = 0; s < shards.size(); ++s) {
-      host_pool.Submit([this, task, s, &shards, &shard_status, &batch] {
-        shard_status[s] = RunShard(task, shards[s].first, shards[s].second,
-                                   &batch.documents);
-      });
+      host_pool.Submit(
+          [this, task, execute, s, &shards, &shard_status, &shard_growths,
+           &batch] {
+            shard_status[s] =
+                RunShard(task, execute, shards[s].first, shards[s].second,
+                         &batch.documents, &shard_growths[s]);
+          });
     }
     host_pool.Wait();
     for (const Status& st : shard_status) {
       if (!st.ok()) return st;
     }
+  }
+  for (uint64_t g : shard_growths) batch.mid_run_pool_growths += g;
+  for (const DocumentRun& r : batch.documents) {
+    if (r.skipped) ++batch.documents_skipped;
   }
 
   // Merge in corpus order (scheduling-independent).

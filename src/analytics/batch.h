@@ -67,6 +67,15 @@ class BatchEngine {
     /// Pipeline document i+1's grammar upload under document i's traversal
     /// in the simulated schedule.
     bool overlap_uploads = true;
+    /// Grow each reuse context's pool to this many slots up front, before
+    /// any document executes (one allocation charge at context setup). A
+    /// serving layer that knows the run's full footprint from plan metadata
+    /// (RunPlan::total_slots, via GTadocEngine::PlanOnly) sets this to the
+    /// run's per-context maximum so NO document triggers a mid-run
+    /// EnsureCapacity growth — the admission contract BatchRun's
+    /// mid_run_pool_growths verifies. 0 = no pre-sizing (pools grow lazily
+    /// to the shard's high-water mark, charged mid-run).
+    uint64_t presize_pool_slots = 0;
   };
 
   /// One document's run inside the batch.
@@ -75,6 +84,11 @@ class BatchEngine {
     uint32_t file_base = 0;  ///< global file id of the document's file 0
     AnalyticsResult result;  ///< document-local file ids
     RunTiming timing;
+    /// True when the document was skipped by the caller's execute mask
+    /// (e.g. the CorpusServer's root-Bloom pushdown): no upload, no plan,
+    /// no traversal — `result` is the kernel's assembly of zero drained
+    /// entries and `timing` is all zeros.
+    bool skipped = false;
   };
 
   /// A batch execution: per-document outputs plus the corpus merge.
@@ -87,6 +101,14 @@ class BatchEngine {
     /// overlap_saved_seconds, merge reduce included in traversal_seconds.
     /// total_seconds() is the batch makespan on one simulated GPU.
     RunTiming timing;
+    /// Documents the execute mask skipped (0 for an unmasked Run).
+    uint32_t documents_skipped = 0;
+    /// Shared-context pool growths charged AFTER the presize, i.e. while
+    /// documents were executing. A serving layer that pre-sized pools from
+    /// plan metadata proves its admission contract by this staying 0. Only
+    /// reuse contexts are counted (the cold path's engine-owned pools are
+    /// per-document by construction).
+    uint64_t mid_run_pool_growths = 0;
   };
 
   /// The corpus must outlive the engine. Fails on an empty corpus or on
@@ -96,6 +118,24 @@ class BatchEngine {
 
   /// Runs one task over every document and merges.
   Result<BatchRun> Run(Task task);
+
+  /// The deterministic contiguous shard split Run uses over `n` documents:
+  /// worker w owns documents [w*chunk, min(n, (w+1)*chunk)). A pure
+  /// function of (n, workers), shared with the serving layer so admission
+  /// (CorpusServer::ProbeFootprint) reasons about exactly the device
+  /// contexts execution will create. `workers` == 0 selects hardware
+  /// concurrency.
+  static std::vector<std::pair<size_t, size_t>> ShardSplit(size_t n,
+                                                           size_t workers);
+
+  /// Like Run, but executes only documents with execute_mask[d] != 0.
+  /// Skipped documents still contribute a DocumentRun — the kernel's
+  /// assembly of zero drained entries, with zero timing — so the merged
+  /// corpus view is bit-identical to an unmasked Run whenever the mask only
+  /// skips documents that could not have produced output (the CorpusServer's
+  /// root-Bloom guarantee). An empty mask executes everything; any other
+  /// size mismatch is InvalidArgument.
+  Result<BatchRun> Run(Task task, const std::vector<uint8_t>& execute_mask);
 
   size_t num_documents() const { return corpus_->partitions.size(); }
   uint32_t total_files() const { return corpus_->total_files; }
@@ -108,9 +148,13 @@ class BatchEngine {
       : corpus_(corpus), options_(options) {}
 
   /// Runs documents [lo, hi) on one worker's device context, writing into
-  /// (*runs)[lo..hi). Returns the first failure.
-  Status RunShard(Task task, size_t lo, size_t hi,
-                  std::vector<DocumentRun>* runs) const;
+  /// (*runs)[lo..hi); documents with execute[d] == 0 (null = run all) get
+  /// empty assembled results without touching the device. `*mid_run_growths`
+  /// receives the context pool's growths after the presize. Returns the
+  /// first failure.
+  Status RunShard(Task task, const std::vector<uint8_t>* execute, size_t lo,
+                  size_t hi, std::vector<DocumentRun>* runs,
+                  uint64_t* mid_run_growths) const;
 
   /// Composes per-document timings (document order) into the single-GPU
   /// pipeline schedule and charges the corpus merge.

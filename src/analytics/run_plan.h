@@ -123,7 +123,12 @@ struct RunPlan {
   /// assembly reuses the run's pool instead of a scoped pool.
   uint64_t assembly_offset = 0;
   uint64_t assembly_slots = 0;
-  /// Pool capacity covering every group above.
+  /// Pool capacity covering every group above — the run's FULL device pool
+  /// footprint, known before execution. This is the serving layer's
+  /// scheduler input: CorpusServer admission-controls and bin-packs
+  /// concurrent runs from this one number (via GTadocEngine::PlanOnly) and
+  /// pre-sizes each execution context's pool to it, which is what
+  /// guarantees zero mid-run EnsureCapacity growth.
   uint64_t total_slots = 0;
   /// The kernel's distinct-key hint for the global reduce table, resolved
   /// against the raw dimensions (0 = no hint).

@@ -1,0 +1,240 @@
+#include "analytics/server.h"
+
+#include <algorithm>
+
+#include "gtadoc/engine.h"
+
+namespace gtadoc {
+
+std::vector<uint8_t> BloomExecuteMask(const PartitionedCorpus& corpus,
+                                      const TaskKernel& kernel,
+                                      const TaskInput& input) {
+  // Each document answers one question — may this run produce output here?
+  // — and the kernel owns the answer (TaskKernel::MayMatchDocument), probed
+  // against the document's persisted root Bloom. Documents without Blooms
+  // (v1 containers, hand-built grammars) always execute.
+  std::vector<uint8_t> execute(corpus.partitions.size(), 1);
+  bool any_skip = false;
+  for (size_t d = 0; d < corpus.partitions.size(); ++d) {
+    const Grammar& g = corpus.partitions[d];
+    if (!g.has_rule_blooms()) continue;
+    if (!kernel.MayMatchDocument(g.rule_blooms[0], input)) {
+      execute[d] = 0;
+      any_skip = true;
+    }
+  }
+  // All-ones collapses to "no mask" so the execution path stays untouched
+  // for non-selective runs.
+  if (!any_skip) return {};
+  return execute;
+}
+
+CorpusServer::CorpusServer(const PartitionedCorpus* corpus,
+                           const Options& options)
+    : corpus_(corpus),
+      options_(options),
+      budget_(options.device_slot_budget) {}
+
+Result<std::unique_ptr<CorpusServer>> CorpusServer::Create(
+    const PartitionedCorpus* corpus, const Options& options) {
+  if (corpus == nullptr || corpus->partitions.empty()) {
+    return Status::InvalidArgument("server needs at least one document");
+  }
+  if (options.engine.shared_device != nullptr ||
+      options.engine.shared_pool != nullptr) {
+    return Status::InvalidArgument(
+        "server manages device sharing; leave "
+        "engine.shared_device/shared_pool null");
+  }
+  if (options.engine.plan_cache != nullptr) {
+    return Status::InvalidArgument(
+        "server owns the plan cache; leave engine.plan_cache null");
+  }
+  std::unique_ptr<CorpusServer> server(new CorpusServer(corpus, options));
+  // One cache for the Submit probes and every execution worker of every
+  // run: a document planned at admission is a guaranteed hit at execution.
+  server->plan_cache_ = std::make_shared<PlanCache>(
+      std::max<size_t>(256, 8 * corpus->partitions.size()));
+  server->options_.engine.plan_cache = server->plan_cache_.get();
+  return server;
+}
+
+Status CorpusServer::ProbeFootprint(PendingRun* run) {
+  const size_t n = corpus_->partitions.size();
+  const std::vector<uint8_t>& mask = run->execute_mask;
+
+  // Plan every executed document once on a probe context; PlanOnly fills
+  // the shared cache, so this is the ONLY time planning is charged — the
+  // execution contexts resolve every plan as a cache hit.
+  std::vector<uint64_t> doc_slots(n, 0);
+  std::unique_ptr<GTadocEngine> probe;
+  for (size_t d = 0; d < n; ++d) {
+    if (!mask.empty() && mask[d] == 0) continue;
+    const Grammar* doc = &corpus_->partitions[d];
+    if (probe == nullptr) {
+      auto created = GTadocEngine::Create(doc, run->engine);
+      if (!created.ok()) return created.status();
+      probe = std::move(*created);
+    } else {
+      Status st = probe->Rebind(doc);
+      if (!st.ok()) return st;
+    }
+    probe->device()->ResetClock();
+    auto plan = probe->PlanOnly(run->task);
+    if (!plan.ok()) return plan.status();
+    run->admission.admission_seconds += probe->device()->SimSeconds();
+    doc_slots[d] = (*plan)->total_slots;
+  }
+
+  // A run's device footprint is what execution will actually hold: one pool
+  // per worker context that executes anything (BatchEngine creates no
+  // device state for a fully-masked shard), each pre-sized to one value for
+  // every context (the global maximum plan footprint), so the reservation
+  // sums that conservatively. The split is BatchEngine's own, so admission
+  // prices exactly the contexts execution creates.
+  uint64_t presize = 0;
+  for (uint64_t s : doc_slots) presize = std::max(presize, s);
+  run->presize_slots = presize;
+  size_t executing_shards = 0;
+  for (const auto& [lo, hi] :
+       BatchEngine::ShardSplit(n, options_.host_workers)) {
+    for (size_t d = lo; d < hi; ++d) {
+      if (mask.empty() || mask[d] != 0) {
+        ++executing_shards;
+        break;
+      }
+    }
+  }
+  run->admission.footprint_slots = executing_shards * presize;
+
+  // The pre-sizing allocation call each executing context will pay at
+  // setup, charged to admission so moving the growth out of the run does
+  // not make it free.
+  if (options_.reuse_device_state && presize > 0) {
+    run->admission.admission_seconds +=
+        static_cast<double>(executing_shards) *
+        options_.engine.gpu.device_alloc_us * 1e-6;
+  }
+  return Status::OK();
+}
+
+Result<CorpusServer::Admission> CorpusServer::Submit(
+    const RunRequest& request) {
+  auto kernel_lookup = TaskRegistry::Get(request.task);
+  if (!kernel_lookup.ok()) return kernel_lookup.status();
+  const TaskKernel& kernel = **kernel_lookup;
+
+  PendingRun run;
+  run.task = request.task;
+  run.engine = options_.engine;
+  // Empty / 0 request fields inherit the server's engine defaults (the
+  // RunRequest contract). An explicit query replaces the default WHOLE —
+  // both fields together — because the engines prefer query_sets whenever
+  // it is non-empty: a request's words must never be shadowed by a
+  // server-default set.
+  if (!request.query_words.empty() || !request.query_sets.empty()) {
+    run.engine.query_words = request.query_words;
+    run.engine.query_sets = request.query_sets;
+  }
+  if (request.top_k != 0) run.engine.top_k = request.top_k;
+  if (request.ngram_len != 0) run.engine.ngram_len = request.ngram_len;
+
+  const TaskInput input = GTadocEngine::InputFromOptions(run.engine);
+  if (options_.bloom_skip) {
+    run.execute_mask = BloomExecuteMask(*corpus_, kernel, input);
+  }
+  uint32_t to_execute = static_cast<uint32_t>(corpus_->partitions.size());
+  if (!run.execute_mask.empty()) {
+    to_execute = 0;
+    for (uint8_t e : run.execute_mask) to_execute += e != 0 ? 1 : 0;
+  }
+  run.admission.documents_to_execute = to_execute;
+  run.admission.documents_skipped =
+      static_cast<uint32_t>(corpus_->partitions.size()) - to_execute;
+
+  if (to_execute > 0) {
+    Status st = ProbeFootprint(&run);
+    if (!st.ok()) return st;
+  }
+
+  if (options_.device_slot_budget > 0 &&
+      run.admission.footprint_slots > options_.device_slot_budget) {
+    ++stats_.rejected;
+    return Status::OutOfMemory(
+        "run footprint " + std::to_string(run.admission.footprint_slots) +
+        " slots exceeds the device budget " +
+        std::to_string(options_.device_slot_budget));
+  }
+
+  run.admission.ticket = next_ticket_++;
+  ++stats_.submitted;
+  Admission receipt = run.admission;
+  queue_.push_back(std::move(run));
+  return receipt;
+}
+
+Result<BatchEngine::BatchRun> CorpusServer::Execute(const PendingRun& run) {
+  BatchEngine::Options bopt;
+  bopt.engine = run.engine;
+  bopt.host_workers = options_.host_workers;
+  bopt.reuse_device_state = options_.reuse_device_state;
+  bopt.overlap_uploads = options_.overlap_uploads;
+  bopt.presize_pool_slots = run.presize_slots;
+  auto engine = BatchEngine::Create(corpus_, bopt);
+  if (!engine.ok()) return engine.status();
+  return (*engine)->Run(run.task, run.execute_mask);
+}
+
+Result<std::vector<CorpusServer::ServedRun>> CorpusServer::Drain() {
+  std::vector<ServedRun> served;
+  served.reserve(queue_.size());
+  while (!queue_.empty()) {
+    // One admission wave: the longest FIFO prefix of the queue whose
+    // footprints fit the budget together. The head always fits an empty
+    // wave (Submit rejected anything larger than the whole budget).
+    std::vector<PendingRun> wave;
+    while (!queue_.empty() &&
+           budget_.TryReserve(queue_.front().admission.footprint_slots)) {
+      wave.push_back(std::move(queue_.front()));
+      queue_.pop_front();
+    }
+    const uint64_t wave_id = next_wave_++;
+    ++stats_.waves;
+    // The budget already tracks the exact reservation high-water mark.
+    stats_.peak_admitted_slots = budget_.peak_in_use();
+
+    // Every member's reservation is held until the whole wave completes
+    // (concurrent tenancy); compute serializes in ticket order on the one
+    // device.
+    Status failure = Status::OK();
+    for (PendingRun& run : wave) {
+      if (!failure.ok()) continue;
+      auto batch = Execute(run);
+      if (!batch.ok()) {
+        failure = batch.status();
+        continue;
+      }
+      ServedRun out;
+      out.admission = run.admission;
+      out.wave = wave_id;
+      out.batch = std::move(*batch);
+      ++stats_.served;
+      stats_.documents_skipped += out.batch.documents_skipped;
+      stats_.documents_executed +=
+          static_cast<uint64_t>(out.batch.documents.size()) -
+          out.batch.documents_skipped;
+      stats_.mid_run_pool_growths += out.batch.mid_run_pool_growths;
+      served.push_back(std::move(out));
+    }
+    for (const PendingRun& run : wave) {
+      budget_.Release(run.admission.footprint_slots);
+    }
+    if (!failure.ok()) {
+      queue_.clear();
+      return failure;
+    }
+  }
+  return served;
+}
+
+}  // namespace gtadoc

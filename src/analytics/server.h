@@ -1,0 +1,210 @@
+#ifndef GTADOC_ANALYTICS_SERVER_H_
+#define GTADOC_ANALYTICS_SERVER_H_
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <vector>
+
+#include "analytics/batch.h"
+#include "analytics/run_plan.h"
+#include "analytics/task_kernel.h"
+#include "common/result.h"
+#include "gpu/memory_pool.h"
+#include "tadoc/parallel_engine.h"
+
+namespace gtadoc {
+
+/// Which documents of `corpus` a run of `kernel` over `input` must execute,
+/// decided purely from the documents' persisted root Bloom filters
+/// (Grammar::rule_blooms[0], the whole-document vocabulary filter). The
+/// per-document question — may this run produce output here? — is answered
+/// by the kernel itself (TaskKernel::MayMatchDocument): the default derives
+/// "any accepted word may be present" from AcceptedWords (keywordSearch),
+/// and kernels with conjunctive semantics override it (phraseSearch rejects
+/// a document unless every word of some query phrase may be present).
+///
+/// Returns the empty vector — BatchEngine::Run's "no mask" convention —
+/// when nothing is skippable (non-selective kernels, Bloom-less corpora, or
+/// every document passing). Documents without persisted Blooms (v1
+/// containers, hand-built grammars) always execute. Bloom false positives
+/// only cost work — a passed document that holds no real match executes and
+/// contributes an empty result — never correctness: a rejected word is
+/// *provably* absent from the whole document, so the skipped document's
+/// result is empty by construction.
+std::vector<uint8_t> BloomExecuteMask(const PartitionedCorpus& corpus,
+                                      const TaskKernel& kernel,
+                                      const TaskInput& input);
+
+/// \brief Plan-aware serving front-end over BatchEngine: admission control
+/// and corpus-level Bloom pushdown for concurrent analytics runs on one
+/// simulated GPU.
+///
+/// The paper's pitch is analytics *served* directly on compressed data; a
+/// server multiplexing many queries over one device has two levers the
+/// execution layers below cannot pull:
+///
+///   1. **Plan-metadata admission.** A run's full pool footprint is known
+///      before execution (`RunPlan::total_slots`, resolved by
+///      `GTadocEngine::PlanOnly` at Submit time, with the plans cached so
+///      execution pays zero planning). The server packs concurrent runs
+///      onto the device up to a configurable slot budget — the admitted set
+///      never oversubscribes device memory, every admitted run's pool is
+///      pre-sized to its footprint before its first document executes
+///      (`BatchEngine::Options::presize_pool_slots`), and therefore NO
+///      admitted run ever triggers a mid-run EnsureCapacity growth charge.
+///      Runs that do not fit the current wave queue FIFO; a run whose
+///      footprint exceeds the whole budget is rejected at Submit.
+///   2. **Root-Bloom corpus skip.** For selective runs (keyword / phrase /
+///      multi-query) a document whose root Bloom filter rejects the query
+///      (BloomExecuteMask) is skipped before Rebind: no upload, no plan, no
+///      traversal. Skipped documents contribute the kernel's assembly of
+///      zero entries, so the merged corpus result stays bit-identical to
+///      the unskipped run.
+///
+/// Concurrency model: admission reserves *memory* tenancy — every run of a
+/// wave holds its reservation for the wave's duration, exactly as
+/// co-resident tenants on a real device would. Compute still serializes on
+/// the one simulated GPU (runs of a wave execute back-to-back in ticket
+/// order), so served results and simulated timings are deterministic; the
+/// budget's job is bounding co-resident footprint, not parallelizing
+/// compute. Submissions are probed and queued only — execution happens in
+/// Drain, in FIFO admission waves.
+class CorpusServer {
+ public:
+  struct Options {
+    /// Per-run base engine configuration. Per-run query fields
+    /// (query_words/query_sets/top_k/ngram_len) are overridden by each
+    /// RunRequest; shared_device/shared_pool must be left null and
+    /// plan_cache is managed by the server (one cache shared by the Submit
+    /// probes and every execution worker, so execution is always a plan
+    /// hit).
+    GTadocEngine::Options engine;
+    /// Device pool-slot budget concurrent admitted runs must fit in (the
+    /// device-memory model of admission). 0 = unmetered: everything admits
+    /// into one wave. A Submit whose footprint alone exceeds a non-zero
+    /// budget is rejected with OutOfMemory.
+    uint64_t device_slot_budget = 0;
+    /// Host worker threads per run's BatchEngine (wall clock only). Each
+    /// worker context holds its own pool, so a run's admission footprint is
+    /// its context count times the per-context maximum plan footprint.
+    size_t host_workers = 1;
+    /// Skip documents whose root Bloom filter rejects the query
+    /// (BloomExecuteMask). Disable to measure the unskipped baseline.
+    bool bloom_skip = true;
+    /// Forwarded to BatchEngine (device-state reuse across a context's
+    /// documents, upload/traversal pipelining).
+    bool reuse_device_state = true;
+    bool overlap_uploads = true;
+  };
+
+  /// One serving request: a task plus its per-run query parameters (0 /
+  /// empty = inherit the server's engine defaults). A non-empty
+  /// query_words or query_sets replaces the server's default query as a
+  /// whole (both fields), so an explicit single-word request is never
+  /// shadowed by a default multi-query set.
+  struct RunRequest {
+    Task task = Task::kWordCount;
+    std::vector<uint32_t> query_words;
+    std::vector<std::vector<uint32_t>> query_sets;
+    uint32_t top_k = 0;
+    uint32_t ngram_len = 0;
+  };
+
+  /// Submit's receipt: everything admission decided from plan metadata and
+  /// root Blooms, before any execution.
+  struct Admission {
+    uint64_t ticket = 0;  ///< FIFO position; Drain serves ascending tickets
+    /// The run's full device pool footprint in slots: per worker context,
+    /// the maximum RunPlan::total_slots over its executed documents, summed
+    /// over contexts. This is what admission reserves against the budget
+    /// and what each context's pool is pre-sized to.
+    uint64_t footprint_slots = 0;
+    uint32_t documents_to_execute = 0;
+    uint32_t documents_skipped = 0;  ///< root-Bloom rejected at Submit
+    /// Simulated seconds the probe charged (plan builds for every executed
+    /// document, plus the pre-sizing allocation the execution contexts will
+    /// pay). Execution itself then reports plan_seconds == 0 — planning
+    /// moved to admission, it did not disappear.
+    double admission_seconds = 0;
+  };
+
+  /// One served run: its admission receipt, the wave it executed in, and
+  /// the full batch output (per-document + merged + timing).
+  struct ServedRun {
+    Admission admission;
+    uint64_t wave = 0;
+    BatchEngine::BatchRun batch;
+  };
+
+  /// Aggregate serving counters (monotonic over the server's lifetime).
+  struct Stats {
+    uint64_t submitted = 0;
+    uint64_t rejected = 0;  ///< footprint exceeded the whole budget
+    uint64_t served = 0;
+    uint64_t waves = 0;
+    /// High-water mark of concurrently reserved slots; never exceeds the
+    /// budget (the admission invariant).
+    uint64_t peak_admitted_slots = 0;
+    uint64_t documents_skipped = 0;
+    uint64_t documents_executed = 0;
+    /// Pool growths charged while served documents were executing, summed
+    /// over every served run. Stays 0: admission pre-sizes every context.
+    uint64_t mid_run_pool_growths = 0;
+  };
+
+  /// The corpus must outlive the server. Fails on an empty corpus or
+  /// pre-set shared_device/shared_pool/plan_cache.
+  static Result<std::unique_ptr<CorpusServer>> Create(
+      const PartitionedCorpus* corpus, const Options& options);
+
+  /// Probes and enqueues one run: resolves the Bloom execute mask, plans
+  /// every executed document through the shared PlanCache (the footprint
+  /// probe — also pre-warming execution), and reserves nothing yet.
+  /// Rejects with OutOfMemory when the footprint cannot fit the
+  /// budget even alone, and with NotFound for unregistered tasks.
+  Result<Admission> Submit(const RunRequest& request);
+
+  /// Executes every queued run in FIFO admission waves and returns the
+  /// served runs in ticket order. Each wave admits the longest FIFO prefix
+  /// of the queue that fits the slot budget, reserves each run's footprint
+  /// for the whole wave (concurrent tenancy), executes, then releases.
+  /// Returns the first failure; the queue is consumed either way.
+  Result<std::vector<ServedRun>> Drain();
+
+  size_t queued() const { return queue_.size(); }
+  const Stats& stats() const { return stats_; }
+  /// The cache shared by Submit probes and execution (serving diagnostics).
+  PlanCache* plan_cache() const { return plan_cache_.get(); }
+  const Options& options() const { return options_; }
+
+ private:
+  struct PendingRun {
+    Admission admission;
+    GTadocEngine::Options engine;       ///< fully-resolved per-run options
+    std::vector<uint8_t> execute_mask;  ///< empty = all documents
+    uint64_t presize_slots = 0;         ///< per-context pool pre-size
+    Task task = Task::kWordCount;
+  };
+
+  CorpusServer(const PartitionedCorpus* corpus, const Options& options);
+
+  /// Plans every executed document on a probe engine (Rebind + PlanOnly
+  /// against the shared cache) and fills footprint/admission_seconds.
+  Status ProbeFootprint(PendingRun* run);
+  /// Executes one admitted run through a masked, pre-sized BatchEngine.
+  Result<BatchEngine::BatchRun> Execute(const PendingRun& run);
+
+  const PartitionedCorpus* corpus_;
+  Options options_;
+  std::shared_ptr<PlanCache> plan_cache_;
+  gpu::SlotBudget budget_;
+  std::deque<PendingRun> queue_;
+  uint64_t next_ticket_ = 0;
+  uint64_t next_wave_ = 0;
+  Stats stats_;
+};
+
+}  // namespace gtadoc
+
+#endif  // GTADOC_ANALYTICS_SERVER_H_

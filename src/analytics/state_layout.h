@@ -131,6 +131,7 @@ class CpuStateOps : public StateOps {
 class StateLayout {
  public:
   virtual ~StateLayout() = default;
+  /// Display name ("scalarWeight", "densePerFile", ...).
   virtual const char* name() const = 0;
 
   // --- geometry -----------------------------------------------------------

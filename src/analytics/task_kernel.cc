@@ -244,6 +244,19 @@ uint64_t TaskKernel::ExpectedDistinctKeys(const StateDims& dims,
   return 0;
 }
 
+bool TaskKernel::MayMatchDocument(uint64_t root_bloom,
+                                  const TaskInput& input) const {
+  const std::vector<uint32_t>* accepted = AcceptedWords(input);
+  if (accepted == nullptr) return true;  // non-selective: always execute
+  // An empty accept set provably matches nothing; otherwise the document may
+  // produce output iff any accepted word may be present in it.
+  for (uint32_t w : *accepted) {
+    const uint64_t mask = WordBloomMask(w);
+    if ((root_bloom & mask) == mask) return true;
+  }
+  return false;
+}
+
 TraversalStrategy TaskKernel::PreferredStrategy(const Grammar& g,
                                                 const DagView& dag,
                                                 const TaskInput& input) const {
@@ -1217,6 +1230,28 @@ class PhraseSearchKernel : public TaskKernel {
     if (!input.query_sets.empty()) phrase = &input.query_sets.front();
     return phrase->size() >= 2 ? static_cast<uint32_t>(phrase->size())
                                : input.ngram_len;
+  }
+
+  /// Conjunctive pushdown: a phrase can only occur in a document that may
+  /// contain EVERY one of its words, so a document passes iff some query
+  /// phrase fully passes the root Bloom. (The traversal itself declares no
+  /// word filter — window adjacency needs the full stream — which is why
+  /// this override exists instead of the AcceptedWords-derived default.)
+  bool MayMatchDocument(uint64_t root_bloom,
+                        const TaskInput& input) const override {
+    auto phrase_may = [root_bloom](const std::vector<uint32_t>& phrase) {
+      if (phrase.empty()) return true;  // degenerate: stay conservative
+      for (uint32_t w : phrase) {
+        const uint64_t mask = WordBloomMask(w);
+        if ((root_bloom & mask) != mask) return false;
+      }
+      return true;
+    };
+    if (input.query_sets.empty()) return phrase_may(input.query_words);
+    for (const auto& phrase : input.query_sets) {
+      if (phrase_may(phrase)) return true;
+    }
+    return false;
   }
 
   void AssembleSequence(const TaskInput& input,

@@ -171,10 +171,15 @@ class TaskKernel {
   virtual ~TaskKernel() = default;
 
   // --- identity -----------------------------------------------------------
+  /// The registry id this kernel serves (engines dispatch by it; out-of-tree
+  /// kernels may use any unregistered integer beyond the named enum).
   virtual Task task() const = 0;
+  /// Display name ("wordCount", "keywordSearch", ...).
   virtual const char* name() const = 0;
 
   // --- traversal contract -------------------------------------------------
+  /// The traversal machinery this kernel rides (see TraversalShape): the
+  /// engines dispatch on this, never on the task id.
   virtual TraversalShape shape() const = 0;
   /// True for kernels that need the head/tail sequence machinery.
   bool sequence_sensitive() const {
@@ -248,6 +253,22 @@ class TaskKernel {
     (void)input;
     return nullptr;
   }
+
+  /// Corpus-pushdown seam: may a document whose persisted root Bloom filter
+  /// is `root_bloom` (Grammar::rule_blooms[0], covering the document's whole
+  /// vocabulary) produce any output for this run? The serving layer
+  /// (CorpusServer / BloomExecuteMask) skips documents this returns false
+  /// for — no upload, no plan, no traversal — so false must be a *proof* of
+  /// an empty result; false positives (true without a real match) only cost
+  /// work, never correctness. The default derives the answer from
+  /// AcceptedWords: non-selective kernels always execute, selective ones
+  /// execute iff any accepted word may be present. Kernels with stronger
+  /// conjunctive semantics override — phraseSearch rejects a document
+  /// unless EVERY word of some query phrase may be present, even though its
+  /// sequence traversal declares no word filter (window adjacency needs the
+  /// full stream).
+  virtual bool MayMatchDocument(uint64_t root_bloom,
+                                const TaskInput& input) const;
 
   // --- result assembly (shared by GPU / CPU / uncompressed drivers) -------
   /// kGlobalWeight: builds the result from drained (word, count) pairs

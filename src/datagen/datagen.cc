@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/random.h"
+#include "sequitur/compressor.h"
 
 namespace gtadoc {
 
@@ -162,6 +163,90 @@ Corpus GenerateCorpus(const DatasetSpec& spec, double scale) {
       text += tokens.words[tokens.file_tokens[f][i]];
     }
   }
+  return out;
+}
+
+Result<MarkerCorpus> BuildMarkerCorpus(const MarkerCorpusSpec& mspec) {
+  if (mspec.num_docs == 0 || mspec.files_per_doc == 0 ||
+      mspec.relevant > mspec.num_docs) {
+    return Status::InvalidArgument(
+        "marker corpus spec needs num_docs > 0, files_per_doc > 0 and "
+        "relevant <= num_docs");
+  }
+  // Marker ids are drawn from dictionary space beyond the generated
+  // vocabulary; 4096 candidates over a 48-word base leaves plenty of Bloom
+  // masks no document vocabulary covers.
+  constexpr uint32_t kCandidateSpace = 4096;
+  DatasetSpec spec = DatasetA();
+  spec.num_files = mspec.num_docs * mspec.files_per_doc;
+  spec.total_tokens = mspec.num_docs * mspec.tokens_per_doc;
+  spec.vocabulary = 48;
+  spec.seed = mspec.seed;
+  TokenizedCorpus tok = GenerateTokens(spec, mspec.scale);
+
+  MarkerCorpus out;
+  out.num_words = spec.vocabulary + kCandidateSpace;
+
+  std::vector<std::vector<std::vector<uint32_t>>> doc_files(mspec.num_docs);
+  for (uint32_t f = 0; f < spec.num_files; ++f) {
+    doc_files[f / mspec.files_per_doc].push_back(
+        std::move(tok.file_tokens[f]));
+  }
+
+  // Compress the marker-free documents first: their persisted root Blooms
+  // drive the marker selection.
+  std::vector<Grammar> docs(mspec.num_docs);
+  for (uint32_t d = mspec.relevant; d < mspec.num_docs; ++d) {
+    auto g = CompressTokenStreams(doc_files[d], out.num_words);
+    if (!g.ok()) return g.status();
+    docs[d] = std::move(*g);
+  }
+  for (uint32_t c = 0;
+       c < kCandidateSpace && out.markers.size() < mspec.num_markers; ++c) {
+    const uint32_t id = spec.vocabulary + c;
+    const uint64_t mask = WordBloomMask(id);
+    bool rejected_everywhere = true;
+    bool passes_first_irrelevant = false;
+    for (uint32_t d = mspec.relevant; d < mspec.num_docs; ++d) {
+      if ((docs[d].rule_blooms[0] & mask) == mask) {
+        rejected_everywhere = false;
+        if (d == mspec.relevant) passes_first_irrelevant = true;
+      }
+    }
+    if (rejected_everywhere) {
+      out.markers.push_back(id);
+    } else if (passes_first_irrelevant && out.false_positive == UINT32_MAX) {
+      out.false_positive = id;
+    }
+  }
+  if (out.markers.size() < mspec.num_markers) {
+    return Status::Internal("marker candidate space exhausted: found " +
+                            std::to_string(out.markers.size()) + " of " +
+                            std::to_string(mspec.num_markers));
+  }
+
+  // Inject every marker (and the false-positive probe word) into the
+  // relevant documents, with varying per-file counts so hit totals are
+  // non-trivial; consecutive copies also give phrase queries adjacency.
+  for (uint32_t d = 0; d < mspec.relevant; ++d) {
+    for (size_t f = 0; f < doc_files[d].size(); ++f) {
+      for (size_t m = 0; m < out.markers.size(); ++m) {
+        const uint32_t copies = 1 + static_cast<uint32_t>((d + f + m) % 3);
+        for (uint32_t i = 0; i < copies; ++i) {
+          doc_files[d][f].push_back(out.markers[m]);
+        }
+      }
+      if (out.false_positive != UINT32_MAX) {
+        doc_files[d][f].push_back(out.false_positive);
+      }
+    }
+    auto g = CompressTokenStreams(doc_files[d], out.num_words);
+    if (!g.ok()) return g.status();
+    docs[d] = std::move(*g);
+  }
+  auto part = CorpusFromDocuments(std::move(docs));
+  if (!part.ok()) return part.status();
+  out.corpus = std::move(*part);
   return out;
 }
 

@@ -5,7 +5,9 @@
 #include <string>
 #include <vector>
 
+#include "common/result.h"
 #include "sequitur/tokenizer.h"
+#include "tadoc/parallel_engine.h"
 
 namespace gtadoc {
 
@@ -49,6 +51,41 @@ TokenizedCorpus GenerateTokens(const DatasetSpec& spec, double scale = 1.0);
 
 /// Generates a text corpus ("w<id>" words joined by spaces).
 Corpus GenerateCorpus(const DatasetSpec& spec, double scale = 1.0);
+
+/// \brief Parameters of a selective-serving corpus (BuildMarkerCorpus).
+struct MarkerCorpusSpec {
+  uint32_t num_docs = 8;
+  /// Documents [0, relevant) carry the markers; the rest provably reject
+  /// them by root Bloom.
+  uint32_t relevant = 4;
+  uint32_t num_markers = 2;
+  uint32_t files_per_doc = 2;
+  uint64_t tokens_per_doc = 1200;
+  uint64_t seed = 11;
+  double scale = 1.0;  ///< multiplies tokens_per_doc (bench smoke runs)
+};
+
+/// A corpus built by BuildMarkerCorpus.
+struct MarkerCorpus {
+  PartitionedCorpus corpus;
+  /// The injected marker word ids (size num_markers on success).
+  std::vector<uint32_t> markers;
+  /// One extra injected word chosen so document `relevant`'s root Bloom
+  /// falsely PASSES it (the superset case a server must execute, not
+  /// skip); UINT32_MAX when the candidate space held none.
+  uint32_t false_positive = UINT32_MAX;
+  uint32_t num_words = 0;  ///< dictionary size incl. the candidate space
+};
+
+/// Builds the deterministic corpus-skip fixture shared by the server tests
+/// and the bench gates: `num_docs` documents (files_per_doc files each)
+/// over a small shared vocabulary, plus `num_markers` marker words injected
+/// ONLY into documents [0, relevant). Markers are chosen so every
+/// marker-free document's persisted root Bloom filter provably rejects
+/// them — the skip a consumer measures is deterministic, not seed luck.
+/// Fails with Internal when the candidate space cannot supply num_markers
+/// such words (raise the space or shrink the vocabulary).
+Result<MarkerCorpus> BuildMarkerCorpus(const MarkerCorpusSpec& spec);
 
 }  // namespace gtadoc
 

@@ -15,6 +15,50 @@ constexpr uint8_t kVersion = 1;
 constexpr uint8_t kVersionBlooms = 2;
 constexpr uint8_t kFlagDictionary = 0x01;
 constexpr uint8_t kFlagRuleBlooms = 0x02;
+
+/// The header prefix shared by ParseGrammar and PeekGrammarHeader: magic,
+/// version, flags and counts, with the fabricated-count guards. One parser
+/// for both consumers so the probe can never drift from the real reader.
+/// Leaves *r positioned at the dictionary section.
+Status ReadHeaderPrefix(BinaryReader* r, GrammarHeader* h) {
+  char magic[4];
+  for (int i = 0; i < 4; ++i) {
+    auto b = r->GetU8();
+    if (!b.ok()) return b.status();
+    magic[i] = static_cast<char>(*b);
+  }
+  if (std::memcmp(magic, kMagic, 4) != 0) {
+    return Status::Corruption("bad magic");
+  }
+  auto version = r->GetU8();
+  if (!version.ok()) return version.status();
+  if (*version != kVersion && *version != kVersionBlooms) {
+    return Status::Corruption("unsupported version " +
+                              std::to_string(*version));
+  }
+  h->version = *version;
+  auto flags = r->GetU8();
+  if (!flags.ok()) return flags.status();
+  if (*version == kVersion && (*flags & kFlagRuleBlooms) != 0) {
+    return Status::Corruption("v1 container cannot carry rule Blooms");
+  }
+  h->has_dictionary = (*flags & kFlagDictionary) != 0;
+  h->has_rule_blooms = (*flags & kFlagRuleBlooms) != 0;
+  GTADOC_ASSIGN_OR_RETURN(h->num_words, r->GetVarint32());
+  GTADOC_ASSIGN_OR_RETURN(h->num_splitters, r->GetVarint32());
+  GTADOC_ASSIGN_OR_RETURN(h->num_rules, r->GetVarint64());
+  if (h->num_rules == 0) return Status::Corruption("grammar has no rules");
+  if (h->num_rules > (1ull << 32)) {
+    return Status::Corruption("rule count too large");
+  }
+  // Every rule costs at least one body-length byte, so a fabricated count
+  // larger than the remaining input is rejected before any allocation sized
+  // from it (a crafted header must not force a multi-GiB reserve).
+  if (h->num_rules > r->remaining()) {
+    return Status::Corruption("rule count exceeds input size");
+  }
+  return Status::OK();
+}
 }  // namespace
 
 std::string SerializeGrammar(const Grammar& g, bool include_dictionary,
@@ -57,44 +101,15 @@ Result<Grammar> ParseGrammar(Slice data) {
   }
 
   BinaryReader r(Slice(data.data(), body_len));
-  char magic[4];
-  for (int i = 0; i < 4; ++i) {
-    auto b = r.GetU8();
-    if (!b.ok()) return b.status();
-    magic[i] = static_cast<char>(*b);
-  }
-  if (std::memcmp(magic, kMagic, 4) != 0) {
-    return Status::Corruption("bad magic");
-  }
-  auto version = r.GetU8();
-  if (!version.ok()) return version.status();
-  if (*version != kVersion && *version != kVersionBlooms) {
-    return Status::Corruption("unsupported version " +
-                              std::to_string(*version));
-  }
-  auto flags = r.GetU8();
-  if (!flags.ok()) return flags.status();
-  if (*version == kVersion && (*flags & kFlagRuleBlooms) != 0) {
-    return Status::Corruption("v1 container cannot carry rule Blooms");
-  }
+  GrammarHeader header;
+  GTADOC_RETURN_IF_ERROR(ReadHeaderPrefix(&r, &header));
+  const uint64_t num_rules = header.num_rules;
 
   Grammar g;
-  GTADOC_ASSIGN_OR_RETURN(g.num_words, r.GetVarint32());
-  GTADOC_ASSIGN_OR_RETURN(g.num_splitters, r.GetVarint32());
-  uint64_t num_rules;
-  GTADOC_ASSIGN_OR_RETURN(num_rules, r.GetVarint64());
-  if (num_rules == 0) return Status::Corruption("grammar has no rules");
-  if (num_rules > (1ull << 32)) {
-    return Status::Corruption("rule count too large");
-  }
-  // Every rule costs at least one body-length byte, so a fabricated count
-  // larger than the remaining input is rejected before any allocation sized
-  // from it (a crafted header must not force a multi-GiB reserve).
-  if (num_rules > r.remaining()) {
-    return Status::Corruption("rule count exceeds input size");
-  }
+  g.num_words = header.num_words;
+  g.num_splitters = header.num_splitters;
 
-  if (*flags & kFlagDictionary) {
+  if (header.has_dictionary) {
     g.words.reserve(g.num_words);
     for (uint32_t i = 0; i < g.num_words; ++i) {
       auto word = r.GetLengthPrefixed();
@@ -103,8 +118,8 @@ Result<Grammar> ParseGrammar(Slice data) {
     }
   }
 
-  if (*flags & kFlagRuleBlooms) {
-    if (num_rules * 8 > r.remaining()) {
+  if (header.has_rule_blooms) {
+    if (num_rules > r.remaining() / 8) {
       return Status::Corruption("rule Bloom section truncated");
     }
     g.rule_blooms.reserve(num_rules);
@@ -134,6 +149,36 @@ Result<Grammar> ParseGrammar(Slice data) {
   }
   if (!r.AtEnd()) return Status::Corruption("trailing bytes after rules");
   return g;
+}
+
+Result<GrammarHeader> PeekGrammarHeader(Slice data) {
+  if (data.size() < sizeof(kMagic) + 2 + 8) {
+    return Status::Corruption("container too small");
+  }
+  // The probe deliberately skips the trailing checksum: it reads O(header)
+  // bytes of an O(container) file, and a corrupt container still fails the
+  // full ParseGrammar a consumer runs before executing anything.
+  BinaryReader r(Slice(data.data(), data.size() - 8));
+  GrammarHeader h;
+  GTADOC_RETURN_IF_ERROR(ReadHeaderPrefix(&r, &h));
+  if (h.has_dictionary) {
+    // Skip the dictionary by walking length prefixes; GetLengthPrefixed
+    // returns a bounds-checked view without copying the string.
+    for (uint32_t i = 0; i < h.num_words; ++i) {
+      auto word = r.GetLengthPrefixed();
+      if (!word.ok()) return word.status();
+    }
+  }
+  if (h.has_rule_blooms) {
+    // Divide instead of multiplying: a fabricated 2^61-rule count must not
+    // wrap the arithmetic and slip past the truncation check.
+    if (h.num_rules > r.remaining() / 8) {
+      return Status::Corruption("rule Bloom section truncated");
+    }
+    // Rule 0 is the root: its subtree filter covers the whole document.
+    GTADOC_ASSIGN_OR_RETURN(h.root_bloom, r.GetU64());
+  }
+  return h;
 }
 
 Status WriteGrammarFile(const Grammar& g, const std::string& path,

@@ -37,6 +37,33 @@ std::string SerializeGrammar(const Grammar& g, bool include_dictionary = true,
 
 Result<Grammar> ParseGrammar(Slice data);
 
+/// \brief Container header summary, readable without materializing the
+/// grammar — the serving layer's cheap load-time probe.
+///
+/// `root_bloom` is rule 0's persisted subtree Bloom filter, i.e. the whole
+/// document's vocabulary filter: a corpus server can reject a document for a
+/// keyword query from this one word, before parsing (or uploading) any rule
+/// body. 0 when the container carries no Bloom section (v1 files) —
+/// consumers must then treat the document as potentially relevant.
+struct GrammarHeader {
+  uint8_t version = 0;
+  bool has_dictionary = false;
+  bool has_rule_blooms = false;
+  uint32_t num_words = 0;
+  uint32_t num_splitters = 0;
+  uint64_t num_rules = 0;
+  uint64_t root_bloom = 0;
+};
+
+/// Reads just the header (magic, version, flags, counts) and — when present
+/// — the root rule's Bloom filter, skipping the dictionary without
+/// materializing strings and never touching the rule bodies: O(header +
+/// dictionary lengths) instead of O(container). Structural errors in the
+/// bytes it reads return Corruption, but the trailing whole-file checksum is
+/// NOT verified (that is ParseGrammar's job); the probe is a fast pre-filter,
+/// not a validator.
+Result<GrammarHeader> PeekGrammarHeader(Slice data);
+
 /// Convenience wrappers for on-disk .tdc files.
 Status WriteGrammarFile(const Grammar& g, const std::string& path,
                         bool include_dictionary = true);

@@ -7,12 +7,16 @@ MemoryPool::MemoryPool(Device* device) : device_(device) {}
 
 MemoryPool::MemoryPool(Device* device, uint64_t capacity_slots)
     : device_(device), slab_(device, capacity_slots, 0ull) {
-  if (capacity_slots > 0) device_->ChargeDeviceAlloc();
+  if (capacity_slots > 0) {
+    device_->ChargeDeviceAlloc();
+    ++growths_;
+  }
 }
 
 bool MemoryPool::EnsureCapacity(uint64_t slots) {
   if (slots <= capacity()) return false;
   device_->ChargeDeviceAlloc();
+  ++growths_;
   slab_ = DeviceBuffer<uint64_t>(device_, slots, 0ull);
   Reset();
   return true;
@@ -50,6 +54,31 @@ uint64_t MemoryPool::AtomicAlloc(ThreadCtx& ctx, uint64_t slots) {
     return kPoolInvalid;
   }
   return off;
+}
+
+bool SlotBudget::TryReserve(uint64_t slots) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (capacity_ > 0 && (slots > capacity_ || in_use_ > capacity_ - slots)) {
+    return false;
+  }
+  in_use_ += slots;
+  if (in_use_ > peak_) peak_ = in_use_;
+  return true;
+}
+
+void SlotBudget::Release(uint64_t slots) {
+  std::lock_guard<std::mutex> lock(mu_);
+  in_use_ = slots > in_use_ ? 0 : in_use_ - slots;
+}
+
+uint64_t SlotBudget::in_use() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return in_use_;
+}
+
+uint64_t SlotBudget::peak_in_use() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return peak_;
 }
 
 }  // namespace gpu

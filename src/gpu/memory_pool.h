@@ -3,6 +3,7 @@
 
 #include <atomic>
 #include <cstdint>
+#include <mutex>
 #include <vector>
 
 #include "common/result.h"
@@ -40,6 +41,12 @@ class MemoryPool {
 
   uint64_t capacity() const { return slab_.size(); }
   uint64_t used() const { return cursor_.load(std::memory_order_relaxed); }
+  /// Number of charged slab (re)allocations over the pool's lifetime: the
+  /// cold constructor plus every EnsureCapacity call that actually grew the
+  /// slab. Serving front-ends snapshot this around a run to prove the run
+  /// triggered zero mid-run growth (the pool was pre-sized from plan
+  /// metadata before any document executed).
+  uint64_t growth_count() const { return growths_; }
 
   /// Grows the slab to at least `slots` (charging one device allocation and
   /// dropping all regions); no-op — and no charge — when the current slab
@@ -79,6 +86,44 @@ class MemoryPool {
   Device* device_;
   DeviceBuffer<uint64_t> slab_;
   std::atomic<uint64_t> cursor_{0};
+  uint64_t growths_ = 0;
+};
+
+/// \brief Device-slot budget shared by concurrent pool owners — the
+/// admission-control seam of the serving front-end (CorpusServer).
+///
+/// A device has one slab budget; every admitted run reserves its full pool
+/// footprint (known before execution from `RunPlan::total_slots`) for the
+/// time it holds device state, and releases it when its wave completes.
+/// TryReserve never blocks and never oversubscribes: a reservation that
+/// would push `in_use` past `capacity` fails, and the caller queues the run
+/// instead — which is exactly how admitted runs are guaranteed to never
+/// need a mid-run EnsureCapacity growth.
+///
+/// A capacity of 0 means "unmetered": every reservation succeeds (the
+/// accounting still tracks in_use/peak for diagnostics).
+class SlotBudget {
+ public:
+  explicit SlotBudget(uint64_t capacity_slots) : capacity_(capacity_slots) {}
+
+  /// Reserves `slots` against the budget; false (and no state change) when
+  /// the reservation would exceed capacity.
+  bool TryReserve(uint64_t slots);
+  /// Returns `slots` to the budget. Releasing more than is in use clamps to
+  /// zero (defensive; indicates a caller bug).
+  void Release(uint64_t slots);
+
+  uint64_t capacity() const { return capacity_; }
+  uint64_t in_use() const;
+  /// High-water mark of concurrent reservations (the admission gate's
+  /// "admitted set never exceeded the budget" witness).
+  uint64_t peak_in_use() const;
+
+ private:
+  const uint64_t capacity_;
+  mutable std::mutex mu_;
+  uint64_t in_use_ = 0;
+  uint64_t peak_ = 0;
 };
 
 }  // namespace gpu

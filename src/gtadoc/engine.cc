@@ -76,11 +76,11 @@ TraversalStrategy GTadocEngine::ChosenStrategy(Task task) const {
   return SelectStrategy(task, *g_, dag_, &input);
 }
 
-TaskInput GTadocEngine::MakeInput() const {
+TaskInput GTadocEngine::InputFromOptions(const Options& options) {
   TaskInput input;
-  input.ngram_len = options_.ngram_len;
-  input.top_k = options_.top_k;
-  input.query_sets = options_.query_sets;
+  input.ngram_len = options.ngram_len;
+  input.top_k = options.top_k;
+  input.query_sets = options.query_sets;
   if (!input.query_sets.empty()) {
     // One accept set serves every query: the flattened union.
     for (const auto& set : input.query_sets) {
@@ -88,10 +88,12 @@ TaskInput GTadocEngine::MakeInput() const {
                                set.end());
     }
   } else {
-    input.query_words = options_.query_words;
+    input.query_words = options.query_words;
   }
   return input;
 }
+
+TaskInput GTadocEngine::MakeInput() const { return InputFromOptions(options_); }
 
 PlanShape GTadocEngine::MakeShape() const {
   PlanShape shape;
@@ -163,6 +165,14 @@ Result<std::shared_ptr<const RunPlan>> GTadocEngine::ResolvePlan(
   if (!built.ok()) return built.status();
   plan_cache_->Put(*built);
   return *built;
+}
+
+Result<std::shared_ptr<const RunPlan>> GTadocEngine::PlanOnly(
+    Task task, TraversalStrategy strategy_override) {
+  auto kernel_lookup = TaskRegistry::Get(task);
+  if (!kernel_lookup.ok()) return kernel_lookup.status();
+  bool cache_hit = false;
+  return ResolvePlan(**kernel_lookup, strategy_override, &cache_hit);
 }
 
 std::shared_ptr<const RunPlan> GTadocEngine::CachedPlan(

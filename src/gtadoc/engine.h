@@ -105,6 +105,26 @@ class GTadocEngine {
                         TraversalStrategy strategy_override =
                             TraversalStrategy::kAuto);
 
+  /// Resolves (and caches) the plan a Run of (task, strategy_override) would
+  /// consume, WITHOUT executing anything — the serving front-end's footprint
+  /// probe: `plan->total_slots` is the run's full pool footprint, known
+  /// before any traversal, upload or table build, so an admission controller
+  /// can pack concurrent runs onto one device from plan metadata alone. On a
+  /// cache miss the charged planning passes advance this engine's device
+  /// clock (callers bracket with ResetClock/SimSeconds to meter the probe);
+  /// a subsequent Run with the same shape is then a plan-cache hit and
+  /// reports plan_seconds == 0.
+  Result<std::shared_ptr<const RunPlan>> PlanOnly(
+      Task task,
+      TraversalStrategy strategy_override = TraversalStrategy::kAuto);
+
+  /// The per-run TaskInput `options` describe (query_sets flattened into the
+  /// effective accept set) — the exact input every kernel hook of a Run built
+  /// from `options` receives. Exposed so serving layers (batch skip paths,
+  /// the CorpusServer's Bloom pushdown) evaluate kernels against precisely
+  /// the input the engines would use, with no risk of drift.
+  static TaskInput InputFromOptions(const Options& options);
+
   /// Re-targets the engine at another document without rebuilding the device
   /// context: the device grammar is rebound in place (allocation calls are
   /// charged only for arrays the new document outgrows) and subsequent Runs
@@ -137,8 +157,8 @@ class GTadocEngine {
   struct GpuPlanner;
 
   // --- shared helpers (engine.cc) ---
-  /// The per-run task parameters handed to every kernel hook (query_sets
-  /// flattened into the effective accept set).
+  /// The per-run task parameters handed to every kernel hook
+  /// (InputFromOptions over this engine's options).
   TaskInput MakeInput() const;
   /// The shape-relevant option slice feeding the plan key (builds and moves
   /// its own TaskInput — no extra query copies on the hot path).

@@ -77,5 +77,40 @@ TEST(DatagenTest, CorpusTextMatchesTokens) {
   EXPECT_EQ(retok.total_tokens(), direct.total_tokens());
 }
 
+TEST(MarkerCorpusTest, MarkersAreDeterministicallyRejectedByBloom) {
+  MarkerCorpusSpec spec;
+  spec.num_docs = 6;
+  spec.relevant = 2;
+  spec.num_markers = 3;
+  auto built = BuildMarkerCorpus(spec);
+  ASSERT_TRUE(built.ok()) << built.status().ToString();
+  ASSERT_EQ(built->markers.size(), 3u);
+  ASSERT_EQ(built->corpus.partitions.size(), 6u);
+  // The construction contract: every marker-free document's root Bloom
+  // provably rejects every marker; every relevant document passes them.
+  for (uint32_t d = 0; d < 6; ++d) {
+    const Grammar& g = built->corpus.partitions[d];
+    ASSERT_TRUE(g.has_rule_blooms());
+    for (uint32_t m : built->markers) {
+      const uint64_t mask = WordBloomMask(m);
+      EXPECT_EQ((g.rule_blooms[0] & mask) == mask, d < 2)
+          << "doc " << d << " marker " << m;
+    }
+  }
+}
+
+TEST(MarkerCorpusTest, InvalidSpecIsRejected) {
+  MarkerCorpusSpec spec;
+  spec.num_docs = 4;
+  spec.relevant = 5;  // more relevant docs than docs
+  EXPECT_FALSE(BuildMarkerCorpus(spec).ok());
+  spec.relevant = 2;
+  spec.files_per_doc = 0;
+  EXPECT_FALSE(BuildMarkerCorpus(spec).ok());
+  spec.files_per_doc = 2;
+  spec.num_docs = 0;
+  EXPECT_FALSE(BuildMarkerCorpus(spec).ok());
+}
+
 }  // namespace
 }  // namespace gtadoc

@@ -1,5 +1,6 @@
 #include <gtest/gtest.h>
 
+#include "common/io.h"
 #include "format/dag.h"
 #include "format/grammar.h"
 #include "format/serializer.h"
@@ -201,6 +202,63 @@ TEST(SerializerTest, ParsedGrammarPassesDagValidation) {
   auto back = ParseGrammar(SerializeGrammar(g));
   ASSERT_TRUE(back.ok());
   EXPECT_TRUE(DagView::Build(*back).ok());
+}
+
+TEST(SerializerTest, PeekGrammarHeaderSurfacesRootBloom) {
+  // The serving layer's cheap load-time probe: counts and the root rule's
+  // whole-document Bloom filter, without materializing rules or strings.
+  Grammar g = Figure1Grammar();
+  ASSERT_TRUE(ComputeRuleBlooms(&g).ok());
+  auto header = PeekGrammarHeader(SerializeGrammar(g));
+  ASSERT_TRUE(header.ok()) << header.status().ToString();
+  EXPECT_EQ(header->version, 2);
+  EXPECT_TRUE(header->has_rule_blooms);
+  EXPECT_TRUE(header->has_dictionary);
+  EXPECT_EQ(header->num_words, g.num_words);
+  EXPECT_EQ(header->num_splitters, g.num_splitters);
+  EXPECT_EQ(header->num_rules, g.rules.size());
+  EXPECT_EQ(header->root_bloom, g.rule_blooms[0]);
+
+  // Without a dictionary the Bloom section sits right after the counts.
+  auto no_dict = PeekGrammarHeader(SerializeGrammar(g, false));
+  ASSERT_TRUE(no_dict.ok());
+  EXPECT_FALSE(no_dict->has_dictionary);
+  EXPECT_EQ(no_dict->root_bloom, g.rule_blooms[0]);
+}
+
+TEST(SerializerTest, PeekGrammarHeaderOnV1ReportsNoBloom) {
+  Grammar g = Figure1Grammar();  // no blooms: serializes as v1
+  auto header = PeekGrammarHeader(SerializeGrammar(g));
+  ASSERT_TRUE(header.ok());
+  EXPECT_EQ(header->version, 1);
+  EXPECT_FALSE(header->has_rule_blooms);
+  EXPECT_EQ(header->root_bloom, 0u);
+  EXPECT_EQ(header->num_rules, g.rules.size());
+}
+
+TEST(SerializerTest, PeekGrammarHeaderRejectsTruncation) {
+  Grammar g = Figure1Grammar();
+  ASSERT_TRUE(ComputeRuleBlooms(&g).ok());
+  const std::string blob = SerializeGrammar(g);
+  EXPECT_FALSE(PeekGrammarHeader(Slice(blob.data(), 8)).ok());
+  EXPECT_FALSE(PeekGrammarHeader("XXXX" + blob.substr(4)).ok());
+  // A header promising a Bloom section the container cannot hold.
+  auto probe = PeekGrammarHeader(Slice(blob.data(), 16));
+  EXPECT_FALSE(probe.ok());
+}
+
+TEST(SerializerTest, PeekGrammarHeaderRejectsFabricatedRuleCount) {
+  // A crafted 2^61-rule count must not wrap the Bloom-section size check.
+  BinaryWriter w;
+  w.PutRaw("GTDC", 4);
+  w.PutU8(2);     // version with Blooms
+  w.PutU8(0x02);  // rule-Bloom flag, no dictionary
+  w.PutVarint32(4);
+  w.PutVarint32(0);
+  w.PutVarint64((1ull << 61) + 1);
+  std::string body = w.Release();
+  body.append(8, '\0');  // checksum tail (the peek does not verify it)
+  EXPECT_FALSE(PeekGrammarHeader(body).ok());
 }
 
 }  // namespace

@@ -1,0 +1,593 @@
+#include "analytics/server.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "analytics/batch.h"
+#include "datagen/datagen.h"
+#include "format/serializer.h"
+#include "gpu/platform.h"
+#include "gtadoc/engine.h"
+#include "sequitur/compressor.h"
+#include "tadoc/parallel_engine.h"
+
+namespace gtadoc {
+namespace {
+
+GTadocEngine::Options GpuOptions() {
+  GTadocEngine::Options opt;
+  opt.gpu = gpu::PascalPlatform().gpu;
+  opt.host_workers = 1;  // deterministic per-document runs
+  return opt;
+}
+
+/// A corpus of template-heavy files pre-partitioned into documents sharing
+/// one dictionary (the BatchEngine fixture, reused for serving tests).
+PartitionedCorpus MakeCorpus(uint32_t num_files, uint32_t num_documents,
+                             uint64_t tokens = 6000, uint64_t seed = 7) {
+  DatasetSpec spec = DatasetA();
+  spec.num_files = num_files;
+  spec.total_tokens = tokens;
+  spec.vocabulary = 300;
+  spec.seed = seed;
+  Corpus corpus = GenerateCorpus(spec);
+  auto part = PartitionAndCompress(corpus, num_documents);
+  EXPECT_TRUE(part.ok()) << part.status().ToString();
+  return std::move(*part);
+}
+
+/// The deterministic corpus-skip fixture (datagen's BuildMarkerCorpus):
+/// markers live only in documents [0, relevant), every marker-free
+/// document's root Bloom provably rejects them, and `false_positive` is an
+/// injected word document `relevant`'s root Bloom falsely passes.
+MarkerCorpus MakeMarkerCorpus(uint32_t num_docs, uint32_t relevant,
+                              uint32_t num_markers) {
+  MarkerCorpusSpec spec;
+  spec.num_docs = num_docs;
+  spec.relevant = relevant;
+  spec.num_markers = num_markers;
+  auto built = BuildMarkerCorpus(spec);
+  EXPECT_TRUE(built.ok()) << built.status().ToString();
+  return std::move(*built);
+}
+
+// --------------------------------------------------------------------------
+// Plan-only footprint probe (the admission input).
+// --------------------------------------------------------------------------
+
+TEST(PlanOnlyTest, ProbeCachesThePlanTheRunConsumes) {
+  PartitionedCorpus corpus = MakeCorpus(8, 1);
+  auto engine = GTadocEngine::Create(&corpus.partitions[0], GpuOptions());
+  ASSERT_TRUE(engine.ok());
+
+  auto probed = (*engine)->PlanOnly(Task::kInvertedIndex);
+  ASSERT_TRUE(probed.ok()) << probed.status().ToString();
+  EXPECT_GT((*probed)->total_slots, 0u);
+
+  // The probe resolved and cached the exact plan the run consumes: the run
+  // is a hit, pays zero planning, and executes the same plan object.
+  auto run = (*engine)->Run(Task::kInvertedIndex);
+  ASSERT_TRUE(run.ok());
+  EXPECT_EQ(run->timing.plan_seconds, 0.0);
+  EXPECT_EQ(run->timing.plan_cache_hits, 1u);
+  auto cached = (*engine)->CachedPlan(Task::kInvertedIndex);
+  ASSERT_NE(cached, nullptr);
+  EXPECT_EQ(cached.get(), probed->get());
+}
+
+TEST(PlanOnlyTest, UnknownTaskIsNotFound) {
+  PartitionedCorpus corpus = MakeCorpus(4, 1);
+  auto engine = GTadocEngine::Create(&corpus.partitions[0], GpuOptions());
+  ASSERT_TRUE(engine.ok());
+  auto probed = (*engine)->PlanOnly(static_cast<Task>(987654));
+  EXPECT_FALSE(probed.ok());
+}
+
+// --------------------------------------------------------------------------
+// SlotBudget (the device-memory admission seam).
+// --------------------------------------------------------------------------
+
+TEST(SlotBudgetTest, ReserveReleasePeak) {
+  gpu::SlotBudget budget(100);
+  EXPECT_TRUE(budget.TryReserve(60));
+  EXPECT_TRUE(budget.TryReserve(40));
+  EXPECT_FALSE(budget.TryReserve(1));  // full: no oversubscription
+  EXPECT_EQ(budget.in_use(), 100u);
+  budget.Release(40);
+  EXPECT_EQ(budget.in_use(), 60u);
+  EXPECT_TRUE(budget.TryReserve(40));
+  EXPECT_EQ(budget.peak_in_use(), 100u);
+  EXPECT_FALSE(budget.TryReserve(200));  // larger than the whole budget
+}
+
+TEST(SlotBudgetTest, ZeroCapacityIsUnmetered) {
+  gpu::SlotBudget budget(0);
+  EXPECT_TRUE(budget.TryReserve(1ull << 40));
+  EXPECT_EQ(budget.peak_in_use(), 1ull << 40);
+}
+
+// --------------------------------------------------------------------------
+// Admission control.
+// --------------------------------------------------------------------------
+
+TEST(CorpusServerTest, AdmittedWavesNeverExceedSlotBudget) {
+  PartitionedCorpus corpus = MakeCorpus(16, 4);
+  const std::vector<Task> tasks = {Task::kWordCount, Task::kInvertedIndex,
+                                   Task::kTermVector, Task::kSort,
+                                   Task::kInvertedIndex, Task::kWordCount};
+
+  // Sizing pass: an unmetered server reports every run's footprint.
+  CorpusServer::Options sizing;
+  sizing.engine = GpuOptions();
+  auto sizer = CorpusServer::Create(&corpus, sizing);
+  ASSERT_TRUE(sizer.ok());
+  uint64_t max_fp = 0;
+  uint64_t sum_fp = 0;
+  for (Task t : tasks) {
+    CorpusServer::RunRequest req;
+    req.task = t;
+    auto admission = (*sizer)->Submit(req);
+    ASSERT_TRUE(admission.ok()) << admission.status().ToString();
+    EXPECT_GT(admission->footprint_slots, 0u);
+    max_fp = std::max(max_fp, admission->footprint_slots);
+    sum_fp += admission->footprint_slots;
+  }
+
+  // A budget below the total forces multiple waves; each wave's admitted
+  // footprints must fit it, and the reservation high-water mark proves the
+  // invariant held at every instant.
+  CorpusServer::Options opt = sizing;
+  opt.device_slot_budget = max_fp + max_fp / 2;
+  ASSERT_LT(opt.device_slot_budget, sum_fp);
+  auto server = CorpusServer::Create(&corpus, opt);
+  ASSERT_TRUE(server.ok());
+  for (Task t : tasks) {
+    CorpusServer::RunRequest req;
+    req.task = t;
+    ASSERT_TRUE((*server)->Submit(req).ok());
+  }
+  auto served = (*server)->Drain();
+  ASSERT_TRUE(served.ok()) << served.status().ToString();
+  ASSERT_EQ(served->size(), tasks.size());
+
+  std::map<uint64_t, uint64_t> wave_slots;
+  for (const auto& run : *served) {
+    wave_slots[run.wave] += run.admission.footprint_slots;
+  }
+  EXPECT_GE(wave_slots.size(), 2u) << "budget never forced a second wave";
+  for (const auto& [wave, slots] : wave_slots) {
+    EXPECT_LE(slots, opt.device_slot_budget) << "wave " << wave;
+  }
+  const CorpusServer::Stats& stats = (*server)->stats();
+  EXPECT_LE(stats.peak_admitted_slots, opt.device_slot_budget);
+  EXPECT_EQ(stats.waves, wave_slots.size());
+  EXPECT_EQ(stats.served, tasks.size());
+}
+
+TEST(CorpusServerTest, RunLargerThanBudgetIsRejectedAtSubmit) {
+  PartitionedCorpus corpus = MakeCorpus(8, 2);
+  CorpusServer::Options opt;
+  opt.engine = GpuOptions();
+  opt.device_slot_budget = 1;  // nothing real fits
+  auto server = CorpusServer::Create(&corpus, opt);
+  ASSERT_TRUE(server.ok());
+  CorpusServer::RunRequest req;
+  req.task = Task::kWordCount;
+  auto admission = (*server)->Submit(req);
+  EXPECT_FALSE(admission.ok());
+  EXPECT_EQ((*server)->stats().rejected, 1u);
+  EXPECT_EQ((*server)->queued(), 0u);
+}
+
+TEST(CorpusServerTest, ServedFifoAndBitIdenticalToSerialBatchRuns) {
+  PartitionedCorpus corpus = MakeCorpus(12, 4);
+  const std::vector<Task> tasks = {Task::kWordCount, Task::kInvertedIndex,
+                                   Task::kTopKWords, Task::kSequenceCount,
+                                   Task::kTermVector};
+
+  CorpusServer::Options opt;
+  opt.engine = GpuOptions();
+  auto server = CorpusServer::Create(&corpus, opt);
+  ASSERT_TRUE(server.ok());
+  std::vector<uint64_t> tickets;
+  for (Task t : tasks) {
+    CorpusServer::RunRequest req;
+    req.task = t;
+    auto admission = (*server)->Submit(req);
+    ASSERT_TRUE(admission.ok());
+    tickets.push_back(admission->ticket);
+  }
+  auto served = (*server)->Drain();
+  ASSERT_TRUE(served.ok()) << served.status().ToString();
+  ASSERT_EQ(served->size(), tasks.size());
+
+  for (size_t i = 0; i < served->size(); ++i) {
+    // FIFO: runs are served in ticket (submission) order.
+    EXPECT_EQ((*served)[i].admission.ticket, tickets[i]);
+    if (i > 0) EXPECT_GE((*served)[i].wave, (*served)[i - 1].wave);
+
+    // Bit-identity: the served output equals a standalone serial
+    // BatchEngine run of the same task with the same options.
+    BatchEngine::Options bopt;
+    bopt.engine = GpuOptions();
+    auto batch = BatchEngine::Create(&corpus, bopt);
+    ASSERT_TRUE(batch.ok());
+    auto serial = (*batch)->Run(tasks[i]);
+    ASSERT_TRUE(serial.ok());
+    EXPECT_TRUE((*served)[i].batch.merged.SameAs(serial->merged))
+        << TaskName(tasks[i]);
+    ASSERT_EQ((*served)[i].batch.documents.size(),
+              serial->documents.size());
+    for (size_t d = 0; d < serial->documents.size(); ++d) {
+      EXPECT_TRUE((*served)[i].batch.documents[d].result.SameAs(
+          serial->documents[d].result))
+          << TaskName(tasks[i]) << " doc " << d;
+    }
+
+    // Execution consumed the plans admission probed: zero planning.
+    EXPECT_EQ((*served)[i].batch.timing.plan_seconds, 0.0)
+        << TaskName(tasks[i]);
+  }
+}
+
+TEST(CorpusServerTest, AdmissionPreSizingLeavesZeroMidRunGrowth) {
+  PartitionedCorpus corpus = MakeCorpus(16, 4);
+  CorpusServer::Options opt;
+  opt.engine = GpuOptions();
+  auto server = CorpusServer::Create(&corpus, opt);
+  ASSERT_TRUE(server.ok());
+  for (Task t : {Task::kWordCount, Task::kInvertedIndex, Task::kTermVector}) {
+    CorpusServer::RunRequest req;
+    req.task = t;
+    ASSERT_TRUE((*server)->Submit(req).ok());
+  }
+  auto served = (*server)->Drain();
+  ASSERT_TRUE(served.ok());
+  EXPECT_EQ((*server)->stats().mid_run_pool_growths, 0u);
+  for (const auto& run : *served) {
+    EXPECT_EQ(run.batch.mid_run_pool_growths, 0u);
+  }
+
+  // Contrast: the same corpus through a bare BatchEngine (no pre-sizing)
+  // grows its context pools while documents are executing.
+  BatchEngine::Options bopt;
+  bopt.engine = GpuOptions();
+  auto batch = BatchEngine::Create(&corpus, bopt);
+  ASSERT_TRUE(batch.ok());
+  auto run = (*batch)->Run(Task::kInvertedIndex);
+  ASSERT_TRUE(run.ok());
+  EXPECT_GT(run->mid_run_pool_growths, 0u);
+}
+
+// --------------------------------------------------------------------------
+// Root-Bloom corpus skip.
+// --------------------------------------------------------------------------
+
+TEST(CorpusServerTest, BloomSkipIsBitIdenticalWithStrictlyLessWork) {
+  MarkerCorpus mc = MakeMarkerCorpus(/*num_docs=*/12, /*relevant=*/4,
+                                     /*num_markers=*/4);
+  CorpusServer::Options opt;
+  opt.engine = GpuOptions();
+  opt.engine.charge_pcie = true;  // uploads visible, so the skip shows up
+  auto server = CorpusServer::Create(&mc.corpus, opt);
+  ASSERT_TRUE(server.ok());
+
+  CorpusServer::RunRequest req;
+  req.task = Task::kKeywordSearch;
+  for (uint32_t m : mc.markers) req.query_sets.push_back({m});
+  auto admission = (*server)->Submit(req);
+  ASSERT_TRUE(admission.ok()) << admission.status().ToString();
+  // Every marker-free document's root Bloom provably rejects every marker.
+  EXPECT_EQ(admission->documents_skipped, 12u - 4u);
+  EXPECT_EQ(admission->documents_to_execute, 4u);
+
+  auto served = (*server)->Drain();
+  ASSERT_TRUE(served.ok()) << served.status().ToString();
+  ASSERT_EQ(served->size(), 1u);
+  const BatchEngine::BatchRun& skipped = (*served)[0].batch;
+  EXPECT_EQ(skipped.documents_skipped, 8u);
+  for (size_t d = 0; d < skipped.documents.size(); ++d) {
+    EXPECT_EQ(skipped.documents[d].skipped, d >= 4) << "doc " << d;
+  }
+
+  // The unskipped baseline: a serial BatchEngine run with identical
+  // options. Results must be bit-identical; work must be strictly less.
+  BatchEngine::Options bopt;
+  bopt.engine = opt.engine;
+  bopt.engine.plan_cache = nullptr;
+  bopt.engine.query_sets = req.query_sets;
+  auto batch = BatchEngine::Create(&mc.corpus, bopt);
+  ASSERT_TRUE(batch.ok());
+  auto full = (*batch)->Run(Task::kKeywordSearch);
+  ASSERT_TRUE(full.ok());
+  EXPECT_TRUE(skipped.merged.SameAs(full->merged))
+      << skipped.merged.Digest() << " vs " << full->merged.Digest();
+  for (size_t d = 0; d < full->documents.size(); ++d) {
+    EXPECT_TRUE(
+        skipped.documents[d].result.SameAs(full->documents[d].result))
+        << "doc " << d;
+  }
+  EXPECT_LT(skipped.timing.traversal_ops, full->timing.traversal_ops);
+  EXPECT_LT(skipped.timing.upload_seconds, full->timing.upload_seconds);
+  // Only executed documents resolve plans — and all as admission-time hits.
+  EXPECT_EQ(skipped.timing.plan_cache_hits, 4u);
+  EXPECT_EQ(skipped.timing.plan_seconds, 0.0);
+}
+
+TEST(CorpusServerTest, BloomFalsePositiveDocExecutesAndStaysCorrect) {
+  MarkerCorpus mc = MakeMarkerCorpus(/*num_docs=*/12, /*relevant=*/4,
+                                     /*num_markers=*/2);
+  ASSERT_NE(mc.false_positive, UINT32_MAX)
+      << "no Bloom-false-positive candidate found for this seed";
+
+  CorpusServer::Options opt;
+  opt.engine = GpuOptions();
+  auto server = CorpusServer::Create(&mc.corpus, opt);
+  ASSERT_TRUE(server.ok());
+
+  // Query the false-positive word: document 4 (the first marker-free doc)
+  // passes the Bloom probe without containing the word — a superset, never
+  // an error. It must execute, contribute nothing, and the merged result
+  // must still equal the unskipped baseline.
+  CorpusServer::RunRequest req;
+  req.task = Task::kKeywordSearch;
+  req.query_words = {mc.false_positive};
+  auto admission = (*server)->Submit(req);
+  ASSERT_TRUE(admission.ok());
+  auto served = (*server)->Drain();
+  ASSERT_TRUE(served.ok());
+  const BatchEngine::BatchRun& run = (*served)[0].batch;
+  EXPECT_FALSE(run.documents[4].skipped)
+      << "a Bloom hit must execute, even when it is a false positive";
+  EXPECT_TRUE(run.documents[4].result.keyword_search.empty());
+
+  BatchEngine::Options bopt;
+  bopt.engine = opt.engine;
+  bopt.engine.plan_cache = nullptr;
+  bopt.engine.query_words = req.query_words;
+  auto batch = BatchEngine::Create(&mc.corpus, bopt);
+  ASSERT_TRUE(batch.ok());
+  auto full = (*batch)->Run(Task::kKeywordSearch);
+  ASSERT_TRUE(full.ok());
+  EXPECT_TRUE(run.merged.SameAs(full->merged));
+  // Real hits land only in the marker-carrying documents' files.
+  for (const auto& [file, hits] : run.merged.keyword_search) {
+    EXPECT_LT(file, mc.corpus.file_base[4]) << "hit in a marker-free doc";
+    EXPECT_GT(hits, 0u);
+  }
+}
+
+TEST(CorpusServerTest, PhraseSkipNeedsEveryWordOfASet) {
+  MarkerCorpus mc = MakeMarkerCorpus(/*num_docs=*/10, /*relevant=*/3,
+                                     /*num_markers=*/2);
+  const TaskKernel& phrase = **TaskRegistry::Get(Task::kPhraseSearch);
+  const TaskKernel& keyword = **TaskRegistry::Get(Task::kKeywordSearch);
+
+  // A document carrying marker 0 but not marker 1 can match the keyword
+  // query {m0} but never the phrase "m0 m1" — the sequence-shape mask may
+  // skip it for the phrase while the weight-shape mask must execute it.
+  std::vector<std::vector<uint32_t>> extra_files = {
+      {1, 2, 3, mc.markers[0], 5, 6}};
+  auto partial = CompressTokenStreams(extra_files, mc.num_words);
+  ASSERT_TRUE(partial.ok());
+  std::vector<Grammar> docs;
+  for (auto& g : mc.corpus.partitions) docs.push_back(std::move(g));
+  docs.push_back(std::move(*partial));
+  auto corpus = CorpusFromDocuments(std::move(docs));
+  ASSERT_TRUE(corpus.ok());
+  const size_t partial_doc = corpus->partitions.size() - 1;
+
+  TaskInput input;
+  input.query_sets = {{mc.markers[0], mc.markers[1]}};
+  input.query_words = {mc.markers[0], mc.markers[1]};
+
+  std::vector<uint8_t> phrase_mask =
+      BloomExecuteMask(*corpus, phrase, input);
+  ASSERT_EQ(phrase_mask.size(), corpus->partitions.size());
+  EXPECT_EQ(phrase_mask[partial_doc], 0)
+      << "phrase needs every word; a doc missing one is skippable";
+  std::vector<uint8_t> keyword_mask =
+      BloomExecuteMask(*corpus, keyword, input);
+  EXPECT_EQ(keyword_mask[partial_doc], 1)
+      << "keyword needs any word; a doc holding one must execute";
+  for (uint32_t d = 0; d < 3; ++d) {
+    EXPECT_EQ(phrase_mask[d], 1) << "marker doc " << d;
+    EXPECT_EQ(keyword_mask[d], 1) << "marker doc " << d;
+  }
+
+  // End to end: the phrase run over the extended corpus is bit-identical
+  // to the unskipped baseline.
+  CorpusServer::Options opt;
+  opt.engine = GpuOptions();
+  auto server = CorpusServer::Create(&*corpus, opt);
+  ASSERT_TRUE(server.ok());
+  CorpusServer::RunRequest req;
+  req.task = Task::kPhraseSearch;
+  req.query_sets = input.query_sets;
+  auto admission = (*server)->Submit(req);
+  ASSERT_TRUE(admission.ok());
+  EXPECT_GE(admission->documents_skipped, 7u);
+  auto served = (*server)->Drain();
+  ASSERT_TRUE(served.ok()) << served.status().ToString();
+
+  BatchEngine::Options bopt;
+  bopt.engine = opt.engine;
+  bopt.engine.plan_cache = nullptr;
+  bopt.engine.query_sets = req.query_sets;
+  auto batch = BatchEngine::Create(&*corpus, bopt);
+  ASSERT_TRUE(batch.ok());
+  auto full = (*batch)->Run(Task::kPhraseSearch);
+  ASSERT_TRUE(full.ok());
+  EXPECT_TRUE((*served)[0].batch.merged.SameAs(full->merged))
+      << (*served)[0].batch.merged.Digest() << " vs "
+      << full->merged.Digest();
+}
+
+TEST(CorpusServerTest, EmptyQuerySkipsEveryDocumentAndStaysCorrect) {
+  MarkerCorpus mc = MakeMarkerCorpus(/*num_docs=*/6, /*relevant=*/2,
+                                     /*num_markers=*/2);
+  CorpusServer::Options opt;
+  opt.engine = GpuOptions();
+  auto server = CorpusServer::Create(&mc.corpus, opt);
+  ASSERT_TRUE(server.ok());
+  CorpusServer::RunRequest req;
+  req.task = Task::kKeywordSearch;  // empty query: nothing can match
+  auto admission = (*server)->Submit(req);
+  ASSERT_TRUE(admission.ok());
+  EXPECT_EQ(admission->documents_to_execute, 0u);
+  EXPECT_EQ(admission->footprint_slots, 0u);
+  auto served = (*server)->Drain();
+  ASSERT_TRUE(served.ok());
+  EXPECT_TRUE((*served)[0].batch.merged.keyword_search.empty());
+
+  BatchEngine::Options bopt;
+  bopt.engine = opt.engine;
+  bopt.engine.plan_cache = nullptr;
+  auto batch = BatchEngine::Create(&mc.corpus, bopt);
+  ASSERT_TRUE(batch.ok());
+  auto full = (*batch)->Run(Task::kKeywordSearch);
+  ASSERT_TRUE(full.ok());
+  EXPECT_TRUE((*served)[0].batch.merged.SameAs(full->merged));
+}
+
+TEST(CorpusServerTest, FullyMaskedShardHoldsNoDeviceState) {
+  // With two worker contexts over 8 documents and a query whose markers
+  // live only in documents 0-3, the second shard [4, 8) is fully masked:
+  // admission must price ONE context (the reservation) and execution must
+  // hold no pool for the masked shard — the two must agree, which is
+  // observable as the multi-shard footprint equalling the single-shard one.
+  MarkerCorpus mc = MakeMarkerCorpus(/*num_docs=*/8, /*relevant=*/4,
+                                     /*num_markers=*/2);
+  CorpusServer::RunRequest req;
+  req.task = Task::kKeywordSearch;
+  for (uint32_t m : mc.markers) req.query_sets.push_back({m});
+
+  CorpusServer::Options one;
+  one.engine = GpuOptions();
+  one.host_workers = 1;
+  auto server_one = CorpusServer::Create(&mc.corpus, one);
+  ASSERT_TRUE(server_one.ok());
+  auto admission_one = (*server_one)->Submit(req);
+  ASSERT_TRUE(admission_one.ok());
+
+  CorpusServer::Options two = one;
+  two.host_workers = 2;
+  auto server_two = CorpusServer::Create(&mc.corpus, two);
+  ASSERT_TRUE(server_two.ok());
+  auto admission_two = (*server_two)->Submit(req);
+  ASSERT_TRUE(admission_two.ok());
+  EXPECT_EQ(admission_two->footprint_slots, admission_one->footprint_slots)
+      << "a fully-masked shard must not be priced (or allocated)";
+
+  auto served = (*server_two)->Drain();
+  ASSERT_TRUE(served.ok()) << served.status().ToString();
+  EXPECT_EQ((*server_two)->stats().mid_run_pool_growths, 0u);
+
+  BatchEngine::Options bopt;
+  bopt.engine = one.engine;
+  bopt.engine.query_sets = req.query_sets;
+  auto batch = BatchEngine::Create(&mc.corpus, bopt);
+  ASSERT_TRUE(batch.ok());
+  auto full = (*batch)->Run(Task::kKeywordSearch);
+  ASSERT_TRUE(full.ok());
+  EXPECT_TRUE((*served)[0].batch.merged.SameAs(full->merged));
+}
+
+TEST(CorpusServerTest, EmptyRequestFieldsInheritServerDefaults) {
+  MarkerCorpus mc = MakeMarkerCorpus(/*num_docs=*/6, /*relevant=*/2,
+                                     /*num_markers=*/1);
+  CorpusServer::Options opt;
+  opt.engine = GpuOptions();
+  opt.engine.query_words = {mc.markers[0]};  // the server-wide default query
+  auto server = CorpusServer::Create(&mc.corpus, opt);
+  ASSERT_TRUE(server.ok());
+
+  // An empty-query request inherits the default instead of silently
+  // running (and Bloom-skipping) an empty accept set.
+  CorpusServer::RunRequest inherit;
+  inherit.task = Task::kKeywordSearch;
+  auto inherited = (*server)->Submit(inherit);
+  ASSERT_TRUE(inherited.ok());
+  EXPECT_EQ(inherited->documents_to_execute, 2u);
+
+  CorpusServer::RunRequest explicit_req = inherit;
+  explicit_req.query_words = {mc.markers[0]};
+  auto explicit_admission = (*server)->Submit(explicit_req);
+  ASSERT_TRUE(explicit_admission.ok());
+  auto served = (*server)->Drain();
+  ASSERT_TRUE(served.ok());
+  ASSERT_EQ(served->size(), 2u);
+  EXPECT_TRUE(
+      (*served)[0].batch.merged.SameAs((*served)[1].batch.merged));
+  EXPECT_FALSE((*served)[0].batch.merged.keyword_search.empty());
+}
+
+TEST(CorpusServerTest, ExplicitQueryWordsReplaceDefaultQuerySets) {
+  // A server-wide default query_sets must not shadow a request's explicit
+  // query_words (the engines prefer query_sets whenever non-empty): an
+  // explicit query replaces the default as a whole.
+  MarkerCorpus mc = MakeMarkerCorpus(/*num_docs=*/6, /*relevant=*/2,
+                                     /*num_markers=*/2);
+  CorpusServer::Options opt;
+  opt.engine = GpuOptions();
+  opt.engine.query_sets = {{mc.markers[0]}, {mc.markers[1]}};
+  auto server = CorpusServer::Create(&mc.corpus, opt);
+  ASSERT_TRUE(server.ok());
+  CorpusServer::RunRequest req;
+  req.task = Task::kKeywordSearch;
+  req.query_words = {mc.markers[1]};
+  ASSERT_TRUE((*server)->Submit(req).ok());
+  auto served = (*server)->Drain();
+  ASSERT_TRUE(served.ok());
+  // The run answered the request's single word, not the default sets.
+  EXPECT_TRUE((*served)[0].batch.merged.keyword_multi.empty());
+
+  CorpusServer::Options plain;
+  plain.engine = GpuOptions();
+  auto reference = CorpusServer::Create(&mc.corpus, plain);
+  ASSERT_TRUE(reference.ok());
+  ASSERT_TRUE((*reference)->Submit(req).ok());
+  auto expected = (*reference)->Drain();
+  ASSERT_TRUE(expected.ok());
+  EXPECT_TRUE(
+      (*served)[0].batch.merged.SameAs((*expected)[0].batch.merged));
+  EXPECT_FALSE((*served)[0].batch.merged.keyword_search.empty());
+}
+
+TEST(CorpusServerTest, NonSelectiveTasksNeverSkip) {
+  MarkerCorpus mc = MakeMarkerCorpus(/*num_docs=*/6, /*relevant=*/2,
+                                     /*num_markers=*/2);
+  CorpusServer::Options opt;
+  opt.engine = GpuOptions();
+  auto server = CorpusServer::Create(&mc.corpus, opt);
+  ASSERT_TRUE(server.ok());
+  CorpusServer::RunRequest req;
+  req.task = Task::kWordCount;
+  auto admission = (*server)->Submit(req);
+  ASSERT_TRUE(admission.ok());
+  EXPECT_EQ(admission->documents_skipped, 0u);
+  EXPECT_EQ(admission->documents_to_execute, 6u);
+}
+
+// --------------------------------------------------------------------------
+// Masked BatchEngine runs (the server's execution seam).
+// --------------------------------------------------------------------------
+
+TEST(BatchMaskTest, MaskSizeMismatchIsInvalidArgument) {
+  PartitionedCorpus corpus = MakeCorpus(8, 4);
+  BatchEngine::Options bopt;
+  bopt.engine = GpuOptions();
+  auto batch = BatchEngine::Create(&corpus, bopt);
+  ASSERT_TRUE(batch.ok());
+  auto run = (*batch)->Run(Task::kWordCount, std::vector<uint8_t>{1, 0});
+  EXPECT_FALSE(run.ok());
+}
+
+}  // namespace
+}  // namespace gtadoc
