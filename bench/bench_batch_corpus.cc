@@ -24,6 +24,14 @@
 //   2. A selective multi-query workload over a 16-document corpus skips at
 //      least half the documents by root-Bloom rejection, with the merged
 //      result bit-identical to the unskipped run.
+//
+// SCHEDULER MODE (the third half) pits the two admission disciplines against
+// each other on a mixed large/small workload: small selective runs packed
+// around one full-budget run. Hard gates: rolling admission
+// (ServeUntilIdle) must deliver a strictly lower mean simulated queue-wait
+// than barrier waves (Drain) on the same submissions, both modes must keep
+// zero mid-run pool growths, and every ticket's result must be bit-identical
+// between the two schedules — admission order moves starts, never outputs.
 
 #include "analytics/batch.h"
 #include "analytics/server.h"
@@ -239,6 +247,166 @@ int RunServerMode(const gpu::Platform& platform, double scale) {
   return 0;
 }
 
+/// The scheduler-mode section: rolling admission vs barrier waves on a mixed
+/// large/small workload, all three contracts hard-gated. Returns 0 on
+/// success, 1 on a gate failure.
+int RunSchedulerMode(const gpu::Platform& platform, double scale) {
+  bench::PrintRule('=');
+  std::printf(
+      "SCHEDULER MODE: rolling admission vs barrier waves over %u "
+      "documents\n",
+      kDocuments);
+
+  MarkerCorpusSpec mspec;
+  mspec.num_docs = kDocuments;
+  mspec.relevant = kDocuments / 2;
+  mspec.num_markers = 8;
+  mspec.files_per_doc = 4;
+  mspec.tokens_per_doc = 3000;
+  mspec.seed = 23;
+  mspec.scale = scale;
+  auto built = BuildMarkerCorpus(mspec);
+  if (!built.ok()) return 1;
+  MarkerCorpus mc = std::move(*built);
+
+  CorpusServer::Options sizing;
+  sizing.engine.gpu = platform.gpu;
+  sizing.engine.charge_pcie = true;
+
+  // The mixed workload, smalls first: selective keyword runs (root Blooms
+  // skip the marker-free half, so their footprints are small) packed around
+  // one corpus-wide inverted index (the full-budget run).
+  CorpusServer::RunRequest small;
+  small.task = Task::kKeywordSearch;
+  for (uint32_t m : mc.markers) small.query_sets.push_back({m});
+  CorpusServer::RunRequest large;
+  large.task = Task::kInvertedIndex;
+  const std::vector<CorpusServer::RunRequest> requests = {small, small, large,
+                                                          small, small};
+
+  uint64_t small_fp = 0;
+  uint64_t large_fp = 0;
+  {
+    auto sizer = CorpusServer::Create(&mc.corpus, sizing);
+    if (!sizer.ok()) return 1;
+    auto s = (*sizer)->Submit(small);
+    auto l = (*sizer)->Submit(large);
+    if (!s.ok() || !l.ok()) return 1;
+    small_fp = s->footprint_slots;
+    large_fp = l->footprint_slots;
+  }
+  // The witness needs a real size gap: all four smalls must co-reside in
+  // the budget the large run needs alone.
+  if (small_fp == 0 || 4 * small_fp > large_fp) {
+    std::fprintf(stderr,
+                 "GATE FAILED: workload mix lost its size gap (small %llu, "
+                 "large %llu slots)\n",
+                 static_cast<unsigned long long>(small_fp),
+                 static_cast<unsigned long long>(large_fp));
+    return 1;
+  }
+
+  // Budget = the large footprint exactly: the large run serializes, the
+  // smalls pack. Barrier waves strand the trailing smalls behind the large
+  // run's wave; rolling admission backfills them at submit time.
+  CorpusServer::Options opt = sizing;
+  opt.device_slot_budget = large_fp;
+
+  auto wave_server = CorpusServer::Create(&mc.corpus, opt);
+  auto rolling_server = CorpusServer::Create(&mc.corpus, opt);
+  if (!wave_server.ok() || !rolling_server.ok()) return 1;
+  auto tenant = (*rolling_server)->OpenTenant({});
+  if (!tenant.ok()) return 1;
+
+  std::vector<CorpusServer::RunTicket> tickets;
+  for (const auto& req : requests) {
+    if (!(*wave_server)->Submit(req).ok()) return 1;
+    auto submitted = tenant->Submit(req);
+    if (!submitted.ok() || !submitted->admitted()) return 1;
+    tickets.push_back(*submitted->ticket);
+  }
+  auto drained = (*wave_server)->Drain();
+  if (!drained.ok()) return 1;
+  if (!(*rolling_server)->ServeUntilIdle().ok()) return 1;
+
+  bench::PrintRule();
+  std::printf("%-8s %-16s %14s %6s %14s %16s %9s\n", "ticket", "task",
+              "footprint", "wave", "wave wait (ms)", "rolling wait (ms)",
+              "backfill");
+  bench::PrintRule();
+  for (size_t i = 0; i < tickets.size(); ++i) {
+    const CorpusServer::ServedRun& waved = (*drained)[i];
+    const CorpusServer::ServedRun* rolled = tickets[i].TryGet();
+    if (rolled == nullptr) {
+      std::fprintf(stderr, "GATE FAILED: ticket %zu never served\n", i);
+      return 1;
+    }
+    std::printf("%-8llu %-16s %14llu %6llu %14.3f %16.3f %9s\n",
+                static_cast<unsigned long long>(waved.admission.ticket),
+                TaskName(waved.batch.merged.task),
+                static_cast<unsigned long long>(
+                    waved.admission.footprint_slots),
+                static_cast<unsigned long long>(waved.wave),
+                waved.queue_wait_seconds * 1e3,
+                rolled->queue_wait_seconds * 1e3,
+                rolled->backfilled ? "yes" : "no");
+    // --- Gate 3: admission order moves starts, never outputs. -------------
+    if (!rolled->batch.merged.SameAs(waved.batch.merged)) {
+      std::fprintf(stderr,
+                   "GATE FAILED: ticket %zu diverged between schedules: %s "
+                   "vs %s\n",
+                   i, rolled->batch.merged.Digest().c_str(),
+                   waved.batch.merged.Digest().c_str());
+      return 1;
+    }
+  }
+
+  const CorpusServer::Stats& wave_stats = (*wave_server)->stats();
+  const CorpusServer::Stats& rolling_stats = (*rolling_server)->stats();
+  const double wave_mean =
+      wave_stats.queue_wait_seconds / static_cast<double>(requests.size());
+  const double rolling_mean =
+      rolling_stats.queue_wait_seconds / static_cast<double>(requests.size());
+  std::printf(
+      "mean queue-wait: waves %.3f ms (%llu waves) vs rolling %.3f ms "
+      "(%llu backfills)\n",
+      wave_mean * 1e3, static_cast<unsigned long long>(wave_stats.waves),
+      rolling_mean * 1e3,
+      static_cast<unsigned long long>(rolling_stats.backfills));
+
+  // --- Gate 1: rolling strictly beats the barrier on mean queue-wait. -----
+  if (rolling_mean >= wave_mean) {
+    std::fprintf(stderr,
+                 "GATE FAILED: rolling mean queue-wait %.3f ms not below "
+                 "barrier waves %.3f ms\n",
+                 rolling_mean * 1e3, wave_mean * 1e3);
+    return 1;
+  }
+  // --- Gate 2: both disciplines keep the pre-sizing contract. -------------
+  if (wave_stats.mid_run_pool_growths != 0 ||
+      rolling_stats.mid_run_pool_growths != 0) {
+    std::fprintf(stderr,
+                 "GATE FAILED: mid-run pool growths under the scheduler "
+                 "(waves %llu, rolling %llu; both must be 0)\n",
+                 static_cast<unsigned long long>(
+                     wave_stats.mid_run_pool_growths),
+                 static_cast<unsigned long long>(
+                     rolling_stats.mid_run_pool_growths));
+    return 1;
+  }
+  if (wave_stats.peak_admitted_slots > opt.device_slot_budget ||
+      rolling_stats.peak_admitted_slots > opt.device_slot_budget) {
+    std::fprintf(stderr, "GATE FAILED: a schedule exceeded the budget\n");
+    return 1;
+  }
+  if (rolling_stats.waves != 0) {
+    std::fprintf(stderr,
+                 "GATE FAILED: the rolling schedule opened a barrier wave\n");
+    return 1;
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main() {
@@ -382,5 +550,6 @@ int main() {
                  warm_geo, batch_geo);
     return 1;
   }
-  return RunServerMode(platform, scale);
+  if (int rc = RunServerMode(platform, scale); rc != 0) return rc;
+  return RunSchedulerMode(platform, scale);
 }

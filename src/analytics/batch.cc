@@ -118,6 +118,7 @@ Status BatchEngine::RunShard(Task task, const std::vector<uint8_t>* execute,
       if (!st.ok()) return st;
       out.timing = RunTiming();
       out.skipped = true;
+      if (options_.on_document_complete) options_.on_document_complete(out);
       continue;
     }
     if (engine != nullptr && options_.reuse_device_state) {
@@ -134,6 +135,7 @@ Status BatchEngine::RunShard(Task task, const std::vector<uint8_t>* execute,
     if (!run.ok()) return run.status();
     out.result = std::move(run->result);
     out.timing = run->timing;
+    if (options_.on_document_complete) options_.on_document_complete(out);
   }
   if (pool != nullptr && mid_run_growths != nullptr) {
     *mid_run_growths = pool->growth_count() - growth_baseline;

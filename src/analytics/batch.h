@@ -2,6 +2,7 @@
 #define GTADOC_ANALYTICS_BATCH_H_
 
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <vector>
 
@@ -47,6 +48,8 @@ namespace gtadoc {
 /// batch speedups compare like for like.
 class BatchEngine {
  public:
+  struct DocumentRun;
+
   struct Options {
     /// Per-document engine configuration. `shared_device`/`shared_pool` are
     /// managed by the batch engine and must be left null; `plan_cache` may
@@ -76,6 +79,13 @@ class BatchEngine {
     /// mid_run_pool_growths verifies. 0 = no pre-sizing (pools grow lazily
     /// to the shard's high-water mark, charged mid-run).
     uint64_t presize_pool_slots = 0;
+    /// Invoked once per finished document — skipped ones included
+    /// (DocumentRun::skipped distinguishes) — as soon as its DocumentRun is
+    /// final, before the batch completes. Serving layers use it for live
+    /// progress counters. Called from shard worker threads concurrently, so
+    /// the callback must be thread-safe; the reference is only valid for
+    /// the duration of the call. Null: no notifications.
+    std::function<void(const DocumentRun&)> on_document_complete;
   };
 
   /// One document's run inside the batch.

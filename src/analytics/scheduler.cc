@@ -1,0 +1,149 @@
+#include "analytics/scheduler.h"
+
+#include <algorithm>
+
+namespace gtadoc {
+
+bool RunScheduler::QosBefore(const ScheduledRun& a, const ScheduledRun& b) {
+  if (a.priority != b.priority) return a.priority > b.priority;
+  if (a.deadline != b.deadline) return a.deadline < b.deadline;
+  return a.ticket < b.ticket;
+}
+
+void RunScheduler::Enqueue(ScheduledRun run) {
+  run.submit_time = now_;
+  queue_.push_back(QueuedEntry{run});
+}
+
+int RunScheduler::PickCandidate(AdmissionMode mode) const {
+  if (queue_.empty()) return -1;
+  // QoS view of the queue; with all-default priorities and no deadlines
+  // this is exactly ticket (FIFO) order.
+  std::vector<size_t> order(queue_.size());
+  for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::stable_sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+    return QosBefore(queue_[a].run, queue_[b].run);
+  });
+  for (size_t idx : order) {
+    const QueuedEntry& entry = queue_[idx];
+    if (budget_->CanReserve(entry.run.footprint_slots, entry.run.tenant)) {
+      return static_cast<int>(idx);
+    }
+    // Barrier waves admit strictly in order: the first run that does not
+    // fit closes the wave, nothing backfills past it.
+    if (mode == AdmissionMode::kBarrierWaves) return -1;
+    // Rolling backfill is starvation-bounded: once a run has been bypassed
+    // aging_limit times it is urgent, and nothing may start ahead of it.
+    if (entry.bypass >= options_.aging_limit) return -1;
+  }
+  return -1;
+}
+
+AdmissionDecision RunScheduler::Start(size_t index, AdmissionMode mode) {
+  const ScheduledRun run = queue_[index].run;
+  // PickCandidate just saw the reservation fit; serving is single-threaded,
+  // so this cannot fail.
+  budget_->TryReserve(run.footprint_slots, run.tenant);
+
+  AdmissionDecision decision;
+  decision.ticket = run.ticket;
+  decision.tenant = run.tenant;
+  if (mode == AdmissionMode::kBarrierWaves) {
+    if (active_.empty()) ++waves_;  // first member opens the wave
+    decision.wave = waves_;
+  } else {
+    // A start ahead of any QoS-earlier queued run is a backfill; those
+    // bypassed runs age toward urgency.
+    for (QueuedEntry& other : queue_) {
+      if (other.run.ticket == run.ticket) continue;
+      if (QosBefore(other.run, run)) {
+        ++other.bypass;
+        decision.backfilled = true;
+      }
+    }
+    if (decision.backfilled) ++backfills_;
+  }
+  decision.start_time = now_;
+  decision.queue_wait = now_ - run.submit_time;
+
+  ActiveRun active;
+  active.ticket = run.ticket;
+  active.tenant = run.tenant;
+  active.footprint_slots = run.footprint_slots;
+  active.start_time = now_;
+  active_.push_back(active);
+  queue_.erase(queue_.begin() + static_cast<ptrdiff_t>(index));
+  return decision;
+}
+
+std::optional<AdmissionDecision> RunScheduler::StartNext(AdmissionMode mode) {
+  while (!queue_.empty()) {
+    const int candidate = PickCandidate(mode);
+    if (candidate >= 0) return Start(static_cast<size_t>(candidate), mode);
+    if (active_.empty()) return std::nullopt;  // nothing queued can ever fit
+    if (mode == AdmissionMode::kBarrierWaves) {
+      CloseWave();
+    } else {
+      PopEarliestCompletion();
+    }
+  }
+  return std::nullopt;
+}
+
+void RunScheduler::FinishStarted(uint64_t ticket, double duration_seconds) {
+  for (ActiveRun& run : active_) {
+    if (run.ticket == ticket) {
+      run.completion = run.start_time + duration_seconds;
+      return;
+    }
+  }
+}
+
+void RunScheduler::CloseWave() {
+  if (active_.empty()) return;
+  // The barrier: the wave ends when its slowest member completes, and every
+  // member's reservation is held until then.
+  double wave_end = now_;
+  for (const ActiveRun& run : active_) {
+    wave_end = std::max(
+        wave_end, run.completion < 0.0 ? run.start_time : run.completion);
+  }
+  for (const ActiveRun& run : active_) {
+    budget_->Release(run.footprint_slots, run.tenant);
+    slot_seconds_[run.tenant] += static_cast<double>(run.footprint_slots) *
+                                 (wave_end - run.start_time);
+  }
+  active_.clear();
+  now_ = wave_end;
+}
+
+void RunScheduler::PopEarliestCompletion() {
+  if (active_.empty()) return;
+  size_t earliest = 0;
+  for (size_t i = 1; i < active_.size(); ++i) {
+    const double a = active_[i].completion < 0.0 ? active_[i].start_time
+                                                 : active_[i].completion;
+    const double b = active_[earliest].completion < 0.0
+                         ? active_[earliest].start_time
+                         : active_[earliest].completion;
+    if (a < b) earliest = i;
+  }
+  const ActiveRun run = active_[earliest];
+  const double completion =
+      run.completion < 0.0 ? run.start_time : run.completion;
+  now_ = std::max(now_, completion);
+  budget_->Release(run.footprint_slots, run.tenant);
+  slot_seconds_[run.tenant] += static_cast<double>(run.footprint_slots) *
+                               (completion - run.start_time);
+  active_.erase(active_.begin() + static_cast<ptrdiff_t>(earliest));
+}
+
+void RunScheduler::DrainActive(AdmissionMode mode) {
+  if (mode == AdmissionMode::kBarrierWaves) {
+    CloseWave();
+  } else {
+    while (!active_.empty()) PopEarliestCompletion();
+  }
+}
+
+}  // namespace gtadoc

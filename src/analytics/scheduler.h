@@ -1,0 +1,175 @@
+#ifndef GTADOC_ANALYTICS_SCHEDULER_H_
+#define GTADOC_ANALYTICS_SCHEDULER_H_
+
+#include <cstdint>
+#include <limits>
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "gpu/memory_pool.h"
+
+namespace gtadoc {
+
+/// Absent deadline: orders after every finite deadline.
+inline constexpr double kNoDeadline = std::numeric_limits<double>::infinity();
+
+/// How admitted runs give their device-slot reservations back.
+enum class AdmissionMode {
+  /// The legacy Drain discipline: runs are admitted as the longest
+  /// strictly-ordered prefix that fits the budget, every member starts at
+  /// the wave's start, and ALL reservations are held until the slowest
+  /// member completes (a barrier). Admission only happens between waves.
+  kBarrierWaves,
+  /// The rolling window: each run releases its reservation at its OWN
+  /// completion time, and the next eligible queued run is started the
+  /// moment its footprint fits — with QoS ordering, starvation-free
+  /// backfill, and per-completion-event admission.
+  kRolling,
+};
+
+/// One queued unit of work as the scheduler sees it: an opaque ticket plus
+/// the admission-relevant facts (footprint, owner, QoS knobs). Durations are
+/// unknown until the run executes; see RunScheduler::FinishStarted.
+struct ScheduledRun {
+  uint64_t ticket = 0;           ///< caller-issued, unique, FIFO-ordered
+  uint64_t tenant = 0;           ///< SlotBudget owner id (0 = default)
+  uint64_t footprint_slots = 0;  ///< device-slot reservation while resident
+  int32_t priority = 0;          ///< higher starts first
+  double deadline = kNoDeadline;  ///< absolute simulated s; ties break EDF
+  double submit_time = 0.0;       ///< stamped by Enqueue from the sim clock
+};
+
+struct RunSchedulerOptions {
+  /// Starvation bound: once a queued run has been bypassed (a later-ordered
+  /// run started ahead of it) this many times, it becomes "urgent" — no
+  /// further backfill past it until it starts. Because every enqueued run's
+  /// footprint is validated to fit an empty device, the urgent run is
+  /// admitted no later than when the active set drains.
+  uint32_t aging_limit = 8;
+};
+
+/// What StartNext decided, for the serving layer's stats and ServedRun
+/// metadata. All times are simulated seconds on the scheduler's clock.
+struct AdmissionDecision {
+  uint64_t ticket = 0;
+  uint64_t tenant = 0;
+  double start_time = 0.0;
+  double queue_wait = 0.0;  ///< start_time - submit_time
+  /// True when this run started while a QoS-earlier run was still queued
+  /// (rolling-mode backfill; always false under barrier waves).
+  bool backfilled = false;
+  uint64_t wave = 0;  ///< 1-based wave number (barrier mode); 0 in rolling
+};
+
+/// \brief Simulated-timeline admission scheduler over a SlotBudget.
+///
+/// The model: admitted runs are co-resident on the device, overlapping in
+/// SIMULATED time — run i occupies its footprint for [start_i, start_i +
+/// duration_i). Host execution stays serial in admission order (which keeps
+/// results and durations deterministic and bit-identical to serial runs);
+/// the scheduler's clock, queue waits, and budget occupancy all live on the
+/// simulated timeline, which is where rolling admission beats barrier waves.
+///
+/// Protocol (driven by the serving layer, single-threaded):
+///   1. Enqueue every submitted run (footprint known from its RunPlan).
+///   2. Loop: StartNext(mode) picks a run and reserves its footprint
+///      (possibly first advancing the clock through completion events to
+///      free slots); the caller executes it and reports the measured
+///      duration via FinishStarted. Repeat until StartNext returns nullopt.
+///   3. DrainActive(mode) retires the remaining completions.
+///
+/// Ordering: priority desc, then deadline asc (EDF, kNoDeadline last), then
+/// ticket asc (FIFO). Barrier mode admits strictly in this order (no
+/// backfill — a run that does not fit closes the wave); rolling mode
+/// backfills past non-fitting runs, bounded by the aging limit.
+class RunScheduler {
+ public:
+  /// `budget` must outlive the scheduler; reservations are tagged with each
+  /// run's tenant so per-tenant quotas bind (see SlotBudget::SetOwnerQuota).
+  explicit RunScheduler(gpu::SlotBudget* budget,
+                        RunSchedulerOptions options = {})
+      : budget_(budget), options_(options) {}
+
+  /// Queues a run. Its submit_time is stamped from the scheduler clock.
+  /// Precondition (caller-validated): footprint fits an empty device and the
+  /// tenant's quota, so every queued run can eventually start.
+  void Enqueue(ScheduledRun run);
+
+  /// Starts the next eligible run: reserves its footprint against the
+  /// budget and returns the admission decision. Advances the simulated
+  /// clock through completion events (releasing their reservations) as
+  /// needed to make room. Returns nullopt when the queue is empty, or when
+  /// nothing queued can ever fit (a precondition violation).
+  std::optional<AdmissionDecision> StartNext(AdmissionMode mode);
+
+  /// Reports the measured duration of a started run; its completion event
+  /// (start + duration) is when its reservation becomes releasable. Must be
+  /// called before the next StartNext (execution is serial).
+  void FinishStarted(uint64_t ticket, double duration_seconds);
+
+  /// Retires every remaining active run: closes the final wave (barrier
+  /// mode) or walks the remaining completion events (rolling mode). The
+  /// clock ends at the last completion — the workload's makespan.
+  void DrainActive(AdmissionMode mode);
+
+  /// Abandons every queued (not-yet-started) run — the serving layer's
+  /// failure path. Active runs are untouched; DrainActive retires them.
+  void ClearQueue() { queue_.clear(); }
+
+  double now() const { return now_; }
+  size_t queued() const { return queue_.size(); }
+  size_t active() const { return active_.size(); }
+  bool idle() const { return queue_.empty() && active_.empty(); }
+  /// Waves opened so far (barrier mode only).
+  uint64_t waves() const { return waves_; }
+  /// Rolling-mode starts that jumped ahead of a QoS-earlier queued run.
+  uint64_t backfills() const { return backfills_; }
+  /// Per-tenant footprint-slots x simulated-seconds held, accumulated at
+  /// each release. Barrier waves charge every member to the wave's end —
+  /// the barrier's waste, made visible.
+  const std::map<uint64_t, double>& slot_seconds() const {
+    return slot_seconds_;
+  }
+
+ private:
+  struct QueuedEntry {
+    ScheduledRun run;
+    uint32_t bypass = 0;  ///< times a later-ordered run started first
+  };
+  struct ActiveRun {
+    uint64_t ticket = 0;
+    uint64_t tenant = 0;
+    uint64_t footprint_slots = 0;
+    double start_time = 0.0;
+    double completion = -1.0;  ///< < 0 until FinishStarted
+  };
+
+  /// QoS order: priority desc, deadline asc, ticket asc.
+  static bool QosBefore(const ScheduledRun& a, const ScheduledRun& b);
+
+  /// Index into queue_ of the run to start now, or -1 when none fits (or,
+  /// in rolling mode, when the first non-fitting urgent run blocks
+  /// backfill).
+  int PickCandidate(AdmissionMode mode) const;
+  /// Reserves and starts queue_[index]; maintains bypass counters.
+  AdmissionDecision Start(size_t index, AdmissionMode mode);
+  /// Barrier release: clock to the slowest member's completion, everyone
+  /// released there.
+  void CloseWave();
+  /// Rolling release: retire the earliest completion event.
+  void PopEarliestCompletion();
+
+  gpu::SlotBudget* budget_;
+  RunSchedulerOptions options_;
+  double now_ = 0.0;
+  std::vector<QueuedEntry> queue_;   // ticket (FIFO) order
+  std::vector<ActiveRun> active_;
+  uint64_t waves_ = 0;
+  uint64_t backfills_ = 0;
+  std::map<uint64_t, double> slot_seconds_;
+};
+
+}  // namespace gtadoc
+
+#endif  // GTADOC_ANALYTICS_SCHEDULER_H_

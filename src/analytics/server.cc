@@ -1,6 +1,7 @@
 #include "analytics/server.h"
 
 #include <algorithm>
+#include <cmath>
 
 #include "gtadoc/engine.h"
 
@@ -29,11 +30,61 @@ std::vector<uint8_t> BloomExecuteMask(const PartitionedCorpus& corpus,
   return execute;
 }
 
+Status CorpusServer::Rejection::ToStatus() const {
+  switch (reason) {
+    case Reason::kOverBudget:
+    case Reason::kOverQuota:
+      return Status::OutOfMemory(detail);
+    case Reason::kMalformed:
+      return Status::InvalidArgument(detail);
+  }
+  return Status::Internal("unknown rejection reason");
+}
+
+const CorpusServer::ServedRun* CorpusServer::RunTicket::TryGet() const {
+  if (server_ == nullptr) return nullptr;
+  auto it = server_->served_.find(id_);
+  return it == server_->served_.end() ? nullptr : &it->second;
+}
+
+Result<CorpusServer::ServedRun> CorpusServer::RunTicket::Await() {
+  if (server_ == nullptr) {
+    return Status::InvalidArgument("Await on an empty RunTicket");
+  }
+  return server_->AwaitTicket(id_);
+}
+
+const std::string& CorpusServer::TenantHandle::name() const {
+  static const std::string kEmpty;
+  if (server_ == nullptr) return kEmpty;
+  auto it = server_->tenants_.find(id_);
+  return it == server_->tenants_.end() ? kEmpty : it->second.name;
+}
+
+Result<CorpusServer::Submitted> CorpusServer::TenantHandle::Submit(
+    const RunRequest& request, const RunOptions& run_options) {
+  if (server_ == nullptr) {
+    return Status::InvalidArgument("Submit on an empty TenantHandle");
+  }
+  return server_->SubmitForTenant(id_, request, run_options);
+}
+
+Result<CorpusServer::Submitted> CorpusServer::TenantHandle::Submit(
+    const RunRequest& request) {
+  return Submit(request, RunOptions{});
+}
+
 CorpusServer::CorpusServer(const PartitionedCorpus* corpus,
                            const Options& options)
     : corpus_(corpus),
       options_(options),
-      budget_(options.device_slot_budget) {}
+      budget_(options.device_slot_budget),
+      scheduler_(&budget_, options.scheduler) {
+  // The built-in default tenant carries the legacy single-tenant API:
+  // unquotaed, default priority.
+  tenants_[0] = Tenant{"default", 0, 0};
+  stats_.tenants[0].name = "default";
+}
 
 Result<std::unique_ptr<CorpusServer>> CorpusServer::Create(
     const PartitionedCorpus* corpus, const Options& options) {
@@ -57,6 +108,29 @@ Result<std::unique_ptr<CorpusServer>> CorpusServer::Create(
       std::max<size_t>(256, 8 * corpus->partitions.size()));
   server->options_.engine.plan_cache = server->plan_cache_.get();
   return server;
+}
+
+Result<CorpusServer::TenantHandle> CorpusServer::OpenTenant(
+    const TenantOptions& options) {
+  if (options_.device_slot_budget > 0 &&
+      options.slot_quota > options_.device_slot_budget) {
+    return Status::InvalidArgument(
+        "tenant quota " + std::to_string(options.slot_quota) +
+        " slots exceeds the device budget " +
+        std::to_string(options_.device_slot_budget));
+  }
+  const uint64_t id = next_tenant_++;
+  Tenant tenant;
+  tenant.name =
+      options.name.empty() ? "tenant-" + std::to_string(id) : options.name;
+  tenant.slot_quota = options.slot_quota;
+  tenant.default_priority = options.default_priority;
+  // The quota is enforced where reservations happen, atomically with the
+  // global capacity check.
+  budget_.SetOwnerQuota(id, options.slot_quota);
+  stats_.tenants[id].name = tenant.name;
+  tenants_[id] = std::move(tenant);
+  return TenantHandle(this, id);
 }
 
 Status CorpusServer::ProbeFootprint(PendingRun* run) {
@@ -118,26 +192,44 @@ Status CorpusServer::ProbeFootprint(PendingRun* run) {
   return Status::OK();
 }
 
-Result<CorpusServer::Admission> CorpusServer::Submit(
-    const RunRequest& request) {
+Result<CorpusServer::Submitted> CorpusServer::SubmitForTenant(
+    uint64_t tenant_id, const RunRequest& request,
+    const RunOptions& run_options) {
+  auto tenant_it = tenants_.find(tenant_id);
+  if (tenant_it == tenants_.end()) {
+    return Status::InvalidArgument("unknown tenant id " +
+                                   std::to_string(tenant_id));
+  }
+  const Tenant& tenant = tenant_it->second;
+
+  // An unregistered task is a genuine NotFound, not a policy Rejection.
   auto kernel_lookup = TaskRegistry::Get(request.task);
   if (!kernel_lookup.ok()) return kernel_lookup.status();
   const TaskKernel& kernel = **kernel_lookup;
 
+  Submitted out;
+  // Malformed QoS parameters are a structured refusal: the caller can fix
+  // and resubmit; nothing is wrong with the server.
+  if (std::isnan(run_options.deadline_seconds) ||
+      run_options.deadline_seconds < 0.0) {
+    Rejection rejection;
+    rejection.reason = Rejection::Reason::kMalformed;
+    rejection.detail = "deadline_seconds must be non-negative";
+    ++stats_.rejected;
+    ++stats_.tenants[tenant_id].rejected;
+    out.rejection = std::move(rejection);
+    return out;
+  }
+
   PendingRun run;
   run.task = request.task;
   run.engine = options_.engine;
-  // Empty / 0 request fields inherit the server's engine defaults (the
-  // RunRequest contract). An explicit query replaces the default WHOLE —
-  // both fields together — because the engines prefer query_sets whenever
-  // it is non-empty: a request's words must never be shadowed by a
-  // server-default set.
-  if (!request.query_words.empty() || !request.query_sets.empty()) {
-    run.engine.query_words = request.query_words;
-    run.engine.query_sets = request.query_sets;
-  }
-  if (request.top_k != 0) run.engine.top_k = request.top_k;
-  if (request.ngram_len != 0) run.engine.ngram_len = request.ngram_len;
+  // Empty / 0 request fields inherit the server's engine defaults under
+  // the replace-whole rule (analytics/query_spec.h): an explicit query
+  // replaces the default WHOLE — both fields together — because the
+  // engines prefer query_sets whenever it is non-empty.
+  static_cast<QuerySpec&>(run.engine) =
+      ResolveQueryDefaults(request, options_.engine);
 
   const TaskInput input = GTadocEngine::InputFromOptions(run.engine);
   if (options_.bloom_skip) {
@@ -152,6 +244,9 @@ Result<CorpusServer::Admission> CorpusServer::Submit(
   run.admission.documents_skipped =
       static_cast<uint32_t>(corpus_->partitions.size()) - to_execute;
 
+  // A run that executes nothing is priced as exactly nothing: footprint 0,
+  // no probe, no pre-sizing allocation charge. It will be admitted
+  // immediately without reserving any budget.
   if (to_execute > 0) {
     Status st = ProbeFootprint(&run);
     if (!st.ok()) return st;
@@ -159,18 +254,70 @@ Result<CorpusServer::Admission> CorpusServer::Submit(
 
   if (options_.device_slot_budget > 0 &&
       run.admission.footprint_slots > options_.device_slot_budget) {
-    ++stats_.rejected;
-    return Status::OutOfMemory(
+    Rejection rejection;
+    rejection.reason = Rejection::Reason::kOverBudget;
+    rejection.requested_slots = run.admission.footprint_slots;
+    rejection.limit_slots = options_.device_slot_budget;
+    rejection.detail =
         "run footprint " + std::to_string(run.admission.footprint_slots) +
         " slots exceeds the device budget " +
-        std::to_string(options_.device_slot_budget));
+        std::to_string(options_.device_slot_budget);
+    ++stats_.rejected;
+    ++stats_.tenants[tenant_id].rejected;
+    out.rejection = std::move(rejection);
+    return out;
+  }
+  if (tenant.slot_quota > 0 &&
+      run.admission.footprint_slots > tenant.slot_quota) {
+    Rejection rejection;
+    rejection.reason = Rejection::Reason::kOverQuota;
+    rejection.requested_slots = run.admission.footprint_slots;
+    rejection.limit_slots = tenant.slot_quota;
+    rejection.detail =
+        "run footprint " + std::to_string(run.admission.footprint_slots) +
+        " slots exceeds tenant '" + tenant.name + "' quota " +
+        std::to_string(tenant.slot_quota);
+    ++stats_.rejected;
+    ++stats_.tenants[tenant_id].rejected;
+    out.rejection = std::move(rejection);
+    return out;
   }
 
   run.admission.ticket = next_ticket_++;
+  run.admission.tenant = tenant_id;
+  run.admission.priority =
+      run_options.priority.value_or(tenant.default_priority);
+  run.admission.deadline =
+      run_options.deadline_seconds == kNoDeadline
+          ? kNoDeadline
+          : scheduler_.now() + run_options.deadline_seconds;
   ++stats_.submitted;
-  Admission receipt = run.admission;
-  queue_.push_back(std::move(run));
-  return receipt;
+  ++stats_.tenants[tenant_id].submitted;
+
+  ScheduledRun scheduled;
+  scheduled.ticket = run.admission.ticket;
+  scheduled.tenant = tenant_id;
+  scheduled.footprint_slots = run.admission.footprint_slots;
+  scheduled.priority = run.admission.priority;
+  scheduled.deadline = run.admission.deadline;
+  scheduler_.Enqueue(scheduled);
+
+  out.ticket = RunTicket(this, run.admission.ticket);
+  out.admission = run.admission;
+  pending_.emplace(run.admission.ticket, std::move(run));
+  return out;
+}
+
+Result<CorpusServer::Admission> CorpusServer::Submit(
+    const RunRequest& request) {
+  auto submitted = SubmitForTenant(0, request, RunOptions{});
+  if (!submitted.ok()) return submitted.status();
+  // The legacy API folds structured refusals back into their Status
+  // equivalents (over-budget -> OutOfMemory, as PR-5 returned).
+  if (submitted->rejection.has_value()) {
+    return submitted->rejection->ToStatus();
+  }
+  return *submitted->admission;
 }
 
 Result<BatchEngine::BatchRun> CorpusServer::Execute(const PendingRun& run) {
@@ -180,61 +327,126 @@ Result<BatchEngine::BatchRun> CorpusServer::Execute(const PendingRun& run) {
   bopt.reuse_device_state = options_.reuse_device_state;
   bopt.overlap_uploads = options_.overlap_uploads;
   bopt.presize_pool_slots = run.presize_slots;
+  // Live progress: document counters tick as shard workers finish each
+  // document, not when the whole batch returns.
+  bopt.on_document_complete = [this](const BatchEngine::DocumentRun& doc) {
+    std::lock_guard<std::mutex> lock(progress_mu_);
+    if (doc.skipped) {
+      ++stats_.documents_skipped;
+    } else {
+      ++stats_.documents_executed;
+    }
+  };
   auto engine = BatchEngine::Create(corpus_, bopt);
   if (!engine.ok()) return engine.status();
   return (*engine)->Run(run.task, run.execute_mask);
 }
 
-Result<std::vector<CorpusServer::ServedRun>> CorpusServer::Drain() {
-  std::vector<ServedRun> served;
-  served.reserve(queue_.size());
-  while (!queue_.empty()) {
-    // One admission wave: the longest FIFO prefix of the queue whose
-    // footprints fit the budget together. The head always fits an empty
-    // wave (Submit rejected anything larger than the whole budget).
-    std::vector<PendingRun> wave;
-    while (!queue_.empty() &&
-           budget_.TryReserve(queue_.front().admission.footprint_slots)) {
-      wave.push_back(std::move(queue_.front()));
-      queue_.pop_front();
+Status CorpusServer::ServeLoop(AdmissionMode mode,
+                               std::optional<uint64_t> until_ticket,
+                               std::vector<uint64_t>* completed) {
+  while (auto decision = scheduler_.StartNext(mode)) {
+    auto it = pending_.find(decision->ticket);
+    if (it == pending_.end()) {
+      return Status::Internal("scheduler started unknown ticket " +
+                              std::to_string(decision->ticket));
     }
-    const uint64_t wave_id = next_wave_++;
-    ++stats_.waves;
-    // The budget already tracks the exact reservation high-water mark.
-    stats_.peak_admitted_slots = budget_.peak_in_use();
+    PendingRun run = std::move(it->second);
+    pending_.erase(it);
 
-    // Every member's reservation is held until the whole wave completes
-    // (concurrent tenancy); compute serializes in ticket order on the one
-    // device.
-    Status failure = Status::OK();
-    for (PendingRun& run : wave) {
-      if (!failure.ok()) continue;
-      auto batch = Execute(run);
-      if (!batch.ok()) {
-        failure = batch.status();
-        continue;
-      }
-      ServedRun out;
-      out.admission = run.admission;
-      out.wave = wave_id;
-      out.batch = std::move(*batch);
-      ++stats_.served;
-      stats_.documents_skipped += out.batch.documents_skipped;
-      stats_.documents_executed +=
-          static_cast<uint64_t>(out.batch.documents.size()) -
-          out.batch.documents_skipped;
-      stats_.mid_run_pool_growths += out.batch.mid_run_pool_growths;
-      served.push_back(std::move(out));
+    auto batch = Execute(run);
+    if (!batch.ok()) {
+      // Match the legacy Drain contract: the first failure abandons the
+      // queue. The failed run's reservation (and any still-active ones)
+      // are retired so the budget does not leak.
+      scheduler_.FinishStarted(decision->ticket, 0.0);
+      scheduler_.DrainActive(mode);
+      scheduler_.ClearQueue();
+      pending_.clear();
+      SyncSchedulerStats();
+      return batch.status();
     }
-    for (const PendingRun& run : wave) {
-      budget_.Release(run.admission.footprint_slots);
+    const double duration = batch->timing.total_seconds();
+    scheduler_.FinishStarted(decision->ticket, duration);
+
+    ServedRun served;
+    served.admission = run.admission;
+    served.wave = decision->wave;
+    served.start_seconds = decision->start_time;
+    served.completion_seconds = decision->start_time + duration;
+    served.queue_wait_seconds = decision->queue_wait;
+    served.backfilled = decision->backfilled;
+    served.batch = std::move(*batch);
+
+    ++stats_.served;
+    stats_.mid_run_pool_growths += served.batch.mid_run_pool_growths;
+    stats_.queue_wait_seconds += decision->queue_wait;
+    TenantStats& tstats = stats_.tenants[run.admission.tenant];
+    ++tstats.served;
+    tstats.queue_wait_seconds += decision->queue_wait;
+    if (decision->backfilled) ++tstats.backfills;
+
+    const uint64_t ticket = decision->ticket;
+    served_.emplace(ticket, std::move(served));
+    if (completed != nullptr) completed->push_back(ticket);
+    if (until_ticket.has_value() && ticket == *until_ticket) break;
+  }
+  // A full serve retires every remaining completion event (closing the
+  // final wave, in barrier mode); an Await cut short leaves the active set
+  // reserved — those runs are still resident on the simulated timeline.
+  if (!until_ticket.has_value()) scheduler_.DrainActive(mode);
+  SyncSchedulerStats();
+  return Status::OK();
+}
+
+Result<CorpusServer::ServedRun> CorpusServer::AwaitTicket(uint64_t ticket) {
+  if (served_.find(ticket) == served_.end()) {
+    if (pending_.find(ticket) == pending_.end()) {
+      return Status::NotFound("ticket " + std::to_string(ticket) +
+                              " is not queued or served (already taken, or "
+                              "abandoned by a failed serve)");
     }
-    if (!failure.ok()) {
-      queue_.clear();
-      return failure;
-    }
+    GTADOC_RETURN_IF_ERROR(
+        ServeLoop(AdmissionMode::kRolling, ticket, nullptr));
+  }
+  auto it = served_.find(ticket);
+  if (it == served_.end()) {
+    return Status::Internal("ticket " + std::to_string(ticket) +
+                            " did not complete");
+  }
+  ServedRun out = std::move(it->second);
+  served_.erase(it);
+  return out;
+}
+
+Status CorpusServer::ServeUntilIdle() {
+  return ServeLoop(AdmissionMode::kRolling, std::nullopt, nullptr);
+}
+
+Result<std::vector<CorpusServer::ServedRun>> CorpusServer::Drain() {
+  std::vector<uint64_t> completed;
+  Status st =
+      ServeLoop(AdmissionMode::kBarrierWaves, std::nullopt, &completed);
+  if (!st.ok()) return st;
+  std::sort(completed.begin(), completed.end());
+  std::vector<ServedRun> served;
+  served.reserve(completed.size());
+  for (uint64_t ticket : completed) {
+    auto it = served_.find(ticket);
+    if (it == served_.end()) continue;  // Awaited concurrently; skip
+    served.push_back(std::move(it->second));
+    served_.erase(it);
   }
   return served;
+}
+
+void CorpusServer::SyncSchedulerStats() {
+  stats_.peak_admitted_slots = budget_.peak_in_use();
+  stats_.waves = scheduler_.waves();
+  stats_.backfills = scheduler_.backfills();
+  for (const auto& [tenant, seconds] : scheduler_.slot_seconds()) {
+    stats_.tenants[tenant].slot_seconds_held = seconds;
+  }
 }
 
 }  // namespace gtadoc

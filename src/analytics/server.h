@@ -2,12 +2,17 @@
 #define GTADOC_ANALYTICS_SERVER_H_
 
 #include <cstdint>
-#include <deque>
+#include <map>
 #include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
 #include <vector>
 
 #include "analytics/batch.h"
+#include "analytics/query_spec.h"
 #include "analytics/run_plan.h"
+#include "analytics/scheduler.h"
 #include "analytics/task_kernel.h"
 #include "common/result.h"
 #include "gpu/memory_pool.h"
@@ -36,12 +41,12 @@ std::vector<uint8_t> BloomExecuteMask(const PartitionedCorpus& corpus,
                                       const TaskKernel& kernel,
                                       const TaskInput& input);
 
-/// \brief Plan-aware serving front-end over BatchEngine: admission control
-/// and corpus-level Bloom pushdown for concurrent analytics runs on one
-/// simulated GPU.
+/// \brief Plan-aware serving front-end over BatchEngine: rolling admission,
+/// multi-tenant QoS and corpus-level Bloom pushdown for concurrent
+/// analytics runs on one simulated GPU.
 ///
 /// The paper's pitch is analytics *served* directly on compressed data; a
-/// server multiplexing many queries over one device has two levers the
+/// server multiplexing many queries over one device has levers the
 /// execution layers below cannot pull:
 ///
 ///   1. **Plan-metadata admission.** A run's full pool footprint is known
@@ -53,23 +58,32 @@ std::vector<uint8_t> BloomExecuteMask(const PartitionedCorpus& corpus,
 ///      pre-sized to its footprint before its first document executes
 ///      (`BatchEngine::Options::presize_pool_slots`), and therefore NO
 ///      admitted run ever triggers a mid-run EnsureCapacity growth charge.
-///      Runs that do not fit the current wave queue FIFO; a run whose
-///      footprint exceeds the whole budget is rejected at Submit.
-///   2. **Root-Bloom corpus skip.** For selective runs (keyword / phrase /
+///      A run whose footprint exceeds the whole budget (or its tenant's
+///      quota) is refused at Submit with a structured Rejection.
+///   2. **Rolling admission (RunScheduler).** Admitted runs are co-resident
+///      tenants overlapping in SIMULATED time; each releases its
+///      reservation at its OWN completion, and the next eligible queued run
+///      starts the moment its footprint fits — no wave barrier. QoS rides
+///      on top: per-tenant slot quotas, run priorities, optional deadlines
+///      (EDF within a priority), and starvation-free backfill (a bypassed
+///      run ages into urgency; see RunSchedulerOptions::aging_limit). Host
+///      execution stays serial in admission order, so served results are
+///      bit-identical to serial BatchEngine runs under EVERY admission
+///      order; the scheduler governs simulated queue-wait and occupancy,
+///      which is where rolling beats the legacy barrier waves.
+///   3. **Root-Bloom corpus skip.** For selective runs (keyword / phrase /
 ///      multi-query) a document whose root Bloom filter rejects the query
 ///      (BloomExecuteMask) is skipped before Rebind: no upload, no plan, no
 ///      traversal. Skipped documents contribute the kernel's assembly of
 ///      zero entries, so the merged corpus result stays bit-identical to
 ///      the unskipped run.
 ///
-/// Concurrency model: admission reserves *memory* tenancy — every run of a
-/// wave holds its reservation for the wave's duration, exactly as
-/// co-resident tenants on a real device would. Compute still serializes on
-/// the one simulated GPU (runs of a wave execute back-to-back in ticket
-/// order), so served results and simulated timings are deterministic; the
-/// budget's job is bounding co-resident footprint, not parallelizing
-/// compute. Submissions are probed and queued only — execution happens in
-/// Drain, in FIFO admission waves.
+/// The session-oriented API: `OpenTenant` returns a TenantHandle; its
+/// `Submit` returns a RunTicket (or a structured Rejection);
+/// `ServeUntilIdle` (or `RunTicket::Await`) executes under rolling
+/// admission. The PR-5 API — server-level `Submit` + `Drain` — remains as
+/// a compatibility shim over a built-in default tenant, with `Drain`
+/// keeping the original FIFO barrier-wave discipline bit-for-bit.
 class CorpusServer {
  public:
   struct Options {
@@ -82,8 +96,8 @@ class CorpusServer {
     GTadocEngine::Options engine;
     /// Device pool-slot budget concurrent admitted runs must fit in (the
     /// device-memory model of admission). 0 = unmetered: everything admits
-    /// into one wave. A Submit whose footprint alone exceeds a non-zero
-    /// budget is rejected with OutOfMemory.
+    /// immediately. A Submit whose footprint alone exceeds a non-zero
+    /// budget is rejected (Rejection::Reason::kOverBudget).
     uint64_t device_slot_budget = 0;
     /// Host worker threads per run's BatchEngine (wall clock only). Each
     /// worker context holds its own pool, so a run's admission footprint is
@@ -96,29 +110,60 @@ class CorpusServer {
     /// documents, upload/traversal pipelining).
     bool reuse_device_state = true;
     bool overlap_uploads = true;
+    /// Rolling-admission QoS knobs (aging limit for starvation-free
+    /// backfill).
+    RunSchedulerOptions scheduler;
   };
 
-  /// One serving request: a task plus its per-run query parameters (0 /
-  /// empty = inherit the server's engine defaults). A non-empty
-  /// query_words or query_sets replaces the server's default query as a
-  /// whole (both fields), so an explicit single-word request is never
-  /// shadowed by a default multi-query set.
-  struct RunRequest {
+  /// One serving request: a task plus its per-run query parameters — the
+  /// shared QuerySpec, with request semantics: 0 / empty = inherit the
+  /// server's engine defaults under the replace-whole rule documented in
+  /// analytics/query_spec.h (an explicit query_words or query_sets
+  /// replaces the default query as a whole, so an explicit single-word
+  /// request is never shadowed by a default multi-query set).
+  struct RunRequest : QuerySpec {
+    RunRequest() {
+      // QuerySpec's engine-facing defaults (top_k=10, ngram_len=3) become
+      // "inherit" markers in a request.
+      top_k = 0;
+      ngram_len = 0;
+    }
     Task task = Task::kWordCount;
-    std::vector<uint32_t> query_words;
-    std::vector<std::vector<uint32_t>> query_sets;
-    uint32_t top_k = 0;
-    uint32_t ngram_len = 0;
+  };
+
+  /// Per-run QoS parameters of a tenant Submit.
+  struct RunOptions {
+    /// Higher starts first. Unset: the tenant's default_priority.
+    std::optional<int32_t> priority;
+    /// Completion target in simulated seconds from submission; runs of
+    /// equal priority start earliest-deadline-first. kNoDeadline = none;
+    /// negative or NaN is malformed (Rejection::Reason::kMalformed).
+    double deadline_seconds = kNoDeadline;
+  };
+
+  /// A registered serving principal.
+  struct TenantOptions {
+    std::string name;  ///< empty: "tenant-<id>"
+    /// Ceiling on the tenant's concurrently reserved slots. Admission
+    /// enforces it atomically with the global budget (SlotBudget owner
+    /// quotas), and a single run over the quota is rejected at Submit
+    /// (Rejection::Reason::kOverQuota). 0 = unquotaed.
+    uint64_t slot_quota = 0;
+    /// Priority applied when a Submit's RunOptions leaves priority unset.
+    int32_t default_priority = 0;
   };
 
   /// Submit's receipt: everything admission decided from plan metadata and
   /// root Blooms, before any execution.
   struct Admission {
-    uint64_t ticket = 0;  ///< FIFO position; Drain serves ascending tickets
+    uint64_t ticket = 0;  ///< unique, ascending in submission order
     /// The run's full device pool footprint in slots: per worker context,
     /// the maximum RunPlan::total_slots over its executed documents, summed
     /// over contexts. This is what admission reserves against the budget
-    /// and what each context's pool is pre-sized to.
+    /// and what each context's pool is pre-sized to. A run that executes
+    /// zero documents (fully Bloom-masked, or an empty query on a
+    /// selective task) has footprint 0 and is served without reserving any
+    /// budget — and without charging any pre-sizing allocation.
     uint64_t footprint_slots = 0;
     uint32_t documents_to_execute = 0;
     uint32_t documents_skipped = 0;  ///< root-Bloom rejected at Submit
@@ -127,22 +172,125 @@ class CorpusServer {
     /// pay). Execution itself then reports plan_seconds == 0 — planning
     /// moved to admission, it did not disappear.
     double admission_seconds = 0;
+    uint64_t tenant = 0;   ///< owning tenant id (0 = the default tenant)
+    int32_t priority = 0;  ///< resolved priority
+    /// Absolute simulated-clock deadline (submit time + deadline_seconds);
+    /// kNoDeadline when none was requested.
+    double deadline = kNoDeadline;
   };
 
-  /// One served run: its admission receipt, the wave it executed in, and
-  /// the full batch output (per-document + merged + timing).
+  /// One served run: its admission receipt, its place on the simulated
+  /// schedule, and the full batch output (per-document + merged + timing).
   struct ServedRun {
     Admission admission;
+    /// 1-based barrier wave the run executed in; 0 under rolling admission
+    /// (waves do not exist there).
     uint64_t wave = 0;
     BatchEngine::BatchRun batch;
+    double start_seconds = 0;       ///< simulated admission (start) time
+    double completion_seconds = 0;  ///< start + the run's simulated duration
+    double queue_wait_seconds = 0;  ///< start - submit (simulated)
+    /// True when the run started while an earlier-ordered run was still
+    /// queued (rolling backfill into budget the larger run could not use).
+    bool backfilled = false;
+  };
+
+  /// A structured admission refusal: the policy that refused, and the
+  /// numbers behind it. Distinct from Status — a Rejection is a correct
+  /// "no" (the run is over a limit or malformed), not a serving failure;
+  /// genuine errors (unknown task, probe failure) stay Status.
+  struct Rejection {
+    enum class Reason {
+      kOverBudget,  ///< footprint exceeds the whole device budget
+      kOverQuota,   ///< footprint exceeds the tenant's slot quota
+      kMalformed,   ///< invalid request parameters (e.g. negative deadline)
+    };
+    Reason reason = Reason::kOverBudget;
+    std::string detail;
+    uint64_t requested_slots = 0;
+    uint64_t limit_slots = 0;
+    /// The legacy-API mapping: kOverBudget/kOverQuota -> OutOfMemory (what
+    /// PR-5 Submit returned), kMalformed -> InvalidArgument.
+    Status ToStatus() const;
+  };
+
+  /// Handle to one submitted run's future result. Copyable; all copies
+  /// refer to the same run. The server must outlive every ticket.
+  class RunTicket {
+   public:
+    RunTicket() = default;
+    bool valid() const { return server_ != nullptr; }
+    uint64_t id() const { return id_; }
+    /// The served result, or null while the run is still queued (or after
+    /// Await moved it out). Never serves; a pure peek.
+    const ServedRun* TryGet() const;
+    /// Serves (rolling admission) until this run completes, then moves its
+    /// result out of the server. A second Await on the same run — or an
+    /// Await after legacy Drain already returned the run — is NotFound.
+    Result<ServedRun> Await();
+
+   private:
+    friend class CorpusServer;
+    RunTicket(CorpusServer* server, uint64_t id) : server_(server), id_(id) {}
+    CorpusServer* server_ = nullptr;
+    uint64_t id_ = 0;
+  };
+
+  /// A tenant Submit's outcome: exactly one of {ticket + admission,
+  /// rejection} is engaged.
+  struct Submitted {
+    std::optional<RunTicket> ticket;     ///< the run's handle, when admitted
+    std::optional<Admission> admission;  ///< receipt, when admitted
+    std::optional<Rejection> rejection;  ///< structured refusal otherwise
+    bool admitted() const { return ticket.has_value(); }
+  };
+
+  /// A tenant session. Copyable; all copies share the tenant's quota and
+  /// stats. The server must outlive every handle.
+  class TenantHandle {
+   public:
+    TenantHandle() = default;
+    bool valid() const { return server_ != nullptr; }
+    uint64_t id() const { return id_; }
+    const std::string& name() const;
+    /// Probes and enqueues one run under this tenant (see
+    /// CorpusServer::Submit for what probing does). Policy refusals come
+    /// back as Submitted::rejection; genuine failures (unknown task, probe
+    /// error) as a non-OK Result.
+    Result<Submitted> Submit(const RunRequest& request,
+                             const RunOptions& run_options);
+    /// Submit with the tenant's default priority and no deadline.
+    Result<Submitted> Submit(const RunRequest& request);
+
+   private:
+    friend class CorpusServer;
+    TenantHandle(CorpusServer* server, uint64_t id)
+        : server_(server), id_(id) {}
+    CorpusServer* server_ = nullptr;
+    uint64_t id_ = 0;
+  };
+
+  /// Per-tenant serving counters.
+  struct TenantStats {
+    std::string name;
+    uint64_t submitted = 0;  ///< admitted runs
+    uint64_t rejected = 0;   ///< refused at Submit
+    uint64_t served = 0;
+    uint64_t backfills = 0;  ///< runs started ahead of an earlier queued run
+    double queue_wait_seconds = 0;  ///< simulated, summed over served runs
+    /// Footprint-slots x simulated-seconds the tenant's reservations held.
+    /// Barrier waves charge every member to the wave's end, so the same
+    /// workload shows strictly more slot-seconds under Drain than under
+    /// ServeUntilIdle — the barrier's waste, measured.
+    double slot_seconds_held = 0;
   };
 
   /// Aggregate serving counters (monotonic over the server's lifetime).
   struct Stats {
     uint64_t submitted = 0;
-    uint64_t rejected = 0;  ///< footprint exceeded the whole budget
+    uint64_t rejected = 0;  ///< refused at Submit (budget / quota / malformed)
     uint64_t served = 0;
-    uint64_t waves = 0;
+    uint64_t waves = 0;  ///< barrier waves executed (legacy Drain only)
     /// High-water mark of concurrently reserved slots; never exceeds the
     /// budget (the admission invariant).
     uint64_t peak_admitted_slots = 0;
@@ -151,6 +299,9 @@ class CorpusServer {
     /// Pool growths charged while served documents were executing, summed
     /// over every served run. Stays 0: admission pre-sizes every context.
     uint64_t mid_run_pool_growths = 0;
+    uint64_t backfills = 0;          ///< rolling backfill starts
+    double queue_wait_seconds = 0;   ///< simulated, summed over served runs
+    std::map<uint64_t, TenantStats> tenants;  ///< by tenant id
   };
 
   /// The corpus must outlive the server. Fails on an empty corpus or
@@ -158,27 +309,46 @@ class CorpusServer {
   static Result<std::unique_ptr<CorpusServer>> Create(
       const PartitionedCorpus* corpus, const Options& options);
 
-  /// Probes and enqueues one run: resolves the Bloom execute mask, plans
-  /// every executed document through the shared PlanCache (the footprint
-  /// probe — also pre-warming execution), and reserves nothing yet.
-  /// Rejects with OutOfMemory when the footprint cannot fit the
-  /// budget even alone, and with NotFound for unregistered tasks.
+  /// Registers a serving tenant: its slot quota becomes a standing
+  /// SlotBudget owner quota, its default priority applies to Submits that
+  /// set none.
+  Result<TenantHandle> OpenTenant(const TenantOptions& options);
+
+  /// Serves every queued run to completion under rolling admission.
+  /// Results are retrieved through each run's RunTicket (Await / TryGet).
+  /// On an execution failure the remaining queue is abandoned (matching
+  /// Drain) and the failure returned.
+  Status ServeUntilIdle();
+
+  /// Legacy single-tenant Submit (PR-5 API): probes and enqueues one run
+  /// under the built-in default tenant — resolving the Bloom execute mask
+  /// and planning every executed document through the shared PlanCache
+  /// (the footprint probe — also pre-warming execution); reserves nothing
+  /// yet. Rejections surface as their Status mapping (OutOfMemory when the
+  /// footprint cannot fit the budget even alone); unknown tasks are
+  /// NotFound.
   Result<Admission> Submit(const RunRequest& request);
 
-  /// Executes every queued run in FIFO admission waves and returns the
-  /// served runs in ticket order. Each wave admits the longest FIFO prefix
-  /// of the queue that fits the slot budget, reserves each run's footprint
-  /// for the whole wave (concurrent tenancy), executes, then releases.
-  /// Returns the first failure; the queue is consumed either way.
+  /// Legacy barrier-wave Drain (PR-5 API): executes every queued run in
+  /// FIFO admission waves and returns the runs completed by THIS call in
+  /// ticket order. Each wave admits the longest FIFO prefix of the queue
+  /// that fits the slot budget, reserves each run's footprint for the
+  /// whole wave (the barrier), executes, then releases. Returns the first
+  /// failure; the queue is consumed either way.
   Result<std::vector<ServedRun>> Drain();
 
-  size_t queued() const { return queue_.size(); }
+  size_t queued() const { return scheduler_.queued(); }
   const Stats& stats() const { return stats_; }
   /// The cache shared by Submit probes and execution (serving diagnostics).
   PlanCache* plan_cache() const { return plan_cache_.get(); }
   const Options& options() const { return options_; }
 
  private:
+  struct Tenant {
+    std::string name;
+    uint64_t slot_quota = 0;
+    int32_t default_priority = 0;
+  };
   struct PendingRun {
     Admission admission;
     GTadocEngine::Options engine;       ///< fully-resolved per-run options
@@ -189,19 +359,38 @@ class CorpusServer {
 
   CorpusServer(const PartitionedCorpus* corpus, const Options& options);
 
+  /// The one Submit implementation under both APIs.
+  Result<Submitted> SubmitForTenant(uint64_t tenant_id,
+                                    const RunRequest& request,
+                                    const RunOptions& run_options);
   /// Plans every executed document on a probe engine (Rebind + PlanOnly
   /// against the shared cache) and fills footprint/admission_seconds.
   Status ProbeFootprint(PendingRun* run);
   /// Executes one admitted run through a masked, pre-sized BatchEngine.
   Result<BatchEngine::BatchRun> Execute(const PendingRun& run);
+  /// The serving loop under both APIs: starts runs through the scheduler,
+  /// executes each serially, reports durations back. Stops early after
+  /// `until_ticket` completes (leaving the rest queued); appends the
+  /// tickets completed by this call to `completed` when non-null. On
+  /// failure the queue is abandoned.
+  Status ServeLoop(AdmissionMode mode, std::optional<uint64_t> until_ticket,
+                   std::vector<uint64_t>* completed);
+  /// RunTicket::Await's implementation.
+  Result<ServedRun> AwaitTicket(uint64_t ticket);
+  /// Pulls the scheduler/budget-side counters into stats_.
+  void SyncSchedulerStats();
 
   const PartitionedCorpus* corpus_;
   Options options_;
   std::shared_ptr<PlanCache> plan_cache_;
   gpu::SlotBudget budget_;
-  std::deque<PendingRun> queue_;
+  RunScheduler scheduler_;
+  std::map<uint64_t, Tenant> tenants_;
+  std::map<uint64_t, PendingRun> pending_;  ///< queued, by ticket
+  std::map<uint64_t, ServedRun> served_;    ///< completed, not yet taken
   uint64_t next_ticket_ = 0;
-  uint64_t next_wave_ = 0;
+  uint64_t next_tenant_ = 1;  ///< 0 is the built-in default tenant
+  std::mutex progress_mu_;    ///< guards live document counters in stats_
   Stats stats_;
 };
 

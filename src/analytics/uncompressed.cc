@@ -27,20 +27,8 @@ size_t UncompressedAnalytics::total_tokens() const {
 }
 
 TaskInput UncompressedAnalytics::MakeInput() const {
-  TaskInput input;
-  input.ngram_len = ngram_len_;
-  input.top_k = top_k_;
-  input.query_sets = query_sets_;
-  if (!input.query_sets.empty()) {
-    // One accept set serves every query: the flattened union.
-    for (const auto& set : input.query_sets) {
-      input.query_words.insert(input.query_words.end(), set.begin(),
-                               set.end());
-    }
-  } else {
-    input.query_words = query_words_;
-  }
-  return input;
+  // The flattening rule lives in query_spec.h, shared with every engine.
+  return MakeTaskInput(query_);
 }
 
 // ---------------------------------------------------------------------------
@@ -135,7 +123,7 @@ Result<EngineRun> UncompressedAnalytics::RunOnDevice(Task task,
       dims.num_files = static_cast<uint32_t>(files_.size());
       dims.num_words = max_word + 1;
       dims.ngram_len = l;
-      dims.top_k = top_k_;
+      dims.top_k = query_.top_k;
       const uint64_t structural = std::min<uint64_t>(n, 1u << 26);
       // The plan layer's shared geometry: structural bound capped by the
       // kernel's distinct-key hint.

@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "analytics/engine.h"
+#include "analytics/query_spec.h"
 #include "analytics/results.h"
 #include "analytics/task_kernel.h"
 #include "common/result.h"
@@ -23,23 +24,29 @@ namespace gtadoc {
 /// kernel assemble the drained tables — the same assembly the compressed
 /// engines call, so all outputs agree by construction.
 ///
-/// `files[f]` is the word-id stream of file f. `ngram_len` is the l of the
-/// sequence tasks (paper default: 3-word sequences); `query_words` feeds
-/// selective kernels (kKeywordSearch, and the ordered phrase of
-/// kPhraseSearch), `top_k` bounded-selection kernels (kTopKWords), and
-/// `query_sets` the multi-query API (per-set results in
-/// AnalyticsResult::keyword_multi, superseding query_words when non-empty).
+/// `files[f]` is the word-id stream of file f. The per-run query
+/// parameters are one shared QuerySpec (see analytics/query_spec.h for the
+/// multi-query and inheritance rules): `ngram_len` is the l of the
+/// sequence tasks, `query_words` feeds selective kernels (kKeywordSearch,
+/// and the ordered phrase of kPhraseSearch), `top_k` bounded-selection
+/// kernels (kTopKWords), and `query_sets` the multi-query API.
 class UncompressedAnalytics {
  public:
+  UncompressedAnalytics(const std::vector<std::vector<uint32_t>>& files,
+                        QuerySpec query)
+      : files_(files), query_(std::move(query)) {}
+
+  /// Field-by-field convenience constructor (the historical signature).
   explicit UncompressedAnalytics(
       const std::vector<std::vector<uint32_t>>& files, uint32_t ngram_len = 3,
       std::vector<uint32_t> query_words = {}, uint32_t top_k = 10,
       std::vector<std::vector<uint32_t>> query_sets = {})
-      : files_(files),
-        ngram_len_(ngram_len),
-        query_words_(std::move(query_words)),
-        top_k_(top_k),
-        query_sets_(std::move(query_sets)) {}
+      : files_(files) {
+    query_.ngram_len = ngram_len;
+    query_.query_words = std::move(query_words);
+    query_.top_k = top_k;
+    query_.query_sets = std::move(query_sets);
+  }
 
   /// Single-threaded reference run (the kernel's uncompressed loop); charges
   /// ops into `meter` when non-null.
@@ -59,10 +66,7 @@ class UncompressedAnalytics {
   TaskInput MakeInput() const;
 
   const std::vector<std::vector<uint32_t>>& files_;
-  uint32_t ngram_len_;
-  std::vector<uint32_t> query_words_;
-  uint32_t top_k_;
-  std::vector<std::vector<uint32_t>> query_sets_;
+  QuerySpec query_;
 };
 
 }  // namespace gtadoc

@@ -56,19 +56,63 @@ uint64_t MemoryPool::AtomicAlloc(ThreadCtx& ctx, uint64_t slots) {
   return off;
 }
 
-bool SlotBudget::TryReserve(uint64_t slots) {
-  std::lock_guard<std::mutex> lock(mu_);
+bool SlotBudget::FitsLocked(uint64_t slots, const OwnerState& owner) const {
   if (capacity_ > 0 && (slots > capacity_ || in_use_ > capacity_ - slots)) {
     return false;
   }
-  in_use_ += slots;
-  if (in_use_ > peak_) peak_ = in_use_;
+  if (owner.quota > 0 &&
+      (slots > owner.quota || owner.in_use > owner.quota - slots)) {
+    return false;
+  }
   return true;
 }
 
-void SlotBudget::Release(uint64_t slots) {
+bool SlotBudget::TryReserve(uint64_t slots, uint64_t owner) {
+  std::lock_guard<std::mutex> lock(mu_);
+  OwnerState& state = owners_[owner];
+  if (!FitsLocked(slots, state)) return false;
+  in_use_ += slots;
+  if (in_use_ > peak_) peak_ = in_use_;
+  state.in_use += slots;
+  if (state.in_use > state.peak) state.peak = state.in_use;
+  return true;
+}
+
+void SlotBudget::Release(uint64_t slots, uint64_t owner) {
   std::lock_guard<std::mutex> lock(mu_);
   in_use_ = slots > in_use_ ? 0 : in_use_ - slots;
+  OwnerState& state = owners_[owner];
+  state.in_use = slots > state.in_use ? 0 : state.in_use - slots;
+}
+
+bool SlotBudget::CanReserve(uint64_t slots, uint64_t owner) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = owners_.find(owner);
+  static const OwnerState kFresh;
+  return FitsLocked(slots, it == owners_.end() ? kFresh : it->second);
+}
+
+void SlotBudget::SetOwnerQuota(uint64_t owner, uint64_t quota_slots) {
+  std::lock_guard<std::mutex> lock(mu_);
+  owners_[owner].quota = quota_slots;
+}
+
+uint64_t SlotBudget::owner_quota(uint64_t owner) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = owners_.find(owner);
+  return it == owners_.end() ? 0 : it->second.quota;
+}
+
+uint64_t SlotBudget::owner_in_use(uint64_t owner) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = owners_.find(owner);
+  return it == owners_.end() ? 0 : it->second.in_use;
+}
+
+uint64_t SlotBudget::owner_peak_in_use(uint64_t owner) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = owners_.find(owner);
+  return it == owners_.end() ? 0 : it->second.peak;
 }
 
 uint64_t SlotBudget::in_use() const {

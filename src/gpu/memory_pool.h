@@ -3,6 +3,7 @@
 
 #include <atomic>
 #include <cstdint>
+#include <map>
 #include <mutex>
 #include <vector>
 
@@ -102,16 +103,37 @@ class MemoryPool {
 ///
 /// A capacity of 0 means "unmetered": every reservation succeeds (the
 /// accounting still tracks in_use/peak for diagnostics).
+///
+/// Multi-tenant accounting: every reservation is tagged with an `owner` id
+/// (a serving tenant; 0 is the untagged default owner). Owners may carry a
+/// quota — a per-owner ceiling on concurrently reserved slots — and
+/// TryReserve enforces the global capacity AND the owner's quota
+/// atomically, so a tenant can never crowd the device past its share no
+/// matter how the scheduler interleaves admissions. Per-owner
+/// in-use/peak counters feed the serving layer's per-tenant stats.
 class SlotBudget {
  public:
   explicit SlotBudget(uint64_t capacity_slots) : capacity_(capacity_slots) {}
 
-  /// Reserves `slots` against the budget; false (and no state change) when
-  /// the reservation would exceed capacity.
-  bool TryReserve(uint64_t slots);
-  /// Returns `slots` to the budget. Releasing more than is in use clamps to
-  /// zero (defensive; indicates a caller bug).
-  void Release(uint64_t slots);
+  /// Reserves `slots` against the budget for `owner`; false (and no state
+  /// change) when the reservation would exceed the global capacity or the
+  /// owner's quota.
+  bool TryReserve(uint64_t slots, uint64_t owner = 0);
+  /// Returns `slots` to the budget (and to `owner`'s quota). Releasing more
+  /// than is in use clamps to zero (defensive; indicates a caller bug).
+  void Release(uint64_t slots, uint64_t owner = 0);
+  /// Would TryReserve(slots, owner) succeed right now? Read-only peek for
+  /// admission policies that must rank candidates before reserving.
+  bool CanReserve(uint64_t slots, uint64_t owner = 0) const;
+
+  /// Sets `owner`'s quota (ceiling on its concurrently reserved slots).
+  /// 0 = unquotaed: only the global capacity bounds the owner.
+  void SetOwnerQuota(uint64_t owner, uint64_t quota_slots);
+  uint64_t owner_quota(uint64_t owner) const;
+  uint64_t owner_in_use(uint64_t owner) const;
+  /// High-water mark of `owner`'s concurrent reservations (the per-tenant
+  /// "quota respected" witness).
+  uint64_t owner_peak_in_use(uint64_t owner) const;
 
   uint64_t capacity() const { return capacity_; }
   uint64_t in_use() const;
@@ -120,10 +142,20 @@ class SlotBudget {
   uint64_t peak_in_use() const;
 
  private:
+  struct OwnerState {
+    uint64_t quota = 0;  ///< 0 = unquotaed
+    uint64_t in_use = 0;
+    uint64_t peak = 0;
+  };
+
+  /// The capacity/quota check, caller holds mu_.
+  bool FitsLocked(uint64_t slots, const OwnerState& owner) const;
+
   const uint64_t capacity_;
   mutable std::mutex mu_;
   uint64_t in_use_ = 0;
   uint64_t peak_ = 0;
+  std::map<uint64_t, OwnerState> owners_;
 };
 
 }  // namespace gpu

@@ -77,20 +77,8 @@ TraversalStrategy GTadocEngine::ChosenStrategy(Task task) const {
 }
 
 TaskInput GTadocEngine::InputFromOptions(const Options& options) {
-  TaskInput input;
-  input.ngram_len = options.ngram_len;
-  input.top_k = options.top_k;
-  input.query_sets = options.query_sets;
-  if (!input.query_sets.empty()) {
-    // One accept set serves every query: the flattened union.
-    for (const auto& set : input.query_sets) {
-      input.query_words.insert(input.query_words.end(), set.begin(),
-                               set.end());
-    }
-  } else {
-    input.query_words = options.query_words;
-  }
-  return input;
+  // Options IS-A QuerySpec; the flattening rule lives in query_spec.h.
+  return MakeTaskInput(options);
 }
 
 TaskInput GTadocEngine::MakeInput() const { return InputFromOptions(options_); }

@@ -4,6 +4,7 @@
 #include <memory>
 
 #include "analytics/engine.h"
+#include "analytics/query_spec.h"
 #include "analytics/results.h"
 #include "analytics/run_plan.h"
 #include "analytics/task_kernel.h"
@@ -54,21 +55,13 @@ namespace gtadoc {
 /// reduction and the D2H copy of the final tables.
 class GTadocEngine {
  public:
-  struct Options {
+  /// The per-run query fields (query_words/query_sets/top_k/ngram_len) are
+  /// the shared QuerySpec base — one definition for every engine; see
+  /// analytics/query_spec.h for the multi-query and inheritance rules.
+  struct Options : QuerySpec {
     gpu::GpuSpec gpu;
     /// Host worker threads executing kernels (1 = fully deterministic).
     size_t host_workers = 1;
-    uint32_t ngram_len = 3;
-    /// Query word ids for selective kernels (kKeywordSearch), or the ordered
-    /// phrase of kPhraseSearch.
-    std::vector<uint32_t> query_words;
-    /// Multi-query sets: one relevance/traversal pass serves every set, with
-    /// per-set results in AnalyticsResult::keyword_multi. When non-empty it
-    /// supersedes query_words (the run's accept set is the union of all
-    /// sets).
-    std::vector<std::vector<uint32_t>> query_sets;
-    /// k of bounded-selection kernels (kTopKWords).
-    uint32_t top_k = 10;
     TraversalStrategy strategy = TraversalStrategy::kAuto;
     /// The "16x the average number of elements per thread" rule threshold.
     uint32_t split_threshold = 16;

@@ -32,20 +32,9 @@ TraversalStrategy CpuTadocEngine::ChosenStrategy(Task task) const {
 }
 
 TaskInput CpuTadocEngine::MakeInput() const {
-  TaskInput input;
-  input.ngram_len = options_.ngram_len;
-  input.top_k = options_.top_k;
-  input.query_sets = options_.query_sets;
-  if (!input.query_sets.empty()) {
-    // One accept set serves every query: the flattened union.
-    for (const auto& set : input.query_sets) {
-      input.query_words.insert(input.query_words.end(), set.begin(),
-                               set.end());
-    }
-  } else {
-    input.query_words = options_.query_words;
-  }
-  return input;
+  // CpuTadocOptions IS-A QuerySpec; the flattening rule lives in
+  // query_spec.h.
+  return MakeTaskInput(options_);
 }
 
 std::vector<uint32_t> CpuTadocEngine::RootFileIds(CpuCostMeter* meter) const {

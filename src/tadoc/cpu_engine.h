@@ -4,6 +4,7 @@
 #include <memory>
 
 #include "analytics/engine.h"
+#include "analytics/query_spec.h"
 #include "analytics/results.h"
 #include "analytics/run_plan.h"
 #include "analytics/task_kernel.h"
@@ -15,19 +16,12 @@
 
 namespace gtadoc {
 
-/// Options for the CPU TADOC baseline.
-struct CpuTadocOptions {
+/// Options for the CPU TADOC baseline. The per-run query fields
+/// (query_words/query_sets/top_k/ngram_len) are the shared QuerySpec base;
+/// see analytics/query_spec.h for the multi-query and inheritance rules.
+struct CpuTadocOptions : QuerySpec {
   gpu::CpuSpec cpu;  ///< cost-model parameters of the host CPU
-  uint32_t ngram_len = 3;
   TraversalStrategy strategy = TraversalStrategy::kAuto;
-  /// Query word ids for selective kernels (kKeywordSearch), or the ordered
-  /// phrase of kPhraseSearch.
-  std::vector<uint32_t> query_words;
-  /// Multi-query sets: one traversal serves every set, with per-set results
-  /// in AnalyticsResult::keyword_multi. Supersedes query_words when set.
-  std::vector<std::vector<uint32_t>> query_sets;
-  /// k of bounded-selection kernels (kTopKWords).
-  uint32_t top_k = 10;
   /// Externally owned plan cache shared across engines (e.g. by the
   /// partitioned baseline). Must outlive the engine. Null: the engine owns
   /// a private cache.

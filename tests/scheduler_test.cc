@@ -1,0 +1,626 @@
+#include "analytics/scheduler.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "analytics/batch.h"
+#include "analytics/server.h"
+#include "datagen/datagen.h"
+#include "gpu/platform.h"
+#include "gtadoc/engine.h"
+
+namespace gtadoc {
+namespace {
+
+GTadocEngine::Options GpuOptions() {
+  GTadocEngine::Options opt;
+  opt.gpu = gpu::PascalPlatform().gpu;
+  opt.host_workers = 1;  // deterministic per-document runs
+  return opt;
+}
+
+PartitionedCorpus MakeCorpus(uint32_t num_files, uint32_t num_documents,
+                             uint64_t tokens = 6000, uint64_t seed = 7) {
+  DatasetSpec spec = DatasetA();
+  spec.num_files = num_files;
+  spec.total_tokens = tokens;
+  spec.vocabulary = 300;
+  spec.seed = seed;
+  Corpus corpus = GenerateCorpus(spec);
+  auto part = PartitionAndCompress(corpus, num_documents);
+  EXPECT_TRUE(part.ok()) << part.status().ToString();
+  return std::move(*part);
+}
+
+MarkerCorpus MakeMarkerCorpus(uint32_t num_docs, uint32_t relevant,
+                              uint32_t num_markers) {
+  MarkerCorpusSpec spec;
+  spec.num_docs = num_docs;
+  spec.relevant = relevant;
+  spec.num_markers = num_markers;
+  auto built = BuildMarkerCorpus(spec);
+  EXPECT_TRUE(built.ok()) << built.status().ToString();
+  return std::move(*built);
+}
+
+/// Drives a synthetic workload through a RunScheduler the way the serving
+/// layer does — serial execution, durations reported at each start — and
+/// records the admission order plus the budget occupancy seen at every
+/// start event.
+struct SyntheticDrive {
+  std::vector<uint64_t> start_order;           ///< tickets, in start order
+  std::map<uint64_t, AdmissionDecision> decisions;  ///< by ticket
+  uint64_t peak_at_any_event = 0;
+};
+
+SyntheticDrive Drive(RunScheduler* scheduler, gpu::SlotBudget* budget,
+                     AdmissionMode mode,
+                     const std::map<uint64_t, double>& durations) {
+  SyntheticDrive out;
+  while (auto decision = scheduler->StartNext(mode)) {
+    out.start_order.push_back(decision->ticket);
+    out.decisions[decision->ticket] = *decision;
+    out.peak_at_any_event = std::max(out.peak_at_any_event, budget->in_use());
+    scheduler->FinishStarted(decision->ticket, durations.at(decision->ticket));
+  }
+  scheduler->DrainActive(mode);
+  return out;
+}
+
+// --------------------------------------------------------------------------
+// Scheduler invariants (synthetic footprints and durations).
+// --------------------------------------------------------------------------
+
+TEST(RunSchedulerTest, BudgetNeverExceededAtAnyCompletionEvent) {
+  gpu::SlotBudget budget(100);
+  RunScheduler scheduler(&budget);
+  std::map<uint64_t, double> durations;
+  // A mix that cannot all be resident at once: footprints sum to 260.
+  const uint64_t footprints[] = {60, 40, 80, 30, 50};
+  for (uint64_t t = 0; t < 5; ++t) {
+    ScheduledRun run;
+    run.ticket = t;
+    run.footprint_slots = footprints[t];
+    scheduler.Enqueue(run);
+    durations[t] = 1.0 + static_cast<double>(t);
+  }
+  SyntheticDrive drive =
+      Drive(&scheduler, &budget, AdmissionMode::kRolling, durations);
+  ASSERT_EQ(drive.start_order.size(), 5u);
+  // The invariant, observed at every admission event and as the overall
+  // reservation high-water mark.
+  EXPECT_LE(drive.peak_at_any_event, 100u);
+  EXPECT_LE(budget.peak_in_use(), 100u);
+  EXPECT_EQ(budget.in_use(), 0u) << "DrainActive must release everything";
+  EXPECT_TRUE(scheduler.idle());
+}
+
+TEST(RunSchedulerTest, PerTenantQuotaRespectedUnderInterleaving) {
+  gpu::SlotBudget budget(200);
+  budget.SetOwnerQuota(1, 60);
+  budget.SetOwnerQuota(2, 100);
+  RunScheduler scheduler(&budget);
+  std::map<uint64_t, double> durations;
+  // Tenant 1 submits three 40-slot runs (two would breach its 60-slot
+  // quota); tenant 2 submits two 50-slot runs. The global budget could
+  // hold everything at once — only the quotas force serialization.
+  struct Spec {
+    uint64_t tenant;
+    uint64_t footprint;
+  };
+  const Spec specs[] = {{1, 40}, {1, 40}, {2, 50}, {1, 40}, {2, 50}};
+  for (uint64_t t = 0; t < 5; ++t) {
+    ScheduledRun run;
+    run.ticket = t;
+    run.tenant = specs[t].tenant;
+    run.footprint_slots = specs[t].footprint;
+    scheduler.Enqueue(run);
+    durations[t] = 2.0;
+  }
+  SyntheticDrive drive =
+      Drive(&scheduler, &budget, AdmissionMode::kRolling, durations);
+  ASSERT_EQ(drive.start_order.size(), 5u);
+  EXPECT_LE(budget.owner_peak_in_use(1), 60u);
+  EXPECT_LE(budget.owner_peak_in_use(2), 100u);
+  // Tenant 2's second run backfilled past tenant 1's quota-blocked runs:
+  // the quota bounds the tenant, not the device.
+  EXPECT_GT(scheduler.backfills(), 0u);
+}
+
+TEST(RunSchedulerTest, AgingAdmitsStarvedLargeRunUnderContinuousBackfill) {
+  gpu::SlotBudget budget(100);
+  RunSchedulerOptions opt;
+  opt.aging_limit = 4;
+  RunScheduler scheduler(&budget, opt);
+  std::map<uint64_t, double> durations;
+  // Ticket 0: a small run that is resident when the full-budget run (ticket
+  // 1) arrives. Tickets 2..21: a continuous stream of small runs that all
+  // fit next to each other — without aging, they could backfill forever
+  // and ticket 1 would starve.
+  auto enqueue = [&](uint64_t ticket, uint64_t footprint, double duration) {
+    ScheduledRun run;
+    run.ticket = ticket;
+    run.footprint_slots = footprint;
+    scheduler.Enqueue(run);
+    durations[ticket] = duration;
+  };
+  enqueue(0, 50, 10.0);
+  enqueue(1, 100, 5.0);  // needs the whole device
+  for (uint64_t t = 2; t < 22; ++t) enqueue(t, 50, 10.0);
+
+  SyntheticDrive drive =
+      Drive(&scheduler, &budget, AdmissionMode::kRolling, durations);
+  ASSERT_EQ(drive.start_order.size(), 22u);
+  const auto it =
+      std::find(drive.start_order.begin(), drive.start_order.end(), 1u);
+  ASSERT_NE(it, drive.start_order.end()) << "the large run never started";
+  const size_t starts_before_large =
+      static_cast<size_t>(it - drive.start_order.begin());
+  // The aging bound: after aging_limit bypasses the large run is urgent and
+  // nothing may start ahead of it, so at most ticket 0 plus aging_limit
+  // backfills precede it — not the whole small-run stream.
+  EXPECT_LE(starts_before_large, 1u + opt.aging_limit);
+  EXPECT_LE(budget.peak_in_use(), 100u);
+}
+
+TEST(RunSchedulerTest, DeadlinesOrderStartsEarliestFirst) {
+  gpu::SlotBudget budget(100);
+  RunScheduler scheduler(&budget);
+  std::map<uint64_t, double> durations;
+  // Every run needs the whole device, so starts serialize and the order is
+  // pure QoS: equal priority, EDF by deadline, submission order last.
+  const double deadlines[] = {40.0, 10.0, 30.0, 20.0, kNoDeadline};
+  for (uint64_t t = 0; t < 5; ++t) {
+    ScheduledRun run;
+    run.ticket = t;
+    run.footprint_slots = 100;
+    run.deadline = deadlines[t];
+    scheduler.Enqueue(run);
+    durations[t] = 1.0;
+  }
+  SyntheticDrive drive =
+      Drive(&scheduler, &budget, AdmissionMode::kRolling, durations);
+  EXPECT_EQ(drive.start_order, (std::vector<uint64_t>{1, 3, 2, 0, 4}))
+      << "EDF within a priority class; no-deadline runs go last";
+}
+
+TEST(RunSchedulerTest, PriorityOutranksDeadlineAndSubmissionOrder) {
+  gpu::SlotBudget budget(100);
+  RunScheduler scheduler(&budget);
+  std::map<uint64_t, double> durations;
+  struct Spec {
+    int32_t priority;
+    double deadline;
+  };
+  const Spec specs[] = {{0, 5.0}, {1, kNoDeadline}, {1, 8.0}, {0, 2.0}};
+  for (uint64_t t = 0; t < 4; ++t) {
+    ScheduledRun run;
+    run.ticket = t;
+    run.footprint_slots = 100;
+    run.priority = specs[t].priority;
+    run.deadline = specs[t].deadline;
+    scheduler.Enqueue(run);
+    durations[t] = 1.0;
+  }
+  SyntheticDrive drive =
+      Drive(&scheduler, &budget, AdmissionMode::kRolling, durations);
+  EXPECT_EQ(drive.start_order, (std::vector<uint64_t>{2, 1, 3, 0}));
+}
+
+TEST(RunSchedulerTest, RollingStrictlyBeatsBarrierWavesOnMixedWorkload) {
+  // The workload: small runs around one full-budget run. Barrier waves
+  // strand budget twice — the first wave's smalls block the large run, the
+  // large run's wave blocks the trailing smalls. Rolling starts every
+  // small immediately and the large run as soon as the device drains.
+  auto enqueue_all = [](RunScheduler* scheduler,
+                        std::map<uint64_t, double>* durations) {
+    auto enqueue = [&](uint64_t ticket, uint64_t footprint, double duration) {
+      ScheduledRun run;
+      run.ticket = ticket;
+      run.footprint_slots = footprint;
+      scheduler->Enqueue(run);
+      (*durations)[ticket] = duration;
+    };
+    // Unequal small durations matter: the barrier charges a fast run until
+    // its wave's slowest member finishes; rolling releases it at its own
+    // completion.
+    enqueue(0, 10, 5.0);
+    enqueue(1, 10, 2.0);
+    enqueue(2, 100, 10.0);
+    enqueue(3, 10, 2.0);
+    enqueue(4, 10, 5.0);
+    enqueue(5, 10, 5.0);
+  };
+
+  gpu::SlotBudget wave_budget(100);
+  RunScheduler waves(&wave_budget);
+  std::map<uint64_t, double> durations;
+  enqueue_all(&waves, &durations);
+  SyntheticDrive wave_drive =
+      Drive(&waves, &wave_budget, AdmissionMode::kBarrierWaves, durations);
+
+  gpu::SlotBudget rolling_budget(100);
+  RunScheduler rolling(&rolling_budget);
+  std::map<uint64_t, double> rolling_durations;
+  enqueue_all(&rolling, &rolling_durations);
+  SyntheticDrive rolling_drive = Drive(&rolling, &rolling_budget,
+                                       AdmissionMode::kRolling,
+                                       rolling_durations);
+
+  ASSERT_EQ(wave_drive.start_order.size(), 6u);
+  ASSERT_EQ(rolling_drive.start_order.size(), 6u);
+  auto mean_wait = [](const SyntheticDrive& drive) {
+    double sum = 0;
+    for (const auto& [ticket, decision] : drive.decisions) {
+      sum += decision.queue_wait;
+    }
+    return sum / static_cast<double>(drive.decisions.size());
+  };
+  // No run waits longer under rolling admission, and the mean is strictly
+  // lower: releasing at each run's own completion beats the barrier.
+  for (const auto& [ticket, decision] : rolling_drive.decisions) {
+    EXPECT_LE(decision.queue_wait, wave_drive.decisions.at(ticket).queue_wait)
+        << "ticket " << ticket;
+  }
+  EXPECT_LT(mean_wait(rolling_drive), mean_wait(wave_drive));
+  EXPECT_GE(waves.waves(), 2u);
+  // The barrier also holds reservations longer: slot-seconds measure it.
+  double wave_slot_seconds = 0;
+  for (const auto& [tenant, s] : waves.slot_seconds()) wave_slot_seconds += s;
+  double rolling_slot_seconds = 0;
+  for (const auto& [tenant, s] : rolling.slot_seconds()) {
+    rolling_slot_seconds += s;
+  }
+  EXPECT_LT(rolling_slot_seconds, wave_slot_seconds);
+}
+
+// --------------------------------------------------------------------------
+// SlotBudget owner quotas.
+// --------------------------------------------------------------------------
+
+TEST(SlotBudgetOwnerTest, QuotaBindsAtomicallyWithCapacity) {
+  gpu::SlotBudget budget(100);
+  budget.SetOwnerQuota(1, 30);
+  EXPECT_TRUE(budget.TryReserve(30, 1));
+  EXPECT_FALSE(budget.TryReserve(1, 1)) << "owner quota full";
+  EXPECT_TRUE(budget.TryReserve(60, 2)) << "other owners are not bound";
+  EXPECT_FALSE(budget.TryReserve(20, 2)) << "global capacity still binds";
+  EXPECT_EQ(budget.owner_in_use(1), 30u);
+  EXPECT_EQ(budget.owner_in_use(2), 60u);
+  budget.Release(30, 1);
+  EXPECT_EQ(budget.owner_in_use(1), 0u);
+  EXPECT_EQ(budget.owner_peak_in_use(1), 30u);
+  EXPECT_EQ(budget.in_use(), 60u);
+  // Legacy single-argument calls are the untagged owner 0.
+  EXPECT_TRUE(budget.TryReserve(40));
+  EXPECT_EQ(budget.owner_in_use(0), 40u);
+}
+
+// --------------------------------------------------------------------------
+// The tenant serving API, end to end.
+// --------------------------------------------------------------------------
+
+TEST(TenantServingTest, RollingServeIsBitIdenticalToLegacyDrainPerTicket) {
+  PartitionedCorpus corpus = MakeCorpus(16, 4);
+  const std::vector<Task> tasks = {Task::kWordCount, Task::kInvertedIndex,
+                                   Task::kTermVector, Task::kSort,
+                                   Task::kInvertedIndex, Task::kWordCount};
+
+  // Identical servers; a budget that forces multiple waves on one and
+  // rolling admission decisions on the other.
+  CorpusServer::Options sizing;
+  sizing.engine = GpuOptions();
+  auto sizer = CorpusServer::Create(&corpus, sizing);
+  ASSERT_TRUE(sizer.ok());
+  uint64_t max_fp = 0;
+  for (Task t : tasks) {
+    CorpusServer::RunRequest req;
+    req.task = t;
+    auto admission = (*sizer)->Submit(req);
+    ASSERT_TRUE(admission.ok());
+    max_fp = std::max(max_fp, admission->footprint_slots);
+  }
+  CorpusServer::Options opt = sizing;
+  opt.device_slot_budget = max_fp + max_fp / 2;
+
+  auto drain_server = CorpusServer::Create(&corpus, opt);
+  auto rolling_server = CorpusServer::Create(&corpus, opt);
+  ASSERT_TRUE(drain_server.ok());
+  ASSERT_TRUE(rolling_server.ok());
+  auto tenant = (*rolling_server)->OpenTenant({});
+  ASSERT_TRUE(tenant.ok());
+
+  std::vector<CorpusServer::RunTicket> tickets;
+  for (Task t : tasks) {
+    CorpusServer::RunRequest req;
+    req.task = t;
+    ASSERT_TRUE((*drain_server)->Submit(req).ok());
+    auto submitted = tenant->Submit(req);
+    ASSERT_TRUE(submitted.ok()) << submitted.status().ToString();
+    ASSERT_TRUE(submitted->admitted());
+    tickets.push_back(*submitted->ticket);
+  }
+
+  auto drained = (*drain_server)->Drain();
+  ASSERT_TRUE(drained.ok()) << drained.status().ToString();
+  ASSERT_TRUE((*rolling_server)->ServeUntilIdle().ok());
+
+  ASSERT_EQ(drained->size(), tickets.size());
+  for (size_t i = 0; i < tickets.size(); ++i) {
+    const CorpusServer::ServedRun* peeked = tickets[i].TryGet();
+    ASSERT_NE(peeked, nullptr) << "ticket " << i << " not served";
+    // Bit-identity regardless of admission order: rolling may start runs
+    // in a different order than the waves, but every run's output is the
+    // same serial BatchEngine result.
+    EXPECT_TRUE(peeked->batch.merged.SameAs((*drained)[i].batch.merged))
+        << TaskName(tasks[i]);
+    ASSERT_EQ(peeked->batch.documents.size(),
+              (*drained)[i].batch.documents.size());
+    for (size_t d = 0; d < peeked->batch.documents.size(); ++d) {
+      EXPECT_TRUE(peeked->batch.documents[d].result.SameAs(
+          (*drained)[i].batch.documents[d].result))
+          << TaskName(tasks[i]) << " doc " << d;
+    }
+    // Await moves the result out; a second Await is NotFound.
+    auto awaited = tickets[i].Await();
+    ASSERT_TRUE(awaited.ok());
+    EXPECT_EQ(tickets[i].TryGet(), nullptr);
+    EXPECT_TRUE(tickets[i].Await().status().IsNotFound());
+  }
+
+  // The rolling server admitted under the same budget invariant...
+  EXPECT_LE((*rolling_server)->stats().peak_admitted_slots,
+            opt.device_slot_budget);
+  // ...with no wave barrier, and no later mean queue-wait than the waves.
+  EXPECT_EQ((*rolling_server)->stats().waves, 0u);
+  EXPECT_LE((*rolling_server)->stats().queue_wait_seconds,
+            (*drain_server)->stats().queue_wait_seconds);
+}
+
+TEST(TenantServingTest, AwaitServesJustFarEnoughAndStatsTrackTenants) {
+  PartitionedCorpus corpus = MakeCorpus(12, 3);
+  CorpusServer::Options opt;
+  opt.engine = GpuOptions();
+  auto server = CorpusServer::Create(&corpus, opt);
+  ASSERT_TRUE(server.ok());
+
+  CorpusServer::TenantOptions topt;
+  topt.name = "analytics-team";
+  auto tenant = (*server)->OpenTenant(topt);
+  ASSERT_TRUE(tenant.ok());
+  EXPECT_EQ(tenant->name(), "analytics-team");
+
+  CorpusServer::RunRequest first;
+  first.task = Task::kWordCount;
+  CorpusServer::RunRequest second;
+  second.task = Task::kInvertedIndex;
+  auto submitted_first = tenant->Submit(first);
+  auto submitted_second = tenant->Submit(second);
+  ASSERT_TRUE(submitted_first.ok());
+  ASSERT_TRUE(submitted_second.ok());
+  ASSERT_TRUE(submitted_first->admitted());
+  EXPECT_EQ(submitted_first->admission->tenant, tenant->id());
+  EXPECT_EQ((*server)->queued(), 2u);
+
+  // Await the FIRST ticket: the serve loop stops once it completes, so the
+  // second run must still be queued.
+  auto first_run = submitted_first->ticket->Await();
+  ASSERT_TRUE(first_run.ok()) << first_run.status().ToString();
+  EXPECT_EQ(first_run->admission.ticket, submitted_first->admission->ticket);
+  EXPECT_EQ((*server)->queued(), 1u);
+  EXPECT_EQ(submitted_second->ticket->TryGet(), nullptr);
+
+  ASSERT_TRUE((*server)->ServeUntilIdle().ok());
+  EXPECT_EQ((*server)->queued(), 0u);
+  ASSERT_NE(submitted_second->ticket->TryGet(), nullptr);
+
+  const CorpusServer::Stats& stats = (*server)->stats();
+  auto it = stats.tenants.find(tenant->id());
+  ASSERT_NE(it, stats.tenants.end());
+  EXPECT_EQ(it->second.name, "analytics-team");
+  EXPECT_EQ(it->second.submitted, 2u);
+  EXPECT_EQ(it->second.served, 2u);
+  EXPECT_GT(it->second.slot_seconds_held, 0.0);
+}
+
+TEST(TenantServingTest, RejectionReasonsAreStructured) {
+  PartitionedCorpus corpus = MakeCorpus(8, 2);
+
+  // Sizing: learn a real footprint so the quota can sit below it while the
+  // budget sits above it.
+  CorpusServer::Options sizing;
+  sizing.engine = GpuOptions();
+  auto sizer = CorpusServer::Create(&corpus, sizing);
+  ASSERT_TRUE(sizer.ok());
+  CorpusServer::RunRequest req;
+  req.task = Task::kWordCount;
+  auto probed = (*sizer)->Submit(req);
+  ASSERT_TRUE(probed.ok());
+  const uint64_t footprint = probed->footprint_slots;
+  ASSERT_GT(footprint, 2u);
+
+  CorpusServer::Options opt = sizing;
+  opt.device_slot_budget = footprint;  // the run fits the budget exactly
+  auto server = CorpusServer::Create(&corpus, opt);
+  ASSERT_TRUE(server.ok());
+
+  // Over-quota: the tenant's quota is below the run's footprint.
+  CorpusServer::TenantOptions small;
+  small.name = "small";
+  small.slot_quota = footprint - 1;
+  auto tenant = (*server)->OpenTenant(small);
+  ASSERT_TRUE(tenant.ok());
+  auto over_quota = tenant->Submit(req);
+  ASSERT_TRUE(over_quota.ok());
+  ASSERT_FALSE(over_quota->admitted());
+  EXPECT_EQ(over_quota->rejection->reason,
+            CorpusServer::Rejection::Reason::kOverQuota);
+  EXPECT_EQ(over_quota->rejection->requested_slots, footprint);
+  EXPECT_EQ(over_quota->rejection->limit_slots, footprint - 1);
+  EXPECT_TRUE(over_quota->rejection->ToStatus().IsOutOfMemory());
+
+  // Malformed: a negative deadline is a structured refusal, not a crash
+  // and not an opaque Status.
+  CorpusServer::RunOptions bad;
+  bad.deadline_seconds = -1.0;
+  auto malformed = tenant->Submit(req, bad);
+  ASSERT_TRUE(malformed.ok());
+  ASSERT_FALSE(malformed->admitted());
+  EXPECT_EQ(malformed->rejection->reason,
+            CorpusServer::Rejection::Reason::kMalformed);
+  EXPECT_TRUE(malformed->rejection->ToStatus().IsInvalidArgument());
+
+  // Over-budget: a budget below the footprint refuses any tenant.
+  CorpusServer::Options tiny = sizing;
+  tiny.device_slot_budget = footprint - 1;
+  auto tiny_server = CorpusServer::Create(&corpus, tiny);
+  ASSERT_TRUE(tiny_server.ok());
+  auto any = (*tiny_server)->OpenTenant({});
+  ASSERT_TRUE(any.ok());
+  auto over_budget = any->Submit(req);
+  ASSERT_TRUE(over_budget.ok());
+  ASSERT_FALSE(over_budget->admitted());
+  EXPECT_EQ(over_budget->rejection->reason,
+            CorpusServer::Rejection::Reason::kOverBudget);
+  EXPECT_TRUE(over_budget->rejection->ToStatus().IsOutOfMemory());
+
+  // A quota no budget could honor is refused at OpenTenant.
+  CorpusServer::TenantOptions oversized;
+  oversized.slot_quota = footprint + 1;
+  EXPECT_FALSE((*tiny_server)->OpenTenant(oversized).ok());
+
+  // Unknown tasks stay a genuine NotFound under both APIs.
+  CorpusServer::RunRequest unknown;
+  unknown.task = static_cast<Task>(987654);
+  EXPECT_TRUE(tenant->Submit(unknown).status().IsNotFound());
+  EXPECT_TRUE((*server)->Submit(unknown).status().IsNotFound());
+
+  // Rejected runs were never queued; the structured refusals were counted.
+  EXPECT_EQ((*server)->queued(), 0u);
+  EXPECT_EQ((*server)->stats().rejected, 2u);
+  EXPECT_EQ((*server)->stats().submitted, 0u);
+}
+
+TEST(TenantServingTest, PriorityReordersRollingStartsAcrossTenants) {
+  PartitionedCorpus corpus = MakeCorpus(16, 4);
+
+  CorpusServer::Options sizing;
+  sizing.engine = GpuOptions();
+  auto sizer = CorpusServer::Create(&corpus, sizing);
+  ASSERT_TRUE(sizer.ok());
+  CorpusServer::RunRequest req;
+  req.task = Task::kInvertedIndex;
+  auto probed = (*sizer)->Submit(req);
+  ASSERT_TRUE(probed.ok());
+
+  // The budget admits exactly one run at a time, so starts serialize and
+  // the order is pure QoS.
+  CorpusServer::Options opt = sizing;
+  opt.device_slot_budget = probed->footprint_slots;
+  auto server = CorpusServer::Create(&corpus, opt);
+  ASSERT_TRUE(server.ok());
+  CorpusServer::TenantOptions batch_opt;
+  batch_opt.name = "batch";
+  auto batch = (*server)->OpenTenant(batch_opt);
+  CorpusServer::TenantOptions urgent_opt;
+  urgent_opt.name = "interactive";
+  urgent_opt.default_priority = 5;
+  auto interactive = (*server)->OpenTenant(urgent_opt);
+  ASSERT_TRUE(batch.ok());
+  ASSERT_TRUE(interactive.ok());
+
+  auto low_a = batch->Submit(req);
+  auto low_b = batch->Submit(req);
+  auto high = interactive->Submit(req);  // submitted last, starts first
+  ASSERT_TRUE(low_a.ok() && low_b.ok() && high.ok());
+  ASSERT_TRUE(low_a->admitted() && low_b->admitted() && high->admitted());
+  ASSERT_TRUE((*server)->ServeUntilIdle().ok());
+
+  const CorpusServer::ServedRun* high_run = high->ticket->TryGet();
+  const CorpusServer::ServedRun* low_a_run = low_a->ticket->TryGet();
+  const CorpusServer::ServedRun* low_b_run = low_b->ticket->TryGet();
+  ASSERT_NE(high_run, nullptr);
+  ASSERT_NE(low_a_run, nullptr);
+  ASSERT_NE(low_b_run, nullptr);
+  EXPECT_LT(high_run->start_seconds, low_b_run->start_seconds)
+      << "priority 5 must start before the second batch run";
+  EXPECT_EQ(high_run->queue_wait_seconds, 0.0)
+      << "the high-priority run starts at its submit time";
+  // The results are still bit-identical per run: scheduling moved starts,
+  // not outputs.
+  EXPECT_TRUE(high_run->batch.merged.SameAs(low_a_run->batch.merged));
+}
+
+TEST(TenantServingTest, ZeroDocumentRunIsServedWithoutReservingBudget) {
+  MarkerCorpus mc = MakeMarkerCorpus(/*num_docs=*/6, /*relevant=*/2,
+                                     /*num_markers=*/2);
+  CorpusServer::Options opt;
+  opt.engine = GpuOptions();
+  opt.device_slot_budget = 1;  // even one slot would be over budget
+  auto server = CorpusServer::Create(&mc.corpus, opt);
+  ASSERT_TRUE(server.ok());
+  auto tenant = (*server)->OpenTenant({});
+  ASSERT_TRUE(tenant.ok());
+
+  // An empty query on a selective task executes zero documents: priced as
+  // footprint 0 — NOT as its would-be pre-size allocation — it passes even
+  // a 1-slot budget and reserves nothing.
+  CorpusServer::RunRequest req;
+  req.task = Task::kKeywordSearch;
+  auto submitted = tenant->Submit(req);
+  ASSERT_TRUE(submitted.ok()) << submitted.status().ToString();
+  ASSERT_TRUE(submitted->admitted());
+  EXPECT_EQ(submitted->admission->footprint_slots, 0u);
+  EXPECT_EQ(submitted->admission->documents_to_execute, 0u);
+  EXPECT_EQ(submitted->admission->admission_seconds, 0.0)
+      << "a zero-document run must not charge planning or pre-sizing";
+
+  auto served = submitted->ticket->Await();
+  ASSERT_TRUE(served.ok()) << served.status().ToString();
+  EXPECT_TRUE(served->batch.merged.keyword_search.empty());
+  EXPECT_EQ((*server)->stats().peak_admitted_slots, 0u)
+      << "nothing was ever reserved";
+}
+
+// --------------------------------------------------------------------------
+// BatchEngine completion callbacks (the serving layer's live progress).
+// --------------------------------------------------------------------------
+
+TEST(BatchCallbackTest, OnDocumentCompleteFiresOncePerDocument) {
+  MarkerCorpus mc = MakeMarkerCorpus(/*num_docs=*/8, /*relevant=*/3,
+                                     /*num_markers=*/2);
+  BatchEngine::Options bopt;
+  bopt.engine = GpuOptions();
+  bopt.engine.query_words = {mc.markers[0], mc.markers[1]};
+  std::mutex mu;
+  uint32_t executed = 0;
+  uint32_t skipped = 0;
+  bopt.on_document_complete = [&](const BatchEngine::DocumentRun& doc) {
+    std::lock_guard<std::mutex> lock(mu);
+    if (doc.skipped) {
+      ++skipped;
+    } else {
+      ++executed;
+    }
+  };
+  auto engine = BatchEngine::Create(&mc.corpus, bopt);
+  ASSERT_TRUE(engine.ok());
+  const TaskKernel& kernel = **TaskRegistry::Get(Task::kKeywordSearch);
+  TaskInput input;
+  input.query_words = bopt.engine.query_words;
+  std::vector<uint8_t> mask = BloomExecuteMask(mc.corpus, kernel, input);
+  auto run = (*engine)->Run(Task::kKeywordSearch, mask);
+  ASSERT_TRUE(run.ok()) << run.status().ToString();
+  EXPECT_EQ(executed + skipped,
+            static_cast<uint32_t>(mc.corpus.partitions.size()));
+  EXPECT_EQ(skipped, run->documents_skipped);
+  EXPECT_GT(skipped, 0u);
+}
+
+}  // namespace
+}  // namespace gtadoc
