@@ -32,6 +32,22 @@
 // than barrier waves (Drain) on the same submissions, both modes must keep
 // zero mid-run pool growths, and every ticket's result must be bit-identical
 // between the two schedules — admission order moves starts, never outputs.
+//
+// SHARDED MODE (the fourth half) scales the server out: the corpus is
+// partitioned across N simulated devices (each with its own slot budget) and
+// every admitted run is Bloom-routed only to the shards that can match, then
+// gathered through the single-device merge path. Hard gates: >= 1.7x
+// simulated throughput at 4 devices on the mixed workload, near-linear
+// scaling on the Bloom-partitionable workload, merged AND per-document
+// results bit-identical to the 1-device serial server for every shard count
+// and replication factor, and no device's budget exceeded at any admission
+// event.
+//
+// On success the whole run is also emitted machine-readably to
+// BENCH_batch_corpus.json (per-mode speedups, queue waits, skip counts) so
+// CI can archive the numbers next to the human-readable log.
+
+#include <string>
 
 #include "analytics/batch.h"
 #include "analytics/server.h"
@@ -44,6 +60,16 @@ namespace {
 
 constexpr uint32_t kDocuments = 16;
 
+/// Minimal JSON number formatting (no dependency): %.6g keeps microsecond
+/// resolution on millisecond-scale values without dumping noise digits.
+std::string JsonNum(double v) {
+  char buf[40];
+  std::snprintf(buf, sizeof buf, "%.6g", v);
+  return buf;
+}
+
+std::string JsonNum(uint64_t v) { return std::to_string(v); }
+
 struct BatchResultRow {
   double cold_total = 0;
   double batch_total = 0;
@@ -55,7 +81,8 @@ struct BatchResultRow {
 
 /// The server-mode section: admission packing + Bloom skip, both hard-gated.
 /// Returns 0 on success, 1 on a gate failure.
-int RunServerMode(const gpu::Platform& platform, double scale) {
+int RunServerMode(const gpu::Platform& platform, double scale,
+                  std::string* json) {
   bench::PrintRule('=');
   std::printf(
       "SERVER MODE: CorpusServer admission + root-Bloom skip over %u "
@@ -244,13 +271,32 @@ int RunServerMode(const gpu::Platform& platform, double scale) {
                  "work\n");
     return 1;
   }
+  *json += "  \"server\": {\n";
+  *json += "    \"budget_slots\": " + JsonNum(opt.device_slot_budget) + ",\n";
+  *json += "    \"sum_footprint_slots\": " + JsonNum(sum_fp) + ",\n";
+  *json += "    \"waves\": " + JsonNum(stats.waves) + ",\n";
+  *json += "    \"peak_admitted_slots\": " +
+           JsonNum(stats.peak_admitted_slots) + ",\n";
+  *json += "    \"mid_run_pool_growths\": " +
+           JsonNum(stats.mid_run_pool_growths) + ",\n";
+  *json += "    \"bare_engine_pool_growths\": " + JsonNum(naive_growths) +
+           ",\n";
+  *json += "    \"documents\": " + JsonNum(uint64_t{kDocuments}) + ",\n";
+  *json += "    \"bloom_skipped\": " +
+           JsonNum(uint64_t{selective.admission.documents_skipped}) + ",\n";
+  *json += "    \"full_traversal_ops\": " +
+           JsonNum(full->timing.traversal_ops) + ",\n";
+  *json += "    \"skipped_traversal_ops\": " +
+           JsonNum(selective.batch.timing.traversal_ops) + "\n";
+  *json += "  },\n";
   return 0;
 }
 
 /// The scheduler-mode section: rolling admission vs barrier waves on a mixed
 /// large/small workload, all three contracts hard-gated. Returns 0 on
 /// success, 1 on a gate failure.
-int RunSchedulerMode(const gpu::Platform& platform, double scale) {
+int RunSchedulerMode(const gpu::Platform& platform, double scale,
+                     std::string* json) {
   bench::PrintRule('=');
   std::printf(
       "SCHEDULER MODE: rolling admission vs barrier waves over %u "
@@ -404,6 +450,291 @@ int RunSchedulerMode(const gpu::Platform& platform, double scale) {
                  "GATE FAILED: the rolling schedule opened a barrier wave\n");
     return 1;
   }
+  *json += "  \"scheduler\": {\n";
+  *json += "    \"budget_slots\": " + JsonNum(opt.device_slot_budget) + ",\n";
+  *json += "    \"wave_mean_queue_wait_ms\": " + JsonNum(wave_mean * 1e3) +
+           ",\n";
+  *json += "    \"rolling_mean_queue_wait_ms\": " +
+           JsonNum(rolling_mean * 1e3) + ",\n";
+  *json += "    \"queue_wait_speedup\": " +
+           JsonNum(wave_mean / rolling_mean) + ",\n";
+  *json += "    \"waves\": " + JsonNum(wave_stats.waves) + ",\n";
+  *json += "    \"backfills\": " + JsonNum(rolling_stats.backfills) + "\n";
+  *json += "  },\n";
+  return 0;
+}
+
+/// One served sharded configuration, kept alive so tickets stay readable.
+struct ShardedConfig {
+  std::unique_ptr<CorpusServer> server;
+  std::vector<CorpusServer::RunTicket> tickets;
+};
+
+/// Serves `requests` under rolling admission on an N-device server and
+/// returns the live server + tickets (results are read through TryGet).
+Result<ShardedConfig> ServeSharded(
+    const PartitionedCorpus* corpus, CorpusServer::Options opt,
+    size_t num_devices, size_t replication,
+    const std::vector<CorpusServer::RunRequest>& requests) {
+  opt.num_devices = num_devices;
+  opt.replication = replication;
+  auto server = CorpusServer::Create(corpus, opt);
+  if (!server.ok()) return server.status();
+  ShardedConfig out;
+  out.server = std::move(*server);
+  auto tenant = out.server->OpenTenant({});
+  if (!tenant.ok()) return tenant.status();
+  for (const auto& req : requests) {
+    auto submitted = tenant->Submit(req);
+    if (!submitted.ok()) return submitted.status();
+    if (!submitted->admitted()) {
+      return Status::Internal("sharded submit rejected: " +
+                              submitted->rejection->detail);
+    }
+    out.tickets.push_back(*submitted->ticket);
+  }
+  Status st = out.server->ServeUntilIdle();
+  if (!st.ok()) return st;
+  return out;
+}
+
+/// The sharded-mode section: Bloom-routed scatter/gather across N simulated
+/// devices, hard-gated on throughput scaling, bit-identity, and per-device
+/// budgets. Returns 0 on success, 1 on a gate failure.
+int RunShardedMode(const gpu::Platform& platform, double scale,
+                   std::string* json) {
+  bench::PrintRule('=');
+  std::printf(
+      "SHARDED MODE: Bloom-routed scatter/gather across simulated devices "
+      "(%u documents)\n",
+      kDocuments);
+
+  MarkerCorpusSpec mspec;
+  mspec.num_docs = kDocuments;
+  mspec.relevant = kDocuments / 2;
+  mspec.num_markers = 8;
+  mspec.files_per_doc = 4;
+  mspec.tokens_per_doc = 3000;
+  mspec.seed = 23;
+  mspec.scale = scale;
+  auto built = BuildMarkerCorpus(mspec);
+  if (!built.ok()) return 1;
+  MarkerCorpus mc = std::move(*built);
+
+  CorpusServer::Options base;
+  base.engine.gpu = platform.gpu;
+  base.engine.charge_pcie = true;
+
+  // Two workloads. MIXED is the serving blend: corpus-wide runs (every
+  // shard executes) around selective keyword runs. PARTITIONABLE is all
+  // selective runs — root Blooms confine each to the marker-carrying half,
+  // whose documents round-robin evenly across shards, so traversal itself
+  // splits N ways.
+  CorpusServer::RunRequest selective;
+  selective.task = Task::kKeywordSearch;
+  for (uint32_t m : mc.markers) selective.query_sets.push_back({m});
+  std::vector<CorpusServer::RunRequest> mixed;
+  for (Task t : {Task::kWordCount, Task::kInvertedIndex, Task::kTermVector,
+                 Task::kInvertedIndex, Task::kWordCount}) {
+    CorpusServer::RunRequest req;
+    req.task = t;
+    mixed.push_back(req);
+    mixed.push_back(selective);
+  }
+  const std::vector<CorpusServer::RunRequest> partitionable(6, selective);
+
+  // Sizing pass: the budget is 1.5x the largest single-device footprint, so
+  // on ONE device the corpus-wide runs serialize; each extra device brings
+  // its own budget (scale-out adds capacity, the multi-GPU premise).
+  uint64_t max_fp = 0;
+  {
+    auto sizer = CorpusServer::Create(&mc.corpus, base);
+    if (!sizer.ok()) return 1;
+    for (const auto& req : mixed) {
+      auto admission = (*sizer)->Submit(req);
+      if (!admission.ok()) return 1;
+      max_fp = std::max(max_fp, admission->footprint_slots);
+    }
+  }
+  CorpusServer::Options opt = base;
+  opt.device_slot_budget = max_fp + max_fp / 2;
+
+  struct Row {
+    const char* workload;
+    size_t devices;
+    size_t replication;
+    double makespan = 0;
+    double queue_wait = 0;
+    uint64_t max_peak = 0;
+    double speedup = 0;
+  };
+  std::vector<Row> rows;
+  double mixed_speedup_4 = 0;
+  double partitionable_speedup_4 = 0;
+
+  struct Sweep {
+    const char* name;
+    const std::vector<CorpusServer::RunRequest>* requests;
+    std::vector<std::pair<size_t, size_t>> shapes;  // {devices, replication}
+  };
+  const Sweep sweeps[] = {
+      {"mixed", &mixed, {{2, 1}, {4, 1}, {4, 2}}},
+      {"partitionable", &partitionable, {{4, 1}}},
+  };
+
+  bench::PrintRule();
+  std::printf("%-14s %8s %6s %14s %16s %12s %9s\n", "workload", "devices",
+              "repl", "makespan (ms)", "queue wait (ms)", "peak/budget",
+              "speedup");
+  bench::PrintRule();
+
+  for (const Sweep& sweep : sweeps) {
+    // The 1-device serial reference for this workload: throughput baseline
+    // AND bit-identity oracle.
+    Result<ShardedConfig> baseline =
+        ServeSharded(&mc.corpus, opt, 1, 1, *sweep.requests);
+    if (!baseline.ok()) {
+      std::fprintf(stderr, "GATE FAILED: %s baseline: %s\n", sweep.name,
+                   baseline.status().ToString().c_str());
+      return 1;
+    }
+    const double serial_makespan = baseline->server->stats().makespan_seconds;
+
+    // The row-level checks shared by the baseline and every sharded shape:
+    // per-device budget invariant, bit-identity against the baseline, the
+    // printed table row, and the JSON row.
+    auto check_and_report = [&](const ShardedConfig& cfg, size_t devices,
+                                size_t replication) -> bool {
+      const CorpusServer::Stats& stats = cfg.server->stats();
+      Row row;
+      row.workload = sweep.name;
+      row.devices = devices;
+      row.replication = replication;
+      row.makespan = stats.makespan_seconds;
+      row.queue_wait = stats.queue_wait_seconds /
+                       static_cast<double>(sweep.requests->size());
+      for (const auto& device : stats.devices) {
+        row.max_peak = std::max(row.max_peak, device.peak_admitted_slots);
+        // --- Gate: no device's budget exceeded at any admission event. ----
+        if (device.peak_admitted_slots > opt.device_slot_budget) {
+          std::fprintf(stderr,
+                       "GATE FAILED: %s x%zu: a device peaked at %llu slots "
+                       "over budget %llu\n",
+                       sweep.name, devices,
+                       static_cast<unsigned long long>(
+                           device.peak_admitted_slots),
+                       static_cast<unsigned long long>(
+                           opt.device_slot_budget));
+          return false;
+        }
+      }
+      row.speedup = serial_makespan / row.makespan;
+
+      // --- Gate: merged AND per-document results bit-identical to the
+      // 1-device serial server for every shard count / replication. --------
+      for (size_t i = 0; i < cfg.tickets.size(); ++i) {
+        const CorpusServer::ServedRun* run = cfg.tickets[i].TryGet();
+        const CorpusServer::ServedRun* ref = baseline->tickets[i].TryGet();
+        if (run == nullptr || ref == nullptr) {
+          std::fprintf(stderr, "GATE FAILED: %s x%zu: ticket %zu unserved\n",
+                       sweep.name, devices, i);
+          return false;
+        }
+        if (!run->batch.merged.SameAs(ref->batch.merged)) {
+          std::fprintf(stderr,
+                       "GATE FAILED: %s x%zu: merged diverged on ticket %zu: "
+                       "%s vs %s\n",
+                       sweep.name, devices, i,
+                       run->batch.merged.Digest().c_str(),
+                       ref->batch.merged.Digest().c_str());
+          return false;
+        }
+        for (size_t d = 0; d < run->batch.documents.size(); ++d) {
+          if (!run->batch.documents[d].result.SameAs(
+                  ref->batch.documents[d].result) ||
+              run->batch.documents[d].skipped !=
+                  ref->batch.documents[d].skipped) {
+            std::fprintf(stderr,
+                         "GATE FAILED: %s x%zu: document %zu diverged on "
+                         "ticket %zu\n",
+                         sweep.name, devices, d, i);
+            return false;
+          }
+        }
+      }
+
+      std::printf("%-14s %8zu %6zu %14.3f %16.3f %5llu/%-6llu %8.2fx\n",
+                  row.workload, row.devices, row.replication,
+                  row.makespan * 1e3, row.queue_wait * 1e3,
+                  static_cast<unsigned long long>(row.max_peak),
+                  static_cast<unsigned long long>(opt.device_slot_budget),
+                  row.speedup);
+      if (sweep.requests == &mixed && devices == 4 && replication == 1) {
+        mixed_speedup_4 = row.speedup;
+      }
+      if (sweep.requests == &partitionable && devices == 4) {
+        partitionable_speedup_4 = row.speedup;
+      }
+      rows.push_back(row);
+      return true;
+    };
+
+    if (!check_and_report(*baseline, 1, 1)) return 1;
+    for (const auto& [devices, replication] : sweep.shapes) {
+      Result<ShardedConfig> config = ServeSharded(&mc.corpus, opt, devices,
+                                                  replication,
+                                                  *sweep.requests);
+      if (!config.ok()) {
+        std::fprintf(stderr, "GATE FAILED: %s x%zu: %s\n", sweep.name,
+                     devices, config.status().ToString().c_str());
+        return 1;
+      }
+      if (!check_and_report(*config, devices, replication)) return 1;
+    }
+  }
+
+  std::printf(
+      "scatter/gather: runs execute only on Bloom-matched shards, merge once "
+      "in corpus order;\n                every shard count and replication "
+      "factor above reproduced the serial results bit for bit\n");
+
+  // --- Gate: >= 1.7x simulated throughput at 4 devices on the mix. --------
+  if (mixed_speedup_4 < 1.7) {
+    std::fprintf(stderr,
+                 "GATE FAILED: mixed workload at 4 devices delivered %.2fx "
+                 "(need >= 1.7x)\n",
+                 mixed_speedup_4);
+    return 1;
+  }
+  // --- Gate: near-linear scaling on the Bloom-partitionable workload. -----
+  if (partitionable_speedup_4 < 2.8) {
+    std::fprintf(stderr,
+                 "GATE FAILED: partitionable workload at 4 devices delivered "
+                 "%.2fx (need >= 2.8x of linear 4x)\n",
+                 partitionable_speedup_4);
+    return 1;
+  }
+
+  *json += "  \"sharded\": {\n";
+  *json += "    \"device_slot_budget\": " + JsonNum(opt.device_slot_budget) +
+           ",\n";
+  *json += "    \"mixed_speedup_4dev\": " + JsonNum(mixed_speedup_4) + ",\n";
+  *json += "    \"partitionable_speedup_4dev\": " +
+           JsonNum(partitionable_speedup_4) + ",\n";
+  *json += "    \"configs\": [\n";
+  for (size_t i = 0; i < rows.size(); ++i) {
+    const Row& row = rows[i];
+    *json += "      {\"workload\": \"" + std::string(row.workload) +
+             "\", \"devices\": " + JsonNum(uint64_t{row.devices}) +
+             ", \"replication\": " + JsonNum(uint64_t{row.replication}) +
+             ", \"makespan_ms\": " + JsonNum(row.makespan * 1e3) +
+             ", \"mean_queue_wait_ms\": " + JsonNum(row.queue_wait * 1e3) +
+             ", \"max_device_peak_slots\": " + JsonNum(row.max_peak) +
+             ", \"speedup_vs_serial\": " + JsonNum(row.speedup) + "}";
+    *json += i + 1 < rows.size() ? ",\n" : "\n";
+  }
+  *json += "    ]\n";
+  *json += "  }\n";
   return 0;
 }
 
@@ -445,6 +776,7 @@ int main() {
               "cold/warm", "cpu/warm", "hidden%");
   bench::PrintRule();
 
+  std::string task_json;
   std::vector<double> batch_speedups, warm_speedups, cpu_speedups;
   for (Task task : AllTasks()) {
     BatchResultRow row;
@@ -526,6 +858,14 @@ int main() {
                 TaskName(task), row.cold_total * 1e3, row.batch_total * 1e3,
                 row.warm_total * 1e3, row.cpu_total * 1e3, warm_vs_cold,
                 vs_cpu, 100.0 * row.overlap_saved / row.cold_total);
+    if (!task_json.empty()) task_json += ",\n";
+    task_json += "      {\"task\": \"" + std::string(TaskName(task)) +
+                 "\", \"cold_ms\": " + JsonNum(row.cold_total * 1e3) +
+                 ", \"batch_ms\": " + JsonNum(row.batch_total * 1e3) +
+                 ", \"warm_ms\": " + JsonNum(row.warm_total * 1e3) +
+                 ", \"cpu_ms\": " + JsonNum(row.cpu_total * 1e3) +
+                 ", \"cold_over_warm\": " + JsonNum(warm_vs_cold) +
+                 ", \"cpu_over_warm\": " + JsonNum(vs_cpu) + "}";
   }
 
   bench::PrintRule('=');
@@ -550,6 +890,33 @@ int main() {
                  warm_geo, batch_geo);
     return 1;
   }
-  if (int rc = RunServerMode(platform, scale); rc != 0) return rc;
-  return RunSchedulerMode(platform, scale);
+
+  std::string json = "{\n";
+  json += "  \"bench\": \"batch_corpus\",\n";
+  json += "  \"gpu\": \"" + platform.gpu.name + "\",\n";
+  json += "  \"scale\": " + JsonNum(scale) + ",\n";
+  json += "  \"documents\": " + JsonNum(uint64_t{kDocuments}) + ",\n";
+  json += "  \"batch\": {\n";
+  json += "    \"batch_vs_cold_geomean\": " + JsonNum(batch_geo) + ",\n";
+  json += "    \"warm_vs_cold_geomean\": " + JsonNum(warm_geo) + ",\n";
+  json += "    \"warm_vs_cpu_geomean\": " +
+          JsonNum(bench::GeoMean(cpu_speedups)) + ",\n";
+  json += "    \"tasks\": [\n" + task_json + "\n    ]\n";
+  json += "  },\n";
+
+  if (int rc = RunServerMode(platform, scale, &json); rc != 0) return rc;
+  if (int rc = RunSchedulerMode(platform, scale, &json); rc != 0) return rc;
+  if (int rc = RunShardedMode(platform, scale, &json); rc != 0) return rc;
+  json += "}\n";
+
+  const char* json_path = "BENCH_batch_corpus.json";
+  if (std::FILE* f = std::fopen(json_path, "w")) {
+    std::fwrite(json.data(), 1, json.size(), f);
+    std::fclose(f);
+    std::printf("wrote %s\n", json_path);
+  } else {
+    std::fprintf(stderr, "GATE FAILED: could not write %s\n", json_path);
+    return 1;
+  }
+  return 0;
 }

@@ -63,6 +63,16 @@ Status EmptyDocumentResult(const TaskKernel& kernel, const TaskInput& input,
 
 }  // namespace
 
+Status BatchEngine::AssembleSkippedDocument(Task task,
+                                            const GTadocEngine::Options& engine,
+                                            uint32_t num_files,
+                                            AnalyticsResult* out) {
+  auto kernel_lookup = TaskRegistry::Get(task);
+  if (!kernel_lookup.ok()) return kernel_lookup.status();
+  const TaskInput input = GTadocEngine::InputFromOptions(engine);
+  return EmptyDocumentResult(**kernel_lookup, input, num_files, out);
+}
+
 Status BatchEngine::RunShard(Task task, const std::vector<uint8_t>* execute,
                              size_t lo, size_t hi,
                              std::vector<DocumentRun>* runs,
@@ -244,13 +254,16 @@ Result<BatchEngine::BatchRun> BatchEngine::Run(
     if (r.skipped) ++batch.documents_skipped;
   }
 
-  // Merge in corpus order (scheduling-independent).
+  // Merge in corpus order (scheduling-independent). Sharded serving defers
+  // this to its cross-device gather and charges nothing here.
   batch.merged.task = task;
   uint64_t merge_ops = 0;
-  for (const DocumentRun& r : batch.documents) {
-    MergeResult(r.result, r.file_base, &batch.merged, &merge_ops);
+  if (options_.merge_results) {
+    for (const DocumentRun& r : batch.documents) {
+      MergeResult(r.result, r.file_base, &batch.merged, &merge_ops);
+    }
+    FinalizeMergedResult(&batch.merged, &merge_ops);
   }
-  FinalizeMergedResult(&batch.merged, &merge_ops);
 
   batch.timing = ComposeTiming(batch.documents, merge_ops);
   batch.timing.wall_seconds = wall.ElapsedSeconds();

@@ -79,6 +79,13 @@ class BatchEngine {
     /// mid_run_pool_growths verifies. 0 = no pre-sizing (pools grow lazily
     /// to the shard's high-water mark, charged mid-run).
     uint64_t presize_pool_slots = 0;
+    /// Merge per-document results into BatchRun::merged (and charge the
+    /// merge reduce pass). Sharded serving turns this off for shard-local
+    /// runs: the device group gathers per-document results and performs
+    /// the ONE corpus-order merge itself, so a shard-local merge would be
+    /// duplicate work the timing must not charge. When false, `merged`
+    /// carries only the task tag.
+    bool merge_results = true;
     /// Invoked once per finished document — skipped ones included
     /// (DocumentRun::skipped distinguishes) — as soon as its DocumentRun is
     /// final, before the batch completes. Serving layers use it for live
@@ -137,6 +144,16 @@ class BatchEngine {
   /// concurrency.
   static std::vector<std::pair<size_t, size_t>> ShardSplit(size_t n,
                                                            size_t workers);
+
+  /// Assembles the result a skipped document contributes — the kernel's own
+  /// assembly of zero drained entries, bit-identical to executing a document
+  /// with no matching content, at zero simulated cost. Exposed for gather
+  /// paths (sharded serving) that must fill in documents no device
+  /// executed; masked Runs use the same assembly internally.
+  static Status AssembleSkippedDocument(Task task,
+                                        const GTadocEngine::Options& engine,
+                                        uint32_t num_files,
+                                        AnalyticsResult* out);
 
   /// Like Run, but executes only documents with execute_mask[d] != 0.
   /// Skipped documents still contribute a DocumentRun — the kernel's

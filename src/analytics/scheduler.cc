@@ -12,6 +12,17 @@ bool RunScheduler::QosBefore(const ScheduledRun& a, const ScheduledRun& b) {
 
 void RunScheduler::Enqueue(ScheduledRun run) {
   run.submit_time = now_;
+  if (run.device_slots.empty()) {
+    // Single-device callers describe their reservation with one number; it
+    // lives on device 0 (the only device of a group of one).
+    run.device_slots.assign(num_devices(), 0);
+    run.device_slots[0] = run.footprint_slots;
+  } else {
+    run.device_slots.resize(num_devices(), 0);
+    uint64_t total = 0;
+    for (uint64_t s : run.device_slots) total += s;
+    run.footprint_slots = total;
+  }
   queue_.push_back(QueuedEntry{run});
 }
 
@@ -26,7 +37,7 @@ int RunScheduler::PickCandidate(AdmissionMode mode) const {
   });
   for (size_t idx : order) {
     const QueuedEntry& entry = queue_[idx];
-    if (budget_->CanReserve(entry.run.footprint_slots, entry.run.tenant)) {
+    if (group_.CanReserve(entry.run.device_slots, entry.run.tenant)) {
       return static_cast<int>(idx);
     }
     // Barrier waves admit strictly in order: the first run that does not
@@ -42,8 +53,9 @@ int RunScheduler::PickCandidate(AdmissionMode mode) const {
 AdmissionDecision RunScheduler::Start(size_t index, AdmissionMode mode) {
   const ScheduledRun run = queue_[index].run;
   // PickCandidate just saw the reservation fit; serving is single-threaded,
-  // so this cannot fail.
-  budget_->TryReserve(run.footprint_slots, run.tenant);
+  // so this cannot fail. The group reservation is all-or-nothing: the run
+  // holds slots on every device it scatters to, or on none.
+  group_.TryReserve(run.device_slots, run.tenant);
 
   AdmissionDecision decision;
   decision.ticket = run.ticket;
@@ -69,9 +81,11 @@ AdmissionDecision RunScheduler::Start(size_t index, AdmissionMode mode) {
   ActiveRun active;
   active.ticket = run.ticket;
   active.tenant = run.tenant;
-  active.footprint_slots = run.footprint_slots;
+  active.device_slots = run.device_slots;
+  active.device_released.assign(run.device_slots.size(), false);
+  active.device_completion.assign(run.device_slots.size(), -1.0);
   active.start_time = now_;
-  active_.push_back(active);
+  active_.push_back(std::move(active));
   queue_.erase(queue_.begin() + static_cast<ptrdiff_t>(index));
   return decision;
 }
@@ -93,10 +107,43 @@ std::optional<AdmissionDecision> RunScheduler::StartNext(AdmissionMode mode) {
 void RunScheduler::FinishStarted(uint64_t ticket, double duration_seconds) {
   for (ActiveRun& run : active_) {
     if (run.ticket == ticket) {
-      run.completion = run.start_time + duration_seconds;
+      const double completion = run.start_time + duration_seconds;
+      std::fill(run.device_completion.begin(), run.device_completion.end(),
+                completion);
+      run.completion = completion;
       return;
     }
   }
+}
+
+void RunScheduler::FinishSharded(uint64_t ticket,
+                                 const std::vector<double>& device_durations,
+                                 double gather_seconds) {
+  for (ActiveRun& run : active_) {
+    if (run.ticket != ticket) continue;
+    double max_duration = 0.0;
+    for (size_t d = 0; d < run.device_completion.size(); ++d) {
+      const double duration =
+          d < device_durations.size() ? device_durations[d] : 0.0;
+      run.device_completion[d] = run.start_time + duration;
+      max_duration = std::max(max_duration, duration);
+    }
+    // The run itself completes after its slowest shard plus the gather
+    // (the cross-shard merge); each device is releasable at its own shard
+    // completion — the per-device rolling window.
+    run.completion = run.start_time + max_duration + gather_seconds;
+    return;
+  }
+}
+
+void RunScheduler::AccountRelease(const ActiveRun& run, size_t device,
+                                  double held_until) {
+  const double held = static_cast<double>(run.device_slots[device]) *
+                      (held_until - run.start_time);
+  slot_seconds_[run.tenant] += held;
+  std::vector<double>& per_device = slot_seconds_per_device_[run.tenant];
+  if (per_device.size() < num_devices()) per_device.resize(num_devices(), 0.0);
+  per_device[device] += held;
 }
 
 void RunScheduler::CloseWave() {
@@ -108,10 +155,13 @@ void RunScheduler::CloseWave() {
     wave_end = std::max(
         wave_end, run.completion < 0.0 ? run.start_time : run.completion);
   }
-  for (const ActiveRun& run : active_) {
-    budget_->Release(run.footprint_slots, run.tenant);
-    slot_seconds_[run.tenant] += static_cast<double>(run.footprint_slots) *
-                                 (wave_end - run.start_time);
+  for (ActiveRun& run : active_) {
+    for (size_t d = 0; d < run.device_slots.size(); ++d) {
+      if (run.device_released[d]) continue;
+      group_.ReleaseOn(d, run.device_slots[d], run.tenant);
+      run.device_released[d] = true;
+      AccountRelease(run, d, wave_end);
+    }
   }
   active_.clear();
   now_ = wave_end;
@@ -119,23 +169,42 @@ void RunScheduler::CloseWave() {
 
 void RunScheduler::PopEarliestCompletion() {
   if (active_.empty()) return;
-  size_t earliest = 0;
-  for (size_t i = 1; i < active_.size(); ++i) {
-    const double a = active_[i].completion < 0.0 ? active_[i].start_time
-                                                 : active_[i].completion;
-    const double b = active_[earliest].completion < 0.0
-                         ? active_[earliest].start_time
-                         : active_[earliest].completion;
-    if (a < b) earliest = i;
+  // The earliest pending (run, device) release event. A device whose shard
+  // duration is unreported yet (completion < 0) is treated as completing at
+  // its start — the defensive stance the single-device scheduler took.
+  size_t run_idx = active_.size();
+  size_t dev_idx = 0;
+  double earliest = 0.0;
+  for (size_t i = 0; i < active_.size(); ++i) {
+    const ActiveRun& run = active_[i];
+    for (size_t d = 0; d < run.device_slots.size(); ++d) {
+      if (run.device_released[d]) continue;
+      const double t = run.device_completion[d] < 0.0
+                           ? run.start_time
+                           : run.device_completion[d];
+      if (run_idx == active_.size() || t < earliest) {
+        run_idx = i;
+        dev_idx = d;
+        earliest = t;
+      }
+    }
   }
-  const ActiveRun run = active_[earliest];
-  const double completion =
-      run.completion < 0.0 ? run.start_time : run.completion;
-  now_ = std::max(now_, completion);
-  budget_->Release(run.footprint_slots, run.tenant);
-  slot_seconds_[run.tenant] += static_cast<double>(run.footprint_slots) *
-                               (completion - run.start_time);
-  active_.erase(active_.begin() + static_cast<ptrdiff_t>(earliest));
+  if (run_idx == active_.size()) return;  // defensive: nothing pending
+  ActiveRun& run = active_[run_idx];
+  now_ = std::max(now_, earliest);
+  group_.ReleaseOn(dev_idx, run.device_slots[dev_idx], run.tenant);
+  run.device_released[dev_idx] = true;
+  AccountRelease(run, dev_idx, earliest);
+  bool all_released = true;
+  for (bool released : run.device_released) all_released &= released;
+  if (all_released) {
+    // Retiring the run advances the clock through its scatter/gather tail
+    // (completion includes the cross-shard merge; for a single device it
+    // equals the release event just popped).
+    now_ = std::max(now_, run.completion < 0.0 ? run.start_time
+                                               : run.completion);
+    active_.erase(active_.begin() + static_cast<ptrdiff_t>(run_idx));
+  }
 }
 
 void RunScheduler::DrainActive(AdmissionMode mode) {

@@ -24,7 +24,10 @@ enum class AdmissionMode {
   /// The rolling window: each run releases its reservation at its OWN
   /// completion time, and the next eligible queued run is started the
   /// moment its footprint fits — with QoS ordering, starvation-free
-  /// backfill, and per-completion-event admission.
+  /// backfill, and per-completion-event admission. On a sharded device
+  /// group the release is per DEVICE: each device a run scattered to is
+  /// freed the moment that device's shard completes, not when the whole
+  /// run does.
   kRolling,
 };
 
@@ -35,7 +38,13 @@ struct ScheduledRun {
   uint64_t ticket = 0;           ///< caller-issued, unique, FIFO-ordered
   uint64_t tenant = 0;           ///< SlotBudget owner id (0 = default)
   uint64_t footprint_slots = 0;  ///< device-slot reservation while resident
-  int32_t priority = 0;          ///< higher starts first
+  /// Sharded serving: the run's reservation on each device of the group
+  /// (one entry per scheduler device; zero = the run does not touch that
+  /// device). Left empty by single-device callers — Enqueue then places
+  /// footprint_slots on device 0. When set, footprint_slots is normalized
+  /// to the entries' sum.
+  std::vector<uint64_t> device_slots;
+  int32_t priority = 0;           ///< higher starts first
   double deadline = kNoDeadline;  ///< absolute simulated s; ties break EDF
   double submit_time = 0.0;       ///< stamped by Enqueue from the sim clock
 };
@@ -62,42 +71,62 @@ struct AdmissionDecision {
   uint64_t wave = 0;  ///< 1-based wave number (barrier mode); 0 in rolling
 };
 
-/// \brief Simulated-timeline admission scheduler over a SlotBudget.
+/// \brief Simulated-timeline admission scheduler over the SlotBudget(s) of
+/// one device — or of an N-device group.
 ///
-/// The model: admitted runs are co-resident on the device, overlapping in
-/// SIMULATED time — run i occupies its footprint for [start_i, start_i +
-/// duration_i). Host execution stays serial in admission order (which keeps
-/// results and durations deterministic and bit-identical to serial runs);
-/// the scheduler's clock, queue waits, and budget occupancy all live on the
-/// simulated timeline, which is where rolling admission beats barrier waves.
+/// The model: admitted runs are co-resident on the device group, overlapping
+/// in SIMULATED time — run i occupies its per-device footprints for
+/// [start_i, completion). Host execution stays serial in admission order
+/// (which keeps results and durations deterministic and bit-identical to
+/// serial runs); the scheduler's clock, queue waits, and budget occupancy
+/// all live on the simulated timeline, which is where rolling admission
+/// beats barrier waves.
 ///
 /// Protocol (driven by the serving layer, single-threaded):
 ///   1. Enqueue every submitted run (footprint known from its RunPlan).
-///   2. Loop: StartNext(mode) picks a run and reserves its footprint
-///      (possibly first advancing the clock through completion events to
-///      free slots); the caller executes it and reports the measured
-///      duration via FinishStarted. Repeat until StartNext returns nullopt.
+///   2. Loop: StartNext(mode) picks a run and reserves its footprint on
+///      every device it touches, all or nothing (possibly first advancing
+///      the clock through completion events to free slots); the caller
+///      executes it and reports the measured duration(s) via FinishStarted
+///      (single device) or FinishSharded (per-device durations + the
+///      scatter/gather tail). Repeat until StartNext returns nullopt.
 ///   3. DrainActive(mode) retires the remaining completions.
 ///
 /// Ordering: priority desc, then deadline asc (EDF, kNoDeadline last), then
 /// ticket asc (FIFO). Barrier mode admits strictly in this order (no
 /// backfill — a run that does not fit closes the wave); rolling mode
 /// backfills past non-fitting runs, bounded by the aging limit.
+///
+/// Multi-device reservations go through gpu::SlotBudgetGroup: a run holds
+/// slots on all its devices or none (the deadlock-free all-or-nothing
+/// protocol), and per-tenant group quotas bind across shards.
 class RunScheduler {
  public:
-  /// `budget` must outlive the scheduler; reservations are tagged with each
-  /// run's tenant so per-tenant quotas bind (see SlotBudget::SetOwnerQuota).
+  /// Single-device scheduler (a group of one). `budget` must outlive the
+  /// scheduler; reservations are tagged with each run's tenant so per-tenant
+  /// quotas bind (see SlotBudget::SetOwnerQuota).
   explicit RunScheduler(gpu::SlotBudget* budget,
                         RunSchedulerOptions options = {})
-      : budget_(budget), options_(options) {}
+      : RunScheduler(std::vector<gpu::SlotBudget*>{budget}, options) {}
+
+  /// Sharded scheduler over one SlotBudget per device. The budgets must
+  /// outlive the scheduler.
+  explicit RunScheduler(std::vector<gpu::SlotBudget*> budgets,
+                        RunSchedulerOptions options = {})
+      : budgets_(std::move(budgets)), group_(budgets_), options_(options) {}
+
+  size_t num_devices() const { return budgets_.size(); }
+  /// The group-reservation seam (per-tenant cross-shard quotas live here).
+  gpu::SlotBudgetGroup* group() { return &group_; }
 
   /// Queues a run. Its submit_time is stamped from the scheduler clock.
-  /// Precondition (caller-validated): footprint fits an empty device and the
-  /// tenant's quota, so every queued run can eventually start.
+  /// Precondition (caller-validated): every per-device footprint fits that
+  /// device empty and the tenant's quota, so every queued run can
+  /// eventually start.
   void Enqueue(ScheduledRun run);
 
   /// Starts the next eligible run: reserves its footprint against the
-  /// budget and returns the admission decision. Advances the simulated
+  /// budget(s) and returns the admission decision. Advances the simulated
   /// clock through completion events (releasing their reservations) as
   /// needed to make room. Returns nullopt when the queue is empty, or when
   /// nothing queued can ever fit (a precondition violation).
@@ -107,6 +136,16 @@ class RunScheduler {
   /// (start + duration) is when its reservation becomes releasable. Must be
   /// called before the next StartNext (execution is serial).
   void FinishStarted(uint64_t ticket, double duration_seconds);
+
+  /// Sharded completion report: device d's reservation becomes releasable
+  /// at start + device_durations[d] (one entry per device; entries for
+  /// devices the run holds no slots on are ignored except for the run's
+  /// overall completion), and the run itself completes at
+  /// start + max(device_durations) + gather_seconds — the scatter/gather
+  /// barrier plus the merge tail.
+  void FinishSharded(uint64_t ticket,
+                     const std::vector<double>& device_durations,
+                     double gather_seconds);
 
   /// Retires every remaining active run: closes the final wave (barrier
   /// mode) or walks the remaining completion events (rolling mode). The
@@ -131,6 +170,12 @@ class RunScheduler {
   const std::map<uint64_t, double>& slot_seconds() const {
     return slot_seconds_;
   }
+  /// The per-device split of slot_seconds(): element d of a tenant's vector
+  /// is the slot-seconds its reservations held on device d.
+  const std::map<uint64_t, std::vector<double>>& slot_seconds_per_device()
+      const {
+    return slot_seconds_per_device_;
+  }
 
  private:
   struct QueuedEntry {
@@ -140,9 +185,13 @@ class RunScheduler {
   struct ActiveRun {
     uint64_t ticket = 0;
     uint64_t tenant = 0;
-    uint64_t footprint_slots = 0;
+    std::vector<uint64_t> device_slots;  ///< per device; zeroed on release
+    std::vector<bool> device_released;
+    /// Per-device completion (start + that device's shard duration);
+    /// < 0 until a Finish* call reports durations.
+    std::vector<double> device_completion;
     double start_time = 0.0;
-    double completion = -1.0;  ///< < 0 until FinishStarted
+    double completion = -1.0;  ///< full completion incl. the gather tail
   };
 
   /// QoS order: priority desc, deadline asc, ticket asc.
@@ -157,17 +206,23 @@ class RunScheduler {
   /// Barrier release: clock to the slowest member's completion, everyone
   /// released there.
   void CloseWave();
-  /// Rolling release: retire the earliest completion event.
+  /// Rolling release: retire the earliest pending (run, device) completion
+  /// event; the run leaves the active set when its last device is freed.
   void PopEarliestCompletion();
+  /// Folds one release into the aggregate and per-device slot-second
+  /// accounts.
+  void AccountRelease(const ActiveRun& run, size_t device, double held_until);
 
-  gpu::SlotBudget* budget_;
+  std::vector<gpu::SlotBudget*> budgets_;
+  gpu::SlotBudgetGroup group_;
   RunSchedulerOptions options_;
   double now_ = 0.0;
-  std::vector<QueuedEntry> queue_;   // ticket (FIFO) order
+  std::vector<QueuedEntry> queue_;  // ticket (FIFO) order
   std::vector<ActiveRun> active_;
   uint64_t waves_ = 0;
   uint64_t backfills_ = 0;
   std::map<uint64_t, double> slot_seconds_;
+  std::map<uint64_t, std::vector<double>> slot_seconds_per_device_;
 };
 
 }  // namespace gtadoc

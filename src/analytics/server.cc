@@ -74,12 +74,40 @@ Result<CorpusServer::Submitted> CorpusServer::TenantHandle::Submit(
   return Submit(request, RunOptions{});
 }
 
+namespace {
+
+/// Sharded mode's one-budget-per-device set (empty for a single device,
+/// where the server's own budget_ member serves).
+std::vector<std::unique_ptr<gpu::SlotBudget>> MakeDeviceBudgets(
+    const CorpusServer::Options& options) {
+  std::vector<std::unique_ptr<gpu::SlotBudget>> budgets;
+  for (size_t d = 0; options.num_devices > 1 && d < options.num_devices; ++d) {
+    budgets.push_back(
+        std::make_unique<gpu::SlotBudget>(options.device_slot_budget));
+  }
+  return budgets;
+}
+
+std::vector<gpu::SlotBudget*> SchedulerBudgets(
+    gpu::SlotBudget* single,
+    const std::vector<std::unique_ptr<gpu::SlotBudget>>& devices) {
+  if (devices.empty()) return {single};
+  std::vector<gpu::SlotBudget*> out;
+  out.reserve(devices.size());
+  for (const auto& budget : devices) out.push_back(budget.get());
+  return out;
+}
+
+}  // namespace
+
 CorpusServer::CorpusServer(const PartitionedCorpus* corpus,
                            const Options& options)
     : corpus_(corpus),
       options_(options),
       budget_(options.device_slot_budget),
-      scheduler_(&budget_, options.scheduler) {
+      device_budgets_(MakeDeviceBudgets(options)),
+      scheduler_(SchedulerBudgets(&budget_, device_budgets_),
+                 options.scheduler) {
   // The built-in default tenant carries the legacy single-tenant API:
   // unquotaed, default priority.
   tenants_[0] = Tenant{"default", 0, 0};
@@ -101,23 +129,42 @@ Result<std::unique_ptr<CorpusServer>> CorpusServer::Create(
     return Status::InvalidArgument(
         "server owns the plan cache; leave engine.plan_cache null");
   }
-  std::unique_ptr<CorpusServer> server(new CorpusServer(corpus, options));
+  Options normalized = options;
+  normalized.num_devices = std::max<size_t>(1, normalized.num_devices);
+  normalized.replication = std::min(
+      normalized.num_devices, std::max<size_t>(1, normalized.replication));
+  std::unique_ptr<CorpusServer> server(new CorpusServer(corpus, normalized));
   // One cache for the Submit probes and every execution worker of every
   // run: a document planned at admission is a guaranteed hit at execution.
   server->plan_cache_ = std::make_shared<PlanCache>(
       std::max<size_t>(256, 8 * corpus->partitions.size()));
   server->options_.engine.plan_cache = server->plan_cache_.get();
+  if (normalized.num_devices > 1) {
+    ShardedCorpus::Options sopt;
+    sopt.num_devices = normalized.num_devices;
+    sopt.replication = normalized.replication;
+    auto sharded = ShardedCorpus::Create(corpus, sopt);
+    if (!sharded.ok()) return sharded.status();
+    server->sharded_ = std::move(*sharded);
+    server->device_group_ =
+        std::make_unique<DeviceGroup>(server->sharded_.get());
+    server->route_load_.assign(normalized.num_devices, 0.0);
+  }
   return server;
 }
 
 Result<CorpusServer::TenantHandle> CorpusServer::OpenTenant(
     const TenantOptions& options) {
-  if (options_.device_slot_budget > 0 &&
-      options.slot_quota > options_.device_slot_budget) {
-    return Status::InvalidArgument(
-        "tenant quota " + std::to_string(options.slot_quota) +
-        " slots exceeds the device budget " +
-        std::to_string(options_.device_slot_budget));
+  if (options_.device_slot_budget > 0) {
+    // Sharded quotas span the group, so they are bounded by the group's
+    // total capacity, not any single device's.
+    const uint64_t capacity =
+        options_.device_slot_budget * static_cast<uint64_t>(num_devices());
+    if (options.slot_quota > capacity) {
+      return Status::InvalidArgument(
+          "tenant quota " + std::to_string(options.slot_quota) +
+          " slots exceeds the device budget " + std::to_string(capacity));
+    }
   }
   const uint64_t id = next_tenant_++;
   Tenant tenant;
@@ -126,8 +173,14 @@ Result<CorpusServer::TenantHandle> CorpusServer::OpenTenant(
   tenant.slot_quota = options.slot_quota;
   tenant.default_priority = options.default_priority;
   // The quota is enforced where reservations happen, atomically with the
-  // global capacity check.
-  budget_.SetOwnerQuota(id, options.slot_quota);
+  // capacity checks: on the single device's budget, or — sharded — at the
+  // group level, where it bounds the tenant's slots summed over ALL devices
+  // (a per-member quota would only bound each device independently).
+  if (sharded_ == nullptr) {
+    budget_.SetOwnerQuota(id, options.slot_quota);
+  } else {
+    scheduler_.group()->SetOwnerQuota(id, options.slot_quota);
+  }
   stats_.tenants[id].name = tenant.name;
   tenants_[id] = std::move(tenant);
   return TenantHandle(this, id);
@@ -140,7 +193,8 @@ Status CorpusServer::ProbeFootprint(PendingRun* run) {
   // Plan every executed document once on a probe context; PlanOnly fills
   // the shared cache, so this is the ONLY time planning is charged — the
   // execution contexts resolve every plan as a cache hit.
-  std::vector<uint64_t> doc_slots(n, 0);
+  std::vector<uint64_t>& doc_slots = run->doc_slots;
+  doc_slots.assign(n, 0);
   std::unique_ptr<GTadocEngine> probe;
   for (size_t d = 0; d < n; ++d) {
     if (!mask.empty() && mask[d] == 0) continue;
@@ -159,6 +213,8 @@ Status CorpusServer::ProbeFootprint(PendingRun* run) {
     run->admission.admission_seconds += probe->device()->SimSeconds();
     doc_slots[d] = (*plan)->total_slots;
   }
+
+  if (sharded_ != nullptr) return ShardFootprint(run);
 
   // A run's device footprint is what execution will actually hold: one pool
   // per worker context that executes anything (BatchEngine creates no
@@ -189,6 +245,53 @@ Status CorpusServer::ProbeFootprint(PendingRun* run) {
         static_cast<double>(executing_shards) *
         options_.engine.gpu.device_alloc_us * 1e-6;
   }
+  return Status::OK();
+}
+
+Status CorpusServer::ShardFootprint(PendingRun* run) {
+  run->route = sharded_->Route(run->execute_mask, run->doc_slots, route_load_);
+  const size_t num_devices = sharded_->num_devices();
+  run->device_presize.assign(num_devices, 0);
+  run->device_footprint.assign(num_devices, 0);
+  run->device_weight.assign(num_devices, 0.0);
+
+  uint64_t total = 0;
+  for (size_t d = 0; d < num_devices; ++d) {
+    if (run->route.device_documents[d] == 0) continue;
+    const std::vector<uint32_t>& docs = sharded_->device_docs(d);
+    const std::vector<uint8_t>& mask = run->route.device_masks[d];
+    // Per-device pre-size: the maximum plan footprint over the documents
+    // routed HERE — each device's pools are sized to its own documents,
+    // not the corpus-wide maximum.
+    uint64_t presize = 0;
+    for (size_t i = 0; i < docs.size(); ++i) {
+      if (mask[i] == 0) continue;
+      const uint64_t slots = run->doc_slots[docs[i]];
+      presize = std::max(presize, slots);
+      run->device_weight[d] += slots > 0 ? static_cast<double>(slots) : 1.0;
+    }
+    size_t executing_shards = 0;
+    for (const auto& [lo, hi] :
+         BatchEngine::ShardSplit(docs.size(), options_.host_workers)) {
+      for (size_t i = lo; i < hi; ++i) {
+        if (mask[i] != 0) {
+          ++executing_shards;
+          break;
+        }
+      }
+    }
+    run->device_presize[d] = presize;
+    run->device_footprint[d] = executing_shards * presize;
+    total += run->device_footprint[d];
+    if (options_.reuse_device_state && presize > 0) {
+      run->admission.admission_seconds +=
+          static_cast<double>(executing_shards) *
+          options_.engine.gpu.device_alloc_us * 1e-6;
+    }
+  }
+  // footprint_slots stays the run's TOTAL reservation (what tenant quotas
+  // bound); the per-device split is what admission reserves.
+  run->admission.footprint_slots = total;
   return Status::OK();
 }
 
@@ -251,15 +354,37 @@ Result<CorpusServer::Submitted> CorpusServer::SubmitForTenant(
     Status st = ProbeFootprint(&run);
     if (!st.ok()) return st;
   }
+  if (sharded_ != nullptr && run.route.doc_device.empty()) {
+    // A run that executes nothing still needs an (all-unrouted) plan so
+    // the gather assembles every document empty.
+    const std::vector<uint8_t> none(corpus_->partitions.size(), 0);
+    run.route = sharded_->Route(none, {}, route_load_);
+  }
 
-  if (options_.device_slot_budget > 0 &&
-      run.admission.footprint_slots > options_.device_slot_budget) {
+  // Over-budget refusal: on one device, the run's whole footprint must fit
+  // the budget; sharded, every device's share must fit that device's.
+  uint64_t over_slots = 0;
+  if (options_.device_slot_budget > 0) {
+    if (sharded_ == nullptr) {
+      if (run.admission.footprint_slots > options_.device_slot_budget) {
+        over_slots = run.admission.footprint_slots;
+      }
+    } else {
+      for (uint64_t device_slots : run.device_footprint) {
+        if (device_slots > options_.device_slot_budget) {
+          over_slots = device_slots;
+          break;
+        }
+      }
+    }
+  }
+  if (over_slots > 0) {
     Rejection rejection;
     rejection.reason = Rejection::Reason::kOverBudget;
-    rejection.requested_slots = run.admission.footprint_slots;
+    rejection.requested_slots = over_slots;
     rejection.limit_slots = options_.device_slot_budget;
     rejection.detail =
-        "run footprint " + std::to_string(run.admission.footprint_slots) +
+        "run footprint " + std::to_string(over_slots) +
         " slots exceeds the device budget " +
         std::to_string(options_.device_slot_budget);
     ++stats_.rejected;
@@ -293,11 +418,19 @@ Result<CorpusServer::Submitted> CorpusServer::SubmitForTenant(
           : scheduler_.now() + run_options.deadline_seconds;
   ++stats_.submitted;
   ++stats_.tenants[tenant_id].submitted;
+  if (sharded_ != nullptr) {
+    // The admitted run's routed documents become standing load, steering
+    // later runs' replica selection toward the less-loaded devices.
+    for (size_t d = 0; d < run.device_weight.size(); ++d) {
+      route_load_[d] += run.device_weight[d];
+    }
+  }
 
   ScheduledRun scheduled;
   scheduled.ticket = run.admission.ticket;
   scheduled.tenant = tenant_id;
   scheduled.footprint_slots = run.admission.footprint_slots;
+  scheduled.device_slots = run.device_footprint;  // empty on one device
   scheduled.priority = run.admission.priority;
   scheduled.deadline = run.admission.deadline;
   scheduler_.Enqueue(scheduled);
@@ -342,6 +475,32 @@ Result<BatchEngine::BatchRun> CorpusServer::Execute(const PendingRun& run) {
   return (*engine)->Run(run.task, run.execute_mask);
 }
 
+Result<DeviceGroup::RunResult> CorpusServer::ExecuteSharded(
+    const PendingRun& run) {
+  DeviceGroup::RunSpec spec;
+  spec.task = run.task;
+  spec.engine = run.engine;
+  spec.route = &run.route;
+  spec.device_presize = run.device_presize;
+  spec.host_workers = options_.host_workers;
+  spec.reuse_device_state = options_.reuse_device_state;
+  spec.overlap_uploads = options_.overlap_uploads;
+  // Live progress: executed documents tick from the shard workers; skipped
+  // ones are counted once at gather (per-device callbacks would double
+  // count replicas).
+  spec.on_document_executed = [this](const BatchEngine::DocumentRun&) {
+    std::lock_guard<std::mutex> lock(progress_mu_);
+    ++stats_.documents_executed;
+  };
+  auto result = device_group_->Execute(spec);
+  if (!result.ok()) return result;
+  {
+    std::lock_guard<std::mutex> lock(progress_mu_);
+    stats_.documents_skipped += result->batch.documents_skipped;
+  }
+  return result;
+}
+
 Status CorpusServer::ServeLoop(AdmissionMode mode,
                                std::optional<uint64_t> until_ticket,
                                std::vector<uint64_t>* completed) {
@@ -354,7 +513,16 @@ Status CorpusServer::ServeLoop(AdmissionMode mode,
     PendingRun run = std::move(it->second);
     pending_.erase(it);
 
-    auto batch = Execute(run);
+    std::vector<double> device_durations;
+    double gather_seconds = 0.0;
+    auto batch = [&]() -> Result<BatchEngine::BatchRun> {
+      if (sharded_ == nullptr) return Execute(run);
+      auto sharded_run = ExecuteSharded(run);
+      if (!sharded_run.ok()) return sharded_run.status();
+      device_durations = std::move(sharded_run->device_durations);
+      gather_seconds = sharded_run->gather_seconds;
+      return std::move(sharded_run->batch);
+    }();
     if (!batch.ok()) {
       // Match the legacy Drain contract: the first failure abandons the
       // queue. The failed run's reservation (and any still-active ones)
@@ -367,7 +535,14 @@ Status CorpusServer::ServeLoop(AdmissionMode mode,
       return batch.status();
     }
     const double duration = batch->timing.total_seconds();
-    scheduler_.FinishStarted(decision->ticket, duration);
+    if (sharded_ == nullptr) {
+      scheduler_.FinishStarted(decision->ticket, duration);
+    } else {
+      // Each device is releasable at its OWN shard completion; the run
+      // completes after its slowest shard plus the gather merge.
+      scheduler_.FinishSharded(decision->ticket, device_durations,
+                               gather_seconds);
+    }
 
     ServedRun served;
     served.admission = run.admission;
@@ -376,7 +551,23 @@ Status CorpusServer::ServeLoop(AdmissionMode mode,
     served.completion_seconds = decision->start_time + duration;
     served.queue_wait_seconds = decision->queue_wait;
     served.backfilled = decision->backfilled;
+    served.device_durations = std::move(device_durations);
+    served.gather_seconds = gather_seconds;
     served.batch = std::move(*batch);
+    if (sharded_ == nullptr) {
+      // Mirror the per-device accounting the sharded path gets from its
+      // DeviceGroup counters, so Stats::devices is uniform across modes.
+      const uint64_t executed =
+          static_cast<uint64_t>(served.batch.documents.size()) -
+          served.batch.documents_skipped;
+      if (executed > 0) ++device0_.runs_routed;
+      device0_.documents_executed += executed;
+      device0_.init_ops += served.batch.timing.init_ops;
+      device0_.traversal_ops += served.batch.timing.traversal_ops;
+      device0_.upload_seconds += served.batch.timing.upload_seconds;
+      device0_.busy_seconds += duration;
+      device0_.mid_run_pool_growths += served.batch.mid_run_pool_growths;
+    }
 
     ++stats_.served;
     stats_.mid_run_pool_growths += served.batch.mid_run_pool_growths;
@@ -441,11 +632,52 @@ Result<std::vector<CorpusServer::ServedRun>> CorpusServer::Drain() {
 }
 
 void CorpusServer::SyncSchedulerStats() {
-  stats_.peak_admitted_slots = budget_.peak_in_use();
   stats_.waves = scheduler_.waves();
   stats_.backfills = scheduler_.backfills();
+  stats_.makespan_seconds = scheduler_.now();
   for (const auto& [tenant, seconds] : scheduler_.slot_seconds()) {
     stats_.tenants[tenant].slot_seconds_held = seconds;
+  }
+  for (const auto& [tenant, per_device] :
+       scheduler_.slot_seconds_per_device()) {
+    stats_.tenants[tenant].slot_seconds_per_device = per_device;
+  }
+
+  if (sharded_ == nullptr) {
+    stats_.peak_admitted_slots = budget_.peak_in_use();
+    stats_.devices.assign(1, device0_);
+    stats_.devices[0].peak_admitted_slots = budget_.peak_in_use();
+    for (const auto& [tenant, seconds] : scheduler_.slot_seconds()) {
+      (void)tenant;
+      stats_.devices[0].slot_seconds_held += seconds;
+    }
+    return;
+  }
+
+  // Group total for the aggregate; per-device peaks (each bounded by the
+  // per-device budget — the sharded admission invariant) in devices[].
+  stats_.peak_admitted_slots = scheduler_.group()->peak_in_use();
+  const size_t num_devices = sharded_->num_devices();
+  stats_.devices.assign(num_devices, Stats::DeviceStats{});
+  const std::vector<DeviceGroup::DeviceCounters>& counters =
+      device_group_->counters();
+  for (size_t d = 0; d < num_devices; ++d) {
+    Stats::DeviceStats& device = stats_.devices[d];
+    device.runs_routed = counters[d].runs_routed;
+    device.documents_executed = counters[d].documents_executed;
+    device.init_ops = counters[d].init_ops;
+    device.traversal_ops = counters[d].traversal_ops;
+    device.upload_seconds = counters[d].upload_seconds;
+    device.busy_seconds = counters[d].busy_seconds;
+    device.mid_run_pool_growths = counters[d].mid_run_pool_growths;
+    device.peak_admitted_slots = device_budgets_[d]->peak_in_use();
+  }
+  for (const auto& [tenant, per_device] :
+       scheduler_.slot_seconds_per_device()) {
+    (void)tenant;
+    for (size_t d = 0; d < per_device.size() && d < num_devices; ++d) {
+      stats_.devices[d].slot_seconds_held += per_device[d];
+    }
   }
 }
 

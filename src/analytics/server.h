@@ -13,6 +13,7 @@
 #include "analytics/query_spec.h"
 #include "analytics/run_plan.h"
 #include "analytics/scheduler.h"
+#include "analytics/sharding.h"
 #include "analytics/task_kernel.h"
 #include "common/result.h"
 #include "gpu/memory_pool.h"
@@ -97,8 +98,24 @@ class CorpusServer {
     /// Device pool-slot budget concurrent admitted runs must fit in (the
     /// device-memory model of admission). 0 = unmetered: everything admits
     /// immediately. A Submit whose footprint alone exceeds a non-zero
-    /// budget is rejected (Rejection::Reason::kOverBudget).
+    /// budget is rejected (Rejection::Reason::kOverBudget). With
+    /// num_devices > 1 this is the budget of EACH device, and the rejection
+    /// triggers when any single device's share of the run cannot fit.
     uint64_t device_slot_budget = 0;
+    /// Simulated GPUs the corpus is sharded across (ShardedCorpus,
+    /// round-robin document placement). 1 (or 0) = the classic single-device
+    /// server, whose behavior is bit-for-bit unchanged. With N > 1 each
+    /// admitted run is routed only to the devices holding documents its
+    /// root Blooms did not reject, executes shard-local batches that
+    /// overlap on the simulated timeline, and gathers through the same
+    /// corpus-order merge a single device performs — merged and
+    /// per-document results are bit-identical to a 1-device serial run
+    /// under every device count.
+    size_t num_devices = 1;
+    /// Grammar copies per document across the device group, clamped to
+    /// [1, num_devices]. R > 1 lets hot documents execute on whichever
+    /// replica is least loaded (slot-weighted, admission-time routing).
+    size_t replication = 1;
     /// Host worker threads per run's BatchEngine (wall clock only). Each
     /// worker context holds its own pool, so a run's admission footprint is
     /// its context count times the per-context maximum plan footprint.
@@ -193,6 +210,14 @@ class CorpusServer {
     /// True when the run started while an earlier-ordered run was still
     /// queued (rolling backfill into budget the larger run could not use).
     bool backfilled = false;
+    /// Sharded serving only: each device's simulated shard duration (0 for
+    /// devices the run was not routed to). completion_seconds is then
+    /// start + max(device_durations) + gather_seconds, while each device's
+    /// reservation was released at its OWN shard completion. Empty on a
+    /// single-device server.
+    std::vector<double> device_durations;
+    /// Sharded serving only: the cross-device merge tail.
+    double gather_seconds = 0;
   };
 
   /// A structured admission refusal: the policy that refused, and the
@@ -283,16 +308,41 @@ class CorpusServer {
     /// workload shows strictly more slot-seconds under Drain than under
     /// ServeUntilIdle — the barrier's waste, measured.
     double slot_seconds_held = 0;
+    /// Element d is the share of slot_seconds_held the tenant's
+    /// reservations held on device d (one entry on a single-device server;
+    /// entries sum to slot_seconds_held).
+    std::vector<double> slot_seconds_per_device;
   };
 
   /// Aggregate serving counters (monotonic over the server's lifetime).
   struct Stats {
+    /// Per-device serving counters. A single-device server reports one
+    /// entry; a sharded server one per simulated GPU — the witness that a
+    /// device the router never selected did no work (all-zero ops) and
+    /// that no device's budget was ever exceeded (peak_admitted_slots).
+    struct DeviceStats {
+      uint64_t runs_routed = 0;  ///< runs that executed >= 1 document here
+      uint64_t documents_executed = 0;
+      /// High-water mark of this device's reserved slots; never exceeds
+      /// the per-device budget.
+      uint64_t peak_admitted_slots = 0;
+      uint64_t init_ops = 0;       ///< simulated phase-1 ops charged here
+      uint64_t traversal_ops = 0;  ///< simulated phase-2 ops charged here
+      double upload_seconds = 0;   ///< simulated H2D time charged here
+      double busy_seconds = 0;     ///< summed simulated shard durations
+      /// Slot-seconds held on this device, summed over tenants.
+      double slot_seconds_held = 0;
+      uint64_t mid_run_pool_growths = 0;
+    };
+
     uint64_t submitted = 0;
     uint64_t rejected = 0;  ///< refused at Submit (budget / quota / malformed)
     uint64_t served = 0;
     uint64_t waves = 0;  ///< barrier waves executed (legacy Drain only)
     /// High-water mark of concurrently reserved slots; never exceeds the
-    /// budget (the admission invariant).
+    /// budget (the admission invariant). Sharded servers report the GROUP
+    /// total (per-device peaks live in devices[d].peak_admitted_slots,
+    /// each bounded by the per-device budget).
     uint64_t peak_admitted_slots = 0;
     uint64_t documents_skipped = 0;
     uint64_t documents_executed = 0;
@@ -301,7 +351,12 @@ class CorpusServer {
     uint64_t mid_run_pool_growths = 0;
     uint64_t backfills = 0;          ///< rolling backfill starts
     double queue_wait_seconds = 0;   ///< simulated, summed over served runs
+    /// The simulated clock after the last completed serve — the workload's
+    /// makespan, which is what sharded throughput gates compare.
+    double makespan_seconds = 0;
     std::map<uint64_t, TenantStats> tenants;  ///< by tenant id
+    /// One entry per device (see DeviceStats); refreshed on every serve.
+    std::vector<DeviceStats> devices;
   };
 
   /// The corpus must outlive the server. Fails on an empty corpus or
@@ -342,6 +397,14 @@ class CorpusServer {
   /// The cache shared by Submit probes and execution (serving diagnostics).
   PlanCache* plan_cache() const { return plan_cache_.get(); }
   const Options& options() const { return options_; }
+  size_t num_devices() const {
+    return sharded_ == nullptr ? 1 : sharded_->num_devices();
+  }
+  /// The sharded topology (null on a single-device server).
+  const ShardedCorpus* sharded_corpus() const { return sharded_.get(); }
+  /// The scatter/gather executor and its per-device counters (null on a
+  /// single-device server).
+  const DeviceGroup* device_group() const { return device_group_.get(); }
 
  private:
   struct Tenant {
@@ -355,6 +418,15 @@ class CorpusServer {
     std::vector<uint8_t> execute_mask;  ///< empty = all documents
     uint64_t presize_slots = 0;         ///< per-context pool pre-size
     Task task = Task::kWordCount;
+    /// Sharded serving: per-document planned slots (executed docs only),
+    /// the scatter decision, and its per-device admission metadata.
+    std::vector<uint64_t> doc_slots;
+    ShardedCorpus::RoutePlan route;
+    std::vector<uint64_t> device_presize;
+    std::vector<uint64_t> device_footprint;
+    /// Slot-weighted load each device gains if this run admits (feeds
+    /// least-loaded replica selection for later Submits).
+    std::vector<double> device_weight;
   };
 
   CorpusServer(const PartitionedCorpus* corpus, const Options& options);
@@ -366,8 +438,16 @@ class CorpusServer {
   /// Plans every executed document on a probe engine (Rebind + PlanOnly
   /// against the shared cache) and fills footprint/admission_seconds.
   Status ProbeFootprint(PendingRun* run);
+  /// Sharded tail of ProbeFootprint: routes the run (least-loaded replica
+  /// selection over the standing per-device load), then prices each device
+  /// exactly as the single-device path prices its one device — executing
+  /// contexts times the per-device maximum plan footprint.
+  Status ShardFootprint(PendingRun* run);
   /// Executes one admitted run through a masked, pre-sized BatchEngine.
   Result<BatchEngine::BatchRun> Execute(const PendingRun& run);
+  /// Sharded counterpart: scatters the run over the device group along its
+  /// RoutePlan and gathers the global batch.
+  Result<DeviceGroup::RunResult> ExecuteSharded(const PendingRun& run);
   /// The serving loop under both APIs: starts runs through the scheduler,
   /// executes each serially, reports durations back. Stops early after
   /// `until_ticket` completes (leaving the rest queued); appends the
@@ -383,8 +463,17 @@ class CorpusServer {
   const PartitionedCorpus* corpus_;
   Options options_;
   std::shared_ptr<PlanCache> plan_cache_;
-  gpu::SlotBudget budget_;
+  gpu::SlotBudget budget_;  ///< the single device's budget (num_devices <= 1)
+  /// One budget per simulated GPU (sharded mode only; empty otherwise).
+  std::vector<std::unique_ptr<gpu::SlotBudget>> device_budgets_;
   RunScheduler scheduler_;
+  /// Sharded mode (num_devices > 1): topology, executor, and the standing
+  /// per-device routed-slot load replica selection balances against.
+  std::unique_ptr<ShardedCorpus> sharded_;
+  std::unique_ptr<DeviceGroup> device_group_;
+  std::vector<double> route_load_;
+  /// Single-device per-run accounting mirrored into Stats::devices[0].
+  Stats::DeviceStats device0_;
   std::map<uint64_t, Tenant> tenants_;
   std::map<uint64_t, PendingRun> pending_;  ///< queued, by ticket
   std::map<uint64_t, ServedRun> served_;    ///< completed, not yet taken

@@ -1,0 +1,208 @@
+#include "analytics/sharding.h"
+
+#include <algorithm>
+#include <optional>
+#include <utility>
+
+#include "common/timer.h"
+
+namespace gtadoc {
+
+Result<std::unique_ptr<ShardedCorpus>> ShardedCorpus::Create(
+    const PartitionedCorpus* corpus, const Options& options) {
+  if (corpus == nullptr || corpus->partitions.empty()) {
+    return Status::InvalidArgument(
+        "sharded corpus needs at least one document");
+  }
+  if (corpus->file_base.size() != corpus->partitions.size()) {
+    return Status::InvalidArgument("corpus file_base/partitions mismatch");
+  }
+  const size_t num_devices = std::max<size_t>(1, options.num_devices);
+  const size_t replication =
+      std::min(num_devices, std::max<size_t>(1, options.replication));
+
+  std::unique_ptr<ShardedCorpus> sharded(new ShardedCorpus());
+  sharded->corpus_ = corpus;
+  sharded->replication_ = replication;
+  sharded->device_corpus_.resize(num_devices);
+  sharded->device_docs_.resize(num_devices);
+  sharded->global_to_local_.resize(num_devices);
+  sharded->doc_replicas_.resize(corpus->partitions.size());
+  for (PartitionedCorpus& slice : sharded->device_corpus_) {
+    // Every slice keeps the GLOBAL file count: per-device DocumentRuns then
+    // carry global file bases and gather needs no re-indexing.
+    slice.total_files = corpus->total_files;
+  }
+
+  for (uint32_t g = 0; g < corpus->partitions.size(); ++g) {
+    const size_t primary = g % num_devices;
+    for (size_t r = 0; r < replication; ++r) {
+      const size_t d = (primary + r) % num_devices;
+      const uint32_t local =
+          static_cast<uint32_t>(sharded->device_docs_[d].size());
+      sharded->device_docs_[d].push_back(g);
+      sharded->global_to_local_[d][g] = local;
+      sharded->device_corpus_[d].partitions.push_back(corpus->partitions[g]);
+      sharded->device_corpus_[d].file_base.push_back(corpus->file_base[g]);
+      sharded->doc_replicas_[g].push_back(static_cast<uint32_t>(d));
+    }
+  }
+  return sharded;
+}
+
+ShardedCorpus::RoutePlan ShardedCorpus::Route(
+    const std::vector<uint8_t>& execute_mask,
+    const std::vector<uint64_t>& doc_slots,
+    const std::vector<double>& device_load) const {
+  const size_t n = corpus_->partitions.size();
+  RoutePlan plan;
+  plan.device_masks.resize(num_devices());
+  for (size_t d = 0; d < num_devices(); ++d) {
+    plan.device_masks[d].assign(device_docs_[d].size(), 0);
+  }
+  plan.doc_device.assign(n, kUnrouted);
+  plan.doc_local.assign(n, kUnrouted);
+  plan.device_documents.assign(num_devices(), 0);
+
+  std::vector<double> load(num_devices(), 0.0);
+  for (size_t d = 0; d < num_devices() && d < device_load.size(); ++d) {
+    load[d] = device_load[d];
+  }
+
+  for (uint32_t g = 0; g < n; ++g) {
+    if (!execute_mask.empty() && execute_mask[g] == 0) continue;
+    // Least-loaded replica; a strict < keeps the primary on ties, so with
+    // no load signal this is pure round-robin.
+    const std::vector<uint32_t>& homes = doc_replicas_[g];
+    uint32_t best = homes[0];
+    for (uint32_t d : homes) {
+      if (load[d] < load[best]) best = d;
+    }
+    load[best] += g < doc_slots.size() && doc_slots[g] > 0
+                      ? static_cast<double>(doc_slots[g])
+                      : 1.0;
+    plan.doc_device[g] = best;
+    plan.doc_local[g] = global_to_local_[best].at(g);
+    plan.device_masks[best][plan.doc_local[g]] = 1;
+    ++plan.device_documents[best];
+  }
+  return plan;
+}
+
+Result<DeviceGroup::RunResult> DeviceGroup::Execute(const RunSpec& spec) {
+  if (spec.route == nullptr) {
+    return Status::InvalidArgument("sharded execution needs a route plan");
+  }
+  Timer wall;
+  const PartitionedCorpus* global = corpus_->global_corpus();
+  const size_t n = global->partitions.size();
+  const size_t num_devices = corpus_->num_devices();
+  const ShardedCorpus::RoutePlan& route = *spec.route;
+
+  RunResult out;
+  out.device_durations.assign(num_devices, 0.0);
+
+  // Scatter: one shard-local batch per device the route sends work to.
+  // Devices routed nothing are never touched — no engine, no device state.
+  // Host execution is serial over devices (deterministic stats); on the
+  // SIMULATED timeline the shards overlap, being separate GPUs.
+  std::vector<std::optional<BatchEngine::BatchRun>> device_runs(num_devices);
+  for (size_t d = 0; d < num_devices; ++d) {
+    if (route.device_documents[d] == 0) continue;
+    BatchEngine::Options bopt;
+    bopt.engine = spec.engine;
+    bopt.host_workers = spec.host_workers;
+    bopt.reuse_device_state = spec.reuse_device_state;
+    bopt.overlap_uploads = spec.overlap_uploads;
+    bopt.presize_pool_slots =
+        d < spec.device_presize.size() ? spec.device_presize[d] : 0;
+    // The gather below performs the one corpus-order merge; shard-local
+    // merges would charge duplicate reduce work the real run never does.
+    bopt.merge_results = false;
+    if (spec.on_document_executed) {
+      // Executed documents only: masked replicas and skipped documents
+      // would double-count across devices.
+      const auto& notify = spec.on_document_executed;
+      bopt.on_document_complete = [&notify](const BatchEngine::DocumentRun& r) {
+        if (!r.skipped) notify(r);
+      };
+    }
+    auto engine = BatchEngine::Create(&corpus_->device_corpus(d), bopt);
+    if (!engine.ok()) return engine.status();
+    auto run = (*engine)->Run(spec.task, route.device_masks[d]);
+    if (!run.ok()) return run.status();
+
+    out.device_durations[d] = run->timing.total_seconds();
+    DeviceCounters& counters = counters_[d];
+    ++counters.runs_routed;
+    counters.documents_executed += route.device_documents[d];
+    counters.init_ops += run->timing.init_ops;
+    counters.traversal_ops += run->timing.traversal_ops;
+    counters.upload_seconds += run->timing.upload_seconds;
+    counters.busy_seconds += run->timing.total_seconds();
+    counters.mid_run_pool_growths += run->mid_run_pool_growths;
+    device_runs[d] = std::move(*run);
+  }
+
+  // Gather: global documents in corpus order. Executed documents come from
+  // their executing replica (their results are device-independent); skipped
+  // documents are assembled empty through the same kernel path a masked
+  // single-device batch uses.
+  BatchEngine::BatchRun& batch = out.batch;
+  batch.documents.resize(n);
+  for (uint32_t g = 0; g < n; ++g) {
+    BatchEngine::DocumentRun& doc = batch.documents[g];
+    if (route.doc_device[g] == ShardedCorpus::kUnrouted) {
+      doc.doc = g;
+      doc.file_base = global->file_base[g];
+      Status st = BatchEngine::AssembleSkippedDocument(
+          spec.task, spec.engine, global->partitions[g].num_files(),
+          &doc.result);
+      if (!st.ok()) return st;
+      doc.skipped = true;
+      ++batch.documents_skipped;
+    } else {
+      BatchEngine::BatchRun& source = *device_runs[route.doc_device[g]];
+      doc = std::move(source.documents[route.doc_local[g]]);
+      doc.doc = g;  // local shard index -> global (file_base already global)
+    }
+  }
+  for (const std::optional<BatchEngine::BatchRun>& run : device_runs) {
+    if (!run.has_value()) continue;
+    batch.mid_run_pool_growths += run->mid_run_pool_growths;
+  }
+
+  // The one corpus-order merge — identical inputs and order to a
+  // single-device batch, so identical merged output.
+  batch.merged.task = spec.task;
+  uint64_t merge_ops = 0;
+  for (const BatchEngine::DocumentRun& doc : batch.documents) {
+    MergeResult(doc.result, doc.file_base, &batch.merged, &merge_ops);
+  }
+  FinalizeMergedResult(&batch.merged, &merge_ops);
+  out.gather_seconds =
+      static_cast<double>(merge_ops) / spec.engine.gpu.device_ops_per_sec();
+
+  // Composed timing: device pipelines overlap on the simulated timeline
+  // (cross-device parallelism goes into overlap_saved_seconds), the gather
+  // merge is the serial tail — total_seconds() is the sharded makespan.
+  RunTiming timing;
+  timing.documents = 0;
+  double serial = 0.0;
+  double longest = 0.0;
+  for (size_t d = 0; d < num_devices; ++d) {
+    if (!device_runs[d].has_value()) continue;
+    timing.Accumulate(device_runs[d]->timing);
+    serial += out.device_durations[d];
+    longest = std::max(longest, out.device_durations[d]);
+  }
+  timing.traversal_seconds += out.gather_seconds;
+  timing.traversal_ops += merge_ops;
+  timing.overlap_saved_seconds += serial - longest;
+  timing.documents = static_cast<uint32_t>(n);
+  batch.timing = timing;
+  batch.timing.wall_seconds = wall.ElapsedSeconds();
+  return out;
+}
+
+}  // namespace gtadoc

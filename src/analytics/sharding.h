@@ -1,0 +1,183 @@
+#ifndef GTADOC_ANALYTICS_SHARDING_H_
+#define GTADOC_ANALYTICS_SHARDING_H_
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "analytics/batch.h"
+#include "common/result.h"
+#include "tadoc/parallel_engine.h"
+
+namespace gtadoc {
+
+/// \brief A compressed corpus partitioned across N simulated GPUs.
+///
+/// Documents are placed round-robin (document g's primary device is g mod N)
+/// so selective workloads whose relevant documents cluster anywhere in the
+/// corpus still spread across devices. With `replication` R > 1 each
+/// document additionally lives on the R-1 devices following its primary
+/// (mod N) — hot documents can then be served by whichever replica is least
+/// loaded, at the cost of R grammar copies of device memory.
+///
+/// Each device owns a self-contained PartitionedCorpus slice whose file_base
+/// entries stay GLOBAL file ids, so a per-device BatchEngine's DocumentRuns
+/// come back gather-ready: the cross-device merge is the same
+/// MergeResult-in-corpus-order pass a single-device batch performs, which is
+/// what keeps sharded results bit-identical to a one-device serial run under
+/// every shard count and replication factor.
+class ShardedCorpus {
+ public:
+  /// Route() verdict for a document no device executes (root-Bloom skipped
+  /// or masked out): assembled empty at gather time, routed nowhere.
+  static constexpr uint32_t kUnrouted = ~0u;
+
+  struct Options {
+    size_t num_devices = 1;  ///< simulated GPUs (>= 1)
+    /// Grammar copies per document, clamped to [1, num_devices]. R > 1
+    /// enables least-loaded replica selection per run.
+    size_t replication = 1;
+  };
+
+  /// One run's scatter decision: which device executes each document.
+  struct RoutePlan {
+    /// Per device, the execute mask over its LOCAL documents (replicas not
+    /// chosen for this run stay 0, exactly like Bloom-skipped documents).
+    std::vector<std::vector<uint8_t>> device_masks;
+    /// Global document -> executing device, or kUnrouted when skipped.
+    std::vector<uint32_t> doc_device;
+    /// Global document -> its local index on doc_device (kUnrouted rows
+    /// are meaningless).
+    std::vector<uint32_t> doc_local;
+    /// Documents executed per device; a device at 0 receives NO work at
+    /// all — no engine, no upload, no plan, no traversal.
+    std::vector<uint32_t> device_documents;
+  };
+
+  /// The corpus must outlive the sharded view (device slices copy the
+  /// grammars but global gather metadata points back into it). Fails on an
+  /// empty corpus.
+  static Result<std::unique_ptr<ShardedCorpus>> Create(
+      const PartitionedCorpus* corpus, const Options& options);
+
+  size_t num_devices() const { return device_corpus_.size(); }
+  size_t replication() const { return replication_; }
+  const PartitionedCorpus* global_corpus() const { return corpus_; }
+  /// Device d's slice; may hold zero documents when the corpus is smaller
+  /// than the device count.
+  const PartitionedCorpus& device_corpus(size_t d) const {
+    return device_corpus_[d];
+  }
+  /// Device d's documents as global corpus indices (ascending; the local
+  /// index of device_docs(d)[i] is i).
+  const std::vector<uint32_t>& device_docs(size_t d) const {
+    return device_docs_[d];
+  }
+  /// Devices holding document g, primary first.
+  const std::vector<uint32_t>& replicas(uint32_t global_doc) const {
+    return doc_replicas_[global_doc];
+  }
+
+  /// Scatters one run: every executed document (execute_mask[g] != 0;
+  /// empty mask = all) goes to its least-loaded replica, where load is
+  /// `device_load` (the caller's standing per-device load, e.g. slots
+  /// routed by previously admitted runs) plus the slots this plan has
+  /// already placed — ties keep the primary, so an idle group degenerates
+  /// to pure round-robin. `doc_slots` weighs documents by their planned
+  /// pool footprint (empty = unit weights). Deterministic: a pure function
+  /// of its arguments.
+  RoutePlan Route(const std::vector<uint8_t>& execute_mask,
+                  const std::vector<uint64_t>& doc_slots,
+                  const std::vector<double>& device_load) const;
+
+ private:
+  ShardedCorpus() = default;
+
+  const PartitionedCorpus* corpus_ = nullptr;
+  size_t replication_ = 1;
+  std::vector<PartitionedCorpus> device_corpus_;
+  std::vector<std::vector<uint32_t>> device_docs_;
+  std::vector<std::vector<uint32_t>> doc_replicas_;
+  /// Per device: global doc index -> local index.
+  std::vector<std::map<uint32_t, uint32_t>> global_to_local_;
+};
+
+/// \brief Scatter/gather executor over a ShardedCorpus — the N-GPU
+/// counterpart of one BatchEngine run.
+///
+/// Execute() runs a shard-local BatchEngine on every device the RoutePlan
+/// sends work to (devices routed zero documents are never touched — the
+/// per-device counters witness it), then gathers: per-document results are
+/// collected from their executing replicas, skipped documents are assembled
+/// empty, and ONE corpus-order merge produces the global result — the same
+/// merge a single-device batch performs, on identical inputs, so the merged
+/// view is bit-identical to the unsharded run.
+///
+/// On the simulated timeline the device pipelines overlap (they are separate
+/// GPUs): the run's duration is the slowest device's shard plus the gather
+/// merge, and each device is individually releasable at its own shard
+/// completion (RunScheduler::FinishSharded).
+class DeviceGroup {
+ public:
+  /// One sharded run.
+  struct RunSpec {
+    Task task = Task::kWordCount;
+    /// Fully-resolved per-run engine options (query fields included).
+    GTadocEngine::Options engine;
+    /// The scatter decision; must outlive the call.
+    const ShardedCorpus::RoutePlan* route = nullptr;
+    /// Per-device pool pre-size in slots (admission's per-device footprint
+    /// metadata); missing or zero entries mean no pre-sizing there.
+    std::vector<uint64_t> device_presize;
+    /// Forwarded to each device's BatchEngine.
+    size_t host_workers = 1;
+    bool reuse_device_state = true;
+    bool overlap_uploads = true;
+    /// Invoked once per EXECUTED document (never for masked replicas or
+    /// skipped documents — those would double-count across devices). Must
+    /// be thread-safe; may be null.
+    std::function<void(const BatchEngine::DocumentRun&)> on_document_executed;
+  };
+
+  struct RunResult {
+    /// The gathered global batch: documents in corpus order with global
+    /// ids, merged corpus view, composed timing whose total_seconds() is
+    /// the sharded makespan (slowest device + gather).
+    BatchEngine::BatchRun batch;
+    /// Simulated duration of each device's shard (0 for idle devices).
+    std::vector<double> device_durations;
+    /// The cross-device merge tail, charged at device reduce throughput.
+    double gather_seconds = 0;
+  };
+
+  /// Cumulative per-device accounting across Execute() calls — the serving
+  /// layer's per-device stats, and the routing tests' "this device did no
+  /// work" witness.
+  struct DeviceCounters {
+    uint64_t runs_routed = 0;         ///< runs that executed >= 1 doc here
+    uint64_t documents_executed = 0;  ///< over all routed runs
+    uint64_t init_ops = 0;            ///< simulated phase-1 ops charged
+    uint64_t traversal_ops = 0;       ///< simulated phase-2 ops charged
+    double upload_seconds = 0;        ///< simulated H2D time charged
+    double busy_seconds = 0;          ///< summed shard durations
+    uint64_t mid_run_pool_growths = 0;
+  };
+
+  /// The sharded corpus must outlive the group.
+  explicit DeviceGroup(const ShardedCorpus* corpus)
+      : corpus_(corpus), counters_(corpus->num_devices()) {}
+
+  Result<RunResult> Execute(const RunSpec& spec);
+
+  const std::vector<DeviceCounters>& counters() const { return counters_; }
+
+ private:
+  const ShardedCorpus* corpus_;
+  std::vector<DeviceCounters> counters_;
+};
+
+}  // namespace gtadoc
+
+#endif  // GTADOC_ANALYTICS_SHARDING_H_
