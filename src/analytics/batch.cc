@@ -8,6 +8,7 @@
 #include "common/thread_pool.h"
 #include "common/timer.h"
 #include "gpu/memory_pool.h"
+#include "tadoc/cpu_engine.h"
 
 namespace gtadoc {
 
@@ -24,6 +25,11 @@ Result<std::unique_ptr<BatchEngine>> BatchEngine::Create(
     return Status::InvalidArgument(
         "batch engine manages device sharing; leave "
         "engine.shared_device/shared_pool null");
+  }
+  if (options.backend == kCpuPlanBackend &&
+      options.cpu.thread_ops_per_sec() <= 0.0) {
+    return Status::InvalidArgument(
+        "CPU backend needs cost-model parameters (Options::cpu.ghz > 0)");
   }
   std::unique_ptr<BatchEngine> engine(new BatchEngine(corpus, options));
   if (engine->options_.engine.plan_cache == nullptr) {
@@ -85,10 +91,11 @@ Status BatchEngine::RunShard(Task task, const std::vector<uint8_t>* execute,
   for (size_t i = lo; i < hi && !shard_executes; ++i) {
     shard_executes = execute == nullptr || (*execute)[i] != 0;
   }
+  const bool cpu_backend = options_.backend == kCpuPlanBackend;
   std::unique_ptr<gpu::Device> device;
   std::unique_ptr<gpu::MemoryPool> pool;
   uint64_t growth_baseline = 0;
-  if (options_.reuse_device_state && shard_executes) {
+  if (options_.reuse_device_state && shard_executes && !cpu_backend) {
     // One context for the whole shard: the pool grows to the shard's
     // high-water mark once, the grammar arena is rebound per document.
     device = std::make_unique<gpu::Device>(eopt.gpu, eopt.host_workers);
@@ -113,6 +120,16 @@ Status BatchEngine::RunShard(Task task, const std::vector<uint8_t>* execute,
     input = GTadocEngine::InputFromOptions(options_.engine);
   }
 
+  // CPU backend: the engine options slice down to the shared QuerySpec plus
+  // the strategy and the (backend-keyed) plan cache; no device state exists.
+  CpuTadocOptions cpu_options;
+  if (cpu_backend) {
+    static_cast<QuerySpec&>(cpu_options) = options_.engine;
+    cpu_options.cpu = options_.cpu;
+    cpu_options.strategy = options_.engine.strategy;
+    cpu_options.plan_cache = options_.engine.plan_cache;
+  }
+
   std::unique_ptr<GTadocEngine> engine;
   for (size_t i = lo; i < hi; ++i) {
     const Grammar* doc = &corpus_->partitions[i];
@@ -128,6 +145,16 @@ Status BatchEngine::RunShard(Task task, const std::vector<uint8_t>* execute,
       if (!st.ok()) return st;
       out.timing = RunTiming();
       out.skipped = true;
+      if (options_.on_document_complete) options_.on_document_complete(out);
+      continue;
+    }
+    if (cpu_backend) {
+      auto created = CpuTadocEngine::Create(doc, cpu_options);
+      if (!created.ok()) return created.status();
+      auto run = created->Run(task);
+      if (!run.ok()) return run.status();
+      out.result = std::move(run->result);
+      out.timing = run->timing;
       if (options_.on_document_complete) options_.on_document_complete(out);
       continue;
     }
@@ -197,9 +224,13 @@ RunTiming BatchEngine::ComposeTiming(const std::vector<DocumentRun>& runs,
   }
 
   // Corpus merge: per-document tables reduce into the corpus view. Modeled
-  // as one device-wide reduce pass at sustained throughput.
-  const double merge_seconds =
-      static_cast<double>(merge_ops) / options_.engine.gpu.device_ops_per_sec();
+  // as one device-wide reduce pass at sustained throughput — or, on the CPU
+  // backend, one thread at its sustained rate (no device exists to spread
+  // the reduce across).
+  const double merge_rate = options_.backend == kCpuPlanBackend
+                                ? options_.cpu.thread_ops_per_sec()
+                                : options_.engine.gpu.device_ops_per_sec();
+  const double merge_seconds = static_cast<double>(merge_ops) / merge_rate;
   agg.traversal_seconds += merge_seconds;
   agg.traversal_ops += merge_ops;
   return agg;

@@ -60,6 +60,17 @@ class BatchEngine {
     /// engine.host_workers = 1 unless each document is itself large: batch
     /// workers multiply it.
     GTadocEngine::Options engine;
+    /// Which backend executes each document. kGpuPlanBackend (default) runs
+    /// GTadocEngine on the simulated device. kCpuPlanBackend runs the
+    /// sequential CPU TADOC baseline per document instead — no device, no
+    /// pool, no uploads, `cpu` as the cost model — with bit-identical
+    /// results (the ten-task agreement matrix): `engine` still supplies the
+    /// query shape and the shared plan cache, whose PlanBackend key keeps
+    /// CPU and GPU plans apart.
+    PlanBackend backend = kGpuPlanBackend;
+    /// Cost-model parameters of the CPU backend. Required (ghz > 0) when
+    /// backend == kCpuPlanBackend; ignored otherwise.
+    gpu::CpuSpec cpu;
     /// Worker threads documents are sharded across (0 = one per document,
     /// capped at hardware concurrency). Affects wall clock only.
     size_t host_workers = 1;
@@ -139,7 +150,7 @@ class BatchEngine {
   /// The deterministic contiguous shard split Run uses over `n` documents:
   /// worker w owns documents [w*chunk, min(n, (w+1)*chunk)). A pure
   /// function of (n, workers), shared with the serving layer so admission
-  /// (CorpusServer::ProbeFootprint) reasons about exactly the device
+  /// (CorpusServer::FinalizeGpuFootprint) reasons about exactly the device
   /// contexts execution will create. `workers` == 0 selects hardware
   /// concurrency.
   static std::vector<std::pair<size_t, size_t>> ShardSplit(size_t n,

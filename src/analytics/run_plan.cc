@@ -78,7 +78,8 @@ bool PlanEquals(const RunPlan& a, const RunPlan& b) {
          a.bound == b.bound && a.exp_len == b.exp_len && a.state == b.state &&
          a.aux == b.aux && a.assembly_offset == b.assembly_offset &&
          a.assembly_slots == b.assembly_slots &&
-         a.total_slots == b.total_slots && a.expected_keys == b.expected_keys;
+         a.total_slots == b.total_slots && a.expected_keys == b.expected_keys &&
+         a.profile == b.profile && a.estimate == b.estimate;
 }
 
 uint64_t PlannedTableNodes(uint64_t structural_bound, uint64_t expected_keys) {
@@ -116,6 +117,7 @@ void PlanCache::Put(std::shared_ptr<const RunPlan> plan) {
     while (plans_.size() > capacity_ && !order_.empty()) {
       plans_.erase(order_.front());
       order_.pop_front();
+      ++evictions_;
     }
   }
 }
@@ -128,6 +130,11 @@ uint64_t PlanCache::hits() const {
 uint64_t PlanCache::misses() const {
   std::lock_guard<std::mutex> lock(mu_);
   return misses_;
+}
+
+uint64_t PlanCache::evictions() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return evictions_;
 }
 
 size_t PlanCache::size() const {
@@ -265,6 +272,62 @@ Result<std::shared_ptr<const RunPlan>> Planner::BuildPlan(
   plan->assembly_offset = cursor;
   cursor += plan->assembly_slots;
   plan->total_slots = cursor + 1;
+
+  // Backend-neutral work profile, priced below by the owning planner.
+  // Host-side and O(compressed size) — the same order as the grammar
+  // fingerprint the caller already computed.
+  PlanWorkProfile& prof = plan->profile;
+  prof.num_rules = n;
+  prof.window = plan->window;
+  prof.state_slots = plan->total_slots;
+  uint64_t body_symbols = 0;
+  for (uint32_t r = 0; r < n; ++r) body_symbols += dag.body_size(r);
+  prof.upload_bytes = (body_symbols + 2ull * n) * sizeof(uint32_t);
+  prof.rounds = 2ull * (dag.max_depth() + 1) + 4;
+  if (!plan->relevant.empty()) {
+    uint64_t rel = 0;
+    uint64_t rel_symbols = 0;
+    for (uint32_t r = 0; r < n; ++r) {
+      if (plan->relevant[r] != 0) {
+        ++rel;
+        rel_symbols += dag.body_size(r);
+      }
+    }
+    prof.relevant_rules = rel;
+    // Irrelevant rules still pay one mask check each.
+    prof.traversal_items = rel_symbols + n;
+  } else {
+    prof.relevant_rules = n;
+    prof.traversal_items = body_symbols + n;
+  }
+  if (!plan->bound.empty()) {
+    uint64_t mass = 0;
+    for (uint64_t b : plan->bound) mass += b;
+    prof.reduce_items = mass;
+  } else {
+    uint64_t laid_out = plan->assembly_slots;
+    for (uint64_t s : plan->state.sizes) laid_out += s;
+    for (uint64_t s : plan->aux.sizes) laid_out += s;
+    prof.reduce_items = laid_out;
+  }
+  if (kernel.shape() == TraversalShape::kSequence) {
+    // Expanded token stream (children-before-parents DP over the reversed
+    // topological order). The CPU sequence driver walks every token; the GPU
+    // pipeline never leaves the compressed domain.
+    std::vector<uint64_t> exp(n, 0);
+    const std::vector<uint32_t>& topo = dag.topo_order();
+    for (auto it = topo.rbegin(); it != topo.rend(); ++it) {
+      const uint32_t r = *it;
+      uint64_t tokens = 0;
+      for (const RuleWordEntry& w : dag.words(r)) tokens += w.freq;
+      for (const RuleChildEntry& c : dag.children(r)) {
+        tokens += static_cast<uint64_t>(c.freq) * exp[c.child];
+      }
+      exp[r] = tokens;
+    }
+    prof.sequence_tokens = n > 0 ? exp[0] : 0;
+  }
+  plan->estimate = PriceEstimate(prof);
   return std::shared_ptr<const RunPlan>(std::move(plan));
 }
 

@@ -85,6 +85,68 @@ struct RegionGroup {
 /// what a backing slab must cover to hold just this group.
 uint64_t RegionGroupEnd(const RegionGroup& group);
 
+/// \brief Backend-neutral work quantities of one plan, filled by
+/// Planner::BuildPlan from what the plan already resolves (relevant-rule
+/// count, bounds mass, state/table geometry, upload size).
+///
+/// Both planners compute the identical profile for the same (grammar, kernel,
+/// shape); only the *pricing* differs per backend (PriceEstimate). That is
+/// what makes CPU and GPU estimates comparable: same work, each backend's own
+/// cost constants.
+struct PlanWorkProfile {
+  uint64_t num_rules = 0;
+  /// Rules the traversal actually visits (selective top-down plans prune to
+  /// the relevance mask; everything else touches all rules).
+  uint64_t relevant_rules = 0;
+  /// Body symbols walked by the traversal (restricted to relevant rules for
+  /// selective plans) plus one descent item per visited rule.
+  uint64_t traversal_items = 0;
+  /// Accumulator updates: bounds mass for bottom-up plans, laid-out state
+  /// slots merged for weight shapes (hash/table update discipline).
+  uint64_t reduce_items = 0;
+  /// The run's full pool footprint (init + merge sweep both scale with it).
+  uint64_t state_slots = 0;
+  /// Grammar upload size — only the GPU pays this (PCIe), and only when the
+  /// engine charges transfers.
+  uint64_t upload_bytes = 0;
+  /// Dependence-ordered launch rounds (levels of the DAG, both directions,
+  /// plus init/assembly) — the GPU's fixed dispatch bill.
+  uint64_t rounds = 0;
+  /// Full expanded token stream length. The CPU sequence driver walks every
+  /// token; the GPU pipeline stays in the compressed domain and never pays
+  /// this.
+  uint64_t sequence_tokens = 0;
+  uint32_t window = 3;
+
+  bool operator==(const PlanWorkProfile& o) const {
+    return num_rules == o.num_rules && relevant_rules == o.relevant_rules &&
+           traversal_items == o.traversal_items &&
+           reduce_items == o.reduce_items && state_slots == o.state_slots &&
+           upload_bytes == o.upload_bytes && rounds == o.rounds &&
+           sequence_tokens == o.sequence_tokens && window == o.window;
+  }
+};
+
+/// \brief One backend's predicted simulated-seconds cost for a plan, priced
+/// from its PlanWorkProfile under that backend's cost constants — the number
+/// the server compares across backends to dispatch a run without executing
+/// it.
+struct CostEstimate {
+  /// Predicted simulated seconds to execute the plan (fixed + work).
+  double seconds = 0.0;
+  /// Work-independent floor: kernel launches, device allocation, upload.
+  /// Zero for the CPU backend — which is exactly why it wins the selective
+  /// tail.
+  double fixed_seconds = 0.0;
+  /// Priced work items behind `seconds` (audit/monotonicity hook).
+  uint64_t work_items = 0;
+
+  bool operator==(const CostEstimate& o) const {
+    return seconds == o.seconds && fixed_seconds == o.fixed_seconds &&
+           work_items == o.work_items;
+  }
+};
+
 /// \brief Everything a traversal needs that is a pure function of (grammar,
 /// kernel, shape-relevant options) — produced once by a Planner, cached in a
 /// PlanCache, and consumed by the engines' executors.
@@ -133,6 +195,12 @@ struct RunPlan {
   /// The kernel's distinct-key hint for the global reduce table, resolved
   /// against the raw dimensions (0 = no hint).
   uint64_t expected_keys = 0;
+  /// Backend-neutral work quantities (identical across backends for the same
+  /// grammar/kernel/shape).
+  PlanWorkProfile profile;
+  /// The owning backend's predicted cost for this plan — what PlanOnly-style
+  /// probes return to the dispatcher.
+  CostEstimate estimate;
 };
 
 /// Structural equality of two plans (the cache-determinism contract: a
@@ -161,6 +229,9 @@ class PlanCache {
 
   uint64_t hits() const;
   uint64_t misses() const;
+  /// Entries dropped by the FIFO bound (never by invalidation — plans are
+  /// pure functions of their key).
+  uint64_t evictions() const;
   size_t size() const;
 
  private:
@@ -171,6 +242,7 @@ class PlanCache {
   std::deque<PlanKey> order_;
   uint64_t hits_ = 0;
   uint64_t misses_ = 0;
+  uint64_t evictions_ = 0;
 };
 
 /// \brief Builds RunPlans: consumes (grammar fingerprint, kernel id, shape
@@ -210,6 +282,11 @@ class Planner {
   /// for each of `items` logical threads.
   virtual void ChargeFlat(const char* what, uint64_t items,
                           uint64_t ops_per_item) = 0;
+  /// Prices the backend-neutral work profile under this backend's cost
+  /// constants (GpuSpec launch/alloc/PCIe + device throughput vs CpuSpec
+  /// single-thread throughput). BuildPlan stores the result as
+  /// RunPlan::estimate.
+  virtual CostEstimate PriceEstimate(const PlanWorkProfile& profile) = 0;
 };
 
 }  // namespace gtadoc

@@ -12,7 +12,13 @@ bool RunScheduler::QosBefore(const ScheduledRun& a, const ScheduledRun& b) {
 
 void RunScheduler::Enqueue(ScheduledRun run) {
   run.submit_time = now_;
-  if (run.device_slots.empty()) {
+  if (run.cpu_lane) {
+    // CPU-lane runs hold one lane and ZERO device slots: no budget
+    // reservation, no quota charge — the lane count is their only
+    // admission constraint.
+    run.footprint_slots = 0;
+    run.device_slots.assign(num_devices(), 0);
+  } else if (run.device_slots.empty()) {
     // Single-device callers describe their reservation with one number; it
     // lives on device 0 (the only device of a group of one).
     run.device_slots.assign(num_devices(), 0);
@@ -37,9 +43,11 @@ int RunScheduler::PickCandidate(AdmissionMode mode) const {
   });
   for (size_t idx : order) {
     const QueuedEntry& entry = queue_[idx];
-    if (group_.CanReserve(entry.run.device_slots, entry.run.tenant)) {
-      return static_cast<int>(idx);
-    }
+    const bool fits =
+        entry.run.cpu_lane
+            ? lanes_in_use_ < options_.cpu_lanes
+            : group_.CanReserve(entry.run.device_slots, entry.run.tenant);
+    if (fits) return static_cast<int>(idx);
     // Barrier waves admit strictly in order: the first run that does not
     // fit closes the wave, nothing backfills past it.
     if (mode == AdmissionMode::kBarrierWaves) return -1;
@@ -54,8 +62,14 @@ AdmissionDecision RunScheduler::Start(size_t index, AdmissionMode mode) {
   const ScheduledRun run = queue_[index].run;
   // PickCandidate just saw the reservation fit; serving is single-threaded,
   // so this cannot fail. The group reservation is all-or-nothing: the run
-  // holds slots on every device it scatters to, or on none.
-  group_.TryReserve(run.device_slots, run.tenant);
+  // holds slots on every device it scatters to, or on none. Lane runs hold
+  // a lane instead — their device_slots are all zero.
+  if (run.cpu_lane) {
+    ++lanes_in_use_;
+    peak_lanes_in_use_ = std::max(peak_lanes_in_use_, lanes_in_use_);
+  } else {
+    group_.TryReserve(run.device_slots, run.tenant);
+  }
 
   AdmissionDecision decision;
   decision.ticket = run.ticket;
@@ -81,6 +95,7 @@ AdmissionDecision RunScheduler::Start(size_t index, AdmissionMode mode) {
   ActiveRun active;
   active.ticket = run.ticket;
   active.tenant = run.tenant;
+  active.cpu_lane = run.cpu_lane;
   active.device_slots = run.device_slots;
   active.device_released.assign(run.device_slots.size(), false);
   active.device_completion.assign(run.device_slots.size(), -1.0);
@@ -162,6 +177,7 @@ void RunScheduler::CloseWave() {
       run.device_released[d] = true;
       AccountRelease(run, d, wave_end);
     }
+    if (run.cpu_lane && lanes_in_use_ > 0) --lanes_in_use_;
   }
   active_.clear();
   now_ = wave_end;
@@ -200,9 +216,11 @@ void RunScheduler::PopEarliestCompletion() {
   if (all_released) {
     // Retiring the run advances the clock through its scatter/gather tail
     // (completion includes the cross-shard merge; for a single device it
-    // equals the release event just popped).
+    // equals the release event just popped). A lane run frees its lane
+    // here — the lane is held for the run's full duration.
     now_ = std::max(now_, run.completion < 0.0 ? run.start_time
                                                : run.completion);
+    if (run.cpu_lane && lanes_in_use_ > 0) --lanes_in_use_;
     active_.erase(active_.begin() + static_cast<ptrdiff_t>(run_idx));
   }
 }

@@ -47,6 +47,12 @@ struct ScheduledRun {
   int32_t priority = 0;           ///< higher starts first
   double deadline = kNoDeadline;  ///< absolute simulated s; ties break EDF
   double submit_time = 0.0;       ///< stamped by Enqueue from the sim clock
+  /// CPU-dispatched run: occupies one simulated CPU lane for its full
+  /// duration and ZERO device slots (Enqueue clears its footprint). Lane
+  /// runs never reserve against the budgets, so they overlap GPU device
+  /// time freely and backfill past GPU-bound queues; their only admission
+  /// constraint is RunSchedulerOptions::cpu_lanes.
+  bool cpu_lane = false;
 };
 
 struct RunSchedulerOptions {
@@ -56,6 +62,12 @@ struct RunSchedulerOptions {
   /// footprint is validated to fit an empty device, the urgent run is
   /// admitted no later than when the active set drains.
   uint32_t aging_limit = 8;
+  /// Simulated CPU lanes: how many cpu_lane runs may be co-resident. A lane
+  /// is the CPU-side analogue of a device-slot reservation, but with a
+  /// zero-slot budget — lane runs consume no device capacity. 0 disables
+  /// CPU-lane admission (a queued cpu_lane run then never starts, the same
+  /// precondition violation as an oversize footprint).
+  uint32_t cpu_lanes = 0;
 };
 
 /// What StartNext decided, for the serving layer's stats and ServedRun
@@ -176,6 +188,11 @@ class RunScheduler {
       const {
     return slot_seconds_per_device_;
   }
+  /// CPU lanes currently held by active cpu_lane runs.
+  uint32_t cpu_lanes_in_use() const { return lanes_in_use_; }
+  /// High-water mark of co-resident cpu_lane runs (the dispatch bench's
+  /// lane-saturation gate).
+  uint32_t peak_cpu_lanes_in_use() const { return peak_lanes_in_use_; }
 
  private:
   struct QueuedEntry {
@@ -192,6 +209,7 @@ class RunScheduler {
     std::vector<double> device_completion;
     double start_time = 0.0;
     double completion = -1.0;  ///< full completion incl. the gather tail
+    bool cpu_lane = false;     ///< holds a lane, not device slots
   };
 
   /// QoS order: priority desc, deadline asc, ticket asc.
@@ -221,6 +239,8 @@ class RunScheduler {
   std::vector<ActiveRun> active_;
   uint64_t waves_ = 0;
   uint64_t backfills_ = 0;
+  uint32_t lanes_in_use_ = 0;
+  uint32_t peak_lanes_in_use_ = 0;
   std::map<uint64_t, double> slot_seconds_;
   std::map<uint64_t, std::vector<double>> slot_seconds_per_device_;
 };

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "gtadoc/engine.h"
+#include "tadoc/cpu_engine.h"
 
 namespace gtadoc {
 
@@ -129,6 +130,11 @@ Result<std::unique_ptr<CorpusServer>> CorpusServer::Create(
     return Status::InvalidArgument(
         "server owns the plan cache; leave engine.plan_cache null");
   }
+  if (options.scheduler.cpu_lanes > 0 &&
+      options.cpu.thread_ops_per_sec() <= 0.0) {
+    return Status::InvalidArgument(
+        "CPU lanes need cost-model parameters (Options::cpu.ghz > 0)");
+  }
   Options normalized = options;
   normalized.num_devices = std::max<size_t>(1, normalized.num_devices);
   normalized.replication = std::min(
@@ -186,13 +192,14 @@ Result<CorpusServer::TenantHandle> CorpusServer::OpenTenant(
   return TenantHandle(this, id);
 }
 
-Status CorpusServer::ProbeFootprint(PendingRun* run) {
+Status CorpusServer::ProbeGpuPlans(PendingRun* run) {
   const size_t n = corpus_->partitions.size();
   const std::vector<uint8_t>& mask = run->execute_mask;
 
   // Plan every executed document once on a probe context; PlanOnly fills
   // the shared cache, so this is the ONLY time planning is charged — the
-  // execution contexts resolve every plan as a cache hit.
+  // execution contexts resolve every plan as a cache hit. Each plan's
+  // backend-priced estimate sums into the run's GPU-side dispatch input.
   std::vector<uint64_t>& doc_slots = run->doc_slots;
   doc_slots.assign(n, 0);
   std::unique_ptr<GTadocEngine> probe;
@@ -212,8 +219,41 @@ Status CorpusServer::ProbeFootprint(PendingRun* run) {
     if (!plan.ok()) return plan.status();
     run->admission.admission_seconds += probe->device()->SimSeconds();
     doc_slots[d] = (*plan)->total_slots;
+    run->gpu_estimate_seconds += (*plan)->estimate.seconds;
   }
+  return Status::OK();
+}
 
+Status CorpusServer::ProbeCpuEstimate(PendingRun* run) {
+  const std::vector<uint8_t>& mask = run->execute_mask;
+  // The CPU probe resolves the same documents' plans under the CPU planner
+  // — same shared cache, kCpuPlanBackend key, so the two backends' plans
+  // can never serve each other — and sums the CPU-priced estimates. The
+  // metered planning cost lands in admission_seconds exactly like the GPU
+  // probe's device time (a repeat shape is a free cache hit).
+  CpuTadocOptions copt;
+  static_cast<QuerySpec&>(copt) = run->engine;
+  copt.cpu = options_.cpu;
+  copt.strategy = run->engine.strategy;
+  copt.plan_cache = plan_cache_.get();
+  for (size_t d = 0; d < corpus_->partitions.size(); ++d) {
+    if (!mask.empty() && mask[d] == 0) continue;
+    auto probe = CpuTadocEngine::Create(&corpus_->partitions[d], copt);
+    if (!probe.ok()) return probe.status();
+    double probe_seconds = 0.0;
+    auto plan =
+        probe->PlanOnly(run->task, TraversalStrategy::kAuto, &probe_seconds);
+    if (!plan.ok()) return plan.status();
+    run->admission.admission_seconds += probe_seconds;
+    run->cpu_estimate_seconds += (*plan)->estimate.seconds;
+  }
+  return Status::OK();
+}
+
+Status CorpusServer::FinalizeGpuFootprint(PendingRun* run) {
+  const size_t n = corpus_->partitions.size();
+  const std::vector<uint8_t>& mask = run->execute_mask;
+  const std::vector<uint64_t>& doc_slots = run->doc_slots;
   if (sharded_ != nullptr) return ShardFootprint(run);
 
   // A run's device footprint is what execution will actually hold: one pool
@@ -323,6 +363,18 @@ Result<CorpusServer::Submitted> CorpusServer::SubmitForTenant(
     out.rejection = std::move(rejection);
     return out;
   }
+  const bool lanes_enabled = options_.scheduler.cpu_lanes > 0;
+  if (run_options.backend == RunBackend::kCpu && !lanes_enabled) {
+    Rejection rejection;
+    rejection.reason = Rejection::Reason::kMalformed;
+    rejection.detail =
+        "backend = kCpu on a server with no CPU lanes "
+        "(Options::scheduler.cpu_lanes == 0)";
+    ++stats_.rejected;
+    ++stats_.tenants[tenant_id].rejected;
+    out.rejection = std::move(rejection);
+    return out;
+  }
 
   PendingRun run;
   run.task = request.task;
@@ -347,14 +399,50 @@ Result<CorpusServer::Submitted> CorpusServer::SubmitForTenant(
   run.admission.documents_skipped =
       static_cast<uint32_t>(corpus_->partitions.size()) - to_execute;
 
-  // A run that executes nothing is priced as exactly nothing: footprint 0,
-  // no probe, no pre-sizing allocation charge. It will be admitted
-  // immediately without reserving any budget.
+  // Dispatch: decide the backend from the plan-derived estimates BEFORE
+  // pricing any footprint, so a CPU-dispatched run is never charged the
+  // GPU-side pre-sizing allocation it will not perform. A run that executes
+  // nothing is priced as exactly nothing: footprint 0, no probe, no
+  // pre-sizing allocation charge — admitted immediately without reserving
+  // any budget.
+  RunBackend backend = run_options.backend == RunBackend::kCpu
+                           ? RunBackend::kCpu
+                           : RunBackend::kGpu;
   if (to_execute > 0) {
-    Status st = ProbeFootprint(&run);
-    if (!st.ok()) return st;
+    const bool probe_gpu = run_options.backend != RunBackend::kCpu;
+    const bool probe_cpu =
+        run_options.backend == RunBackend::kCpu ||
+        (run_options.backend == RunBackend::kAuto && lanes_enabled);
+    if (probe_gpu) {
+      Status st = ProbeGpuPlans(&run);
+      if (!st.ok()) return st;
+    }
+    if (probe_cpu) {
+      Status st = ProbeCpuEstimate(&run);
+      if (!st.ok()) return st;
+    }
+    // A tie dispatches to the CPU: a lane run reserves zero device slots,
+    // so at equal estimated cost it is strictly cheaper to admit.
+    if (probe_gpu && probe_cpu &&
+        run.cpu_estimate_seconds <= run.gpu_estimate_seconds) {
+      backend = RunBackend::kCpu;
+    }
+    if (backend == RunBackend::kGpu) {
+      Status st = FinalizeGpuFootprint(&run);
+      if (!st.ok()) return st;
+    }
   }
-  if (sharded_ != nullptr && run.route.doc_device.empty()) {
+  run.admission.backend = backend;
+  // The unprobed side's sum stays 0, which is exactly the documented
+  // losing_estimate_seconds contract for forced dispatch.
+  run.admission.backend_estimate_seconds = backend == RunBackend::kCpu
+                                               ? run.cpu_estimate_seconds
+                                               : run.gpu_estimate_seconds;
+  run.admission.losing_estimate_seconds = backend == RunBackend::kCpu
+                                              ? run.gpu_estimate_seconds
+                                              : run.cpu_estimate_seconds;
+  if (sharded_ != nullptr && backend == RunBackend::kGpu &&
+      run.route.doc_device.empty()) {
     // A run that executes nothing still needs an (all-unrouted) plan so
     // the gather assembles every document empty.
     const std::vector<uint8_t> none(corpus_->partitions.size(), 0);
@@ -431,6 +519,7 @@ Result<CorpusServer::Submitted> CorpusServer::SubmitForTenant(
   scheduled.tenant = tenant_id;
   scheduled.footprint_slots = run.admission.footprint_slots;
   scheduled.device_slots = run.device_footprint;  // empty on one device
+  scheduled.cpu_lane = backend == RunBackend::kCpu;
   scheduled.priority = run.admission.priority;
   scheduled.deadline = run.admission.deadline;
   scheduler_.Enqueue(scheduled);
@@ -456,6 +545,14 @@ Result<CorpusServer::Admission> CorpusServer::Submit(
 Result<BatchEngine::BatchRun> CorpusServer::Execute(const PendingRun& run) {
   BatchEngine::Options bopt;
   bopt.engine = run.engine;
+  if (run.admission.backend == RunBackend::kCpu) {
+    // CPU lane execution: the sequential CPU TADOC baseline per document —
+    // no device, no pool, no pre-sizing; bit-identical results through the
+    // same merge path. presize_slots is 0 by construction (the GPU
+    // footprint was never priced for this run).
+    bopt.backend = kCpuPlanBackend;
+    bopt.cpu = options_.cpu;
+  }
   bopt.host_workers = options_.host_workers;
   bopt.reuse_device_state = options_.reuse_device_state;
   bopt.overlap_uploads = options_.overlap_uploads;
@@ -513,10 +610,15 @@ Status CorpusServer::ServeLoop(AdmissionMode mode,
     PendingRun run = std::move(it->second);
     pending_.erase(it);
 
+    // CPU-lane runs execute the whole corpus on the host even on a sharded
+    // server: there is no device to scatter to, so the run is one
+    // BatchEngine over the full (masked) corpus, exactly like single-device
+    // serving — which is also what keeps its results bit-identical.
+    const bool cpu_run = run.admission.backend == RunBackend::kCpu;
     std::vector<double> device_durations;
     double gather_seconds = 0.0;
     auto batch = [&]() -> Result<BatchEngine::BatchRun> {
-      if (sharded_ == nullptr) return Execute(run);
+      if (sharded_ == nullptr || cpu_run) return Execute(run);
       auto sharded_run = ExecuteSharded(run);
       if (!sharded_run.ok()) return sharded_run.status();
       device_durations = std::move(sharded_run->device_durations);
@@ -535,7 +637,7 @@ Status CorpusServer::ServeLoop(AdmissionMode mode,
       return batch.status();
     }
     const double duration = batch->timing.total_seconds();
-    if (sharded_ == nullptr) {
+    if (sharded_ == nullptr || cpu_run) {
       scheduler_.FinishStarted(decision->ticket, duration);
     } else {
       // Each device is releasable at its OWN shard completion; the run
@@ -554,12 +656,14 @@ Status CorpusServer::ServeLoop(AdmissionMode mode,
     served.device_durations = std::move(device_durations);
     served.gather_seconds = gather_seconds;
     served.batch = std::move(*batch);
-    if (sharded_ == nullptr) {
+    const uint64_t executed =
+        static_cast<uint64_t>(served.batch.documents.size()) -
+        served.batch.documents_skipped;
+    if (sharded_ == nullptr && !cpu_run) {
       // Mirror the per-device accounting the sharded path gets from its
       // DeviceGroup counters, so Stats::devices is uniform across modes.
-      const uint64_t executed =
-          static_cast<uint64_t>(served.batch.documents.size()) -
-          served.batch.documents_skipped;
+      // CPU-lane runs never touch the device, so they never appear here —
+      // devices[] keeps its exact GPU-side meaning under hybrid dispatch.
       if (executed > 0) ++device0_.runs_routed;
       device0_.documents_executed += executed;
       device0_.init_ops += served.batch.timing.init_ops;
@@ -576,6 +680,21 @@ Status CorpusServer::ServeLoop(AdmissionMode mode,
     ++tstats.served;
     tstats.queue_wait_seconds += decision->queue_wait;
     if (decision->backfilled) ++tstats.backfills;
+
+    // Per-backend breakdown, server-wide and per tenant: which side served
+    // the run, how much simulated time and work it took there.
+    const uint64_t run_ops =
+        served.batch.timing.init_ops + served.batch.timing.traversal_ops;
+    BackendStats& backend_stats =
+        cpu_run ? stats_.cpu_backend : stats_.gpu_backend;
+    BackendStats& tenant_backend =
+        cpu_run ? tstats.cpu_backend : tstats.gpu_backend;
+    for (BackendStats* bs : {&backend_stats, &tenant_backend}) {
+      ++bs->runs;
+      bs->documents_executed += executed;
+      bs->simulated_seconds += duration;
+      bs->ops += run_ops;
+    }
 
     const uint64_t ticket = decision->ticket;
     served_.emplace(ticket, std::move(served));
@@ -635,6 +754,11 @@ void CorpusServer::SyncSchedulerStats() {
   stats_.waves = scheduler_.waves();
   stats_.backfills = scheduler_.backfills();
   stats_.makespan_seconds = scheduler_.now();
+  stats_.peak_cpu_lanes_in_use = scheduler_.peak_cpu_lanes_in_use();
+  stats_.plan_cache.hits = plan_cache_->hits();
+  stats_.plan_cache.misses = plan_cache_->misses();
+  stats_.plan_cache.evictions = plan_cache_->evictions();
+  stats_.plan_cache.size = plan_cache_->size();
   for (const auto& [tenant, seconds] : scheduler_.slot_seconds()) {
     stats_.tenants[tenant].slot_seconds_held = seconds;
   }

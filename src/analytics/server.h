@@ -87,6 +87,16 @@ std::vector<uint8_t> BloomExecuteMask(const PartitionedCorpus& corpus,
 /// keeping the original FIFO barrier-wave discipline bit-for-bit.
 class CorpusServer {
  public:
+  /// Which backend a run executes on. kAuto lets the dispatcher compare the
+  /// two plan-derived CostEstimates and pick the cheaper; kGpu/kCpu force
+  /// one side (the forced-backend escape hatch, and the bench's pure-mode
+  /// baselines).
+  enum class RunBackend {
+    kAuto = 0,
+    kGpu = 1,
+    kCpu = 2,
+  };
+
   struct Options {
     /// Per-run base engine configuration. Per-run query fields
     /// (query_words/query_sets/top_k/ngram_len) are overridden by each
@@ -127,9 +137,17 @@ class CorpusServer {
     /// documents, upload/traversal pipelining).
     bool reuse_device_state = true;
     bool overlap_uploads = true;
-    /// Rolling-admission QoS knobs (aging limit for starvation-free
-    /// backfill).
+    /// Rolling-admission QoS knobs: aging limit for starvation-free
+    /// backfill, and `scheduler.cpu_lanes` — the hybrid-dispatch switch.
+    /// With cpu_lanes > 0 every kAuto Submit probes BOTH backends'
+    /// plan-derived CostEstimates and dispatches the run to the cheaper
+    /// one; CPU-dispatched runs occupy one simulated CPU lane (never device
+    /// slots) and overlap GPU device time on the scheduler's clock. 0 (the
+    /// default) keeps GPU-only serving bit-for-bit unchanged.
     RunSchedulerOptions scheduler;
+    /// Cost model of the CPU backend. Required (ghz > 0) when
+    /// scheduler.cpu_lanes > 0; ignored otherwise.
+    gpu::CpuSpec cpu;
   };
 
   /// One serving request: a task plus its per-run query parameters — the
@@ -156,6 +174,13 @@ class CorpusServer {
     /// equal priority start earliest-deadline-first. kNoDeadline = none;
     /// negative or NaN is malformed (Rejection::Reason::kMalformed).
     double deadline_seconds = kNoDeadline;
+    /// Backend override. kAuto (default) dispatches on the cheaper
+    /// CostEstimate when CPU lanes are enabled, and to the GPU otherwise.
+    /// Forcing kCpu on a server with no CPU lanes is malformed
+    /// (Rejection::Reason::kMalformed) — there is nothing to run it on.
+    /// Results are bit-identical under every choice; only the simulated
+    /// schedule moves.
+    RunBackend backend = RunBackend::kAuto;
   };
 
   /// A registered serving principal.
@@ -194,6 +219,17 @@ class CorpusServer {
     /// Absolute simulated-clock deadline (submit time + deadline_seconds);
     /// kNoDeadline when none was requested.
     double deadline = kNoDeadline;
+    /// The backend this run was dispatched to — kGpu always on a server
+    /// without CPU lanes. A kCpu run reserves ZERO device slots (its
+    /// footprint_slots is 0); it occupies one CPU lane instead.
+    RunBackend backend = RunBackend::kGpu;
+    /// The chosen backend's plan-derived estimate, summed over the run's
+    /// executed documents (simulated seconds). 0 when nothing executes.
+    double backend_estimate_seconds = 0;
+    /// The rejected backend's estimate — the number the dispatcher decided
+    /// against, kept so mispredictions are auditable per run. 0 when only
+    /// one side was probed (forced backend, or CPU lanes disabled).
+    double losing_estimate_seconds = 0;
   };
 
   /// One served run: its admission receipt, its place on the simulated
@@ -295,6 +331,16 @@ class CorpusServer {
     uint64_t id_ = 0;
   };
 
+  /// Per-backend serving breakdown (one for the GPU side, one for the CPU
+  /// lanes). Device-side aggregates (Stats::devices) stay untouched by CPU
+  /// runs — a CPU-dispatched run never shows up as device work.
+  struct BackendStats {
+    uint64_t runs = 0;  ///< served runs dispatched to this backend
+    uint64_t documents_executed = 0;
+    double simulated_seconds = 0;  ///< summed simulated run durations
+    uint64_t ops = 0;              ///< init + traversal ops charged
+  };
+
   /// Per-tenant serving counters.
   struct TenantStats {
     std::string name;
@@ -303,6 +349,9 @@ class CorpusServer {
     uint64_t served = 0;
     uint64_t backfills = 0;  ///< runs started ahead of an earlier queued run
     double queue_wait_seconds = 0;  ///< simulated, summed over served runs
+    /// The tenant's served work split by dispatched backend.
+    BackendStats gpu_backend;
+    BackendStats cpu_backend;
     /// Footprint-slots x simulated-seconds the tenant's reservations held.
     /// Barrier waves charge every member to the wave's end, so the same
     /// workload shows strictly more slot-seconds under Drain than under
@@ -335,6 +384,16 @@ class CorpusServer {
       uint64_t mid_run_pool_growths = 0;
     };
 
+    /// The shared plan cache's counters (one cache fronts the Submit
+    /// probes of BOTH backends and every execution worker; dispatch
+    /// decisions amortize here — a repeat shape is a free probe).
+    struct PlanCacheStats {
+      uint64_t hits = 0;
+      uint64_t misses = 0;
+      uint64_t evictions = 0;  ///< FIFO-bound drops
+      uint64_t size = 0;       ///< resident plans
+    };
+
     uint64_t submitted = 0;
     uint64_t rejected = 0;  ///< refused at Submit (budget / quota / malformed)
     uint64_t served = 0;
@@ -354,6 +413,16 @@ class CorpusServer {
     /// The simulated clock after the last completed serve — the workload's
     /// makespan, which is what sharded throughput gates compare.
     double makespan_seconds = 0;
+    /// Served work split by dispatched backend. devices[] below remains
+    /// GPU-side only: CPU-lane runs never appear as device work, so its
+    /// aggregates keep their exact pre-dispatch meaning.
+    BackendStats gpu_backend;
+    BackendStats cpu_backend;
+    /// High-water mark of co-resident CPU-lane runs (bounded by
+    /// Options::scheduler.cpu_lanes; the bench's lane-saturation witness).
+    uint32_t peak_cpu_lanes_in_use = 0;
+    /// Shared plan-cache counters; refreshed on every serve.
+    PlanCacheStats plan_cache;
     std::map<uint64_t, TenantStats> tenants;  ///< by tenant id
     /// One entry per device (see DeviceStats); refreshed on every serve.
     std::vector<DeviceStats> devices;
@@ -418,6 +487,10 @@ class CorpusServer {
     std::vector<uint8_t> execute_mask;  ///< empty = all documents
     uint64_t presize_slots = 0;         ///< per-context pool pre-size
     Task task = Task::kWordCount;
+    /// Per-backend plan-derived estimates, summed over executed documents
+    /// (0 for a side that was not probed) — the dispatch comparison inputs.
+    double gpu_estimate_seconds = 0;
+    double cpu_estimate_seconds = 0;
     /// Sharded serving: per-document planned slots (executed docs only),
     /// the scatter decision, and its per-device admission metadata.
     std::vector<uint64_t> doc_slots;
@@ -435,9 +508,21 @@ class CorpusServer {
   Result<Submitted> SubmitForTenant(uint64_t tenant_id,
                                     const RunRequest& request,
                                     const RunOptions& run_options);
-  /// Plans every executed document on a probe engine (Rebind + PlanOnly
-  /// against the shared cache) and fills footprint/admission_seconds.
-  Status ProbeFootprint(PendingRun* run);
+  /// Plans every executed document on a GPU probe engine (Rebind + PlanOnly
+  /// against the shared cache), filling doc_slots, the GPU-side cost
+  /// estimate, and the probe's admission_seconds. Reserves nothing; the
+  /// footprint is priced by FinalizeGpuFootprint only if the run dispatches
+  /// to the GPU.
+  Status ProbeGpuPlans(PendingRun* run);
+  /// Prices the GPU-dispatched run's device footprint from the probed
+  /// doc_slots (executing contexts x the per-context maximum plan
+  /// footprint, plus the pre-sizing allocation charge); sharded servers
+  /// route here (ShardFootprint).
+  Status FinalizeGpuFootprint(PendingRun* run);
+  /// The CPU twin of ProbeGpuPlans: plans every executed document through
+  /// CpuTadocEngine::PlanOnly against the same shared (backend-keyed)
+  /// cache, summing the CPU-side estimate and the metered probe seconds.
+  Status ProbeCpuEstimate(PendingRun* run);
   /// Sharded tail of ProbeFootprint: routes the run (least-loaded replica
   /// selection over the standing per-device load), then prices each device
   /// exactly as the single-device path prices its one device — executing

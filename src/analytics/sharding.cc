@@ -93,6 +93,10 @@ Result<DeviceGroup::RunResult> DeviceGroup::Execute(const RunSpec& spec) {
   if (spec.route == nullptr) {
     return Status::InvalidArgument("sharded execution needs a route plan");
   }
+  if (spec.backend != kGpuPlanBackend) {
+    return Status::InvalidArgument(
+        "a device group only executes GPU work; CPU-lane runs never scatter");
+  }
   Timer wall;
   const PartitionedCorpus* global = corpus_->global_corpus();
   const size_t n = global->partitions.size();

@@ -126,6 +126,12 @@ class DeviceGroup {
     Task task = Task::kWordCount;
     /// Fully-resolved per-run engine options (query fields included).
     GTadocEngine::Options engine;
+    /// Backend guard: a DeviceGroup only scatters GPU work. CPU-lane runs
+    /// (analytics/server.h hybrid dispatch) execute the whole corpus on one
+    /// host BatchEngine and never reach here; passing kCpuPlanBackend is
+    /// InvalidArgument, so a dispatch bug cannot silently charge CPU work
+    /// to device counters.
+    PlanBackend backend = kGpuPlanBackend;
     /// The scatter decision; must outlive the call.
     const ShardedCorpus::RoutePlan* route = nullptr;
     /// Per-device pool pre-size in slots (admission's per-device footprint

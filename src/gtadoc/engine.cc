@@ -134,6 +134,30 @@ struct GTadocEngine::GpuPlanner : public Planner {
         what, static_cast<uint32_t>(std::max<uint64_t>(1, items)),
         [ops_per_item](gpu::ThreadCtx& ctx) { ctx.Charge(ops_per_item); });
   }
+  CostEstimate PriceEstimate(const PlanWorkProfile& p) override {
+    // GPU pricing: a fixed dispatch floor (round-ordered launches + one pool
+    // allocation + the grammar upload when transfers are charged) plus work
+    // spread across the device's sustained throughput. Atomic table updates
+    // are an additive serialization term, as in the executors. The expanded
+    // token stream is absent: the pipeline never leaves the compressed
+    // domain.
+    const gpu::GpuSpec& gpu = engine->options_.gpu;
+    CostEstimate e;
+    e.fixed_seconds =
+        static_cast<double>(p.rounds) * gpu.kernel_launch_us * 1e-6 +
+        gpu.device_alloc_us * 1e-6;
+    if (engine->options_.charge_pcie) {
+      e.fixed_seconds += static_cast<double>(p.upload_bytes) /
+                         (gpu.pcie_bandwidth_gbps * 1e9);
+    }
+    e.work_items = p.traversal_items + p.reduce_items + p.state_slots;
+    e.seconds =
+        e.fixed_seconds +
+        static_cast<double>(p.state_slots + 8 * p.traversal_items) /
+            gpu.device_ops_per_sec() +
+        static_cast<double>(p.reduce_items) / gpu.atomic_ops_per_sec;
+    return e;
+  }
 };
 
 Result<std::shared_ptr<const RunPlan>> GTadocEngine::ResolvePlan(

@@ -54,9 +54,10 @@ std::vector<uint32_t> CpuTadocEngine::RootFileIds(CpuCostMeter* meter) const {
 // ---------------------------------------------------------------------------
 
 struct CpuTadocEngine::CpuPlanner : public Planner {
-  CpuPlanner(const DagView* dag, CpuCostMeter* meter)
-      : dag(dag), meter(meter) {}
+  CpuPlanner(const DagView* dag, const gpu::CpuSpec* cpu, CpuCostMeter* meter)
+      : dag(dag), cpu(cpu), meter(meter) {}
   const DagView* dag;
+  const gpu::CpuSpec* cpu;
   CpuCostMeter* meter;
 
  protected:
@@ -129,6 +130,22 @@ struct CpuTadocEngine::CpuPlanner : public Planner {
     (void)what;
     meter->Charge(items * ops_per_item);
   }
+
+  CostEstimate PriceEstimate(const PlanWorkProfile& p) override {
+    // CPU pricing: one sequential thread at sustained throughput, no fixed
+    // dispatch floor — which is why the CPU wins the selective tail. Table
+    // updates pay the hash discipline; the sequence shape pays the full
+    // expanded token stream ([2]'s recursive walk), which is exactly what
+    // makes heavy sequence runs GPU-bound.
+    CostEstimate e;
+    const uint64_t ops =
+        p.state_slots + 2 * p.traversal_items +
+        p.reduce_items * kCpuHashUpdateOps +
+        p.sequence_tokens * (2ull * p.window + kCpuSeqMapDescentOps);
+    e.work_items = ops;
+    e.seconds = static_cast<double>(ops) / cpu->thread_ops_per_sec();
+    return e;
+  }
 };
 
 PlanKey CpuTadocEngine::MakePlanKey(Task task,
@@ -158,12 +175,26 @@ Result<std::shared_ptr<const RunPlan>> CpuTadocEngine::ResolvePlan(
     return plan;
   }
   *cache_hit = false;
-  CpuPlanner planner(&dag_, plan_meter);
+  CpuPlanner planner(&dag_, &options_.cpu, plan_meter);
   auto built = planner.BuildPlan(kernel, *g_, dag_, shape, strategy_override,
                                  key);
   if (!built.ok()) return built.status();
   plan_cache_->Put(*built);
   return *built;
+}
+
+Result<std::shared_ptr<const RunPlan>> CpuTadocEngine::PlanOnly(
+    Task task, TraversalStrategy strategy_override, double* probe_seconds) {
+  auto kernel_lookup = TaskRegistry::Get(task);
+  if (!kernel_lookup.ok()) return kernel_lookup.status();
+  CpuCostMeter plan_meter(options_.cpu);
+  bool cache_hit = false;
+  auto plan = ResolvePlan(**kernel_lookup, strategy_override, &plan_meter,
+                          &cache_hit);
+  if (probe_seconds != nullptr) {
+    *probe_seconds = cache_hit ? 0.0 : plan_meter.SequentialSeconds();
+  }
+  return plan;
 }
 
 std::shared_ptr<const RunPlan> CpuTadocEngine::CachedPlan(

@@ -64,6 +64,17 @@ class CpuTadocEngine {
                         TraversalStrategy strategy_override =
                             TraversalStrategy::kAuto) const;
 
+  /// Resolves (and caches) the plan a Run of (task, strategy_override) would
+  /// consume without executing anything — the CPU twin of
+  /// GTadocEngine::PlanOnly, and the dispatcher's CPU-side probe: the
+  /// returned plan's `estimate` is this backend's predicted cost in the same
+  /// simulated seconds as the GPU estimate. `probe_seconds` (optional)
+  /// receives the metered planning cost (0 on a cache hit).
+  Result<std::shared_ptr<const RunPlan>> PlanOnly(
+      Task task,
+      TraversalStrategy strategy_override = TraversalStrategy::kAuto,
+      double* probe_seconds = nullptr);
+
   const DagView& dag() const { return dag_; }
   /// The strategy the selector would pick for `task`.
   TraversalStrategy ChosenStrategy(Task task) const;

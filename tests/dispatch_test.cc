@@ -1,0 +1,556 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "analytics/batch.h"
+#include "analytics/run_plan.h"
+#include "analytics/server.h"
+#include "analytics/sharding.h"
+#include "datagen/datagen.h"
+#include "gpu/platform.h"
+#include "gtadoc/engine.h"
+#include "tadoc/cpu_engine.h"
+
+namespace gtadoc {
+namespace {
+
+GTadocEngine::Options GpuOptions() {
+  GTadocEngine::Options opt;
+  opt.gpu = gpu::PascalPlatform().gpu;
+  opt.host_workers = 1;
+  return opt;
+}
+
+/// The marker fixture at a token scale where the two backends genuinely
+/// disagree: sequence tasks walk the full expanded stream on the CPU (heavy
+/// -> GPU wins), while Bloom-pruned keyword runs execute a handful of
+/// documents with no GPU fixed costs to amortize (selective -> CPU wins).
+MarkerCorpus MakeDispatchCorpus(uint64_t tokens_per_doc = 20000) {
+  MarkerCorpusSpec spec;
+  spec.num_docs = 10;
+  spec.relevant = 3;
+  spec.num_markers = 2;
+  spec.tokens_per_doc = tokens_per_doc;
+  auto built = BuildMarkerCorpus(spec);
+  EXPECT_TRUE(built.ok()) << built.status().ToString();
+  return std::move(*built);
+}
+
+CorpusServer::Options HybridOptions(uint32_t cpu_lanes) {
+  CorpusServer::Options opt;
+  opt.engine = GpuOptions();
+  opt.scheduler.cpu_lanes = cpu_lanes;
+  opt.cpu = gpu::PascalPlatform().cpu;
+  return opt;
+}
+
+/// The mixed workload every dispatch test replays: selective keyword runs
+/// interleaved with heavy sequence scans and a corpus-wide word count.
+std::vector<CorpusServer::RunRequest> MixedWorkload(const MarkerCorpus& mc) {
+  std::vector<CorpusServer::RunRequest> requests;
+  CorpusServer::RunRequest keyword;
+  keyword.task = Task::kKeywordSearch;
+  keyword.query_words = {mc.markers[0]};
+  CorpusServer::RunRequest sequence;
+  sequence.task = Task::kSequenceCount;
+  CorpusServer::RunRequest words;
+  words.task = Task::kWordCount;
+  requests.push_back(keyword);
+  requests.push_back(sequence);
+  requests.push_back(words);
+  keyword.query_words = {mc.markers[1]};
+  requests.push_back(keyword);
+  requests.push_back(sequence);
+  return requests;
+}
+
+// --------------------------------------------------------------------------
+// CostEstimate: plan-derived, backend-priced, monotone in the work.
+// --------------------------------------------------------------------------
+
+TEST(CostEstimateTest, BothBackendsPriceEveryPlan) {
+  MarkerCorpus mc = MakeDispatchCorpus(4000);
+  const Grammar* doc = &mc.corpus.partitions[0];
+
+  auto gpu_engine = GTadocEngine::Create(doc, GpuOptions());
+  ASSERT_TRUE(gpu_engine.ok());
+  auto gpu_plan = (*gpu_engine)->PlanOnly(Task::kWordCount);
+  ASSERT_TRUE(gpu_plan.ok()) << gpu_plan.status().ToString();
+
+  CpuTadocOptions copt;
+  copt.cpu = gpu::PascalPlatform().cpu;
+  auto cpu_engine = CpuTadocEngine::Create(doc, copt);
+  ASSERT_TRUE(cpu_engine.ok());
+  double probe_seconds = -1.0;
+  auto cpu_plan = cpu_engine->PlanOnly(Task::kWordCount,
+                                       TraversalStrategy::kAuto,
+                                       &probe_seconds);
+  ASSERT_TRUE(cpu_plan.ok()) << cpu_plan.status().ToString();
+
+  // Same work profile (the quantities are backend-neutral), different
+  // pricing: the GPU carries a fixed dispatch floor, the CPU none.
+  EXPECT_EQ((*gpu_plan)->profile, (*cpu_plan)->profile);
+  EXPECT_GT((*gpu_plan)->estimate.seconds, 0.0);
+  EXPECT_GT((*gpu_plan)->estimate.fixed_seconds, 0.0);
+  EXPECT_GT((*cpu_plan)->estimate.seconds, 0.0);
+  EXPECT_EQ((*cpu_plan)->estimate.fixed_seconds, 0.0);
+  // Cold planning is metered (a trivial top-down plan may charge nothing);
+  // a repeat of the same shape is a free cache hit.
+  EXPECT_GE(probe_seconds, 0.0);
+  double repeat_seconds = -1.0;
+  ASSERT_TRUE(cpu_engine
+                  ->PlanOnly(Task::kWordCount, TraversalStrategy::kAuto,
+                             &repeat_seconds)
+                  .ok());
+  EXPECT_EQ(repeat_seconds, 0.0);
+}
+
+TEST(CostEstimateTest, MonotoneInDocumentSize) {
+  // More tokens -> more rules/symbols -> strictly more priced work on both
+  // backends.
+  MarkerCorpus small = MakeDispatchCorpus(2000);
+  MarkerCorpus large = MakeDispatchCorpus(16000);
+
+  for (const bool cpu : {false, true}) {
+    CostEstimate est_small, est_large;
+    for (const auto* mc : {&small, &large}) {
+      const Grammar* doc = &mc->corpus.partitions[0];
+      CostEstimate* out = mc == &small ? &est_small : &est_large;
+      if (cpu) {
+        CpuTadocOptions copt;
+        copt.cpu = gpu::PascalPlatform().cpu;
+        auto engine = CpuTadocEngine::Create(doc, copt);
+        ASSERT_TRUE(engine.ok());
+        auto plan = engine->PlanOnly(Task::kWordCount);
+        ASSERT_TRUE(plan.ok());
+        *out = (*plan)->estimate;
+      } else {
+        auto engine = GTadocEngine::Create(doc, GpuOptions());
+        ASSERT_TRUE(engine.ok());
+        auto plan = (*engine)->PlanOnly(Task::kWordCount);
+        ASSERT_TRUE(plan.ok());
+        *out = (*plan)->estimate;
+      }
+    }
+    EXPECT_LT(est_small.work_items, est_large.work_items) << "cpu=" << cpu;
+    EXPECT_LT(est_small.seconds, est_large.seconds) << "cpu=" << cpu;
+  }
+}
+
+TEST(CostEstimateTest, MonotoneInRelevanceMass) {
+  // A selective plan prices only the relevant mass: widening the query from
+  // one marker to the pair can only grow the relevant rule set, and with it
+  // the priced traversal work.
+  MarkerCorpus mc = MakeDispatchCorpus(4000);
+  const Grammar* doc = &mc.corpus.partitions[0];
+
+  GTadocEngine::Options narrow_opt = GpuOptions();
+  narrow_opt.query_words = {mc.markers[0]};
+  GTadocEngine::Options wide_opt = GpuOptions();
+  wide_opt.query_words = {mc.markers[0], mc.markers[1]};
+
+  auto narrow_engine = GTadocEngine::Create(doc, narrow_opt);
+  auto wide_engine = GTadocEngine::Create(doc, wide_opt);
+  ASSERT_TRUE(narrow_engine.ok());
+  ASSERT_TRUE(wide_engine.ok());
+  auto narrow = (*narrow_engine)->PlanOnly(Task::kKeywordSearch);
+  auto wide = (*wide_engine)->PlanOnly(Task::kKeywordSearch);
+  ASSERT_TRUE(narrow.ok());
+  ASSERT_TRUE(wide.ok());
+
+  EXPECT_LE((*narrow)->profile.relevant_rules, (*wide)->profile.relevant_rules);
+  EXPECT_LE((*narrow)->profile.traversal_items,
+            (*wide)->profile.traversal_items);
+  EXPECT_LE((*narrow)->estimate.seconds, (*wide)->estimate.seconds);
+  // Both prune against the full grammar.
+  EXPECT_LT((*wide)->profile.relevant_rules, (*wide)->profile.num_rules);
+}
+
+TEST(CostEstimateTest, SequenceTokensOnlyChargeTheCpu) {
+  // The CPU sequence driver walks the full expanded stream; the GPU stays in
+  // the compressed domain. The profile records the stream once, and only the
+  // CPU pricing consumes it — the asymmetry heavy dispatch rides on.
+  MarkerCorpus mc = MakeDispatchCorpus(4000);
+  const Grammar* doc = &mc.corpus.partitions[0];
+
+  auto engine = GTadocEngine::Create(doc, GpuOptions());
+  ASSERT_TRUE(engine.ok());
+  auto seq_plan = (*engine)->PlanOnly(Task::kSequenceCount);
+  auto count_plan = (*engine)->PlanOnly(Task::kWordCount);
+  ASSERT_TRUE(seq_plan.ok());
+  ASSERT_TRUE(count_plan.ok());
+  EXPECT_GT((*seq_plan)->profile.sequence_tokens, 0u);
+  EXPECT_EQ((*count_plan)->profile.sequence_tokens, 0u);
+}
+
+// --------------------------------------------------------------------------
+// Dispatch: forced overrides, the auto decision, determinism.
+// --------------------------------------------------------------------------
+
+TEST(DispatchTest, ForcedBackendOverridesTheEstimate) {
+  MarkerCorpus mc = MakeDispatchCorpus();
+  auto server = CorpusServer::Create(&mc.corpus, HybridOptions(2));
+  ASSERT_TRUE(server.ok()) << server.status().ToString();
+  auto tenant = (*server)->OpenTenant({});
+  ASSERT_TRUE(tenant.ok());
+
+  CorpusServer::RunRequest request;
+  request.task = Task::kWordCount;
+
+  CorpusServer::RunOptions force_gpu;
+  force_gpu.backend = CorpusServer::RunBackend::kGpu;
+  auto gpu_run = tenant->Submit(request, force_gpu);
+  ASSERT_TRUE(gpu_run.ok());
+  ASSERT_TRUE(gpu_run->admitted());
+  EXPECT_EQ(gpu_run->admission->backend, CorpusServer::RunBackend::kGpu);
+  EXPECT_GT(gpu_run->admission->backend_estimate_seconds, 0.0);
+  // Only one side was probed: the losing estimate is 0 by contract.
+  EXPECT_EQ(gpu_run->admission->losing_estimate_seconds, 0.0);
+  EXPECT_GT(gpu_run->admission->footprint_slots, 0u);
+
+  CorpusServer::RunOptions force_cpu;
+  force_cpu.backend = CorpusServer::RunBackend::kCpu;
+  auto cpu_run = tenant->Submit(request, force_cpu);
+  ASSERT_TRUE(cpu_run.ok());
+  ASSERT_TRUE(cpu_run->admitted());
+  EXPECT_EQ(cpu_run->admission->backend, CorpusServer::RunBackend::kCpu);
+  EXPECT_GT(cpu_run->admission->backend_estimate_seconds, 0.0);
+  EXPECT_EQ(cpu_run->admission->losing_estimate_seconds, 0.0);
+  // A CPU-lane run reserves ZERO device slots.
+  EXPECT_EQ(cpu_run->admission->footprint_slots, 0u);
+
+  ASSERT_TRUE((*server)->ServeUntilIdle().ok());
+}
+
+TEST(DispatchTest, AutoPicksTheCheaperEstimate) {
+  MarkerCorpus mc = MakeDispatchCorpus();
+  auto server = CorpusServer::Create(&mc.corpus, HybridOptions(2));
+  ASSERT_TRUE(server.ok());
+  auto tenant = (*server)->OpenTenant({});
+  ASSERT_TRUE(tenant.ok());
+
+  bool saw_cpu = false;
+  bool saw_gpu = false;
+  for (const CorpusServer::RunRequest& request : MixedWorkload(mc)) {
+    auto submitted = tenant->Submit(request);
+    ASSERT_TRUE(submitted.ok());
+    ASSERT_TRUE(submitted->admitted());
+    const CorpusServer::Admission& admission = *submitted->admission;
+    // kAuto probed both sides and kept the cheaper one.
+    EXPECT_LE(admission.backend_estimate_seconds,
+              admission.losing_estimate_seconds);
+    EXPECT_GT(admission.losing_estimate_seconds, 0.0);
+    if (admission.backend == CorpusServer::RunBackend::kCpu) {
+      saw_cpu = true;
+      EXPECT_EQ(admission.footprint_slots, 0u);
+    } else {
+      saw_gpu = true;
+    }
+  }
+  // The workload genuinely splits: selective keyword runs go to the CPU
+  // (no fixed costs), heavy sequence scans to the GPU (compressed domain).
+  EXPECT_TRUE(saw_cpu);
+  EXPECT_TRUE(saw_gpu);
+  ASSERT_TRUE((*server)->ServeUntilIdle().ok());
+}
+
+TEST(DispatchTest, WithoutLanesEverythingStaysOnTheGpu) {
+  MarkerCorpus mc = MakeDispatchCorpus();
+  auto server = CorpusServer::Create(&mc.corpus, HybridOptions(0));
+  ASSERT_TRUE(server.ok());
+  auto tenant = (*server)->OpenTenant({});
+  ASSERT_TRUE(tenant.ok());
+  for (const CorpusServer::RunRequest& request : MixedWorkload(mc)) {
+    auto submitted = tenant->Submit(request);
+    ASSERT_TRUE(submitted.ok());
+    ASSERT_TRUE(submitted->admitted());
+    EXPECT_EQ(submitted->admission->backend, CorpusServer::RunBackend::kGpu);
+    // The CPU side was never probed.
+    EXPECT_EQ(submitted->admission->losing_estimate_seconds, 0.0);
+  }
+  ASSERT_TRUE((*server)->ServeUntilIdle().ok());
+  EXPECT_EQ((*server)->stats().cpu_backend.runs, 0u);
+  EXPECT_EQ((*server)->stats().peak_cpu_lanes_in_use, 0u);
+}
+
+TEST(DispatchTest, ForcingCpuWithoutLanesIsMalformed) {
+  MarkerCorpus mc = MakeDispatchCorpus(2000);
+  auto server = CorpusServer::Create(&mc.corpus, HybridOptions(0));
+  ASSERT_TRUE(server.ok());
+  auto tenant = (*server)->OpenTenant({});
+  ASSERT_TRUE(tenant.ok());
+  CorpusServer::RunOptions force_cpu;
+  force_cpu.backend = CorpusServer::RunBackend::kCpu;
+  auto submitted = tenant->Submit({}, force_cpu);
+  ASSERT_TRUE(submitted.ok());
+  ASSERT_FALSE(submitted->admitted());
+  EXPECT_EQ(submitted->rejection->reason,
+            CorpusServer::Rejection::Reason::kMalformed);
+  EXPECT_EQ((*server)->stats().rejected, 1u);
+}
+
+TEST(DispatchTest, LanesRequireACpuCostModel) {
+  MarkerCorpus mc = MakeDispatchCorpus(2000);
+  CorpusServer::Options opt = HybridOptions(2);
+  opt.cpu = gpu::CpuSpec{};  // ghz = 0: nothing to price CPU work with
+  auto server = CorpusServer::Create(&mc.corpus, opt);
+  EXPECT_FALSE(server.ok());
+  EXPECT_TRUE(server.status().IsInvalidArgument());
+}
+
+TEST(DispatchTest, DeterministicAcrossIdenticalServers) {
+  MarkerCorpus mc = MakeDispatchCorpus();
+  std::vector<std::vector<CorpusServer::RunBackend>> decisions;
+  std::vector<std::vector<double>> estimates;
+  for (int trial = 0; trial < 2; ++trial) {
+    auto server = CorpusServer::Create(&mc.corpus, HybridOptions(2));
+    ASSERT_TRUE(server.ok());
+    auto tenant = (*server)->OpenTenant({});
+    ASSERT_TRUE(tenant.ok());
+    std::vector<CorpusServer::RunBackend> backends;
+    std::vector<double> run_estimates;
+    for (const CorpusServer::RunRequest& request : MixedWorkload(mc)) {
+      auto submitted = tenant->Submit(request);
+      ASSERT_TRUE(submitted.ok());
+      ASSERT_TRUE(submitted->admitted());
+      backends.push_back(submitted->admission->backend);
+      run_estimates.push_back(submitted->admission->backend_estimate_seconds);
+    }
+    decisions.push_back(std::move(backends));
+    estimates.push_back(std::move(run_estimates));
+    ASSERT_TRUE((*server)->ServeUntilIdle().ok());
+  }
+  // Dispatch is a pure function of the submission: identical servers make
+  // identical decisions at identical prices.
+  EXPECT_EQ(decisions[0], decisions[1]);
+  EXPECT_EQ(estimates[0], estimates[1]);
+}
+
+// --------------------------------------------------------------------------
+// Bit-identity: the backend moves the schedule, never the answer.
+// --------------------------------------------------------------------------
+
+TEST(DispatchTest, ResultsBitIdenticalAcrossForcedAndAutoDispatch) {
+  MarkerCorpus mc = MakeDispatchCorpus();
+  const std::vector<CorpusServer::RunRequest> workload = MixedWorkload(mc);
+
+  const CorpusServer::RunBackend modes[] = {
+      CorpusServer::RunBackend::kGpu,
+      CorpusServer::RunBackend::kCpu,
+      CorpusServer::RunBackend::kAuto,
+  };
+  std::vector<std::vector<CorpusServer::ServedRun>> served_by_mode;
+  for (CorpusServer::RunBackend mode : modes) {
+    auto server = CorpusServer::Create(&mc.corpus, HybridOptions(2));
+    ASSERT_TRUE(server.ok());
+    auto tenant = (*server)->OpenTenant({});
+    ASSERT_TRUE(tenant.ok());
+    CorpusServer::RunOptions run_options;
+    run_options.backend = mode;
+    std::vector<CorpusServer::RunTicket> tickets;
+    for (const CorpusServer::RunRequest& request : workload) {
+      auto submitted = tenant->Submit(request, run_options);
+      ASSERT_TRUE(submitted.ok());
+      ASSERT_TRUE(submitted->admitted());
+      tickets.push_back(*submitted->ticket);
+    }
+    std::vector<CorpusServer::ServedRun> served;
+    for (CorpusServer::RunTicket& ticket : tickets) {
+      auto run = ticket.Await();
+      ASSERT_TRUE(run.ok()) << run.status().ToString();
+      served.push_back(std::move(*run));
+    }
+    served_by_mode.push_back(std::move(served));
+  }
+
+  for (size_t r = 0; r < workload.size(); ++r) {
+    const CorpusServer::ServedRun& gpu_run = served_by_mode[0][r];
+    for (size_t mode = 1; mode < served_by_mode.size(); ++mode) {
+      const CorpusServer::ServedRun& other = served_by_mode[mode][r];
+      EXPECT_TRUE(gpu_run.batch.merged.SameAs(other.batch.merged))
+          << "run " << r << " merged result diverged in mode " << mode;
+      ASSERT_EQ(gpu_run.batch.documents.size(), other.batch.documents.size());
+      for (size_t d = 0; d < gpu_run.batch.documents.size(); ++d) {
+        EXPECT_TRUE(gpu_run.batch.documents[d].result.SameAs(
+            other.batch.documents[d].result))
+            << "run " << r << " document " << d << " diverged in mode "
+            << mode;
+      }
+    }
+  }
+}
+
+// --------------------------------------------------------------------------
+// Scheduling invariants and the per-backend stats breakdown.
+// --------------------------------------------------------------------------
+
+TEST(DispatchTest, LaneAndBudgetInvariantsHold) {
+  MarkerCorpus mc = MakeDispatchCorpus();
+  CorpusServer::Options opt = HybridOptions(2);
+  opt.device_slot_budget = 2'000'000;
+  auto server = CorpusServer::Create(&mc.corpus, opt);
+  ASSERT_TRUE(server.ok());
+  auto tenant = (*server)->OpenTenant({});
+  ASSERT_TRUE(tenant.ok());
+  for (int repeat = 0; repeat < 2; ++repeat) {
+    for (const CorpusServer::RunRequest& request : MixedWorkload(mc)) {
+      auto submitted = tenant->Submit(request);
+      ASSERT_TRUE(submitted.ok());
+      ASSERT_TRUE(submitted->admitted()) << submitted->rejection->detail;
+    }
+  }
+  ASSERT_TRUE((*server)->ServeUntilIdle().ok());
+
+  const CorpusServer::Stats& stats = (*server)->stats();
+  // Device slots never exceed the budget; lanes never exceed the lane count
+  // — and both resources were actually used.
+  EXPECT_LE(stats.peak_admitted_slots, opt.device_slot_budget);
+  EXPECT_GT(stats.peak_admitted_slots, 0u);
+  EXPECT_LE(stats.peak_cpu_lanes_in_use, opt.scheduler.cpu_lanes);
+  EXPECT_GT(stats.peak_cpu_lanes_in_use, 0u);
+  EXPECT_EQ(stats.mid_run_pool_growths, 0u);
+}
+
+TEST(DispatchTest, PerBackendStatsSplitTheServedWork) {
+  MarkerCorpus mc = MakeDispatchCorpus();
+  auto server = CorpusServer::Create(&mc.corpus, HybridOptions(2));
+  ASSERT_TRUE(server.ok());
+  CorpusServer::TenantOptions tenant_options;
+  tenant_options.name = "split";
+  auto tenant = (*server)->OpenTenant(tenant_options);
+  ASSERT_TRUE(tenant.ok());
+  for (const CorpusServer::RunRequest& request : MixedWorkload(mc)) {
+    auto submitted = tenant->Submit(request);
+    ASSERT_TRUE(submitted.ok());
+    ASSERT_TRUE(submitted->admitted());
+  }
+  ASSERT_TRUE((*server)->ServeUntilIdle().ok());
+
+  const CorpusServer::Stats& stats = (*server)->stats();
+  EXPECT_EQ(stats.gpu_backend.runs + stats.cpu_backend.runs, stats.served);
+  EXPECT_GT(stats.gpu_backend.runs, 0u);
+  EXPECT_GT(stats.cpu_backend.runs, 0u);
+  EXPECT_GT(stats.gpu_backend.simulated_seconds, 0.0);
+  EXPECT_GT(stats.cpu_backend.simulated_seconds, 0.0);
+  EXPECT_GT(stats.gpu_backend.ops, 0u);
+  EXPECT_GT(stats.cpu_backend.ops, 0u);
+  EXPECT_EQ(stats.gpu_backend.documents_executed +
+                stats.cpu_backend.documents_executed,
+            stats.documents_executed);
+
+  // The tenant's own split mirrors the server totals (one tenant here).
+  const CorpusServer::TenantStats& tstats =
+      stats.tenants.at(tenant->id());
+  EXPECT_EQ(tstats.gpu_backend.runs, stats.gpu_backend.runs);
+  EXPECT_EQ(tstats.cpu_backend.runs, stats.cpu_backend.runs);
+
+  // devices[] stays GPU-side only: every device-executed document is a
+  // GPU-backend document, none leaked from the CPU lanes.
+  ASSERT_EQ(stats.devices.size(), 1u);
+  EXPECT_EQ(stats.devices[0].documents_executed,
+            stats.gpu_backend.documents_executed);
+  EXPECT_EQ(stats.devices[0].runs_routed, stats.gpu_backend.runs);
+}
+
+TEST(DispatchTest, PlanCacheCountersSurfaceInStats) {
+  MarkerCorpus mc = MakeDispatchCorpus();
+  auto server = CorpusServer::Create(&mc.corpus, HybridOptions(2));
+  ASSERT_TRUE(server.ok());
+  auto tenant = (*server)->OpenTenant({});
+  ASSERT_TRUE(tenant.ok());
+  const std::vector<CorpusServer::RunRequest> workload = MixedWorkload(mc);
+  for (int repeat = 0; repeat < 2; ++repeat) {
+    for (const CorpusServer::RunRequest& request : workload) {
+      auto submitted = tenant->Submit(request);
+      ASSERT_TRUE(submitted.ok());
+      ASSERT_TRUE(submitted->admitted());
+    }
+  }
+  ASSERT_TRUE((*server)->ServeUntilIdle().ok());
+
+  const CorpusServer::Stats::PlanCacheStats& cache =
+      (*server)->stats().plan_cache;
+  // Cold probes miss, the repeat pass and execution hit, nothing was
+  // evicted from a cache sized to the corpus.
+  EXPECT_GT(cache.misses, 0u);
+  EXPECT_GT(cache.hits, cache.misses);
+  EXPECT_EQ(cache.evictions, 0u);
+  EXPECT_EQ(cache.size, cache.misses);
+  EXPECT_EQ(cache.hits, (*server)->plan_cache()->hits());
+}
+
+TEST(DispatchTest, PlanCacheEvictionCounterTracksFifoDrops) {
+  MarkerCorpus mc = MakeDispatchCorpus(2000);
+  PlanCache cache(1);
+  CpuTadocOptions copt;
+  copt.cpu = gpu::PascalPlatform().cpu;
+  copt.plan_cache = &cache;
+  // Two distinct shapes through a one-slot cache: the second insert must
+  // drop the first, and the counter says so.
+  for (Task task : {Task::kWordCount, Task::kSort}) {
+    auto engine = CpuTadocEngine::Create(&mc.corpus.partitions[0], copt);
+    ASSERT_TRUE(engine.ok());
+    ASSERT_TRUE(engine->PlanOnly(task).ok());
+  }
+  EXPECT_EQ(cache.evictions(), 1u);
+  EXPECT_EQ(cache.size(), 1u);
+}
+
+TEST(DispatchTest, CpuRunsOnShardedServersSkipTheDeviceGroup) {
+  MarkerCorpus mc = MakeDispatchCorpus();
+  CorpusServer::Options opt = HybridOptions(2);
+  opt.num_devices = 3;
+  auto server = CorpusServer::Create(&mc.corpus, opt);
+  ASSERT_TRUE(server.ok());
+  auto tenant = (*server)->OpenTenant({});
+  ASSERT_TRUE(tenant.ok());
+
+  CorpusServer::RunOptions force_cpu;
+  force_cpu.backend = CorpusServer::RunBackend::kCpu;
+  CorpusServer::RunRequest request;
+  request.task = Task::kWordCount;
+  auto submitted = tenant->Submit(request, force_cpu);
+  ASSERT_TRUE(submitted.ok());
+  ASSERT_TRUE(submitted->admitted());
+  auto served = submitted->ticket->Await();
+  ASSERT_TRUE(served.ok()) << served.status().ToString();
+
+  // The CPU run executed the whole corpus on the host: every device's
+  // counters stayed untouched, and the result still matches a forced-GPU
+  // sharded run of the same request.
+  for (const CorpusServer::Stats::DeviceStats& device :
+       (*server)->stats().devices) {
+    EXPECT_EQ(device.documents_executed, 0u);
+    EXPECT_EQ(device.runs_routed, 0u);
+  }
+  auto gpu_submitted = tenant->Submit(request);
+  ASSERT_TRUE(gpu_submitted.ok());
+  ASSERT_TRUE(gpu_submitted->admitted());
+  auto gpu_served = gpu_submitted->ticket->Await();
+  ASSERT_TRUE(gpu_served.ok());
+  EXPECT_TRUE(served->batch.merged.SameAs(gpu_served->batch.merged));
+}
+
+TEST(DispatchTest, DeviceGroupRefusesCpuWork) {
+  MarkerCorpus mc = MakeDispatchCorpus(2000);
+  ShardedCorpus::Options sopt;
+  sopt.num_devices = 2;
+  auto sharded = ShardedCorpus::Create(&mc.corpus, sopt);
+  ASSERT_TRUE(sharded.ok());
+  DeviceGroup group(sharded->get());
+
+  const std::vector<uint8_t> all(mc.corpus.partitions.size(), 1);
+  ShardedCorpus::RoutePlan route = (*sharded)->Route(all, {}, {});
+  DeviceGroup::RunSpec spec;
+  spec.engine = GpuOptions();
+  spec.route = &route;
+  spec.backend = kCpuPlanBackend;
+  auto result = group.Execute(spec);
+  EXPECT_FALSE(result.ok());
+  EXPECT_TRUE(result.status().IsInvalidArgument());
+}
+
+}  // namespace
+}  // namespace gtadoc
